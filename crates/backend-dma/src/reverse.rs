@@ -1,0 +1,276 @@
+//! Reverse active messages: VHcall over the DMA protocol (extension).
+//!
+//! The platform's native VHcall mechanism (§I-B) lets VE code call VH
+//! code "in a synchronous fashion, with syscall semantics" — i.e. at the
+//! ~85 µs cost of the three-component software path. This module applies
+//! the paper's own medicine to the reverse direction: a VE-initiated
+//! request/response slot in the VH shm segment, driven with user DMA and
+//! LHM/SHM exactly like the forward protocol of Fig. 8 — making a
+//! reverse call cost microseconds instead.
+//!
+//! Reverse slot layout (appended to the segment after the send array):
+//!
+//! ```text
+//! +0   req_flag  (u64)  0 = free; else landing timestamp (ps)
+//! +8   resp_flag (u64)  0 = empty; else landing timestamp (ps)
+//! +16  request message:  32-byte header ‖ payload
+//! +16+msg_stride  response message: 32-byte header ‖ payload
+//! ```
+//!
+//! One slot suffices: the VE target loop executes kernels serially, so at
+//! most one reverse call is in flight per target.
+
+use aurora_mem::{Region, VeAddr, Vehva};
+use aurora_sim_core::{calib, Clock, SimTime};
+use ham::message::ReverseTransport;
+use ham::registry::HandlerKey;
+use ham::wire::{MsgHeader, MsgKind, HEADER_BYTES};
+use ham::{ExecContext, HamError, Registry};
+use ham_backend_veo::core::ProtocolConfig;
+use ham_offload::target_loop::{frame_result, unframe_result};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Message-area stride inside the reverse slot.
+fn msg_stride(cfg: &ProtocolConfig) -> u64 {
+    HEADER_BYTES as u64 + cfg.msg_bytes as u64
+}
+
+/// Total bytes of the reverse slot.
+pub fn reverse_slot_bytes(cfg: &ProtocolConfig) -> u64 {
+    16 + 2 * msg_stride(cfg)
+}
+
+/// Host-side service: polls the request flag, executes handlers with the
+/// *host* registry, posts responses. Runs on its own host thread with
+/// its own logical clock (another thread of the VH process).
+pub struct ReverseService {
+    region: Arc<Region>,
+    /// Byte offset of the reverse slot in the segment.
+    base: u64,
+    cfg: ProtocolConfig,
+    registry: Arc<Registry>,
+    clock: Clock,
+    stop: Arc<AtomicBool>,
+    served: std::sync::atomic::AtomicU64,
+}
+
+impl ReverseService {
+    /// Create a service over the reverse slot at `base`.
+    pub fn new(
+        region: Arc<Region>,
+        base: u64,
+        cfg: ProtocolConfig,
+        registry: Arc<Registry>,
+        stop: Arc<AtomicBool>,
+    ) -> Arc<Self> {
+        Arc::new(Self {
+            region,
+            base,
+            cfg,
+            registry,
+            clock: Clock::new(),
+            stop,
+            served: std::sync::atomic::AtomicU64::new(0),
+        })
+    }
+
+    /// Number of reverse calls served so far.
+    pub fn served(&self) -> u64 {
+        self.served.load(Ordering::Relaxed)
+    }
+
+    /// The service loop; returns when the stop flag is raised.
+    pub fn run(&self) {
+        let req_flag = self.base;
+        let resp_flag = self.base + 8;
+        let req_msg = self.base + 16;
+        let resp_msg = req_msg + msg_stride(&self.cfg);
+        // Host-side scratch memory for reverse handlers.
+        let scratch = ham::message::VecMemory::new(1 << 16);
+        loop {
+            let ts = match self.region.load_u64(req_flag) {
+                Ok(0) => {
+                    if self.stop.load(Ordering::Acquire) {
+                        return;
+                    }
+                    std::thread::yield_now();
+                    continue;
+                }
+                Ok(ts) => SimTime::from_ps(ts),
+                Err(_) => return,
+            };
+            // Arrival-driven: join the request's landing time, pay the
+            // local poll read.
+            self.clock.join(ts);
+            self.clock.advance(calib::HAM_LOCAL_MEM_TOUCH);
+
+            let mut hdr = [0u8; HEADER_BYTES];
+            if self.region.read(req_msg, &mut hdr).is_err() {
+                return;
+            }
+            let header = match MsgHeader::decode(&hdr) {
+                Ok(h) => h,
+                Err(_) => return,
+            };
+            let mut payload = vec![0u8; header.payload_len as usize];
+            if self
+                .region
+                .read(req_msg + HEADER_BYTES as u64, &mut payload)
+                .is_err()
+            {
+                return;
+            }
+            // Execute on the host, with host-side framework cost.
+            self.clock.advance(calib::HAM_TARGET_OVERHEAD);
+            let mut ctx = ExecContext::new(0, &scratch);
+            let result = self
+                .registry
+                .execute(header.handler_key, &payload, &mut ctx);
+            let mut frame = frame_result(result);
+            if frame.len() > self.cfg.msg_bytes {
+                frame = frame_result(Err(ham::HamError::Wire(format!(
+                    "reverse result of {} bytes exceeds the protocol's {}-byte slots",
+                    frame.len(),
+                    self.cfg.msg_bytes
+                ))));
+            }
+
+            // Response message + flag (all host-local writes).
+            let resp_header = MsgHeader {
+                handler_key: HandlerKey(0),
+                payload_len: frame.len() as u32,
+                kind: MsgKind::Result,
+                reply_slot: 0,
+                ts_ps: 0,
+                seq: header.seq,
+            };
+            let mut bytes = resp_header.encode().to_vec();
+            bytes.extend_from_slice(&frame);
+            if self.region.write(resp_msg, &bytes).is_err() {
+                return;
+            }
+            // Free the request slot, then publish the response.
+            let landing = self.clock.advance(calib::HAM_LOCAL_MEM_TOUCH);
+            let _ = self.region.store_u64(req_flag, 0);
+            let _ = self.region.store_u64(resp_flag, landing.as_ps());
+            self.served.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// VE-side transport: what `ctx.vhcall(...)` uses inside kernels.
+pub struct VeReverseTransport {
+    /// The VE process (for clock and staging translation).
+    pub proc: Arc<veos_sim::VeProcess>,
+    /// This core's user DMA engine.
+    pub udma: aurora_ve::UserDma,
+    /// This core's LHM/SHM unit.
+    pub lhm_shm: aurora_ve::LhmShmUnit,
+    /// VEHVA of the reverse slot.
+    pub vehva: Vehva,
+    /// Protocol geometry.
+    pub cfg: ProtocolConfig,
+    /// VE-local staging buffer (VEMVA), distinct from the forward one.
+    pub staging: VeAddr,
+    /// Serialises calls (defensive; the target loop is serial anyway).
+    pub seq: Mutex<u64>,
+}
+
+impl ReverseTransport for VeReverseTransport {
+    fn call_raw(&self, key: HandlerKey, payload: &[u8]) -> Result<Vec<u8>, HamError> {
+        if payload.len() > self.cfg.msg_bytes {
+            return Err(HamError::Wire(format!(
+                "reverse message of {} bytes exceeds {}-byte slots",
+                payload.len(),
+                self.cfg.msg_bytes
+            )));
+        }
+        let mut seq_guard = self.seq.lock();
+        let seq = *seq_guard;
+        *seq_guard += 1;
+
+        let clock = self.proc.clock().clone();
+        let atb = self.proc.ve().dmaatb();
+        let err = |e: aurora_mem::MemError| HamError::Mem(e.to_string());
+
+        let header = MsgHeader {
+            handler_key: key,
+            payload_len: payload.len() as u32,
+            kind: MsgKind::Offload,
+            reply_slot: 0,
+            ts_ps: 0,
+            seq,
+        };
+        let mut bytes = header.encode().to_vec();
+        bytes.extend_from_slice(payload);
+
+        // Stage locally, DMA the request into the host slot, flag it.
+        let hbm = Arc::clone(self.proc.hbm());
+        let stage = self
+            .proc
+            .translate(self.staging, bytes.len() as u64)
+            .map_err(err)?;
+        hbm.write(stage, &bytes).map_err(err)?;
+        let req_msg = self.vehva.offset(16);
+        self.udma
+            .write_host(&clock, atb, &hbm, stage, req_msg, bytes.len() as u64)
+            .map_err(err)?;
+        self.lhm_shm
+            .shm_timestamp(&clock, atb, self.vehva)
+            .map_err(err)?;
+
+        // Poll the response flag (arrival-driven), then fetch.
+        let resp_flag = self.vehva.offset(8);
+        let ts = loop {
+            match self.lhm_shm.peek_word(atb, resp_flag) {
+                Ok(0) => std::thread::yield_now(),
+                Ok(ts) => break SimTime::from_ps(ts),
+                Err(e) => return Err(err(e)),
+            }
+        };
+        clock.join(ts);
+        self.lhm_shm.lhm(&clock, atb, resp_flag).map_err(err)?;
+
+        let resp_msg = self.vehva.offset(16 + msg_stride(&self.cfg));
+        let first =
+            (HEADER_BYTES as u64 + 224).min(HEADER_BYTES as u64 + self.cfg.msg_bytes as u64);
+        let stage = self
+            .proc
+            .translate(self.staging, msg_stride(&self.cfg))
+            .map_err(err)?;
+        self.udma
+            .read_host(&clock, atb, resp_msg, &hbm, stage, first)
+            .map_err(err)?;
+        let mut hdr = [0u8; HEADER_BYTES];
+        hbm.read(stage, &mut hdr).map_err(err)?;
+        let resp_header = MsgHeader::decode(&hdr)?;
+        if resp_header.seq != seq {
+            return Err(HamError::Wire(format!(
+                "reverse response seq {} != {}",
+                resp_header.seq, seq
+            )));
+        }
+        let total = HEADER_BYTES as u64 + resp_header.payload_len as u64;
+        if total > first {
+            self.udma
+                .read_host(
+                    &clock,
+                    atb,
+                    resp_msg.offset(first),
+                    &hbm,
+                    stage + first,
+                    total - first,
+                )
+                .map_err(err)?;
+        }
+        let mut frame = vec![0u8; resp_header.payload_len as usize];
+        hbm.read(stage + HEADER_BYTES as u64, &mut frame)
+            .map_err(err)?;
+        // Clear the response flag for the next call.
+        self.lhm_shm.shm(&clock, atb, resp_flag, 0).map_err(err)?;
+
+        unframe_result(&frame).map_err(HamError::Wire)
+    }
+}

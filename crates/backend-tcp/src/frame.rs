@@ -1,0 +1,180 @@
+//! Length-prefixed framing over a TCP stream.
+
+use std::io::{Read, Write};
+
+/// Maximum accepted frame size (defensive bound against corrupt length
+/// prefixes).
+pub const MAX_FRAME: u32 = 64 << 20;
+
+/// Write one frame: `u32 length ‖ body`.
+pub fn write_frame(stream: &mut impl Write, body: &[u8]) -> std::io::Result<()> {
+    let len = body.len() as u32;
+    stream.write_all(&len.to_le_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()
+}
+
+/// Read one frame; `Ok(None)` on clean EOF at a frame boundary.
+pub fn read_frame(stream: &mut impl Read) -> std::io::Result<Option<Vec<u8>>> {
+    let mut len_bytes = [0u8; 4];
+    match stream.read_exact(&mut len_bytes) {
+        Ok(()) => {}
+        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    let len = u32::from_le_bytes(len_bytes);
+    if len > MAX_FRAME {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("frame of {len} bytes exceeds the {MAX_FRAME}-byte bound"),
+        ));
+    }
+    let mut body = vec![0u8; len as usize];
+    stream.read_exact(&mut body)?;
+    Ok(Some(body))
+}
+
+/// Control-channel operations (synchronous RPC).
+#[derive(Debug, PartialEq, Eq)]
+pub enum ControlOp {
+    /// Allocate `bytes`; response: `u64` address.
+    Alloc {
+        /// Requested size.
+        bytes: u64,
+    },
+    /// Free the allocation at `addr`; response: empty.
+    Free {
+        /// Allocation start.
+        addr: u64,
+    },
+    /// Write `data` at `addr`; response: empty.
+    Put {
+        /// Destination address.
+        addr: u64,
+        /// The bytes.
+        data: Vec<u8>,
+    },
+    /// Read `len` bytes at `addr`; response: the bytes.
+    Get {
+        /// Source address.
+        addr: u64,
+        /// Length to read.
+        len: u64,
+    },
+}
+
+impl ControlOp {
+    /// Encode into a frame body.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            ControlOp::Alloc { bytes } => {
+                out.push(1);
+                out.extend_from_slice(&bytes.to_le_bytes());
+            }
+            ControlOp::Free { addr } => {
+                out.push(2);
+                out.extend_from_slice(&addr.to_le_bytes());
+            }
+            ControlOp::Put { addr, data } => {
+                out.push(3);
+                out.extend_from_slice(&addr.to_le_bytes());
+                out.extend_from_slice(data);
+            }
+            ControlOp::Get { addr, len } => {
+                out.push(4);
+                out.extend_from_slice(&addr.to_le_bytes());
+                out.extend_from_slice(&len.to_le_bytes());
+            }
+        }
+        out
+    }
+
+    /// Decode from a frame body.
+    pub fn decode(body: &[u8]) -> Result<ControlOp, String> {
+        let take_u64 = |b: &[u8]| -> Result<u64, String> {
+            b.get(..8)
+                .map(|s| u64::from_le_bytes(s.try_into().expect("8 bytes")))
+                .ok_or_else(|| "truncated control frame".to_string())
+        };
+        match body.split_first() {
+            Some((1, rest)) => Ok(ControlOp::Alloc {
+                bytes: take_u64(rest)?,
+            }),
+            Some((2, rest)) => Ok(ControlOp::Free {
+                addr: take_u64(rest)?,
+            }),
+            Some((3, rest)) => Ok(ControlOp::Put {
+                addr: take_u64(rest)?,
+                data: rest
+                    .get(8..)
+                    .ok_or_else(|| "truncated put".to_string())?
+                    .to_vec(),
+            }),
+            Some((4, rest)) => Ok(ControlOp::Get {
+                addr: take_u64(rest)?,
+                len: take_u64(rest.get(8..).ok_or_else(|| "truncated get".to_string())?)?,
+            }),
+            Some((op, _)) => Err(format!("unknown control op {op}")),
+            None => Err("empty control frame".into()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn frame_round_trip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        let mut cur = Cursor::new(buf);
+        assert_eq!(read_frame(&mut cur).unwrap().unwrap(), b"hello");
+        assert_eq!(read_frame(&mut cur).unwrap().unwrap(), Vec::<u8>::new());
+        assert_eq!(read_frame(&mut cur).unwrap(), None, "clean EOF");
+    }
+
+    #[test]
+    fn oversized_frame_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&u32::MAX.to_le_bytes());
+        let mut cur = Cursor::new(buf);
+        assert!(read_frame(&mut cur).is_err());
+    }
+
+    #[test]
+    fn torn_frame_is_an_error() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        buf.truncate(buf.len() - 2);
+        let mut cur = Cursor::new(buf);
+        assert!(read_frame(&mut cur).is_err(), "EOF mid-frame");
+    }
+
+    #[test]
+    fn control_ops_round_trip() {
+        for op in [
+            ControlOp::Alloc { bytes: 4096 },
+            ControlOp::Free { addr: 64 },
+            ControlOp::Put {
+                addr: 128,
+                data: vec![1, 2, 3],
+            },
+            ControlOp::Get { addr: 256, len: 16 },
+        ] {
+            let enc = op.encode();
+            assert_eq!(ControlOp::decode(&enc).unwrap(), op);
+        }
+    }
+
+    #[test]
+    fn malformed_control_frames_rejected() {
+        assert!(ControlOp::decode(&[]).is_err());
+        assert!(ControlOp::decode(&[9, 0, 0]).is_err());
+        assert!(ControlOp::decode(&[1, 0]).is_err());
+        assert!(ControlOp::decode(&[4, 0, 0, 0, 0, 0, 0, 0, 0]).is_err());
+    }
+}

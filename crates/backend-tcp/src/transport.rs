@@ -1,0 +1,499 @@
+//! The TCP backend proper: real sockets, one acceptor per target.
+
+use crate::frame::{read_frame, write_frame, ControlOp};
+use aurora_mem::RangeAllocator;
+use aurora_sim_core::Clock;
+use ham::message::VecMemory;
+use ham::registry::HandlerKey;
+use ham::wire::{MsgHeader, MsgKind, HEADER_BYTES};
+use ham::{Registry, RegistryBuilder, TargetMemory};
+use ham_offload::backend::{CommBackend, RawBuffer, Registrar, SlotId};
+use ham_offload::target_loop::{run_target_loop, unframe_result, TargetChannel};
+use ham_offload::types::{DeviceType, NodeDescriptor, NodeId};
+use ham_offload::OffloadError;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+fn io_err(e: std::io::Error) -> OffloadError {
+    OffloadError::Backend(format!("tcp: {e}"))
+}
+
+struct TcpTarget {
+    addr: std::net::SocketAddr,
+    msg_tx: Mutex<TcpStream>,
+    ctrl: Mutex<TcpStream>,
+    results: Arc<Mutex<HashMap<u64, Vec<u8>>>>,
+    reader: Mutex<Option<JoinHandle<()>>>,
+    server: Mutex<Option<JoinHandle<u64>>>,
+    mem_bytes: u64,
+    shutdown: std::sync::atomic::AtomicBool,
+}
+
+/// The TCP/IP communication backend.
+pub struct TcpBackend {
+    host_registry: Arc<Registry>,
+    targets: Vec<TcpTarget>,
+    next_slot: Mutex<u64>,
+    clock: Clock,
+}
+
+/// The target-process side of one TCP channel.
+struct TcpSideChannel {
+    rx: Mutex<TcpStream>,
+    tx: Mutex<TcpStream>,
+}
+
+impl TargetChannel for TcpSideChannel {
+    fn recv(&self) -> Option<(MsgHeader, Vec<u8>)> {
+        let body = read_frame(&mut *self.rx.lock()).ok()??;
+        let header = MsgHeader::decode(&body).ok()?;
+        if body.len() != header.wire_len() {
+            return None;
+        }
+        Some((header, body[HEADER_BYTES..].to_vec()))
+    }
+
+    fn send_result(&self, reply_slot: u16, seq: u64, payload: &[u8]) {
+        let header = MsgHeader {
+            handler_key: HandlerKey(0),
+            payload_len: payload.len() as u32,
+            kind: MsgKind::Result,
+            reply_slot,
+            ts_ps: 0,
+            seq,
+        };
+        let mut body = header.encode().to_vec();
+        body.extend_from_slice(payload);
+        let _ = write_frame(&mut *self.tx.lock(), &body);
+    }
+}
+
+/// The target "process": serves the control RPC and the message loop.
+fn target_main(node: u16, listener: TcpListener, mem_bytes: u64, registry: Registry) -> u64 {
+    // Accept the two connections; a 1-byte hello tags each.
+    let mut msg_stream: Option<TcpStream> = None;
+    let mut ctrl_stream: Option<TcpStream> = None;
+    while msg_stream.is_none() || ctrl_stream.is_none() {
+        let (mut s, _) = listener.accept().expect("accept");
+        s.set_nodelay(true).ok();
+        let mut tag = [0u8; 1];
+        s.read_exact(&mut tag).expect("hello tag");
+        match tag[0] {
+            b'M' => msg_stream = Some(s),
+            b'C' => ctrl_stream = Some(s),
+            other => panic!("unknown hello {other}"),
+        }
+    }
+    let msg_stream = msg_stream.expect("message socket");
+    let mut ctrl_stream = ctrl_stream.expect("control socket");
+
+    let mem = Arc::new(VecMemory::new(mem_bytes as usize));
+    let alloc = Mutex::new(RangeAllocator::new(mem_bytes));
+
+    // Control RPC loop on its own thread.
+    let mem2 = Arc::clone(&mem);
+    let ctrl_thread = std::thread::Builder::new()
+        .name(format!("tcp-target-{node}-ctrl"))
+        .spawn(move || {
+            let respond = |stream: &mut TcpStream, ok: bool, body: &[u8]| {
+                let mut frame = Vec::with_capacity(body.len() + 1);
+                frame.push(u8::from(!ok));
+                frame.extend_from_slice(body);
+                write_frame(stream, &frame)
+            };
+            while let Ok(Some(body)) = read_frame(&mut ctrl_stream) {
+                let result: Result<Vec<u8>, String> = match ControlOp::decode(&body) {
+                    Err(e) => Err(e),
+                    Ok(ControlOp::Alloc { bytes }) => alloc
+                        .lock()
+                        .alloc(bytes, 8)
+                        .map(|a| a.to_le_bytes().to_vec())
+                        .map_err(|e| e.to_string()),
+                    Ok(ControlOp::Free { addr }) => alloc
+                        .lock()
+                        .free(addr)
+                        .map(|_| Vec::new())
+                        .map_err(|e| e.to_string()),
+                    Ok(ControlOp::Put { addr, data }) => mem2
+                        .mem_write(addr, &data)
+                        .map(|_| Vec::new())
+                        .map_err(|e| e.to_string()),
+                    Ok(ControlOp::Get { addr, len }) => {
+                        let mut out = vec![0u8; len as usize];
+                        mem2.mem_read(addr, &mut out)
+                            .map(|_| out)
+                            .map_err(|e| e.to_string())
+                    }
+                };
+                let done = match result {
+                    Ok(body) => respond(&mut ctrl_stream, true, &body),
+                    Err(msg) => respond(&mut ctrl_stream, false, msg.as_bytes()),
+                };
+                if done.is_err() {
+                    break;
+                }
+            }
+        })
+        .expect("spawn ctrl thread");
+
+    // The HAM message loop over the message socket.
+    let chan = TcpSideChannel {
+        rx: Mutex::new(msg_stream.try_clone().expect("clone msg stream")),
+        tx: Mutex::new(msg_stream),
+    };
+    let served = run_target_loop(node, &registry, &*mem, &chan);
+    let _ = ctrl_thread.join();
+    served
+}
+
+impl TcpBackend {
+    /// Default per-target memory.
+    pub const DEFAULT_MEM: u64 = 16 << 20;
+
+    /// Spawn `n` targets as in-process "remote" peers connected over
+    /// loopback TCP.
+    pub fn spawn(
+        n: u16,
+        registrar: impl Fn(&mut RegistryBuilder) + Send + Sync + 'static,
+    ) -> Arc<Self> {
+        Self::spawn_with_memory(n, Self::DEFAULT_MEM, registrar)
+    }
+
+    /// Spawn with an explicit per-target memory size.
+    pub fn spawn_with_memory(
+        n: u16,
+        mem_bytes: u64,
+        registrar: impl Fn(&mut RegistryBuilder) + Send + Sync + 'static,
+    ) -> Arc<Self> {
+        let registrar: Arc<Registrar> = Arc::new(registrar);
+        let build = |seed: u64| {
+            let mut b = RegistryBuilder::new();
+            registrar(&mut b);
+            b.seal(seed)
+        };
+        let host_registry = Arc::new(build(0x7463_7000)); // "tcp"
+        let targets = (1..=n)
+            .map(|node| {
+                let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback listener");
+                let addr = listener.local_addr().expect("local addr");
+                let registry = build(0x7463_7000 + node as u64);
+                let server = std::thread::Builder::new()
+                    .name(format!("tcp-target-{node}"))
+                    .spawn(move || target_main(node, listener, mem_bytes, registry))
+                    .expect("spawn tcp target");
+
+                let mut msg = TcpStream::connect(addr).expect("connect msg");
+                msg.write_all(b"M").expect("hello M");
+                msg.set_nodelay(true).ok();
+                let mut ctrl = TcpStream::connect(addr).expect("connect ctrl");
+                ctrl.write_all(b"C").expect("hello C");
+                ctrl.set_nodelay(true).ok();
+
+                // Host-side result reader.
+                let results: Arc<Mutex<HashMap<u64, Vec<u8>>>> =
+                    Arc::new(Mutex::new(HashMap::new()));
+                let results2 = Arc::clone(&results);
+                let mut msg_rx = msg.try_clone().expect("clone msg stream");
+                let reader = std::thread::Builder::new()
+                    .name(format!("tcp-host-reader-{node}"))
+                    .spawn(move || {
+                        while let Ok(Some(body)) = read_frame(&mut msg_rx) {
+                            if let Ok(header) = MsgHeader::decode(&body) {
+                                if header.kind == MsgKind::Result && body.len() == header.wire_len()
+                                {
+                                    results2
+                                        .lock()
+                                        .insert(header.seq, body[HEADER_BYTES..].to_vec());
+                                }
+                            }
+                        }
+                    })
+                    .expect("spawn reader");
+
+                TcpTarget {
+                    addr,
+                    msg_tx: Mutex::new(msg),
+                    ctrl: Mutex::new(ctrl),
+                    results,
+                    reader: Mutex::new(Some(reader)),
+                    server: Mutex::new(Some(server)),
+                    mem_bytes,
+                    shutdown: std::sync::atomic::AtomicBool::new(false),
+                }
+            })
+            .collect();
+        Arc::new(Self {
+            host_registry,
+            targets,
+            next_slot: Mutex::new(0),
+            clock: Clock::new(),
+        })
+    }
+
+    fn target(&self, node: NodeId) -> Result<&TcpTarget, OffloadError> {
+        if node.is_host() {
+            return Err(OffloadError::BadNode(node));
+        }
+        self.targets
+            .get(node.0 as usize - 1)
+            .ok_or(OffloadError::BadNode(node))
+    }
+
+    /// Synchronous control RPC.
+    fn control(&self, node: NodeId, op: ControlOp) -> Result<Vec<u8>, OffloadError> {
+        let t = self.target(node)?;
+        if t.shutdown.load(std::sync::atomic::Ordering::Acquire) {
+            return Err(OffloadError::Shutdown);
+        }
+        let mut stream = t.ctrl.lock();
+        write_frame(&mut *stream, &op.encode()).map_err(io_err)?;
+        let resp = read_frame(&mut *stream)
+            .map_err(io_err)?
+            .ok_or(OffloadError::Shutdown)?;
+        match resp.split_first() {
+            Some((0, body)) => Ok(body.to_vec()),
+            Some((_, msg)) => Err(OffloadError::Mem(String::from_utf8_lossy(msg).into_owned())),
+            None => Err(OffloadError::Backend("empty control response".into())),
+        }
+    }
+}
+
+impl CommBackend for TcpBackend {
+    fn num_targets(&self) -> u16 {
+        self.targets.len() as u16
+    }
+
+    fn host_registry(&self) -> &Arc<Registry> {
+        &self.host_registry
+    }
+
+    fn descriptor(&self, node: NodeId) -> Result<NodeDescriptor, OffloadError> {
+        if node.is_host() {
+            return Ok(NodeDescriptor {
+                node,
+                name: "tcp host".into(),
+                device_type: DeviceType::Host,
+                memory_bytes: 0,
+                cores: 1,
+            });
+        }
+        let t = self.target(node)?;
+        Ok(NodeDescriptor {
+            node,
+            name: format!("tcp target {} @ {}", node.0, t.addr),
+            device_type: DeviceType::Generic,
+            memory_bytes: t.mem_bytes,
+            cores: 1,
+        })
+    }
+
+    fn post(
+        &self,
+        target: NodeId,
+        key: HandlerKey,
+        payload: &[u8],
+    ) -> Result<SlotId, OffloadError> {
+        let t = self.target(target)?;
+        if t.shutdown.load(std::sync::atomic::Ordering::Acquire) {
+            return Err(OffloadError::Shutdown);
+        }
+        let slot = {
+            let mut s = self.next_slot.lock();
+            let v = *s;
+            *s += 1;
+            v
+        };
+        let header = MsgHeader {
+            handler_key: key,
+            payload_len: payload.len() as u32,
+            kind: MsgKind::Offload,
+            reply_slot: 0,
+            ts_ps: 0,
+            seq: slot,
+        };
+        let mut body = header.encode().to_vec();
+        body.extend_from_slice(payload);
+        write_frame(&mut *t.msg_tx.lock(), &body).map_err(io_err)?;
+        Ok(SlotId(slot))
+    }
+
+    fn try_result(&self, target: NodeId, slot: SlotId) -> Result<Option<Vec<u8>>, OffloadError> {
+        let t = self.target(target)?;
+        match t.results.lock().remove(&slot.0) {
+            None => Ok(None),
+            Some(frame) => unframe_result(&frame)
+                .map(Some)
+                .map_err(OffloadError::Backend),
+        }
+    }
+
+    fn allocate(&self, node: NodeId, bytes: u64) -> Result<u64, OffloadError> {
+        let resp = self.control(node, ControlOp::Alloc { bytes })?;
+        resp.get(..8)
+            .map(|b| u64::from_le_bytes(b.try_into().expect("8 bytes")))
+            .ok_or_else(|| OffloadError::Backend("short alloc response".into()))
+    }
+
+    fn free(&self, node: NodeId, addr: u64) -> Result<(), OffloadError> {
+        self.control(node, ControlOp::Free { addr }).map(|_| ())
+    }
+
+    fn put_bytes(&self, dst: RawBuffer, data: &[u8]) -> Result<(), OffloadError> {
+        self.control(
+            dst.node,
+            ControlOp::Put {
+                addr: dst.addr,
+                data: data.to_vec(),
+            },
+        )
+        .map(|_| ())
+    }
+
+    fn get_bytes(&self, src: RawBuffer, out: &mut [u8]) -> Result<(), OffloadError> {
+        let resp = self.control(
+            src.node,
+            ControlOp::Get {
+                addr: src.addr,
+                len: out.len() as u64,
+            },
+        )?;
+        if resp.len() != out.len() {
+            return Err(OffloadError::Backend("short get response".into()));
+        }
+        out.copy_from_slice(&resp);
+        Ok(())
+    }
+
+    fn host_clock(&self) -> &Clock {
+        &self.clock
+    }
+
+    fn shutdown(&self) {
+        for node in 1..=self.num_targets() {
+            let t = match self.target(NodeId(node)) {
+                Ok(t) => t,
+                Err(_) => continue,
+            };
+            if t.shutdown.swap(true, std::sync::atomic::Ordering::AcqRel) {
+                continue;
+            }
+            // Terminate the message loop with a Control message.
+            let header = MsgHeader {
+                handler_key: HandlerKey(0),
+                payload_len: 0,
+                kind: MsgKind::Control,
+                reply_slot: 0,
+                ts_ps: 0,
+                seq: u64::MAX,
+            };
+            let _ = write_frame(&mut *t.msg_tx.lock(), &header.encode());
+            // Close the sockets so the ctrl loop and reader unblock.
+            let _ = t.msg_tx.lock().shutdown(std::net::Shutdown::Both);
+            let _ = t.ctrl.lock().shutdown(std::net::Shutdown::Both);
+            if let Some(h) = t.server.lock().take() {
+                let _ = h.join();
+            }
+            if let Some(h) = t.reader.lock().take() {
+                let _ = h.join();
+            }
+        }
+    }
+}
+
+impl Drop for TcpBackend {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ham::f2f;
+    use ham_offload::Offload;
+
+    ham::ham_kernel! {
+        pub fn over_the_wire(ctx, addr: u64, n: u64) -> f64 {
+            ctx.mem.read_f64s(addr, n as usize).unwrap().iter().sum()
+        }
+    }
+
+    ham::ham_kernel! {
+        pub fn node_echo(ctx) -> u16 { ctx.node }
+    }
+
+    fn registrar(b: &mut RegistryBuilder) {
+        b.register::<over_the_wire>();
+        b.register::<node_echo>();
+    }
+
+    #[test]
+    fn offload_over_real_tcp() {
+        let o = Offload::new(TcpBackend::spawn(1, registrar));
+        assert_eq!(o.sync(NodeId(1), f2f!(node_echo)).unwrap(), 1);
+        o.shutdown();
+    }
+
+    #[test]
+    fn buffers_travel_through_sockets() {
+        let o = Offload::new(TcpBackend::spawn(1, registrar));
+        let t = NodeId(1);
+        let b = o.allocate::<f64>(t, 16).unwrap();
+        let data: Vec<f64> = (0..16).map(|i| i as f64).collect();
+        o.put(&data, b).unwrap();
+        let mut back = vec![0.0f64; 16];
+        o.get(b, &mut back).unwrap();
+        assert_eq!(back, data);
+        assert_eq!(o.sync(t, f2f!(over_the_wire, b.addr(), 16)).unwrap(), 120.0);
+        o.free(b).unwrap();
+        o.shutdown();
+    }
+
+    #[test]
+    fn multiple_tcp_targets() {
+        let o = Offload::new(TcpBackend::spawn(3, registrar));
+        let futures: Vec<_> = (1..=3u16)
+            .map(|n| o.async_(NodeId(n), f2f!(node_echo)).unwrap())
+            .collect();
+        let nodes: Vec<u16> = futures.into_iter().map(|f| f.get().unwrap()).collect();
+        assert_eq!(nodes, vec![1, 2, 3]);
+        let d = o.get_node_descriptor(NodeId(2)).unwrap();
+        assert!(d.name.contains("127.0.0.1"), "{}", d.name);
+        o.shutdown();
+    }
+
+    #[test]
+    fn pipelined_posts_on_one_socket() {
+        let o = Offload::new(TcpBackend::spawn(1, registrar));
+        let futures: Vec<_> = (0..50)
+            .map(|_| o.async_(NodeId(1), f2f!(node_echo)).unwrap())
+            .collect();
+        for f in futures {
+            assert_eq!(f.get().unwrap(), 1);
+        }
+        o.shutdown();
+    }
+
+    #[test]
+    fn shutdown_then_use_fails_cleanly() {
+        let o = Offload::new(TcpBackend::spawn(1, registrar));
+        o.shutdown();
+        o.shutdown(); // idempotent
+        assert!(o.sync(NodeId(1), f2f!(node_echo)).is_err());
+        assert!(o.allocate::<f64>(NodeId(1), 4).is_err());
+    }
+
+    #[test]
+    fn target_allocator_errors_travel_back() {
+        let o = Offload::new(TcpBackend::spawn_with_memory(1, 1024, registrar));
+        assert!(matches!(
+            o.allocate::<f64>(NodeId(1), 4096),
+            Err(OffloadError::Mem(_))
+        ));
+        o.shutdown();
+    }
+}

@@ -1,0 +1,53 @@
+//! Wall-clock cost of the HAM wire codec: serialisation is part of every
+//! offload's framework overhead (the 5 µs of §V-A), so it must stay in
+//! the nanosecond range.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use serde::{Deserialize, Serialize};
+
+#[derive(Serialize, Deserialize, Clone)]
+struct SmallFunctor {
+    a: u64,
+    b: u64,
+    n: u64,
+}
+
+#[derive(Serialize, Deserialize, Clone)]
+struct RichFunctor {
+    name: String,
+    coefficients: Vec<f64>,
+    flags: Option<(bool, u32)>,
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let mut g = c.benchmark_group("codec");
+
+    let small = SmallFunctor { a: 1, b: 2, n: 3 };
+    g.bench_function("encode_small_functor", |b| {
+        b.iter(|| ham::codec::encode(black_box(&small)).unwrap())
+    });
+    let small_bytes = ham::codec::encode(&small).unwrap();
+    g.bench_function("decode_small_functor", |b| {
+        b.iter(|| ham::codec::decode::<SmallFunctor>(black_box(&small_bytes)).unwrap())
+    });
+
+    for n in [16usize, 256, 4096] {
+        let rich = RichFunctor {
+            name: "jacobi_step".into(),
+            coefficients: (0..n).map(|i| i as f64).collect(),
+            flags: Some((true, 7)),
+        };
+        let bytes = ham::codec::encode(&rich).unwrap();
+        g.throughput(Throughput::Bytes(bytes.len() as u64));
+        g.bench_with_input(BenchmarkId::new("encode_vec_f64", n), &rich, |b, rich| {
+            b.iter(|| ham::codec::encode(black_box(rich)).unwrap())
+        });
+        g.bench_with_input(BenchmarkId::new("decode_vec_f64", n), &bytes, |b, bytes| {
+            b.iter(|| ham::codec::decode::<RichFunctor>(black_box(bytes)).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_codec);
+criterion_main!(benches);

@@ -1,0 +1,115 @@
+//! Wall-clock (not virtual-time) cost of complete offload round trips
+//! through each backend — measuring the reproduction's own runtime, as
+//! opposed to the modeled hardware times of the `repro_*` binaries.
+
+use aurora_workloads::kernels::whoami;
+use criterion::{criterion_group, criterion_main, Criterion};
+use ham::f2f;
+use ham_backend_dma::DmaBackend;
+use ham_backend_veo::{ProtocolConfig, VeoBackend};
+use ham_offload::local::LocalBackend;
+use ham_offload::types::NodeId;
+use ham_offload::Offload;
+use veos_sim::{AuroraMachine, MachineConfig};
+
+fn machine() -> std::sync::Arc<AuroraMachine> {
+    AuroraMachine::small(
+        1,
+        MachineConfig {
+            hbm_bytes: 16 << 20,
+            vh_bytes: 32 << 20,
+            ..Default::default()
+        },
+    )
+}
+
+fn bench_offload_paths(c: &mut Criterion) {
+    let mut g = c.benchmark_group("offload_roundtrip_wallclock");
+    g.sample_size(30);
+
+    let local = Offload::new(LocalBackend::spawn(1, aurora_workloads::register_all));
+    g.bench_function("local_backend", |b| {
+        b.iter(|| local.sync(NodeId(1), f2f!(whoami)).unwrap())
+    });
+
+    let veo = Offload::new(VeoBackend::spawn(
+        machine(),
+        0,
+        &[0],
+        ProtocolConfig::default(),
+        aurora_workloads::register_all,
+    ));
+    g.bench_function("veo_backend", |b| {
+        b.iter(|| veo.sync(NodeId(1), f2f!(whoami)).unwrap())
+    });
+
+    let dma = Offload::new(DmaBackend::spawn(
+        machine(),
+        0,
+        &[0],
+        ProtocolConfig::default(),
+        aurora_workloads::register_all,
+    ));
+    g.bench_function("dma_backend", |b| {
+        b.iter(|| dma.sync(NodeId(1), f2f!(whoami)).unwrap())
+    });
+
+    g.finish();
+    local.shutdown();
+    veo.shutdown();
+    dma.shutdown();
+}
+
+fn bench_put_get(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bulk_transfer_wallclock");
+    g.sample_size(20);
+    let dma = Offload::new(DmaBackend::spawn(
+        machine(),
+        0,
+        &[0],
+        ProtocolConfig::default(),
+        aurora_workloads::register_all,
+    ));
+    let buf = dma.allocate::<f64>(NodeId(1), 1 << 17).unwrap();
+    let data = vec![1.0f64; 1 << 17]; // 1 MiB
+    g.bench_function("put_1MiB", |b| b.iter(|| dma.put(&data, buf).unwrap()));
+    let mut out = vec![0.0f64; 1 << 17];
+    g.bench_function("get_1MiB", |b| b.iter(|| dma.get(buf, &mut out).unwrap()));
+    g.finish();
+    dma.shutdown();
+}
+
+fn bench_pipelined_throughput(c: &mut Criterion) {
+    // Offloads per second with a full async pipeline (wall clock): how
+    // fast the reproduction itself can push messages.
+    let mut g = c.benchmark_group("pipelined_throughput_wallclock");
+    g.sample_size(20);
+    let dma = Offload::new(DmaBackend::spawn(
+        machine(),
+        0,
+        &[0],
+        ProtocolConfig::default(),
+        aurora_workloads::register_all,
+    ));
+    g.throughput(criterion::Throughput::Elements(32));
+    g.bench_function("dma_32deep", |b| {
+        b.iter(|| {
+            let futs: Vec<_> = (0..32)
+                .map(|_| dma.async_(NodeId(1), f2f!(whoami)).unwrap())
+                .collect();
+            for f in futs {
+                f.get().unwrap();
+            }
+        })
+    });
+    g.finish();
+    dma.shutdown();
+}
+
+criterion_group!(
+    benches,
+    bench_offload_paths,
+    bench_put_get,
+    bench_pipelined_throughput
+);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Wall-clock cost of handler-key translation (paper Fig. 6): the paper
+//! stresses that key→address translation is O(1); this bench keeps the
+//! constant honest.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ham::message::VecMemory;
+use ham::{ExecContext, RegistryBuilder};
+
+ham::ham_kernel! {
+    pub fn k0(_ctx, x: u64) -> u64 { x }
+}
+ham::ham_kernel! {
+    pub fn k1(_ctx, x: u64) -> u64 { x + 1 }
+}
+ham::ham_kernel! {
+    pub fn k2(_ctx, x: u64) -> u64 { x + 2 }
+}
+ham::ham_kernel! {
+    pub fn k3(_ctx, x: u64) -> u64 { x + 3 }
+}
+
+fn bench_registry(c: &mut Criterion) {
+    let mut b = RegistryBuilder::new();
+    b.register::<k0>()
+        .register::<k1>()
+        .register::<k2>()
+        .register::<k3>();
+    let host = b.seal(1);
+    let mut b = RegistryBuilder::new();
+    b.register::<k3>()
+        .register::<k2>()
+        .register::<k1>()
+        .register::<k0>();
+    let target = b.seal(2);
+
+    let mut g = c.benchmark_group("registry");
+    g.bench_function("key_of", |bch| bch.iter(|| host.key_of::<k2>().unwrap()));
+    let key = host.key_of::<k2>().unwrap();
+    g.bench_function("address_of", |bch| {
+        bch.iter(|| target.address_of(black_box(key)).unwrap())
+    });
+    let (key, payload) = host.encode_message(&ham::f2f!(k2, 40)).unwrap();
+    let mem = VecMemory::new(0);
+    g.bench_function("execute_via_key", |bch| {
+        bch.iter(|| {
+            let mut ctx = ExecContext::new(1, &mem);
+            target
+                .execute(black_box(key), black_box(&payload), &mut ctx)
+                .unwrap()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_registry);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Ablation studies of the paper's design choices.
+//!
+//! Usage: `repro_ablation [--which pages|dma-manager|slots|shm-window]`
+//! (default: all).
+
+use aurora_bench::{ablation, harness};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let which = args
+        .windows(2)
+        .find(|w| w[0] == "--which")
+        .map(|w| w[1].clone());
+    let cfg = harness::parse_config(args.clone().into_iter());
+    let run = |name: &str| match name {
+        "pages" => print!(
+            "{}",
+            harness::render_table("Ablation: VH page size (§V-B)", &ablation::pages(&cfg))
+        ),
+        "dma-manager" => print!(
+            "{}",
+            harness::render_table(
+                "Ablation: privileged DMA manager (§III-D)",
+                &ablation::dma_manager(&cfg)
+            )
+        ),
+        "slots" => print!(
+            "{}",
+            harness::render_table(
+                "Ablation: message slots per direction (Fig. 5)",
+                &ablation::slots(&cfg)
+            )
+        ),
+        "shm-window" => print!(
+            "{}",
+            harness::render_table(
+                "Ablation: SHM credit window (§V-B)",
+                &ablation::shm_window(&cfg)
+            )
+        ),
+        "dma-contention" => print!(
+            "{}",
+            harness::render_table(
+                "Ablation: shared privileged DMA engine (§I-B)",
+                &ablation::dma_contention(&cfg)
+            )
+        ),
+        other => eprintln!("unknown ablation {other:?}"),
+    };
+    match which.as_deref() {
+        Some(name) => run(name),
+        None => {
+            for name in [
+                "pages",
+                "dma-manager",
+                "slots",
+                "shm-window",
+                "dma-contention",
+            ] {
+                run(name);
+                println!();
+            }
+        }
+    }
+}

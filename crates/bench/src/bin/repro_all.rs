@@ -1,0 +1,50 @@
+//! Run the complete evaluation: Tables I/III/IV, Figs. 9/10, the claim
+//! checks and the ablations — everything EXPERIMENTS.md records.
+
+use aurora_bench::{ablation, breakdown, breakeven, claims, fig10, fig9, harness, sysinfo, table4};
+
+fn main() {
+    let cfg = harness::parse_config(std::env::args().skip(1));
+
+    print!("{}", sysinfo::table1());
+    println!();
+    print!("{}", sysinfo::table3());
+    println!();
+
+    print!(
+        "{}",
+        harness::render_table("Fig. 9 — offload cost (empty kernel)", &fig9::run(&cfg))
+    );
+    println!();
+
+    print!(
+        "{}",
+        harness::render_table("Table IV — max PCIe bandwidths", &table4::run(&cfg))
+    );
+    println!();
+
+    println!("## Fig. 10 — bandwidth sweep (CSV)");
+    println!("series,bytes,gib_per_s");
+    let rows = fig10::run(&cfg);
+    for r in &rows {
+        println!("{},{},{:.6}", r.label, r.x, r.value);
+    }
+    println!();
+
+    println!("## §V claims");
+    let (report, _ok) = claims::render(&claims::run(&cfg));
+    print!("{report}");
+    println!();
+
+    for (title, rows) in [
+        ("Ablation: VH page size", ablation::pages(&cfg)),
+        ("Ablation: DMA manager", ablation::dma_manager(&cfg)),
+        ("Ablation: message slots", ablation::slots(&cfg)),
+        ("Ablation: SHM credit window", ablation::shm_window(&cfg)),
+        ("Breakdown: DMA offload components (§V-A)", breakdown::run()),
+        ("Break-even granularity (§V-B)", breakeven::run()),
+    ] {
+        print!("{}", harness::render_table(title, &rows));
+        println!();
+    }
+}

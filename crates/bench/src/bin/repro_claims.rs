@@ -1,0 +1,14 @@
+//! Check every §V textual claim against a fresh measurement; exits
+//! non-zero if any claim fails to reproduce.
+
+use aurora_bench::{claims, harness};
+
+fn main() {
+    let cfg = harness::parse_config(std::env::args().skip(1));
+    let all_claims = claims::run(&cfg);
+    let (report, ok) = claims::render(&all_claims);
+    print!("{report}");
+    if !ok {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,19 @@
+//! Regenerate Fig. 10: transfer bandwidth vs size, both directions.
+//!
+//! Usage: `repro_fig10 [--quick] [--max-mib M]` — prints CSV series
+//! (`series,bytes,GiB/s`) suitable for re-plotting the four panels.
+
+use aurora_bench::{fig10, harness};
+
+fn main() {
+    let cfg = harness::parse_config(std::env::args().skip(1));
+    let rows = fig10::run(&cfg);
+    println!("series,bytes,gib_per_s");
+    for r in &rows {
+        println!("{},{},{:.6}", r.label, r.x, r.value);
+    }
+    eprintln!();
+    for (claim, ok) in fig10::check_shape(&rows) {
+        eprintln!("[{}] {claim}", if ok { "PASS" } else { "FAIL" });
+    }
+}

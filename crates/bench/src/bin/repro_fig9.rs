@@ -1,0 +1,18 @@
+//! Regenerate Fig. 9: function offload cost, VH to local VE.
+//!
+//! Usage: `repro_fig9 [--reps N] [--quick]`
+
+use aurora_bench::{fig9, harness};
+
+fn main() {
+    let cfg = aurora_bench::harness::parse_config(std::env::args().skip(1));
+    let rows = fig9::run(&cfg);
+    print!(
+        "{}",
+        harness::render_table("Fig. 9 — offload cost (empty kernel)", &rows)
+    );
+    println!("\ncsv:");
+    for r in &rows {
+        println!("{}", r.csv());
+    }
+}

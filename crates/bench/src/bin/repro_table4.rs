@@ -1,0 +1,12 @@
+//! Regenerate Table IV: maximum PCIe bandwidths per method/direction.
+
+use aurora_bench::{harness, table4};
+
+fn main() {
+    let cfg = harness::parse_config(std::env::args().skip(1));
+    let rows = table4::run(&cfg);
+    print!(
+        "{}",
+        harness::render_table("Table IV — max PCIe bandwidths", &rows)
+    );
+}

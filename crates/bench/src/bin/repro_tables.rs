@@ -1,0 +1,22 @@
+//! Print Tables I and III (specifications and system configuration).
+//!
+//! Usage: `repro_tables [--table 1|3]` (default: both).
+
+use aurora_bench::sysinfo;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let which = args
+        .windows(2)
+        .find(|w| w[0] == "--table")
+        .map(|w| w[1].clone());
+    match which.as_deref() {
+        Some("1") => print!("{}", sysinfo::table1()),
+        Some("3") => print!("{}", sysinfo::table3()),
+        _ => {
+            print!("{}", sysinfo::table1());
+            println!();
+            print!("{}", sysinfo::table3());
+        }
+    }
+}

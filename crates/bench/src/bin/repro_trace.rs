@@ -1,0 +1,44 @@
+//! Trace one live offload through the DMA protocol and render its
+//! virtual-time timeline — the *measured* counterpart of the §V-A cost
+//! breakdown (`repro_breakdown` computes the same table from the
+//! calibration constants).
+
+use aurora_bench::harness::{benchmark_machine, BenchConfig};
+use aurora_sim_core::trace;
+use aurora_workloads::kernels::{register_all, whoami};
+use ham::f2f;
+use ham_backend_dma::DmaBackend;
+use ham_backend_veo::ProtocolConfig;
+use ham_offload::types::NodeId;
+use ham_offload::Offload;
+
+fn main() {
+    let cfg = BenchConfig::quick();
+    let o = Offload::new(DmaBackend::spawn(
+        benchmark_machine(&cfg),
+        0,
+        &[0],
+        ProtocolConfig::default(),
+        register_all,
+    ));
+    // Reach steady state so the traced offload is representative.
+    for _ in 0..10 {
+        o.sync(NodeId(1), f2f!(whoami)).unwrap();
+    }
+
+    trace::enable();
+    let t0 = o.backend().host_clock().now();
+    o.sync(NodeId(1), f2f!(whoami)).unwrap();
+    let t1 = o.backend().host_clock().now();
+    let events = trace::disable_and_take();
+
+    println!("## Measured timeline of one empty offload (DMA protocol)\n");
+    println!("{}", trace::render(&events));
+    println!(
+        "end-to-end (host clock): {} — paper Fig. 9: 6.1 us",
+        t1 - t0
+    );
+    let traced: f64 = events.iter().map(|e| e.duration().as_us_f64()).sum();
+    println!("sum of traced component durations: {traced:.3} us");
+    o.shutdown();
+}

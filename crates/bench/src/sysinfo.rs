@@ -1,0 +1,91 @@
+//! Tables I & III — hardware specs and benchmark-system configuration.
+
+use aurora_ve::{CpuSpecs, VeSpecs};
+
+/// Render Table I (VH CPU vs VE specifications).
+pub fn table1() -> String {
+    let cpu = CpuSpecs::xeon_gold_6126();
+    let ve = VeSpecs::type_10b();
+    let mut out = String::new();
+    out.push_str("## Table I — processor specifications\n");
+    out.push_str(&format!("{:<24} {:>22} {:>22}\n", "", cpu.name, ve.name));
+    let mut row = |k: &str, a: String, b: String| {
+        out.push_str(&format!("{k:<24} {a:>22} {b:>22}\n"));
+    };
+    row("Cores", cpu.cores.to_string(), ve.cores.to_string());
+    row("Threads", cpu.threads.to_string(), ve.threads.to_string());
+    row(
+        "Vector width (double)",
+        cpu.vector_width_f64.to_string(),
+        ve.vector_width_f64.to_string(),
+    );
+    row(
+        "Clock frequency",
+        format!("{} GHz", cpu.clock_ghz),
+        format!("{} GHz", ve.clock_ghz),
+    );
+    row(
+        "Peak performance",
+        format!("{} GFLOPS", cpu.peak_gflops),
+        format!("{} GFLOPS", ve.peak_gflops),
+    );
+    row(
+        "Max. memory",
+        format!("{} GiB (DDR4)", cpu.memory_gib),
+        format!("{} GiB (HBM2)", ve.memory_gib),
+    );
+    row(
+        "Memory bandwidth",
+        format!("{} GB/s", cpu.memory_bw_gb_s),
+        format!("{} GB/s", ve.memory_bw_gb_s),
+    );
+    row(
+        "L3/LLC",
+        format!("{} MiB", cpu.llc_mib),
+        format!("{} MiB", ve.llc_mib),
+    );
+    row("TDP", format!("{} W", cpu.tdp_w), format!("{} W", ve.tdp_w));
+    out
+}
+
+/// Render Table III (benchmark system configuration, simulated
+/// equivalents noted).
+pub fn table3() -> String {
+    let mut out = String::new();
+    out.push_str("## Table III — benchmark system configuration\n");
+    for (k, v) in [
+        ("System", "NEC SX-Aurora TSUBASA A300-8 (simulated)"),
+        ("VH CPUs", "2x Intel Xeon Gold 6126 (modeled)"),
+        (
+            "VH Memory",
+            "192 GiB DDR4 (modeled; sim regions sized per run)",
+        ),
+        ("VE Cards", "8x NEC VE Type 10B, 48 GiB HBM2 (modeled)"),
+        (
+            "PCIe Config.",
+            "2 switches, 4 VEs each, UPI between sockets (Fig. 3)",
+        ),
+        ("VH OS", "host OS of the simulation run"),
+        ("VH compiler", "rustc (plays GCC 4.8.5's role)"),
+        ("VEOS", "veos-sim, improved '1.3.2-4dma' DMA manager"),
+        ("VEO", "veo-api (plays VEO 1.3.2a's role)"),
+        ("VE compiler", "rustc (plays NEC NCC 1.6.0's role)"),
+    ] {
+        out.push_str(&format!("{k:<14} {v}\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tables_render_key_values() {
+        let t1 = super::table1();
+        assert!(t1.contains("2150.4 GFLOPS"));
+        assert!(t1.contains("998.4 GFLOPS"));
+        assert!(t1.contains("1228.8 GB/s"));
+        let t3 = super::table3();
+        assert!(t3.contains("A300-8"));
+        assert!(t3.contains("1.3.2-4dma"));
+    }
+}

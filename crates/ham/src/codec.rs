@@ -1,0 +1,740 @@
+//! Compact little-endian wire codec (serde front-end).
+//!
+//! HAM transfers functor objects between heterogeneous binaries; the wire
+//! format therefore fixes endianness and widths explicitly instead of
+//! relying on in-memory layout. The format is bincode-like:
+//!
+//! * integers/floats: little-endian, native width;
+//! * `bool`: one byte (0/1);
+//! * `char`: `u32` scalar value;
+//! * `str`/`bytes`/sequences/maps: `u64` length prefix + elements;
+//! * `Option`: one tag byte + value;
+//! * structs/tuples: fields in order, no framing;
+//! * enums: `u32` variant index + payload.
+//!
+//! The format is *not* self-describing (`deserialize_any` errors), which
+//! keeps messages minimal — the type is known from the handler key.
+
+use crate::HamError;
+use serde::de::{DeserializeOwned, IntoDeserializer};
+use serde::{de, ser, Serialize};
+
+/// Serialize `value` into a fresh byte vector.
+pub fn encode<T: Serialize + ?Sized>(value: &T) -> Result<Vec<u8>, HamError> {
+    let mut out = Vec::with_capacity(64);
+    value.serialize(&mut Encoder { out: &mut out })?;
+    Ok(out)
+}
+
+/// Deserialize a `T` from `bytes`, requiring full consumption.
+pub fn decode<T: DeserializeOwned>(bytes: &[u8]) -> Result<T, HamError> {
+    let mut d = Decoder { input: bytes };
+    let v = T::deserialize(&mut d)?;
+    if !d.input.is_empty() {
+        return Err(HamError::Codec(format!(
+            "{} trailing bytes after value",
+            d.input.len()
+        )));
+    }
+    Ok(v)
+}
+
+impl ser::Error for HamError {
+    fn custom<T: core::fmt::Display>(msg: T) -> Self {
+        HamError::Codec(msg.to_string())
+    }
+}
+
+impl de::Error for HamError {
+    fn custom<T: core::fmt::Display>(msg: T) -> Self {
+        HamError::Codec(msg.to_string())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Encoder
+// ---------------------------------------------------------------------------
+
+struct Encoder<'a> {
+    out: &'a mut Vec<u8>,
+}
+
+impl Encoder<'_> {
+    fn put(&mut self, bytes: &[u8]) {
+        self.out.extend_from_slice(bytes);
+    }
+}
+
+impl ser::Serializer for &mut Encoder<'_> {
+    type Ok = ();
+    type Error = HamError;
+    type SerializeSeq = Self;
+    type SerializeTuple = Self;
+    type SerializeTupleStruct = Self;
+    type SerializeTupleVariant = Self;
+    type SerializeMap = Self;
+    type SerializeStruct = Self;
+    type SerializeStructVariant = Self;
+
+    fn serialize_bool(self, v: bool) -> Result<(), HamError> {
+        self.put(&[v as u8]);
+        Ok(())
+    }
+    fn serialize_i8(self, v: i8) -> Result<(), HamError> {
+        self.put(&v.to_le_bytes());
+        Ok(())
+    }
+    fn serialize_i16(self, v: i16) -> Result<(), HamError> {
+        self.put(&v.to_le_bytes());
+        Ok(())
+    }
+    fn serialize_i32(self, v: i32) -> Result<(), HamError> {
+        self.put(&v.to_le_bytes());
+        Ok(())
+    }
+    fn serialize_i64(self, v: i64) -> Result<(), HamError> {
+        self.put(&v.to_le_bytes());
+        Ok(())
+    }
+    fn serialize_u8(self, v: u8) -> Result<(), HamError> {
+        self.put(&v.to_le_bytes());
+        Ok(())
+    }
+    fn serialize_u16(self, v: u16) -> Result<(), HamError> {
+        self.put(&v.to_le_bytes());
+        Ok(())
+    }
+    fn serialize_u32(self, v: u32) -> Result<(), HamError> {
+        self.put(&v.to_le_bytes());
+        Ok(())
+    }
+    fn serialize_u64(self, v: u64) -> Result<(), HamError> {
+        self.put(&v.to_le_bytes());
+        Ok(())
+    }
+    fn serialize_i128(self, v: i128) -> Result<(), HamError> {
+        self.put(&v.to_le_bytes());
+        Ok(())
+    }
+    fn serialize_u128(self, v: u128) -> Result<(), HamError> {
+        self.put(&v.to_le_bytes());
+        Ok(())
+    }
+    fn serialize_f32(self, v: f32) -> Result<(), HamError> {
+        self.put(&v.to_le_bytes());
+        Ok(())
+    }
+    fn serialize_f64(self, v: f64) -> Result<(), HamError> {
+        self.put(&v.to_le_bytes());
+        Ok(())
+    }
+    fn serialize_char(self, v: char) -> Result<(), HamError> {
+        self.serialize_u32(v as u32)
+    }
+    fn serialize_str(self, v: &str) -> Result<(), HamError> {
+        self.serialize_bytes(v.as_bytes())
+    }
+    fn serialize_bytes(self, v: &[u8]) -> Result<(), HamError> {
+        self.put(&(v.len() as u64).to_le_bytes());
+        self.put(v);
+        Ok(())
+    }
+    fn serialize_none(self) -> Result<(), HamError> {
+        self.put(&[0]);
+        Ok(())
+    }
+    fn serialize_some<T: Serialize + ?Sized>(self, value: &T) -> Result<(), HamError> {
+        self.put(&[1]);
+        value.serialize(self)
+    }
+    fn serialize_unit(self) -> Result<(), HamError> {
+        Ok(())
+    }
+    fn serialize_unit_struct(self, _name: &'static str) -> Result<(), HamError> {
+        Ok(())
+    }
+    fn serialize_unit_variant(
+        self,
+        _name: &'static str,
+        variant_index: u32,
+        _variant: &'static str,
+    ) -> Result<(), HamError> {
+        self.serialize_u32(variant_index)
+    }
+    fn serialize_newtype_struct<T: Serialize + ?Sized>(
+        self,
+        _name: &'static str,
+        value: &T,
+    ) -> Result<(), HamError> {
+        value.serialize(self)
+    }
+    fn serialize_newtype_variant<T: Serialize + ?Sized>(
+        self,
+        _name: &'static str,
+        variant_index: u32,
+        _variant: &'static str,
+        value: &T,
+    ) -> Result<(), HamError> {
+        self.serialize_u32(variant_index)?;
+        value.serialize(self)
+    }
+    fn serialize_seq(self, len: Option<usize>) -> Result<Self, HamError> {
+        let len =
+            len.ok_or_else(|| HamError::Codec("sequences need a known length on the wire".into()))?;
+        self.put(&(len as u64).to_le_bytes());
+        Ok(self)
+    }
+    fn serialize_tuple(self, _len: usize) -> Result<Self, HamError> {
+        Ok(self)
+    }
+    fn serialize_tuple_struct(self, _name: &'static str, _len: usize) -> Result<Self, HamError> {
+        Ok(self)
+    }
+    fn serialize_tuple_variant(
+        self,
+        _name: &'static str,
+        variant_index: u32,
+        _variant: &'static str,
+        _len: usize,
+    ) -> Result<Self, HamError> {
+        self.serialize_u32(variant_index)?;
+        Ok(self)
+    }
+    fn serialize_map(self, len: Option<usize>) -> Result<Self, HamError> {
+        let len =
+            len.ok_or_else(|| HamError::Codec("maps need a known length on the wire".into()))?;
+        self.put(&(len as u64).to_le_bytes());
+        Ok(self)
+    }
+    fn serialize_struct(self, _name: &'static str, _len: usize) -> Result<Self, HamError> {
+        Ok(self)
+    }
+    fn serialize_struct_variant(
+        self,
+        _name: &'static str,
+        variant_index: u32,
+        _variant: &'static str,
+        _len: usize,
+    ) -> Result<Self, HamError> {
+        self.serialize_u32(variant_index)?;
+        Ok(self)
+    }
+    fn is_human_readable(&self) -> bool {
+        false
+    }
+}
+
+macro_rules! forward_compound {
+    ($trait:ident, $fn:ident $(, $key:ident)?) => {
+        impl<'a> ser::$trait for &'a mut Encoder<'_> {
+            type Ok = ();
+            type Error = HamError;
+            $(
+                fn $key<T: Serialize + ?Sized>(&mut self, key: &T) -> Result<(), HamError> {
+                    key.serialize(&mut **self)
+                }
+            )?
+            fn $fn<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), HamError> {
+                value.serialize(&mut **self)
+            }
+            fn end(self) -> Result<(), HamError> {
+                Ok(())
+            }
+        }
+    };
+}
+
+forward_compound!(SerializeSeq, serialize_element);
+forward_compound!(SerializeTuple, serialize_element);
+forward_compound!(SerializeTupleStruct, serialize_field);
+forward_compound!(SerializeTupleVariant, serialize_field);
+forward_compound!(SerializeMap, serialize_value, serialize_key);
+
+impl ser::SerializeStruct for &mut Encoder<'_> {
+    type Ok = ();
+    type Error = HamError;
+    fn serialize_field<T: Serialize + ?Sized>(
+        &mut self,
+        _key: &'static str,
+        value: &T,
+    ) -> Result<(), HamError> {
+        value.serialize(&mut **self)
+    }
+    fn end(self) -> Result<(), HamError> {
+        Ok(())
+    }
+}
+
+impl ser::SerializeStructVariant for &mut Encoder<'_> {
+    type Ok = ();
+    type Error = HamError;
+    fn serialize_field<T: Serialize + ?Sized>(
+        &mut self,
+        _key: &'static str,
+        value: &T,
+    ) -> Result<(), HamError> {
+        value.serialize(&mut **self)
+    }
+    fn end(self) -> Result<(), HamError> {
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Decoder
+// ---------------------------------------------------------------------------
+
+struct Decoder<'de> {
+    input: &'de [u8],
+}
+
+impl<'de> Decoder<'de> {
+    fn take(&mut self, n: usize) -> Result<&'de [u8], HamError> {
+        if self.input.len() < n {
+            return Err(HamError::Codec(format!(
+                "unexpected end of input: need {n}, have {}",
+                self.input.len()
+            )));
+        }
+        let (head, tail) = self.input.split_at(n);
+        self.input = tail;
+        Ok(head)
+    }
+
+    fn take_array<const N: usize>(&mut self) -> Result<[u8; N], HamError> {
+        Ok(self.take(N)?.try_into().expect("length checked"))
+    }
+
+    fn take_len(&mut self) -> Result<usize, HamError> {
+        let len = u64::from_le_bytes(self.take_array()?);
+        usize::try_from(len).map_err(|_| HamError::Codec("length overflows usize".into()))
+    }
+}
+
+macro_rules! de_num {
+    ($fn:ident, $visit:ident, $ty:ty) => {
+        fn $fn<V: de::Visitor<'de>>(self, visitor: V) -> Result<V::Value, HamError> {
+            visitor.$visit(<$ty>::from_le_bytes(self.take_array()?))
+        }
+    };
+}
+
+impl<'de> de::Deserializer<'de> for &mut Decoder<'de> {
+    type Error = HamError;
+
+    fn deserialize_any<V: de::Visitor<'de>>(self, _visitor: V) -> Result<V::Value, HamError> {
+        Err(HamError::Codec(
+            "wire format is not self-describing (deserialize_any)".into(),
+        ))
+    }
+
+    fn deserialize_bool<V: de::Visitor<'de>>(self, visitor: V) -> Result<V::Value, HamError> {
+        match self.take(1)?[0] {
+            0 => visitor.visit_bool(false),
+            1 => visitor.visit_bool(true),
+            b => Err(HamError::Codec(format!("invalid bool byte {b}"))),
+        }
+    }
+
+    de_num!(deserialize_i8, visit_i8, i8);
+    de_num!(deserialize_i16, visit_i16, i16);
+    de_num!(deserialize_i32, visit_i32, i32);
+    de_num!(deserialize_i64, visit_i64, i64);
+    de_num!(deserialize_u8, visit_u8, u8);
+    de_num!(deserialize_u16, visit_u16, u16);
+    de_num!(deserialize_u32, visit_u32, u32);
+    de_num!(deserialize_u64, visit_u64, u64);
+    de_num!(deserialize_i128, visit_i128, i128);
+    de_num!(deserialize_u128, visit_u128, u128);
+    de_num!(deserialize_f32, visit_f32, f32);
+    de_num!(deserialize_f64, visit_f64, f64);
+
+    fn deserialize_char<V: de::Visitor<'de>>(self, visitor: V) -> Result<V::Value, HamError> {
+        let scalar = u32::from_le_bytes(self.take_array()?);
+        let c = char::from_u32(scalar)
+            .ok_or_else(|| HamError::Codec(format!("invalid char scalar {scalar:#x}")))?;
+        visitor.visit_char(c)
+    }
+
+    fn deserialize_str<V: de::Visitor<'de>>(self, visitor: V) -> Result<V::Value, HamError> {
+        let len = self.take_len()?;
+        let bytes = self.take(len)?;
+        let s = core::str::from_utf8(bytes)
+            .map_err(|e| HamError::Codec(format!("invalid utf-8: {e}")))?;
+        visitor.visit_borrowed_str(s)
+    }
+
+    fn deserialize_string<V: de::Visitor<'de>>(self, visitor: V) -> Result<V::Value, HamError> {
+        self.deserialize_str(visitor)
+    }
+
+    fn deserialize_bytes<V: de::Visitor<'de>>(self, visitor: V) -> Result<V::Value, HamError> {
+        let len = self.take_len()?;
+        visitor.visit_borrowed_bytes(self.take(len)?)
+    }
+
+    fn deserialize_byte_buf<V: de::Visitor<'de>>(self, visitor: V) -> Result<V::Value, HamError> {
+        self.deserialize_bytes(visitor)
+    }
+
+    fn deserialize_option<V: de::Visitor<'de>>(self, visitor: V) -> Result<V::Value, HamError> {
+        match self.take(1)?[0] {
+            0 => visitor.visit_none(),
+            1 => visitor.visit_some(self),
+            b => Err(HamError::Codec(format!("invalid option tag {b}"))),
+        }
+    }
+
+    fn deserialize_unit<V: de::Visitor<'de>>(self, visitor: V) -> Result<V::Value, HamError> {
+        visitor.visit_unit()
+    }
+
+    fn deserialize_unit_struct<V: de::Visitor<'de>>(
+        self,
+        _name: &'static str,
+        visitor: V,
+    ) -> Result<V::Value, HamError> {
+        visitor.visit_unit()
+    }
+
+    fn deserialize_newtype_struct<V: de::Visitor<'de>>(
+        self,
+        _name: &'static str,
+        visitor: V,
+    ) -> Result<V::Value, HamError> {
+        visitor.visit_newtype_struct(self)
+    }
+
+    fn deserialize_seq<V: de::Visitor<'de>>(self, visitor: V) -> Result<V::Value, HamError> {
+        let len = self.take_len()?;
+        visitor.visit_seq(Counted {
+            de: self,
+            remaining: len,
+        })
+    }
+
+    fn deserialize_tuple<V: de::Visitor<'de>>(
+        self,
+        len: usize,
+        visitor: V,
+    ) -> Result<V::Value, HamError> {
+        visitor.visit_seq(Counted {
+            de: self,
+            remaining: len,
+        })
+    }
+
+    fn deserialize_tuple_struct<V: de::Visitor<'de>>(
+        self,
+        _name: &'static str,
+        len: usize,
+        visitor: V,
+    ) -> Result<V::Value, HamError> {
+        self.deserialize_tuple(len, visitor)
+    }
+
+    fn deserialize_map<V: de::Visitor<'de>>(self, visitor: V) -> Result<V::Value, HamError> {
+        let len = self.take_len()?;
+        visitor.visit_map(Counted {
+            de: self,
+            remaining: len,
+        })
+    }
+
+    fn deserialize_struct<V: de::Visitor<'de>>(
+        self,
+        _name: &'static str,
+        fields: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value, HamError> {
+        self.deserialize_tuple(fields.len(), visitor)
+    }
+
+    fn deserialize_enum<V: de::Visitor<'de>>(
+        self,
+        _name: &'static str,
+        _variants: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value, HamError> {
+        visitor.visit_enum(Enum { de: self })
+    }
+
+    fn deserialize_identifier<V: de::Visitor<'de>>(
+        self,
+        _visitor: V,
+    ) -> Result<V::Value, HamError> {
+        Err(HamError::Codec("identifiers are not on the wire".into()))
+    }
+
+    fn deserialize_ignored_any<V: de::Visitor<'de>>(
+        self,
+        _visitor: V,
+    ) -> Result<V::Value, HamError> {
+        Err(HamError::Codec(
+            "cannot skip values in a non-self-describing format".into(),
+        ))
+    }
+
+    fn is_human_readable(&self) -> bool {
+        false
+    }
+}
+
+struct Counted<'a, 'de> {
+    de: &'a mut Decoder<'de>,
+    remaining: usize,
+}
+
+impl<'de> de::SeqAccess<'de> for Counted<'_, 'de> {
+    type Error = HamError;
+    fn next_element_seed<T: de::DeserializeSeed<'de>>(
+        &mut self,
+        seed: T,
+    ) -> Result<Option<T::Value>, HamError> {
+        if self.remaining == 0 {
+            return Ok(None);
+        }
+        self.remaining -= 1;
+        seed.deserialize(&mut *self.de).map(Some)
+    }
+    fn size_hint(&self) -> Option<usize> {
+        Some(self.remaining)
+    }
+}
+
+impl<'de> de::MapAccess<'de> for Counted<'_, 'de> {
+    type Error = HamError;
+    fn next_key_seed<K: de::DeserializeSeed<'de>>(
+        &mut self,
+        seed: K,
+    ) -> Result<Option<K::Value>, HamError> {
+        if self.remaining == 0 {
+            return Ok(None);
+        }
+        self.remaining -= 1;
+        seed.deserialize(&mut *self.de).map(Some)
+    }
+    fn next_value_seed<V: de::DeserializeSeed<'de>>(
+        &mut self,
+        seed: V,
+    ) -> Result<V::Value, HamError> {
+        seed.deserialize(&mut *self.de)
+    }
+    fn size_hint(&self) -> Option<usize> {
+        Some(self.remaining)
+    }
+}
+
+struct Enum<'a, 'de> {
+    de: &'a mut Decoder<'de>,
+}
+
+impl<'de> de::EnumAccess<'de> for Enum<'_, 'de> {
+    type Error = HamError;
+    type Variant = Self;
+    fn variant_seed<V: de::DeserializeSeed<'de>>(
+        self,
+        seed: V,
+    ) -> Result<(V::Value, Self), HamError> {
+        let idx = u32::from_le_bytes(self.de.take_array()?);
+        let val = seed.deserialize(idx.into_deserializer())?;
+        Ok((val, self))
+    }
+}
+
+impl<'de> de::VariantAccess<'de> for Enum<'_, 'de> {
+    type Error = HamError;
+    fn unit_variant(self) -> Result<(), HamError> {
+        Ok(())
+    }
+    fn newtype_variant_seed<T: de::DeserializeSeed<'de>>(
+        self,
+        seed: T,
+    ) -> Result<T::Value, HamError> {
+        seed.deserialize(self.de)
+    }
+    fn tuple_variant<V: de::Visitor<'de>>(
+        self,
+        len: usize,
+        visitor: V,
+    ) -> Result<V::Value, HamError> {
+        de::Deserializer::deserialize_tuple(self.de, len, visitor)
+    }
+    fn struct_variant<V: de::Visitor<'de>>(
+        self,
+        fields: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value, HamError> {
+        de::Deserializer::deserialize_tuple(self.de, fields.len(), visitor)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Tests
+// ---------------------------------------------------------------------------
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use serde::{Deserialize, Serialize};
+    use std::collections::BTreeMap;
+
+    fn round_trip<T: Serialize + DeserializeOwned + PartialEq + core::fmt::Debug>(v: &T) {
+        let bytes = encode(v).unwrap();
+        let back: T = decode(&bytes).unwrap();
+        assert_eq!(&back, v);
+    }
+
+    #[test]
+    fn primitives() {
+        round_trip(&true);
+        round_trip(&false);
+        round_trip(&42u8);
+        round_trip(&-7i16);
+        round_trip(&0xDEAD_BEEFu32);
+        round_trip(&i64::MIN);
+        round_trip(&u64::MAX);
+        round_trip(&i128::MIN);
+        round_trip(&u128::MAX);
+        round_trip(&3.5f32);
+        round_trip(&core::f64::consts::PI);
+        round_trip(&'λ');
+        round_trip(&());
+    }
+
+    #[test]
+    fn strings_and_bytes() {
+        round_trip(&String::from("heterogeneous active messages"));
+        round_trip(&String::new());
+        round_trip(&vec![1u8, 2, 3]);
+    }
+
+    #[test]
+    fn options_and_results() {
+        round_trip(&Some(5u32));
+        round_trip(&Option::<u32>::None);
+        round_trip(&Ok::<u32, String>(1));
+        round_trip(&Err::<u32, String>("boom".into()));
+    }
+
+    #[test]
+    fn collections() {
+        round_trip(&vec![1u64, 2, 3, 4]);
+        round_trip(&Vec::<f64>::new());
+        let mut m = BTreeMap::new();
+        m.insert("a".to_string(), 1u32);
+        m.insert("b".to_string(), 2);
+        round_trip(&m);
+        round_trip(&(1u8, String::from("x"), 2.5f64));
+        round_trip(&[7u32; 4]);
+    }
+
+    #[derive(Serialize, Deserialize, PartialEq, Debug)]
+    struct Functor {
+        a: u64,
+        b: f64,
+        name: String,
+        data: Vec<f32>,
+        opt: Option<i32>,
+    }
+
+    #[derive(Serialize, Deserialize, PartialEq, Debug)]
+    enum Kind {
+        Unit,
+        New(u32),
+        Tuple(u8, u8),
+        Struct { x: f64, y: f64 },
+    }
+
+    #[derive(Serialize, Deserialize, PartialEq, Debug)]
+    struct Newtype(u64);
+
+    #[test]
+    fn structs_and_enums() {
+        round_trip(&Functor {
+            a: 1,
+            b: 2.5,
+            name: "inner_product".into(),
+            data: vec![1.0, 2.0],
+            opt: Some(-3),
+        });
+        round_trip(&Kind::Unit);
+        round_trip(&Kind::New(9));
+        round_trip(&Kind::Tuple(1, 2));
+        round_trip(&Kind::Struct { x: 1.0, y: -1.0 });
+        round_trip(&Newtype(77));
+    }
+
+    #[test]
+    fn layout_is_fixed_little_endian() {
+        assert_eq!(encode(&0x0102_0304u32).unwrap(), vec![4, 3, 2, 1]);
+        assert_eq!(encode(&true).unwrap(), vec![1]);
+        let s = encode(&String::from("ab")).unwrap();
+        assert_eq!(s, vec![2, 0, 0, 0, 0, 0, 0, 0, b'a', b'b']);
+        // Struct = concatenated fields, no framing.
+        #[derive(Serialize)]
+        struct P {
+            x: u16,
+            y: u16,
+        }
+        assert_eq!(encode(&P { x: 1, y: 2 }).unwrap(), vec![1, 0, 2, 0]);
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut bytes = encode(&5u32).unwrap();
+        bytes.push(0);
+        assert!(matches!(decode::<u32>(&bytes), Err(HamError::Codec(_))));
+    }
+
+    #[test]
+    fn truncated_input_rejected() {
+        let bytes = encode(&5u64).unwrap();
+        assert!(matches!(
+            decode::<u64>(&bytes[..4]),
+            Err(HamError::Codec(_))
+        ));
+    }
+
+    #[test]
+    fn invalid_tags_rejected() {
+        assert!(decode::<bool>(&[7]).is_err());
+        assert!(decode::<Option<u8>>(&[9]).is_err());
+        // Char scalar beyond Unicode.
+        assert!(decode::<char>(&0x00FF_FFFFu32.to_le_bytes()).is_err());
+        // Invalid UTF-8 string.
+        let bad = [1, 0, 0, 0, 0, 0, 0, 0, 0xFF];
+        assert!(decode::<String>(&bad).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_round_trip_u64(v: u64) { round_trip(&v); }
+
+        #[test]
+        fn prop_round_trip_f64(v: f64) {
+            let bytes = encode(&v).unwrap();
+            let back: f64 = decode(&bytes).unwrap();
+            prop_assert_eq!(v.to_bits(), back.to_bits());
+        }
+
+        #[test]
+        fn prop_round_trip_string(s: String) { round_trip(&s); }
+
+        #[test]
+        fn prop_round_trip_vec(v: Vec<u32>) { round_trip(&v); }
+
+        #[test]
+        fn prop_round_trip_nested(v: Vec<(Option<String>, Vec<i16>)>) { round_trip(&v); }
+
+        /// Random byte soup either decodes to a value that re-encodes to a
+        /// prefix-compatible form, or errors — never panics.
+        #[test]
+        fn prop_decode_never_panics(bytes: Vec<u8>) {
+            let _ = decode::<Vec<u64>>(&bytes);
+            let _ = decode::<(bool, String)>(&bytes);
+            let _ = decode::<Option<f64>>(&bytes);
+        }
+    }
+}

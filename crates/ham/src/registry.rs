@@ -1,0 +1,348 @@
+//! Handler registries and cross-binary key translation (paper Fig. 6).
+//!
+//! Each process collects the type names and local addresses of its
+//! message handlers during initialisation. Sorting the table
+//! lexicographically by type name yields the same order in every process
+//! *without communication*; the index into the sorted table is the
+//! globally valid **handler key**, translated in O(1) to the local
+//! handler address on receive.
+//!
+//! The simulation makes the heterogeneity real: local handler addresses
+//! are synthesised per process from a seed (standing in for the differing
+//! code addresses of the VH and VE binaries), so nothing works unless the
+//! key translation does.
+
+use crate::codec;
+use crate::message::{ActiveMessage, ExecContext};
+use crate::HamError;
+use aurora_sim_core::rng::SplitMix64;
+use std::collections::HashMap;
+
+/// Globally valid message-type identifier: index into the sorted table.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct HandlerKey(pub u64);
+
+/// A local handler: deserialises the payload, executes, serialises the
+/// result. Generated per message type.
+pub type HandlerFn = fn(&[u8], &mut ExecContext<'_>) -> Result<Vec<u8>, HamError>;
+
+fn handler_of<M: ActiveMessage>() -> HandlerFn {
+    |payload, ctx| {
+        let msg: M = codec::decode(payload)?;
+        let out = msg.execute(ctx);
+        codec::encode(&out)
+    }
+}
+
+/// Collects registrations before the table is sealed.
+#[derive(Default)]
+pub struct RegistryBuilder {
+    entries: Vec<(&'static str, HandlerFn)>,
+}
+
+impl RegistryBuilder {
+    /// Empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register message type `M`. Duplicate registrations are idempotent.
+    pub fn register<M: ActiveMessage>(&mut self) -> &mut Self {
+        let tag = M::type_tag();
+        if !self.entries.iter().any(|(t, _)| *t == tag) {
+            self.entries.push((tag, handler_of::<M>()));
+        }
+        self
+    }
+
+    /// Seal the table for one process. `process_seed` synthesises that
+    /// process's local handler addresses (different per "binary").
+    pub fn seal(self, process_seed: u64) -> Registry {
+        let mut entries = self.entries;
+        // Sorting by type name produces identical key assignment in every
+        // process regardless of registration order (the paper's trick).
+        entries.sort_by_key(|(name, _)| *name);
+
+        // Synthesise distinct local addresses, scrambled per process.
+        let mut addresses: Vec<u64> = (0..entries.len() as u64)
+            .map(|i| 0x4000_0000 + i * 0x40)
+            .collect();
+        SplitMix64::new(process_seed ^ 0x9E37_79B9).shuffle(&mut addresses);
+
+        let mut by_key = Vec::with_capacity(entries.len());
+        let mut handlers = HashMap::with_capacity(entries.len());
+        let mut key_by_name = HashMap::with_capacity(entries.len());
+        let mut names = Vec::with_capacity(entries.len());
+        for (i, ((name, h), addr)) in entries.into_iter().zip(addresses).enumerate() {
+            by_key.push(addr);
+            handlers.insert(addr, h);
+            key_by_name.insert(name, HandlerKey(i as u64));
+            names.push(name);
+        }
+        Registry {
+            by_key,
+            handlers,
+            key_by_name,
+            names,
+        }
+    }
+}
+
+/// One process's sealed handler table.
+pub struct Registry {
+    /// key → local handler address (the O(1) translation of Fig. 6).
+    by_key: Vec<u64>,
+    /// local address → handler code.
+    handlers: HashMap<u64, HandlerFn>,
+    key_by_name: HashMap<&'static str, HandlerKey>,
+    names: Vec<&'static str>,
+}
+
+impl Registry {
+    /// The handler key of message type `M` (sender side of Fig. 6).
+    pub fn key_of<M: ActiveMessage>(&self) -> Result<HandlerKey, HamError> {
+        self.key_by_name
+            .get(M::type_tag())
+            .copied()
+            .ok_or(HamError::Unregistered(M::type_tag()))
+    }
+
+    /// Translate a key to this process's local handler address.
+    pub fn address_of(&self, key: HandlerKey) -> Result<u64, HamError> {
+        self.by_key
+            .get(key.0 as usize)
+            .copied()
+            .ok_or(HamError::UnknownKey(key.0))
+    }
+
+    /// Execute the handler for `key` on `payload` (receiver side of
+    /// Fig. 6: key → address → call).
+    pub fn execute(
+        &self,
+        key: HandlerKey,
+        payload: &[u8],
+        ctx: &mut ExecContext<'_>,
+    ) -> Result<Vec<u8>, HamError> {
+        let addr = self.address_of(key)?;
+        let handler = self
+            .handlers
+            .get(&addr)
+            .ok_or(HamError::UnknownKey(key.0))?;
+        handler(payload, ctx)
+    }
+
+    /// Number of registered message types.
+    pub fn len(&self) -> usize {
+        self.by_key.len()
+    }
+
+    /// True when no messages are registered.
+    pub fn is_empty(&self) -> bool {
+        self.by_key.is_empty()
+    }
+
+    /// Sorted type names (the shared table layout).
+    pub fn names(&self) -> &[&'static str] {
+        &self.names
+    }
+
+    /// Encode a message for the wire: `(key, payload)`.
+    pub fn encode_message<M: ActiveMessage>(
+        &self,
+        msg: &M,
+    ) -> Result<(HandlerKey, Vec<u8>), HamError> {
+        Ok((self.key_of::<M>()?, codec::encode(msg)?))
+    }
+
+    /// Decode a result payload produced by `M`'s handler.
+    pub fn decode_result<M: ActiveMessage>(payload: &[u8]) -> Result<M::Output, HamError> {
+        codec::decode(payload)
+    }
+}
+
+impl core::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("Registry")
+            .field("types", &self.names)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::VecMemory;
+    use proptest::prelude::*;
+    use serde::{Deserialize, Serialize};
+
+    #[derive(Serialize, Deserialize)]
+    struct Add {
+        a: u64,
+        b: u64,
+    }
+    impl ActiveMessage for Add {
+        type Output = u64;
+        fn execute(self, _: &mut ExecContext<'_>) -> u64 {
+            self.a + self.b
+        }
+    }
+
+    #[derive(Serialize, Deserialize)]
+    struct Mul {
+        a: u64,
+        b: u64,
+    }
+    impl ActiveMessage for Mul {
+        type Output = u64;
+        fn execute(self, _: &mut ExecContext<'_>) -> u64 {
+            self.a.wrapping_mul(self.b)
+        }
+    }
+
+    #[derive(Serialize, Deserialize)]
+    struct Greet {
+        name: String,
+    }
+    impl ActiveMessage for Greet {
+        type Output = String;
+        fn execute(self, ctx: &mut ExecContext<'_>) -> String {
+            format!("hello {} from node {}", self.name, ctx.node)
+        }
+    }
+
+    fn build(seed: u64) -> Registry {
+        let mut b = RegistryBuilder::new();
+        b.register::<Add>().register::<Mul>().register::<Greet>();
+        b.seal(seed)
+    }
+
+    fn build_reversed(seed: u64) -> Registry {
+        let mut b = RegistryBuilder::new();
+        b.register::<Greet>().register::<Mul>().register::<Add>();
+        b.seal(seed)
+    }
+
+    #[test]
+    fn keys_agree_across_processes_and_registration_order() {
+        let host = build(1);
+        let target = build_reversed(2);
+        assert_eq!(
+            host.key_of::<Add>().unwrap(),
+            target.key_of::<Add>().unwrap()
+        );
+        assert_eq!(
+            host.key_of::<Mul>().unwrap(),
+            target.key_of::<Mul>().unwrap()
+        );
+        assert_eq!(
+            host.key_of::<Greet>().unwrap(),
+            target.key_of::<Greet>().unwrap()
+        );
+        assert_eq!(host.names(), target.names());
+    }
+
+    #[test]
+    fn local_addresses_differ_across_processes() {
+        let host = build(1);
+        let target = build(2);
+        let key = host.key_of::<Add>().unwrap();
+        // With three entries and different seeds, at least one address
+        // should differ (deterministic for these seeds).
+        let differs = (0..host.len() as u64).any(|k| {
+            host.address_of(HandlerKey(k)).unwrap() != target.address_of(HandlerKey(k)).unwrap()
+        });
+        assert!(
+            differs,
+            "heterogeneous binaries must have different addresses"
+        );
+        // ...and yet the key still executes correctly on both.
+        let payload = codec::encode(&Add { a: 2, b: 3 }).unwrap();
+        let mem = VecMemory::new(0);
+        let mut ctx = ExecContext::new(1, &mem);
+        let r1 = host.execute(key, &payload, &mut ctx).unwrap();
+        let r2 = target.execute(key, &payload, &mut ctx).unwrap();
+        assert_eq!(r1, r2);
+        assert_eq!(Registry::decode_result::<Add>(&r1).unwrap(), 5);
+    }
+
+    #[test]
+    fn end_to_end_send_execute_decode() {
+        let host = build(11);
+        let target = build_reversed(22);
+        let (key, payload) = host
+            .encode_message(&Greet {
+                name: "aurora".into(),
+            })
+            .unwrap();
+        let mem = VecMemory::new(0);
+        let mut ctx = ExecContext::new(1, &mem);
+        let result = target.execute(key, &payload, &mut ctx).unwrap();
+        assert_eq!(
+            Registry::decode_result::<Greet>(&result).unwrap(),
+            "hello aurora from node 1"
+        );
+    }
+
+    #[test]
+    fn unknown_key_is_rejected() {
+        let r = build(1);
+        let mem = VecMemory::new(0);
+        let mut ctx = ExecContext::new(0, &mem);
+        assert!(matches!(
+            r.execute(HandlerKey(99), &[], &mut ctx),
+            Err(HamError::UnknownKey(99))
+        ));
+    }
+
+    #[test]
+    fn unregistered_type_is_rejected() {
+        #[derive(Serialize, Deserialize)]
+        struct Ghost;
+        impl ActiveMessage for Ghost {
+            type Output = ();
+            fn execute(self, _: &mut ExecContext<'_>) {}
+        }
+        let r = build(1);
+        assert!(matches!(
+            r.key_of::<Ghost>(),
+            Err(HamError::Unregistered(_))
+        ));
+    }
+
+    #[test]
+    fn duplicate_registration_is_idempotent() {
+        let mut b = RegistryBuilder::new();
+        b.register::<Add>().register::<Add>().register::<Add>();
+        let r = b.seal(0);
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn corrupt_payload_is_a_codec_error() {
+        let r = build(1);
+        let key = r.key_of::<Add>().unwrap();
+        let mem = VecMemory::new(0);
+        let mut ctx = ExecContext::new(0, &mem);
+        assert!(matches!(
+            r.execute(key, &[1, 2, 3], &mut ctx),
+            Err(HamError::Codec(_))
+        ));
+    }
+
+    proptest! {
+        /// Any pair of process seeds agrees on keys and results.
+        #[test]
+        fn prop_translation_invariant(seed_a: u64, seed_b: u64, a: u64, b: u64) {
+            let host = build(seed_a);
+            let target = build_reversed(seed_b);
+            let (key, payload) = host.encode_message(&Mul { a, b }).unwrap();
+            let mem = VecMemory::new(0);
+            let mut ctx = ExecContext::new(1, &mem);
+            let result = target.execute(key, &payload, &mut ctx).unwrap();
+            prop_assert_eq!(
+                Registry::decode_result::<Mul>(&result).unwrap(),
+                a.wrapping_mul(b)
+            );
+        }
+    }
+}

@@ -1,0 +1,185 @@
+//! SysV shared-memory emulation (Fig. 7).
+//!
+//! The DMA-based protocol requires the VH to create a SystemV shared
+//! memory segment whose key is then used by the VE side to attach and
+//! register it in the DMAATB (§IV-A). This module provides the
+//! `shmget`/`shmat`/`shmdt`/`shmctl(IPC_RMID)` subset those steps need.
+
+use crate::{MemError, Region};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// One shared-memory segment: a key plus its backing region.
+#[derive(Debug)]
+pub struct ShmSegment {
+    key: i32,
+    region: Arc<Region>,
+    attach_count: Mutex<u32>,
+    rmid: Mutex<bool>,
+}
+
+impl ShmSegment {
+    /// The segment's SysV key.
+    pub fn key(&self) -> i32 {
+        self.key
+    }
+
+    /// The backing memory.
+    pub fn region(&self) -> &Arc<Region> {
+        &self.region
+    }
+
+    /// Segment size in bytes.
+    pub fn len(&self) -> u64 {
+        self.region.len()
+    }
+
+    /// Segments are never empty.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Current number of attachments.
+    pub fn attach_count(&self) -> u32 {
+        *self.attach_count.lock()
+    }
+}
+
+/// System-wide SysV shm registry (one per simulated machine).
+#[derive(Debug, Default)]
+pub struct ShmManager {
+    segments: Mutex<HashMap<i32, Arc<ShmSegment>>>,
+}
+
+impl ShmManager {
+    /// Empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// `shmget(key, size, IPC_CREAT | IPC_EXCL)`: create a segment.
+    pub fn create(&self, key: i32, size: u64) -> Result<Arc<ShmSegment>, MemError> {
+        let mut segs = self.segments.lock();
+        if segs.contains_key(&key) {
+            return Err(MemError::ShmKey { key });
+        }
+        let seg = Arc::new(ShmSegment {
+            key,
+            region: Region::new(size),
+            attach_count: Mutex::new(0),
+            rmid: Mutex::new(false),
+        });
+        segs.insert(key, Arc::clone(&seg));
+        Ok(seg)
+    }
+
+    /// `shmget(key, 0, 0)` + `shmat`: look up and attach.
+    pub fn attach(&self, key: i32) -> Result<Arc<ShmSegment>, MemError> {
+        let segs = self.segments.lock();
+        let seg = segs.get(&key).ok_or(MemError::ShmKey { key })?;
+        *seg.attach_count.lock() += 1;
+        Ok(Arc::clone(seg))
+    }
+
+    /// `shmdt`: detach. Destroys the segment if it was marked for removal
+    /// and this was the last attachment.
+    pub fn detach(&self, seg: &Arc<ShmSegment>) {
+        let remaining = {
+            let mut c = seg.attach_count.lock();
+            *c = c.saturating_sub(1);
+            *c
+        };
+        if remaining == 0 && *seg.rmid.lock() {
+            self.segments.lock().remove(&seg.key);
+        }
+    }
+
+    /// `shmctl(IPC_RMID)`: mark for removal; the segment disappears from
+    /// the registry once all attachments are gone (SysV semantics).
+    pub fn mark_remove(&self, key: i32) -> Result<(), MemError> {
+        let mut segs = self.segments.lock();
+        let seg = segs.get(&key).ok_or(MemError::ShmKey { key })?;
+        *seg.rmid.lock() = true;
+        if seg.attach_count() == 0 {
+            segs.remove(&key);
+        }
+        Ok(())
+    }
+
+    /// Number of registered segments.
+    pub fn segment_count(&self) -> usize {
+        self.segments.lock().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn create_attach_roundtrip() {
+        let mgr = ShmManager::new();
+        let seg = mgr.create(0x4155, 4096).unwrap();
+        assert_eq!(seg.key(), 0x4155);
+        assert_eq!(seg.len(), 4096);
+        let att = mgr.attach(0x4155).unwrap();
+        assert_eq!(att.attach_count(), 1);
+        // Both handles see the same memory.
+        seg.region().write(0, b"from creator").unwrap();
+        let mut buf = [0u8; 12];
+        att.region().read(0, &mut buf).unwrap();
+        assert_eq!(&buf, b"from creator");
+    }
+
+    #[test]
+    fn duplicate_key_rejected() {
+        let mgr = ShmManager::new();
+        mgr.create(1, 64).unwrap();
+        assert!(matches!(
+            mgr.create(1, 64),
+            Err(MemError::ShmKey { key: 1 })
+        ));
+    }
+
+    #[test]
+    fn unknown_key_rejected() {
+        let mgr = ShmManager::new();
+        assert!(matches!(mgr.attach(99), Err(MemError::ShmKey { key: 99 })));
+        assert!(matches!(
+            mgr.mark_remove(99),
+            Err(MemError::ShmKey { key: 99 })
+        ));
+    }
+
+    #[test]
+    fn rmid_with_no_attachments_removes_immediately() {
+        let mgr = ShmManager::new();
+        mgr.create(7, 64).unwrap();
+        assert_eq!(mgr.segment_count(), 1);
+        mgr.mark_remove(7).unwrap();
+        assert_eq!(mgr.segment_count(), 0);
+    }
+
+    #[test]
+    fn rmid_defers_until_last_detach() {
+        let mgr = ShmManager::new();
+        mgr.create(7, 64).unwrap();
+        let a = mgr.attach(7).unwrap();
+        let b = mgr.attach(7).unwrap();
+        mgr.mark_remove(7).unwrap();
+        assert_eq!(mgr.segment_count(), 1, "still attached");
+        assert!(mgr.attach(7).is_ok(), "key visible until destroyed");
+        mgr.detach(&a);
+        mgr.detach(&b);
+        // One extra attach above; detach it too.
+        let c = {
+            let segs = mgr.segments.lock();
+            segs.get(&7).cloned()
+        };
+        if let Some(c) = c {
+            mgr.detach(&c);
+        }
+        assert_eq!(mgr.segment_count(), 0);
+    }
+}

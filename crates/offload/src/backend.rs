@@ -1,0 +1,75 @@
+//! The communication-backend seam (paper Fig. 1, bottom layer).
+//!
+//! HAM separates active-message semantics from transport. A backend
+//! moves opaque `(key, payload)` messages to a target, result payloads
+//! back, and bulk buffer data in both directions. The paper's NEC
+//! backends (`ham-backend-veo`, `ham-backend-dma`) implement this trait
+//! against the simulated SX-Aurora; [`crate::local::LocalBackend`] is the
+//! in-process reference.
+
+use crate::types::{NodeDescriptor, NodeId};
+use crate::OffloadError;
+use aurora_sim_core::Clock;
+use ham::registry::HandlerKey;
+use ham::Registry;
+use std::sync::Arc;
+
+/// Registers the application's kernels; both "binaries" (host and target
+/// processes) are built from the same registrar — HAM-Offload's
+/// "compile the whole application for both sides" (§III-C).
+pub type Registrar = dyn Fn(&mut ham::RegistryBuilder) + Send + Sync;
+
+/// Identifies an in-flight offload on a target's channel.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct SlotId(pub u64);
+
+/// An untyped view of a target buffer for bulk transfers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RawBuffer {
+    /// Owning node.
+    pub node: NodeId,
+    /// Target-virtual address.
+    pub addr: u64,
+    /// Length in bytes.
+    pub len: u64,
+}
+
+/// A message/bulk-data transport to one or more offload targets.
+pub trait CommBackend: Send + Sync + 'static {
+    /// Number of offload targets (nodes `1..=num_targets`).
+    fn num_targets(&self) -> u16;
+
+    /// The host process's sealed handler registry. Built from the same
+    /// registrar as every target's, so handler keys agree.
+    fn host_registry(&self) -> &Arc<Registry>;
+
+    /// Descriptor of any node, including the host.
+    fn descriptor(&self, node: NodeId) -> Result<NodeDescriptor, OffloadError>;
+
+    /// Send an offload message to `target`; returns the slot whose result
+    /// to poll. Non-blocking with respect to kernel execution.
+    fn post(&self, target: NodeId, key: HandlerKey, payload: &[u8])
+        -> Result<SlotId, OffloadError>;
+
+    /// Poll for the result of `slot`. `Ok(None)` while still running.
+    fn try_result(&self, target: NodeId, slot: SlotId) -> Result<Option<Vec<u8>>, OffloadError>;
+
+    /// Allocate `bytes` on a target; returns the target-virtual address.
+    fn allocate(&self, node: NodeId, bytes: u64) -> Result<u64, OffloadError>;
+
+    /// Free a target allocation.
+    fn free(&self, node: NodeId, addr: u64) -> Result<(), OffloadError>;
+
+    /// Write host data into a target buffer (Table II `put`).
+    fn put_bytes(&self, dst: RawBuffer, data: &[u8]) -> Result<(), OffloadError>;
+
+    /// Read a target buffer into host memory (Table II `get`).
+    fn get_bytes(&self, src: RawBuffer, out: &mut [u8]) -> Result<(), OffloadError>;
+
+    /// The host process's virtual clock (what benchmarks read).
+    fn host_clock(&self) -> &Clock;
+
+    /// Ask all targets to leave their message loops and join them.
+    /// Idempotent.
+    fn shutdown(&self);
+}

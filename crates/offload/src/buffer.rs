@@ -1,0 +1,147 @@
+//! Typed pointers to target memory (Table II: `buffer_ptr<T>`).
+
+use crate::scalar::Scalar;
+use crate::types::NodeId;
+use core::marker::PhantomData;
+use serde::{Deserialize, Serialize};
+
+/// A typed pointer into an offload target's memory. Carries the node
+/// address, so it can be transported inside active messages and resolved
+/// on the target (paper Table II).
+#[derive(Serialize, Deserialize)]
+pub struct BufferPtr<T> {
+    node: NodeId,
+    addr: u64,
+    len: u64,
+    #[serde(skip)]
+    _elem: PhantomData<fn() -> T>,
+}
+
+// Manual impls: `T` itself is never stored, so no bounds on it.
+impl<T> Clone for BufferPtr<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for BufferPtr<T> {}
+
+impl<T> PartialEq for BufferPtr<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.node == other.node && self.addr == other.addr && self.len == other.len
+    }
+}
+impl<T> Eq for BufferPtr<T> {}
+
+impl<T> core::fmt::Debug for BufferPtr<T> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "BufferPtr<{}>({}, {:#x}, len {})",
+            core::any::type_name::<T>(),
+            self.node,
+            self.addr,
+            self.len
+        )
+    }
+}
+
+impl<T: Scalar> BufferPtr<T> {
+    /// Construct from raw parts (normally done by [`crate::Offload::allocate`]).
+    pub fn from_raw(node: NodeId, addr: u64, len: u64) -> Self {
+        Self {
+            node,
+            addr,
+            len,
+            _elem: PhantomData,
+        }
+    }
+
+    /// The target node this buffer lives on.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Target-virtual address of the first element.
+    pub fn addr(&self) -> u64 {
+        self.addr
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// True for zero-element buffers.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Size in bytes.
+    pub fn byte_len(&self) -> u64 {
+        self.len * T::SIZE as u64
+    }
+
+    /// A sub-buffer starting at element `idx` with `len` elements.
+    ///
+    /// Panics if the range exceeds the buffer (the simulated SIGSEGV
+    /// would otherwise fire on the target).
+    pub fn slice(&self, idx: u64, len: u64) -> Self {
+        assert!(idx + len <= self.len, "sub-buffer out of range");
+        Self {
+            node: self.node,
+            addr: self.addr + idx * T::SIZE as u64,
+            len,
+            _elem: PhantomData,
+        }
+    }
+
+    /// Address of element `idx` (for kernels doing pointer arithmetic).
+    pub fn elem_addr(&self, idx: u64) -> u64 {
+        self.addr + idx * T::SIZE as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        let p = BufferPtr::<f64>::from_raw(NodeId(2), 0x1000, 8);
+        assert_eq!(p.node(), NodeId(2));
+        assert_eq!(p.addr(), 0x1000);
+        assert_eq!(p.len(), 8);
+        assert_eq!(p.byte_len(), 64);
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn slicing() {
+        let p = BufferPtr::<f32>::from_raw(NodeId(1), 0x100, 16);
+        let s = p.slice(4, 8);
+        assert_eq!(s.addr(), 0x100 + 16);
+        assert_eq!(s.len(), 8);
+        assert_eq!(p.elem_addr(4), s.addr());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn slice_out_of_range_panics() {
+        BufferPtr::<f64>::from_raw(NodeId(1), 0, 4).slice(2, 3);
+    }
+
+    #[test]
+    fn serde_round_trip_inside_messages() {
+        let p = BufferPtr::<f64>::from_raw(NodeId(3), 0xABC, 100);
+        let bytes = ham::codec::encode(&p).unwrap();
+        let back: BufferPtr<f64> = ham::codec::decode(&bytes).unwrap();
+        assert_eq!(back, p);
+    }
+
+    #[test]
+    fn copy_semantics() {
+        let p = BufferPtr::<u64>::from_raw(NodeId(1), 8, 2);
+        let q = p;
+        assert_eq!(p, q, "BufferPtr is Copy like a raw pointer");
+    }
+}

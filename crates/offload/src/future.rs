@@ -1,0 +1,126 @@
+//! Lazy synchronisation on asynchronous offloads (Table II:
+//! `future<T>`).
+//!
+//! HAM-Offload futures are *polling* futures: the host checks the
+//! target's result flag when asked ([`Future::test`]) or spins on it
+//! ([`Future::get`]). Nothing runs in the background on the host — the
+//! paper's design keeps the host thread in control of when communication
+//! happens.
+
+use crate::backend::{CommBackend, SlotId};
+use crate::types::NodeId;
+use crate::OffloadError;
+use ham::HamError;
+use std::sync::Arc;
+
+/// Handle to the result of an [`crate::Offload::async_`] offload.
+#[must_use = "futures do nothing unless polled with test() or get()"]
+pub struct Future<T> {
+    /// `None` for already-completed futures (e.g. `put_async`, whose
+    /// underlying VEO transfer is synchronous).
+    backend: Option<Arc<dyn CommBackend>>,
+    target: NodeId,
+    slot: SlotId,
+    decode: fn(&[u8]) -> Result<T, HamError>,
+    state: State<T>,
+}
+
+enum State<T> {
+    Pending,
+    Ready(Result<T, OffloadError>),
+    Taken,
+}
+
+impl<T> Future<T> {
+    /// Construct (backends/runtime only).
+    pub(crate) fn new(
+        backend: Arc<dyn CommBackend>,
+        target: NodeId,
+        slot: SlotId,
+        decode: fn(&[u8]) -> Result<T, HamError>,
+    ) -> Self {
+        Self {
+            backend: Some(backend),
+            target,
+            slot,
+            decode,
+            state: State::Pending,
+        }
+    }
+
+    /// An already-completed future (Table II's `future<void>`-returning
+    /// `put`/`get`: the simulated transports, like real `veo_write_mem`
+    /// and `veo_read_mem`, complete synchronously, so the future exists
+    /// for API compatibility and is immediately ready).
+    pub(crate) fn ready(target: NodeId, value: Result<T, OffloadError>) -> Self {
+        fn never<T>(_: &[u8]) -> Result<T, HamError> {
+            unreachable!("ready futures never decode")
+        }
+        Self {
+            backend: None,
+            target,
+            slot: SlotId(u64::MAX),
+            decode: never::<T>,
+            state: State::Ready(value),
+        }
+    }
+
+    /// Non-blocking readiness check (Table II `test()`). Once this
+    /// returns `true`, [`Future::get`] will not block.
+    pub fn test(&mut self) -> bool {
+        match &self.state {
+            State::Pending => {
+                let Some(backend) = &self.backend else {
+                    return true;
+                };
+                match backend.try_result(self.target, self.slot) {
+                    Ok(None) => false,
+                    Ok(Some(bytes)) => {
+                        let decoded = (self.decode)(&bytes).map_err(OffloadError::from);
+                        self.state = State::Ready(decoded);
+                        true
+                    }
+                    Err(e) => {
+                        self.state = State::Ready(Err(e));
+                        true
+                    }
+                }
+            }
+            State::Ready(_) => true,
+            State::Taken => true,
+        }
+    }
+
+    /// Blocking accessor (Table II `get()`): polls until the result
+    /// message arrives, then decodes and returns it.
+    pub fn get(mut self) -> Result<T, OffloadError> {
+        loop {
+            if self.test() {
+                break;
+            }
+            // The real runtime busy-polls the flag; yield keeps the
+            // simulation's host thread from starving the target thread.
+            std::thread::yield_now();
+        }
+        match core::mem::replace(&mut self.state, State::Taken) {
+            State::Ready(r) => r,
+            _ => unreachable!("test() returned true"),
+        }
+    }
+
+    /// The target this offload ran on.
+    pub fn target(&self) -> NodeId {
+        self.target
+    }
+}
+
+impl<T> core::fmt::Debug for Future<T> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let state = match self.state {
+            State::Pending => "pending",
+            State::Ready(_) => "ready",
+            State::Taken => "taken",
+        };
+        write!(f, "Future({} slot {:?}, {state})", self.target, self.slot.0)
+    }
+}

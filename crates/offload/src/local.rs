@@ -1,0 +1,406 @@
+//! The in-process reference backend.
+//!
+//! Targets are plain threads with byte-vector memories; messages travel
+//! over channels. No SX-Aurora modelling — this backend pins down the
+//! *semantics* of [`crate::CommBackend`] so the protocol backends can be
+//! checked against it, and gives examples/tests a fast, dependency-free
+//! transport (it plays the role of the paper's most generic backend).
+
+use crate::backend::{CommBackend, RawBuffer, Registrar, SlotId};
+use crate::target_loop::{run_target_loop, unframe_result, TargetChannel};
+use crate::types::{DeviceType, NodeDescriptor, NodeId};
+use crate::OffloadError;
+use aurora_mem::RangeAllocator;
+use aurora_sim_core::Clock;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use ham::message::VecMemory;
+use ham::registry::HandlerKey;
+use ham::wire::{MsgHeader, MsgKind};
+use ham::{Registry, RegistryBuilder};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Process seed of the "host binary".
+const HOST_SEED: u64 = 0x4841_4D00;
+
+struct ChannelEnd {
+    rx: Receiver<(MsgHeader, Vec<u8>)>,
+    results: Arc<Mutex<HashMap<u64, Vec<u8>>>>,
+}
+
+impl TargetChannel for ChannelEnd {
+    fn recv(&self) -> Option<(MsgHeader, Vec<u8>)> {
+        self.rx.recv().ok()
+    }
+    fn send_result(&self, _reply_slot: u16, seq: u64, payload: &[u8]) {
+        self.results.lock().insert(seq, payload.to_vec());
+    }
+}
+
+struct Target {
+    tx: Sender<(MsgHeader, Vec<u8>)>,
+    results: Arc<Mutex<HashMap<u64, Vec<u8>>>>,
+    mem: Arc<VecMemory>,
+    alloc: Mutex<RangeAllocator>,
+    thread: Mutex<Option<JoinHandle<u64>>>,
+}
+
+/// The reference in-process backend.
+pub struct LocalBackend {
+    host_registry: Arc<Registry>,
+    targets: Vec<Target>,
+    next_slot: Mutex<u64>,
+    clock: Clock,
+    mem_bytes: u64,
+}
+
+impl LocalBackend {
+    /// Default per-target memory.
+    pub const DEFAULT_MEM: u64 = 16 << 20;
+
+    /// Spawn `n` in-process targets whose kernels are registered by
+    /// `registrar` (the shared "source code" of all binaries).
+    pub fn spawn(
+        n: u16,
+        registrar: impl Fn(&mut RegistryBuilder) + Send + Sync + 'static,
+    ) -> Arc<Self> {
+        Self::spawn_with_memory(n, Self::DEFAULT_MEM, registrar)
+    }
+
+    /// Spawn with an explicit per-target memory size.
+    pub fn spawn_with_memory(
+        n: u16,
+        mem_bytes: u64,
+        registrar: impl Fn(&mut RegistryBuilder) + Send + Sync + 'static,
+    ) -> Arc<Self> {
+        let registrar: Arc<Registrar> = Arc::new(registrar);
+        let host_registry = Arc::new(build_registry(&registrar, HOST_SEED));
+        let targets = (1..=n)
+            .map(|node| {
+                let (tx, rx) = unbounded();
+                let results = Arc::new(Mutex::new(HashMap::new()));
+                let mem = Arc::new(VecMemory::new(mem_bytes as usize));
+                // Each target is its own "binary": same registrar,
+                // different seed → different local handler addresses.
+                let registry = build_registry(&registrar, 0x5645_0000 + node as u64);
+                let chan = ChannelEnd {
+                    rx,
+                    results: Arc::clone(&results),
+                };
+                let mem2 = Arc::clone(&mem);
+                let thread = std::thread::Builder::new()
+                    .name(format!("local-target-{node}"))
+                    .spawn(move || run_target_loop(node, &registry, &*mem2, &chan))
+                    .expect("spawn target thread");
+                Target {
+                    tx,
+                    results,
+                    mem,
+                    alloc: Mutex::new(RangeAllocator::new(mem_bytes)),
+                    thread: Mutex::new(Some(thread)),
+                }
+            })
+            .collect();
+        Arc::new(Self {
+            host_registry,
+            targets,
+            next_slot: Mutex::new(0),
+            clock: Clock::new(),
+            mem_bytes,
+        })
+    }
+
+    fn target(&self, node: NodeId) -> Result<&Target, OffloadError> {
+        if node.is_host() {
+            return Err(OffloadError::BadNode(node));
+        }
+        self.targets
+            .get(node.0 as usize - 1)
+            .ok_or(OffloadError::BadNode(node))
+    }
+}
+
+/// Build one process's registry from the shared registrar.
+pub fn build_registry(registrar: &Arc<Registrar>, seed: u64) -> Registry {
+    let mut b = RegistryBuilder::new();
+    registrar(&mut b);
+    b.seal(seed)
+}
+
+impl CommBackend for LocalBackend {
+    fn num_targets(&self) -> u16 {
+        self.targets.len() as u16
+    }
+
+    fn host_registry(&self) -> &Arc<Registry> {
+        &self.host_registry
+    }
+
+    fn descriptor(&self, node: NodeId) -> Result<NodeDescriptor, OffloadError> {
+        if node.is_host() {
+            return Ok(NodeDescriptor {
+                node,
+                name: "local host".into(),
+                device_type: DeviceType::Host,
+                memory_bytes: 0,
+                cores: std::thread::available_parallelism()
+                    .map(|n| n.get() as u32)
+                    .unwrap_or(1),
+            });
+        }
+        self.target(node)?;
+        Ok(NodeDescriptor {
+            node,
+            name: format!("local target {}", node.0),
+            device_type: DeviceType::Generic,
+            memory_bytes: self.mem_bytes,
+            cores: 1,
+        })
+    }
+
+    fn post(
+        &self,
+        target: NodeId,
+        key: HandlerKey,
+        payload: &[u8],
+    ) -> Result<SlotId, OffloadError> {
+        let t = self.target(target)?;
+        let slot = {
+            let mut s = self.next_slot.lock();
+            let v = *s;
+            *s += 1;
+            v
+        };
+        let header = MsgHeader {
+            handler_key: key,
+            payload_len: payload.len() as u32,
+            kind: MsgKind::Offload,
+            reply_slot: 0,
+            ts_ps: self.clock.now().as_ps(),
+            seq: slot,
+        };
+        t.tx.send((header, payload.to_vec()))
+            .map_err(|_| OffloadError::Shutdown)?;
+        Ok(SlotId(slot))
+    }
+
+    fn try_result(&self, target: NodeId, slot: SlotId) -> Result<Option<Vec<u8>>, OffloadError> {
+        let t = self.target(target)?;
+        match t.results.lock().remove(&slot.0) {
+            None => Ok(None),
+            Some(frame) => unframe_result(&frame)
+                .map(Some)
+                .map_err(OffloadError::Backend),
+        }
+    }
+
+    fn allocate(&self, node: NodeId, bytes: u64) -> Result<u64, OffloadError> {
+        let t = self.target(node)?;
+        t.alloc
+            .lock()
+            .alloc(bytes, 8)
+            .map_err(|e| OffloadError::Mem(e.to_string()))
+    }
+
+    fn free(&self, node: NodeId, addr: u64) -> Result<(), OffloadError> {
+        let t = self.target(node)?;
+        t.alloc
+            .lock()
+            .free(addr)
+            .map_err(|e| OffloadError::Mem(e.to_string()))
+    }
+
+    fn put_bytes(&self, dst: RawBuffer, data: &[u8]) -> Result<(), OffloadError> {
+        use ham::TargetMemory;
+        let t = self.target(dst.node)?;
+        t.mem
+            .mem_write(dst.addr, data)
+            .map_err(|e| OffloadError::Mem(e.to_string()))
+    }
+
+    fn get_bytes(&self, src: RawBuffer, out: &mut [u8]) -> Result<(), OffloadError> {
+        use ham::TargetMemory;
+        let t = self.target(src.node)?;
+        t.mem
+            .mem_read(src.addr, out)
+            .map_err(|e| OffloadError::Mem(e.to_string()))
+    }
+
+    fn host_clock(&self) -> &Clock {
+        &self.clock
+    }
+
+    fn shutdown(&self) {
+        for (i, t) in self.targets.iter().enumerate() {
+            let header = MsgHeader {
+                handler_key: HandlerKey(0),
+                payload_len: 0,
+                kind: MsgKind::Control,
+                reply_slot: 0,
+                ts_ps: self.clock.now().as_ps(),
+                seq: u64::MAX - i as u64,
+            };
+            // Ignore send failures: the loop may already be gone.
+            let _ = t.tx.send((header, vec![]));
+            if let Some(h) = t.thread.lock().take() {
+                let _ = h.join();
+            }
+        }
+    }
+}
+
+impl Drop for LocalBackend {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::Offload;
+    use ham::{f2f, ham_kernel};
+
+    ham_kernel! {
+        pub fn axpy_sum(ctx, a: f64, x_addr: u64, y_addr: u64, n: u64) -> f64 {
+            let x = ctx.mem.read_f64s(x_addr, n as usize).unwrap();
+            let y = ctx.mem.read_f64s(y_addr, n as usize).unwrap();
+            x.iter().zip(&y).map(|(xi, yi)| a * xi + yi).sum()
+        }
+    }
+
+    ham_kernel! {
+        pub fn which_node(ctx) -> u16 { ctx.node }
+    }
+
+    fn setup(n: u16) -> Offload {
+        Offload::new(LocalBackend::spawn(n, |b| {
+            b.register::<axpy_sum>();
+            b.register::<which_node>();
+        }))
+    }
+
+    #[test]
+    fn sync_offload_round_trip() {
+        let o = setup(1);
+        assert_eq!(o.sync(NodeId(1), f2f!(which_node)).unwrap(), 1);
+        o.shutdown();
+    }
+
+    #[test]
+    fn async_offloads_overlap() {
+        let o = setup(2);
+        let f1 = o.async_(NodeId(1), f2f!(which_node)).unwrap();
+        let f2 = o.async_(NodeId(2), f2f!(which_node)).unwrap();
+        assert_eq!(f2.get().unwrap(), 2);
+        assert_eq!(f1.get().unwrap(), 1);
+        o.shutdown();
+    }
+
+    #[test]
+    fn buffers_put_get_and_kernel_access() {
+        let o = setup(1);
+        let t = NodeId(1);
+        let x = o.allocate::<f64>(t, 4).unwrap();
+        let y = o.allocate::<f64>(t, 4).unwrap();
+        o.put(&[1.0, 2.0, 3.0, 4.0], x).unwrap();
+        o.put(&[10.0, 20.0, 30.0, 40.0], y).unwrap();
+        let r = o
+            .sync(t, f2f!(axpy_sum, 2.0, x.addr(), y.addr(), 4))
+            .unwrap();
+        assert_eq!(r, 2.0 * 10.0 + 100.0);
+        let mut back = [0.0f64; 4];
+        o.get(x, &mut back).unwrap();
+        assert_eq!(back, [1.0, 2.0, 3.0, 4.0]);
+        o.free(x).unwrap();
+        o.free(y).unwrap();
+        o.shutdown();
+    }
+
+    #[test]
+    fn copy_between_targets_is_host_orchestrated() {
+        let o = setup(2);
+        let a = o.allocate::<u64>(NodeId(1), 3).unwrap();
+        let b = o.allocate::<u64>(NodeId(2), 3).unwrap();
+        o.put(&[7, 8, 9], a).unwrap();
+        o.copy(a, b, 3).unwrap();
+        let mut out = [0u64; 3];
+        o.get(b, &mut out).unwrap();
+        assert_eq!(out, [7, 8, 9]);
+        o.shutdown();
+    }
+
+    #[test]
+    fn future_test_is_nonblocking() {
+        let o = setup(1);
+        let mut f = o.async_(NodeId(1), f2f!(which_node)).unwrap();
+        // Eventually becomes ready; test() itself never blocks.
+        while !f.test() {
+            std::thread::yield_now();
+        }
+        assert_eq!(f.get().unwrap(), 1);
+        o.shutdown();
+    }
+
+    #[test]
+    fn bad_nodes_are_rejected() {
+        let o = setup(1);
+        assert!(matches!(
+            o.sync(NodeId(0), f2f!(which_node)),
+            Err(OffloadError::BadNode(_))
+        ));
+        assert!(matches!(
+            o.sync(NodeId(9), f2f!(which_node)),
+            Err(OffloadError::BadNode(_))
+        ));
+        assert!(o.allocate::<f64>(NodeId(0), 4).is_err());
+        o.shutdown();
+    }
+
+    #[test]
+    fn put_get_length_checks() {
+        let o = setup(1);
+        let b = o.allocate::<f64>(NodeId(1), 2).unwrap();
+        assert!(o.put(&[1.0, 2.0, 3.0], b).is_err());
+        let mut out = [0.0; 3];
+        assert!(o.get(b, &mut out).is_err());
+        o.shutdown();
+    }
+
+    #[test]
+    fn descriptors() {
+        let o = setup(2);
+        assert_eq!(o.num_nodes(), 3);
+        assert_eq!(o.this_node(), NodeId::HOST);
+        let d = o.get_node_descriptor(NodeId(2)).unwrap();
+        assert_eq!(d.device_type, DeviceType::Generic);
+        let h = o.get_node_descriptor(NodeId::HOST).unwrap();
+        assert_eq!(h.device_type, DeviceType::Host);
+        o.shutdown();
+    }
+
+    #[test]
+    fn shutdown_is_idempotent_and_post_after_fails() {
+        let o = setup(1);
+        o.shutdown();
+        o.shutdown();
+        assert!(matches!(
+            o.sync(NodeId(1), f2f!(which_node)),
+            Err(OffloadError::Shutdown)
+        ));
+    }
+
+    #[test]
+    fn many_small_offloads_keep_order_independence() {
+        let o = setup(1);
+        let futures: Vec<_> = (0..64)
+            .map(|_| o.async_(NodeId(1), f2f!(which_node)).unwrap())
+            .collect();
+        for f in futures {
+            assert_eq!(f.get().unwrap(), 1);
+        }
+        o.shutdown();
+    }
+}

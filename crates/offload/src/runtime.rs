@@ -1,0 +1,216 @@
+//! The host-side runtime: the API of Table II.
+
+use crate::backend::{CommBackend, RawBuffer};
+use crate::buffer::BufferPtr;
+use crate::future::Future;
+use crate::scalar::Scalar;
+use crate::types::{NodeDescriptor, NodeId};
+use crate::OffloadError;
+use aurora_sim_core::calib;
+use ham::{ActiveMessage, HamError};
+use std::sync::Arc;
+
+fn decode_output<M: ActiveMessage>(bytes: &[u8]) -> Result<M::Output, HamError> {
+    ham::codec::decode(bytes)
+}
+
+/// The HAM-Offload runtime handle held by the host program.
+#[derive(Clone)]
+pub struct Offload {
+    backend: Arc<dyn CommBackend>,
+}
+
+impl Offload {
+    /// Wrap a constructed backend.
+    pub fn new(backend: Arc<dyn CommBackend>) -> Self {
+        Self { backend }
+    }
+
+    /// The backend (escape hatch for benchmarks and tests).
+    pub fn backend(&self) -> &Arc<dyn CommBackend> {
+        &self.backend
+    }
+
+    // --- topology (Table II) --------------------------------------------
+
+    /// Number of processes in the application: host + targets.
+    pub fn num_nodes(&self) -> u16 {
+        1 + self.backend.num_targets()
+    }
+
+    /// The calling process's address. The host API object always lives in
+    /// the host process.
+    pub fn this_node(&self) -> NodeId {
+        NodeId::HOST
+    }
+
+    /// Descriptor of node `n`.
+    pub fn get_node_descriptor(&self, n: NodeId) -> Result<NodeDescriptor, OffloadError> {
+        self.backend.descriptor(n)
+    }
+
+    fn check_target(&self, n: NodeId) -> Result<(), OffloadError> {
+        if n.is_host() || n.0 > self.backend.num_targets() {
+            return Err(OffloadError::BadNode(n));
+        }
+        Ok(())
+    }
+
+    // --- offloading (Table II: sync / async) ----------------------------
+
+    /// Asynchronous offload of functor `msg` to `target`; returns a
+    /// [`Future`] for lazy synchronisation.
+    pub fn async_<M: ActiveMessage>(
+        &self,
+        target: NodeId,
+        msg: M,
+    ) -> Result<Future<M::Output>, OffloadError> {
+        self.check_target(target)?;
+        // Host-side framework cost: serialisation, bookkeeping, future.
+        let t0 = self.backend.host_clock().now();
+        let t1 = self.backend.host_clock().advance(calib::HAM_HOST_OVERHEAD);
+        aurora_sim_core::trace::record("ham.host_overhead", 0, t0, t1);
+        let (key, payload) = self.backend.host_registry().encode_message(&msg)?;
+        let slot = self.backend.post(target, key, &payload)?;
+        Ok(Future::new(
+            Arc::clone(&self.backend),
+            target,
+            slot,
+            decode_output::<M>,
+        ))
+    }
+
+    /// Synchronous offload: `async_` + `get`.
+    pub fn sync<M: ActiveMessage>(
+        &self,
+        target: NodeId,
+        msg: M,
+    ) -> Result<M::Output, OffloadError> {
+        self.async_(target, msg)?.get()
+    }
+
+    // --- explicit buffer management (Table II) ---------------------------
+
+    /// Allocate a buffer of `len` elements of `T` on `node`.
+    pub fn allocate<T: Scalar>(
+        &self,
+        node: NodeId,
+        len: u64,
+    ) -> Result<BufferPtr<T>, OffloadError> {
+        self.check_target(node)?;
+        let addr = self.backend.allocate(node, len * T::SIZE as u64)?;
+        Ok(BufferPtr::from_raw(node, addr, len))
+    }
+
+    /// Free a buffer previously returned by [`Offload::allocate`].
+    pub fn free<T: Scalar>(&self, ptr: BufferPtr<T>) -> Result<(), OffloadError> {
+        self.backend.free(ptr.node(), ptr.addr())
+    }
+
+    /// Write host data into target memory (Table II `put`).
+    pub fn put<T: Scalar>(&self, src: &[T], dst: BufferPtr<T>) -> Result<(), OffloadError> {
+        if src.len() as u64 > dst.len() {
+            return Err(OffloadError::Mem(format!(
+                "put of {} elements into buffer of {}",
+                src.len(),
+                dst.len()
+            )));
+        }
+        let bytes = T::encode_slice(src);
+        self.backend.put_bytes(
+            RawBuffer {
+                node: dst.node(),
+                addr: dst.addr(),
+                len: bytes.len() as u64,
+            },
+            &bytes,
+        )
+    }
+
+    /// Read target memory into a host slice (Table II `get`).
+    pub fn get<T: Scalar>(&self, src: BufferPtr<T>, dst: &mut [T]) -> Result<(), OffloadError> {
+        if dst.len() as u64 > src.len() {
+            return Err(OffloadError::Mem(format!(
+                "get of {} elements from buffer of {}",
+                dst.len(),
+                src.len()
+            )));
+        }
+        let mut bytes = vec![0u8; dst.len() * T::SIZE];
+        self.backend.get_bytes(
+            RawBuffer {
+                node: src.node(),
+                addr: src.addr(),
+                len: bytes.len() as u64,
+            },
+            &mut bytes,
+        )?;
+        T::decode_slice(&bytes, dst);
+        Ok(())
+    }
+
+    /// Table II's asynchronous `put`: returns a `future<void>`. The
+    /// simulated transports (like real `veo_write_mem`) complete
+    /// synchronously, so the returned future is immediately ready.
+    pub fn put_async<T: Scalar>(&self, src: &[T], dst: BufferPtr<T>) -> Future<()> {
+        let result = self.put(src, dst);
+        Future::ready(dst.node(), result)
+    }
+
+    /// Table II's asynchronous `get`: returns a future holding the read
+    /// elements (a Rust-safe rendering of the paper's `get(src, dst*)`).
+    pub fn get_async<T: Scalar>(&self, src: BufferPtr<T>, len: u64) -> Future<Vec<T>> {
+        let mut out = vec![T::read_le(&vec![0u8; T::SIZE]); len as usize];
+        let result = self.get(src, &mut out).map(|()| out);
+        Future::ready(src.node(), result)
+    }
+
+    /// Copy between two target buffers, orchestrated by the host
+    /// (Table II `copy`): a `get` into a staging buffer followed by a
+    /// `put` — exactly the paper's semantics for targets without direct
+    /// peer transfers.
+    pub fn copy<T: Scalar>(
+        &self,
+        src: BufferPtr<T>,
+        dst: BufferPtr<T>,
+        len: u64,
+    ) -> Result<(), OffloadError> {
+        if len > src.len() || len > dst.len() {
+            return Err(OffloadError::Mem(format!(
+                "copy of {len} elements exceeds src ({}) or dst ({})",
+                src.len(),
+                dst.len()
+            )));
+        }
+        let mut staging = vec![0u8; (len as usize) * T::SIZE];
+        self.backend.get_bytes(
+            RawBuffer {
+                node: src.node(),
+                addr: src.addr(),
+                len: staging.len() as u64,
+            },
+            &mut staging,
+        )?;
+        self.backend.put_bytes(
+            RawBuffer {
+                node: dst.node(),
+                addr: dst.addr(),
+                len: staging.len() as u64,
+            },
+            &staging,
+        )
+    }
+
+    // --- lifecycle -------------------------------------------------------
+
+    /// Shut all targets down (also happens on drop of the last handle).
+    pub fn shutdown(&self) {
+        self.backend.shutdown();
+    }
+}
+
+impl core::fmt::Debug for Offload {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "Offload({} targets)", self.backend.num_targets())
+    }
+}

@@ -1,0 +1,108 @@
+//! Element types for explicit buffers.
+//!
+//! Buffers cross the host/target boundary as raw bytes; [`Scalar`] fixes
+//! the wire representation (little-endian, native width) per element type
+//! so `put`/`get` are portable between the heterogeneous "binaries".
+
+/// A plain-old-data element type with a defined wire layout.
+pub trait Scalar: Copy + Send + Sync + 'static {
+    /// Encoded size in bytes.
+    const SIZE: usize;
+
+    /// Write `self` little-endian into `out` (`out.len() == SIZE`).
+    fn write_le(&self, out: &mut [u8]);
+
+    /// Read a value little-endian from `input` (`input.len() == SIZE`).
+    fn read_le(input: &[u8]) -> Self;
+
+    /// Encode a slice into a fresh byte vector.
+    fn encode_slice(values: &[Self]) -> Vec<u8> {
+        let mut out = vec![0u8; values.len() * Self::SIZE];
+        for (v, chunk) in values.iter().zip(out.chunks_exact_mut(Self::SIZE)) {
+            v.write_le(chunk);
+        }
+        out
+    }
+
+    /// Decode bytes into `out` (`bytes.len() == out.len() * SIZE`).
+    fn decode_slice(bytes: &[u8], out: &mut [Self]) {
+        assert_eq!(bytes.len(), out.len() * Self::SIZE, "length mismatch");
+        for (chunk, v) in bytes.chunks_exact(Self::SIZE).zip(out.iter_mut()) {
+            *v = Self::read_le(chunk);
+        }
+    }
+}
+
+macro_rules! scalar_impl {
+    ($($ty:ty),*) => {
+        $(
+            impl Scalar for $ty {
+                const SIZE: usize = core::mem::size_of::<$ty>();
+                fn write_le(&self, out: &mut [u8]) {
+                    out.copy_from_slice(&self.to_le_bytes());
+                }
+                fn read_le(input: &[u8]) -> Self {
+                    <$ty>::from_le_bytes(input.try_into().expect("size checked"))
+                }
+            }
+        )*
+    };
+}
+
+scalar_impl!(u8, u16, u32, u64, i8, i16, i32, i64, f32, f64);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn sizes() {
+        assert_eq!(<u8 as Scalar>::SIZE, 1);
+        assert_eq!(<f64 as Scalar>::SIZE, 8);
+        assert_eq!(<i32 as Scalar>::SIZE, 4);
+    }
+
+    #[test]
+    fn slice_round_trip() {
+        let xs = [1.5f64, -2.25, 1e300, 0.0];
+        let bytes = f64::encode_slice(&xs);
+        assert_eq!(bytes.len(), 32);
+        let mut out = [0.0f64; 4];
+        f64::decode_slice(&bytes, &mut out);
+        assert_eq!(out, xs);
+    }
+
+    #[test]
+    fn endianness_is_fixed() {
+        let bytes = u32::encode_slice(&[0x0102_0304]);
+        assert_eq!(bytes, vec![4, 3, 2, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn decode_length_checked() {
+        let mut out = [0u16; 2];
+        u16::decode_slice(&[0u8; 3], &mut out);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_round_trip_f64(xs: Vec<f64>) {
+            let bytes = f64::encode_slice(&xs);
+            let mut out = vec![0.0f64; xs.len()];
+            f64::decode_slice(&bytes, &mut out);
+            for (a, b) in xs.iter().zip(&out) {
+                prop_assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+
+        #[test]
+        fn prop_round_trip_i16(xs: Vec<i16>) {
+            let bytes = i16::encode_slice(&xs);
+            let mut out = vec![0i16; xs.len()];
+            i16::decode_slice(&bytes, &mut out);
+            prop_assert_eq!(xs, out);
+        }
+    }
+}

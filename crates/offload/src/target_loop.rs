@@ -1,0 +1,252 @@
+//! The target-side runtime: HAM-Offload's message-processing loop.
+//!
+//! After initialisation, an offload target sits in this loop: receive the
+//! next active message, translate its handler key, execute, send the
+//! result message back (paper §III-C/D: on the SX-Aurora this loop *is*
+//! `ham_main()` running inside the VE process).
+//!
+//! The loop is transport-agnostic through [`TargetChannel`]; each backend
+//! provides the flag-polling / DMA-fetching implementation.
+
+use ham::wire::{MsgHeader, MsgKind};
+use ham::{ExecContext, HamError, Registry, TargetMemory};
+
+/// Target-side view of one backend channel.
+pub trait TargetChannel {
+    /// Receive the next message (blocking; backends poll flags inside).
+    /// `None` means the channel is shut down.
+    fn recv(&self) -> Option<(MsgHeader, Vec<u8>)>;
+
+    /// Publish a result payload for the offload that arrived with
+    /// `reply_slot` and sequence number `seq`.
+    fn send_result(&self, reply_slot: u16, seq: u64, payload: &[u8]);
+}
+
+/// Frame a handler outcome for the wire: `0x00 ‖ bytes` on success,
+/// `0x01 ‖ utf-8 message` on failure.
+pub fn frame_result(result: Result<Vec<u8>, HamError>) -> Vec<u8> {
+    match result {
+        Ok(mut bytes) => {
+            let mut out = Vec::with_capacity(bytes.len() + 1);
+            out.push(0);
+            out.append(&mut bytes);
+            out
+        }
+        Err(e) => {
+            let msg = e.to_string();
+            let mut out = Vec::with_capacity(msg.len() + 1);
+            out.push(1);
+            out.extend_from_slice(msg.as_bytes());
+            out
+        }
+    }
+}
+
+/// Undo [`frame_result`]; the error side becomes a backend error string.
+pub fn unframe_result(bytes: &[u8]) -> Result<Vec<u8>, String> {
+    match bytes.split_first() {
+        Some((0, rest)) => Ok(rest.to_vec()),
+        Some((1, rest)) => Err(String::from_utf8_lossy(rest).into_owned()),
+        _ => Err("malformed result frame".into()),
+    }
+}
+
+/// The target process's execution environment: everything kernels may
+/// touch, assembled by the backend.
+pub struct TargetEnv<'a> {
+    /// This target's node id.
+    pub node: u16,
+    /// This "binary"'s handler registry.
+    pub registry: &'a Registry,
+    /// Target-local memory.
+    pub mem: &'a dyn TargetMemory,
+    /// Reverse (target → host) transport, when supported.
+    pub reverse: Option<&'a dyn ham::message::ReverseTransport>,
+    /// Compute-cost meter, when the device models execution time.
+    pub meter: Option<&'a dyn ham::message::ComputeMeter>,
+}
+
+/// Run the message loop for one target until a `Control` message or
+/// channel shutdown. Returns the number of offloads served.
+pub fn run_target_loop(
+    node: u16,
+    registry: &Registry,
+    mem: &dyn TargetMemory,
+    chan: &dyn TargetChannel,
+) -> u64 {
+    run_target_loop_env(
+        &TargetEnv {
+            node,
+            registry,
+            mem,
+            reverse: None,
+            meter: None,
+        },
+        chan,
+    )
+}
+
+/// [`run_target_loop`] with an optional reverse (target → host)
+/// transport, made available to kernels via
+/// [`ham::ExecContext::vhcall`].
+pub fn run_target_loop_with_reverse(
+    node: u16,
+    registry: &Registry,
+    mem: &dyn TargetMemory,
+    chan: &dyn TargetChannel,
+    reverse: Option<&dyn ham::message::ReverseTransport>,
+) -> u64 {
+    run_target_loop_env(
+        &TargetEnv {
+            node,
+            registry,
+            mem,
+            reverse,
+            meter: None,
+        },
+        chan,
+    )
+}
+
+/// The fully-general message loop over a [`TargetEnv`].
+pub fn run_target_loop_env(env: &TargetEnv<'_>, chan: &dyn TargetChannel) -> u64 {
+    let mut served = 0;
+    while let Some((header, payload)) = chan.recv() {
+        match header.kind {
+            MsgKind::Control => break,
+            MsgKind::Offload => {
+                let mut ctx = ExecContext::new(env.node, env.mem);
+                if let Some(r) = env.reverse {
+                    ctx = ctx.with_reverse_transport(env.registry, r);
+                }
+                if let Some(m) = env.meter {
+                    ctx = ctx.with_meter(m);
+                }
+                let result = env.registry.execute(header.handler_key, &payload, &mut ctx);
+                chan.send_result(header.reply_slot, header.seq, &frame_result(result));
+                served += 1;
+            }
+            MsgKind::Result => {
+                // A result message arriving at a target is a protocol
+                // violation; surface it loudly in the simulation.
+                panic!("target {} received a Result message", env.node);
+            }
+        }
+    }
+    served
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ham::message::VecMemory;
+    use ham::registry::HandlerKey;
+    use ham::{f2f, ham_kernel, RegistryBuilder};
+    use parking_lot::Mutex;
+    use std::collections::VecDeque;
+
+    ham_kernel! {
+        pub fn add(_ctx, a: u64, b: u64) -> u64 { a + b }
+    }
+
+    struct QueueChannel {
+        inbox: Mutex<VecDeque<(MsgHeader, Vec<u8>)>>,
+        outbox: Mutex<Vec<(u16, u64, Vec<u8>)>>,
+    }
+
+    impl TargetChannel for QueueChannel {
+        fn recv(&self) -> Option<(MsgHeader, Vec<u8>)> {
+            self.inbox.lock().pop_front()
+        }
+        fn send_result(&self, reply_slot: u16, seq: u64, payload: &[u8]) {
+            self.outbox.lock().push((reply_slot, seq, payload.to_vec()));
+        }
+    }
+
+    fn header(kind: MsgKind, key: HandlerKey, len: usize, slot: u16, seq: u64) -> MsgHeader {
+        MsgHeader {
+            handler_key: key,
+            payload_len: len as u32,
+            kind,
+            reply_slot: slot,
+            ts_ps: 0,
+            seq,
+        }
+    }
+
+    #[test]
+    fn frame_round_trip() {
+        assert_eq!(frame_result(Ok(vec![1, 2])), vec![0, 1, 2]);
+        assert_eq!(unframe_result(&[0, 1, 2]).unwrap(), vec![1, 2]);
+        let err = frame_result(Err(HamError::UnknownKey(5)));
+        assert!(unframe_result(&err)
+            .unwrap_err()
+            .contains("unknown handler key 5"));
+        assert!(unframe_result(&[]).is_err());
+        assert!(unframe_result(&[9]).is_err());
+    }
+
+    #[test]
+    fn loop_serves_offloads_then_stops_on_control() {
+        let mut b = RegistryBuilder::new();
+        b.register::<add>();
+        let registry = b.seal(7);
+        let key = registry.key_of::<add>().unwrap();
+
+        let payload = ham::codec::encode(&f2f!(add, 20, 22)).unwrap();
+        let chan = QueueChannel {
+            inbox: Mutex::new(VecDeque::from(vec![
+                (
+                    header(MsgKind::Offload, key, payload.len(), 3, 100),
+                    payload.clone(),
+                ),
+                (
+                    header(MsgKind::Offload, key, payload.len(), 4, 101),
+                    payload,
+                ),
+                (header(MsgKind::Control, HandlerKey(0), 0, 0, 102), vec![]),
+            ])),
+            outbox: Mutex::new(vec![]),
+        };
+        let mem = VecMemory::new(0);
+        let served = run_target_loop(1, &registry, &mem, &chan);
+        assert_eq!(served, 2);
+        let out = chan.outbox.lock();
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].0, 3);
+        assert_eq!(out[0].1, 100);
+        let bytes = unframe_result(&out[0].2).unwrap();
+        assert_eq!(ham::codec::decode::<u64>(&bytes).unwrap(), 42);
+    }
+
+    #[test]
+    fn handler_errors_travel_as_error_frames() {
+        let mut b = RegistryBuilder::new();
+        b.register::<add>();
+        let registry = b.seal(7);
+        let key = registry.key_of::<add>().unwrap();
+        // Corrupt payload → codec error inside the handler.
+        let chan = QueueChannel {
+            inbox: Mutex::new(VecDeque::from(vec![(
+                header(MsgKind::Offload, key, 3, 0, 0),
+                vec![1, 2, 3],
+            )])),
+            outbox: Mutex::new(vec![]),
+        };
+        let mem = VecMemory::new(0);
+        run_target_loop(1, &registry, &mem, &chan);
+        let out = chan.outbox.lock();
+        assert!(unframe_result(&out[0].2).is_err());
+    }
+
+    #[test]
+    fn empty_channel_ends_loop() {
+        let chan = QueueChannel {
+            inbox: Mutex::new(VecDeque::new()),
+            outbox: Mutex::new(vec![]),
+        };
+        let registry = RegistryBuilder::new().seal(0);
+        let mem = VecMemory::new(0);
+        assert_eq!(run_target_loop(1, &registry, &mem, &chan), 0);
+    }
+}

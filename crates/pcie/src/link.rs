@@ -1,0 +1,194 @@
+//! The per-VE PCIe link: latency, TLP mechanics and wire occupancy.
+
+use aurora_sim_core::calib;
+use aurora_sim_core::resource::Reservation;
+use aurora_sim_core::{SimTime, Timeline};
+
+/// Transfer direction over a VE's PCIe link.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Direction {
+    /// Host memory → VE memory ("downstream").
+    Vh2Ve,
+    /// VE memory → host memory ("upstream").
+    Ve2Vh,
+}
+
+impl Direction {
+    /// The opposite direction.
+    pub fn reverse(self) -> Direction {
+        match self {
+            Direction::Vh2Ve => Direction::Ve2Vh,
+            Direction::Ve2Vh => Direction::Vh2Ve,
+        }
+    }
+}
+
+/// Static parameters of one PCIe Gen3 x16 link.
+#[derive(Clone, Copy, Debug)]
+pub struct LinkConfig {
+    /// One-way propagation + switching latency.
+    pub one_way: SimTime,
+    /// Effective data bandwidth (payload bytes per second) in GiB/s.
+    pub effective_gib_s: f64,
+    /// Maximum TLP payload in bytes (256 for the NEC VE).
+    pub max_payload: u64,
+}
+
+impl Default for LinkConfig {
+    fn default() -> Self {
+        Self {
+            one_way: calib::PCIE_ONE_WAY,
+            effective_gib_s: calib::PCIE_EFFECTIVE_GIB_S,
+            max_payload: calib::PCIE_MAX_PAYLOAD,
+        }
+    }
+}
+
+/// One VE's PCIe connection: a pair of directed, contended wires.
+#[derive(Clone, Debug)]
+pub struct PcieLink {
+    cfg: LinkConfig,
+    down: Timeline,
+    up: Timeline,
+}
+
+impl Default for PcieLink {
+    fn default() -> Self {
+        Self::new(LinkConfig::default())
+    }
+}
+
+impl PcieLink {
+    /// Build a link with the given configuration.
+    pub fn new(cfg: LinkConfig) -> Self {
+        Self {
+            cfg,
+            down: Timeline::new(),
+            up: Timeline::new(),
+        }
+    }
+
+    /// Link configuration.
+    pub fn config(&self) -> &LinkConfig {
+        &self.cfg
+    }
+
+    /// One-way latency.
+    pub fn one_way(&self) -> SimTime {
+        self.cfg.one_way
+    }
+
+    /// Round-trip latency (a non-posted read's floor).
+    pub fn round_trip(&self) -> SimTime {
+        self.cfg.one_way * 2
+    }
+
+    /// Number of TLPs a payload of `bytes` is segmented into.
+    pub fn tlps(&self, bytes: u64) -> u64 {
+        if bytes == 0 {
+            0
+        } else {
+            bytes.div_ceil(self.cfg.max_payload)
+        }
+    }
+
+    /// Pure wire time of `bytes` at the effective (overhead-adjusted)
+    /// rate.
+    pub fn wire_time(&self, bytes: u64) -> SimTime {
+        aurora_sim_core::time::time_at_gib_per_sec(bytes, self.cfg.effective_gib_s)
+    }
+
+    /// Occupy the wire in `dir` for a payload of `bytes`, starting no
+    /// earlier than `earliest`. Returns the service window; concurrent
+    /// users of the same direction are serialized FIFO.
+    pub fn occupy(&self, dir: Direction, earliest: SimTime, bytes: u64) -> Reservation {
+        let tl = match dir {
+            Direction::Vh2Ve => &self.down,
+            Direction::Ve2Vh => &self.up,
+        };
+        tl.reserve(earliest, self.wire_time(bytes))
+    }
+
+    /// Occupy the wire in `dir` for an explicitly given duration — used
+    /// by engines whose streaming rate is below the link's effective rate
+    /// (the engine, not the wire, is the bottleneck, but the wire is held
+    /// for the duration either way).
+    pub fn occupy_for(&self, dir: Direction, earliest: SimTime, duration: SimTime) -> Reservation {
+        let tl = match dir {
+            Direction::Vh2Ve => &self.down,
+            Direction::Ve2Vh => &self.up,
+        };
+        tl.reserve(earliest, duration)
+    }
+
+    /// Total busy time of a direction (utilization accounting).
+    pub fn busy(&self, dir: Direction) -> SimTime {
+        match dir {
+            Direction::Vh2Ve => self.down.total_busy(),
+            Direction::Ve2Vh => self.up.total_busy(),
+        }
+    }
+
+    /// Reset occupancy accounting (benchmark harness reuse).
+    pub fn reset(&self) {
+        self.down.reset();
+        self.up.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_constants() {
+        let l = PcieLink::default();
+        assert_eq!(l.one_way(), SimTime::from_ns(600));
+        assert_eq!(l.round_trip(), SimTime::from_ns(1200), "1.2 us PCIe RTT");
+        assert_eq!(l.config().max_payload, 256);
+    }
+
+    #[test]
+    fn tlp_segmentation() {
+        let l = PcieLink::default();
+        assert_eq!(l.tlps(0), 0);
+        assert_eq!(l.tlps(1), 1);
+        assert_eq!(l.tlps(256), 1);
+        assert_eq!(l.tlps(257), 2);
+        assert_eq!(l.tlps(1024), 4);
+    }
+
+    #[test]
+    fn wire_time_matches_effective_rate() {
+        let l = PcieLink::default();
+        let t = l.wire_time(134 * (1 << 30) / 10); // 13.4 GiB
+        assert!((t.as_secs_f64() - 1.0).abs() < 0.01, "t = {t}");
+    }
+
+    #[test]
+    fn directions_are_independent_wires() {
+        let l = PcieLink::default();
+        let a = l.occupy(Direction::Vh2Ve, SimTime::ZERO, 1 << 20);
+        let b = l.occupy(Direction::Ve2Vh, SimTime::ZERO, 1 << 20);
+        assert_eq!(a.start, SimTime::ZERO);
+        assert_eq!(b.start, SimTime::ZERO, "full duplex");
+        let c = l.occupy(Direction::Vh2Ve, SimTime::ZERO, 1 << 20);
+        assert_eq!(c.start, a.end, "same direction contends");
+    }
+
+    #[test]
+    fn utilization_accounting() {
+        let l = PcieLink::default();
+        l.occupy(Direction::Vh2Ve, SimTime::ZERO, 1024);
+        assert_eq!(l.busy(Direction::Vh2Ve), l.wire_time(1024));
+        assert_eq!(l.busy(Direction::Ve2Vh), SimTime::ZERO);
+        l.reset();
+        assert_eq!(l.busy(Direction::Vh2Ve), SimTime::ZERO);
+    }
+
+    #[test]
+    fn reverse_direction() {
+        assert_eq!(Direction::Vh2Ve.reverse(), Direction::Ve2Vh);
+        assert_eq!(Direction::Ve2Vh.reverse(), Direction::Vh2Ve);
+    }
+}

@@ -1,0 +1,143 @@
+//! Per-process logical clocks for conservative parallel simulation.
+//!
+//! Every simulated process (the Vector Host process, each Vector Engine
+//! process, the VEOS daemon) owns a [`Clock`]. Hardware operations advance
+//! the local clock by their modeled cost. Cross-process events (a message
+//! becoming visible in remote memory) carry the sender-side completion
+//! timestamp; the receiver *joins* it — Lamport-style — so that the
+//! critical path of a round trip accumulates exactly the modeled durations
+//! regardless of how the real OS schedules the threads.
+//!
+//! The clock is internally atomic, so one simulated process may be touched
+//! by several host threads (e.g. a VEO context worker completing a call on
+//! behalf of the VE process); `Relaxed` ordering suffices because clock
+//! values are data, not synchronization — protocol synchronization happens
+//! through the protocols' own Acquire/Release flags.
+
+use crate::time::SimTime;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A monotonically advancing logical clock, cheaply cloneable (shared).
+#[derive(Clone, Debug, Default)]
+pub struct Clock {
+    now_ps: Arc<AtomicU64>,
+}
+
+impl Clock {
+    /// A new clock at time zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A new clock starting at `t`.
+    pub fn starting_at(t: SimTime) -> Self {
+        let c = Self::new();
+        c.now_ps.store(t.as_ps(), Ordering::Relaxed);
+        c
+    }
+
+    /// Current virtual time.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        SimTime::from_ps(self.now_ps.load(Ordering::Relaxed))
+    }
+
+    /// Advance by a duration, returning the new time.
+    #[inline]
+    pub fn advance(&self, d: SimTime) -> SimTime {
+        let prev = self.now_ps.fetch_add(d.as_ps(), Ordering::Relaxed);
+        SimTime::from_ps(prev + d.as_ps())
+    }
+
+    /// Join a remote timestamp: move forward to `max(now, t)` and return
+    /// the resulting time. Never moves backwards.
+    pub fn join(&self, t: SimTime) -> SimTime {
+        let target = t.as_ps();
+        let mut cur = self.now_ps.load(Ordering::Relaxed);
+        while cur < target {
+            match self.now_ps.compare_exchange_weak(
+                cur,
+                target,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return t,
+                Err(actual) => cur = actual,
+            }
+        }
+        SimTime::from_ps(cur)
+    }
+
+    /// Join a remote timestamp, then advance by `d` (a receive cost).
+    pub fn join_then_advance(&self, t: SimTime, d: SimTime) -> SimTime {
+        self.join(t);
+        self.advance(d)
+    }
+
+    /// Reset to zero. Only for benchmark-harness reuse between repetitions;
+    /// never called while other threads are advancing the clock.
+    pub fn reset(&self) {
+        self.now_ps.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn advance_accumulates() {
+        let c = Clock::new();
+        assert_eq!(c.now(), SimTime::ZERO);
+        c.advance(SimTime::from_ns(5));
+        c.advance(SimTime::from_ns(7));
+        assert_eq!(c.now(), SimTime::from_ns(12));
+    }
+
+    #[test]
+    fn join_moves_forward_only() {
+        let c = Clock::starting_at(SimTime::from_ns(100));
+        c.join(SimTime::from_ns(50));
+        assert_eq!(c.now(), SimTime::from_ns(100), "join must not go back");
+        c.join(SimTime::from_ns(250));
+        assert_eq!(c.now(), SimTime::from_ns(250));
+    }
+
+    #[test]
+    fn join_then_advance_composes() {
+        let c = Clock::new();
+        let t = c.join_then_advance(SimTime::from_ns(10), SimTime::from_ns(3));
+        assert_eq!(t, SimTime::from_ns(13));
+        assert_eq!(c.now(), SimTime::from_ns(13));
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let a = Clock::new();
+        let b = a.clone();
+        a.advance(SimTime::from_us(1));
+        assert_eq!(b.now(), SimTime::from_us(1));
+    }
+
+    #[test]
+    fn concurrent_joins_settle_at_max() {
+        let c = Clock::new();
+        std::thread::scope(|s| {
+            for i in 1..=8u64 {
+                let c = c.clone();
+                s.spawn(move || {
+                    c.join(SimTime::from_ns(i * 10));
+                });
+            }
+        });
+        assert_eq!(c.now(), SimTime::from_ns(80));
+    }
+
+    #[test]
+    fn reset_goes_to_zero() {
+        let c = Clock::starting_at(SimTime::from_ms(1));
+        c.reset();
+        assert_eq!(c.now(), SimTime::ZERO);
+    }
+}

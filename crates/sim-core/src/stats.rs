@@ -1,0 +1,304 @@
+//! Measurement statistics for the benchmark harness.
+//!
+//! Mirrors the paper's methodology (§V): repeated measurements with
+//! warm-up, reported as averages; we additionally keep min/max/stddev,
+//! percentiles and log₂ histograms because a reproduction should expose
+//! its variance.
+
+use crate::time::SimTime;
+
+/// Numerically stable online mean/variance (Welford) plus min/max.
+#[derive(Clone, Debug, Default)]
+pub struct OnlineStats {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineStats {
+    /// Empty accumulator.
+    pub fn new() -> Self {
+        Self {
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            ..Default::default()
+        }
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Record a duration in nanoseconds.
+    pub fn record_time(&mut self, t: SimTime) {
+        self.record(t.as_ns_f64());
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Arithmetic mean (0 if empty).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Population standard deviation (0 if < 2 samples).
+    pub fn stddev(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            (self.m2 / self.count as f64).sqrt()
+        }
+    }
+
+    /// Smallest sample (`NaN` if empty).
+    pub fn min(&self) -> f64 {
+        if self.count == 0 {
+            f64::NAN
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest sample (`NaN` if empty).
+    pub fn max(&self) -> f64 {
+        if self.count == 0 {
+            f64::NAN
+        } else {
+            self.max
+        }
+    }
+
+    /// Merge another accumulator into this one (parallel reduction).
+    pub fn merge(&mut self, other: &OnlineStats) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Sample reservoir with exact percentiles (sorts on demand).
+#[derive(Clone, Debug, Default)]
+pub struct Sampler {
+    samples: Vec<f64>,
+}
+
+impl Sampler {
+    /// Empty sampler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Pre-allocate for `n` samples.
+    pub fn with_capacity(n: usize) -> Self {
+        Self {
+            samples: Vec::with_capacity(n),
+        }
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, x: f64) {
+        self.samples.push(x);
+    }
+
+    /// Record a duration in nanoseconds.
+    pub fn record_time(&mut self, t: SimTime) {
+        self.record(t.as_ns_f64());
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True if no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Exact percentile `p` in [0, 100] via nearest-rank on a sorted copy.
+    /// `NaN` if empty.
+    pub fn percentile(&self, p: f64) -> f64 {
+        if self.samples.is_empty() {
+            return f64::NAN;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let rank = ((p / 100.0) * (sorted.len() - 1) as f64).floor() as usize;
+        sorted[rank.min(sorted.len() - 1)]
+    }
+
+    /// Median (50th percentile).
+    pub fn median(&self) -> f64 {
+        self.percentile(50.0)
+    }
+
+    /// Arithmetic mean (`NaN` if empty).
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            return f64::NAN;
+        }
+        self.samples.iter().sum::<f64>() / self.samples.len() as f64
+    }
+}
+
+/// Log₂-bucketed histogram of durations, for latency distributions.
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    /// `buckets[i]` counts samples in `[2^i, 2^(i+1))` picoseconds.
+    buckets: Vec<u64>,
+    count: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// Empty histogram (64 buckets cover the whole `u64` ps range).
+    pub fn new() -> Self {
+        Self {
+            buckets: vec![0; 64],
+            count: 0,
+        }
+    }
+
+    /// Record a duration.
+    pub fn record(&mut self, t: SimTime) {
+        let ps = t.as_ps();
+        let idx = if ps == 0 {
+            0
+        } else {
+            63 - ps.leading_zeros() as usize
+        };
+        self.buckets[idx] += 1;
+        self.count += 1;
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Iterate non-empty buckets as `(bucket_floor, count)`.
+    pub fn nonzero(&self) -> impl Iterator<Item = (SimTime, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (SimTime::from_ps(1u64 << i), c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn online_stats_basic() {
+        let mut s = OnlineStats::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.record(x);
+        }
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.stddev() - 2.0).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+    }
+
+    #[test]
+    fn online_stats_merge_equals_sequential() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut whole = OnlineStats::new();
+        xs.iter().for_each(|&x| whole.record(x));
+        let mut a = OnlineStats::new();
+        let mut b = OnlineStats::new();
+        xs[..37].iter().for_each(|&x| a.record(x));
+        xs[37..].iter().for_each(|&x| b.record(x));
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert!((a.mean() - whole.mean()).abs() < 1e-9);
+        assert!((a.stddev() - whole.stddev()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = OnlineStats::new();
+        a.record(1.0);
+        let before = a.mean();
+        a.merge(&OnlineStats::new());
+        assert_eq!(a.mean(), before);
+        let mut e = OnlineStats::new();
+        e.merge(&a);
+        assert_eq!(e.count(), 1);
+    }
+
+    #[test]
+    fn empty_stats_are_nan_or_zero() {
+        let s = OnlineStats::new();
+        assert_eq!(s.mean(), 0.0);
+        assert!(s.min().is_nan());
+        assert!(s.max().is_nan());
+        assert_eq!(s.stddev(), 0.0);
+    }
+
+    #[test]
+    fn sampler_percentiles() {
+        let mut s = Sampler::new();
+        for i in 1..=100 {
+            s.record(i as f64);
+        }
+        assert_eq!(s.median(), 50.0);
+        assert_eq!(s.percentile(0.0), 1.0);
+        assert_eq!(s.percentile(100.0), 100.0);
+        assert!((s.mean() - 50.5).abs() < 1e-12);
+        assert!(Sampler::new().median().is_nan());
+    }
+
+    #[test]
+    fn histogram_buckets() {
+        let mut h = Histogram::new();
+        h.record(SimTime::from_ps(1));
+        h.record(SimTime::from_ps(3));
+        h.record(SimTime::from_ps(1024));
+        h.record(SimTime::ZERO);
+        assert_eq!(h.count(), 4);
+        let buckets: Vec<_> = h.nonzero().collect();
+        assert!(buckets.contains(&(SimTime::from_ps(1), 2))); // 0 and 1
+        assert!(buckets.contains(&(SimTime::from_ps(2), 1))); // 3
+        assert!(buckets.contains(&(SimTime::from_ps(1024), 1)));
+    }
+
+    #[test]
+    fn sampler_record_time_uses_ns() {
+        let mut s = Sampler::new();
+        s.record_time(SimTime::from_us(1));
+        assert_eq!(s.mean(), 1000.0);
+    }
+}

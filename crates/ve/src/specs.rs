@@ -1,0 +1,118 @@
+//! Hardware specifications of Table I.
+
+/// Specifications of one NEC VE Type 10B or comparable device.
+#[derive(Clone, Debug, PartialEq)]
+pub struct VeSpecs {
+    /// Marketing name.
+    pub name: &'static str,
+    /// Number of cores.
+    pub cores: u32,
+    /// Hardware threads.
+    pub threads: u32,
+    /// Vector width in doubles (256 for the VE).
+    pub vector_width_f64: u32,
+    /// Clock frequency in GHz.
+    pub clock_ghz: f64,
+    /// Peak double-precision performance in GFLOPS.
+    pub peak_gflops: f64,
+    /// Device memory in GiB.
+    pub memory_gib: u64,
+    /// Memory bandwidth in GB/s (10⁹ byte/s, as in Table I).
+    pub memory_bw_gb_s: f64,
+    /// Last-level cache in MiB.
+    pub llc_mib: f64,
+    /// Thermal design power in watts.
+    pub tdp_w: u32,
+}
+
+impl VeSpecs {
+    /// NEC VE Type 10B (Table I, right column).
+    pub fn type_10b() -> Self {
+        Self {
+            name: "NEC VE Type 10B",
+            cores: 8,
+            threads: 8,
+            vector_width_f64: 256,
+            clock_ghz: 1.4,
+            peak_gflops: 2150.4,
+            memory_gib: 48,
+            memory_bw_gb_s: 1228.8,
+            llc_mib: 16.0,
+            tdp_w: 300,
+        }
+    }
+}
+
+/// Specifications of a host CPU.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CpuSpecs {
+    /// Marketing name.
+    pub name: &'static str,
+    /// Number of cores.
+    pub cores: u32,
+    /// Hardware threads.
+    pub threads: u32,
+    /// Vector width in doubles (8 = AVX-512).
+    pub vector_width_f64: u32,
+    /// Clock frequency in GHz.
+    pub clock_ghz: f64,
+    /// Peak double-precision performance in GFLOPS.
+    pub peak_gflops: f64,
+    /// Max memory in GiB.
+    pub memory_gib: u64,
+    /// Memory bandwidth in GB/s.
+    pub memory_bw_gb_s: f64,
+    /// Last-level cache in MiB.
+    pub llc_mib: f64,
+    /// Thermal design power in watts.
+    pub tdp_w: u32,
+}
+
+impl CpuSpecs {
+    /// Intel Xeon Gold 6126 (Table I, left column).
+    pub fn xeon_gold_6126() -> Self {
+        Self {
+            name: "Intel Xeon Gold 6126",
+            cores: 12,
+            threads: 24,
+            vector_width_f64: 8,
+            clock_ghz: 2.6,
+            peak_gflops: 998.4,
+            memory_gib: 384,
+            memory_bw_gb_s: 128.0,
+            llc_mib: 19.25,
+            tdp_w: 125,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_1_ve_values() {
+        let ve = VeSpecs::type_10b();
+        assert_eq!(ve.cores, 8);
+        assert_eq!(ve.vector_width_f64, 256);
+        assert_eq!(ve.memory_gib, 48);
+        assert!((ve.peak_gflops - 2150.4).abs() < 1e-9);
+        assert!((ve.memory_bw_gb_s - 1228.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn table_1_cpu_values() {
+        let cpu = CpuSpecs::xeon_gold_6126();
+        assert_eq!(cpu.cores, 12);
+        assert_eq!(cpu.threads, 24);
+        assert!((cpu.peak_gflops - 998.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ve_outperforms_cpu_in_peak_but_not_scalar() {
+        let ve = VeSpecs::type_10b();
+        let cpu = CpuSpecs::xeon_gold_6126();
+        assert!(ve.peak_gflops > 2.0 * cpu.peak_gflops);
+        assert!(ve.clock_ghz < cpu.clock_ghz, "scalar code favours the VH");
+    }
+}

@@ -1,0 +1,101 @@
+//! `veo_args`: the flat argument stack of a VEO call.
+//!
+//! Native VEO calls are "limited to a few basic types for arguments and
+//! return types" (§V-A) — exactly why HAM-Offload's rich message-based
+//! semantics are worth their framework cost. The stack holds 64-bit
+//! slots; wider types are bit-cast.
+
+/// Arguments for one VEO kernel call.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ArgsStack {
+    slots: Vec<u64>,
+}
+
+impl ArgsStack {
+    /// Empty stack (`veo_args_alloc`).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Push a `u64` (`veo_args_set_u64`).
+    pub fn push_u64(mut self, v: u64) -> Self {
+        self.slots.push(v);
+        self
+    }
+
+    /// Push an `i64`.
+    pub fn push_i64(self, v: i64) -> Self {
+        self.push_u64(v as u64)
+    }
+
+    /// Push a `f64` (bit-cast into a slot).
+    pub fn push_f64(self, v: f64) -> Self {
+        self.push_u64(v.to_bits())
+    }
+
+    /// Push a 32-bit value (zero-extended).
+    pub fn push_u32(self, v: u32) -> Self {
+        self.push_u64(v as u64)
+    }
+
+    /// Number of argument slots.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True when no arguments were pushed.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Read slot `i` as `u64`. Panics on out-of-range (the simulated ABI
+    /// violation).
+    pub fn get_u64(&self, i: usize) -> u64 {
+        self.slots[i]
+    }
+
+    /// Read slot `i` as `i64`.
+    pub fn get_i64(&self, i: usize) -> i64 {
+        self.slots[i] as i64
+    }
+
+    /// Read slot `i` as `f64`.
+    pub fn get_f64(&self, i: usize) -> f64 {
+        f64::from_bits(self.slots[i])
+    }
+
+    /// Read slot `i` as `u32` (truncating).
+    pub fn get_u32(&self, i: usize) -> u32 {
+        self.slots[i] as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_get() {
+        let a = ArgsStack::new()
+            .push_u64(7)
+            .push_f64(2.5)
+            .push_i64(-3)
+            .push_u32(9);
+        assert_eq!(a.len(), 4);
+        assert_eq!(a.get_u64(0), 7);
+        assert_eq!(a.get_f64(1), 2.5);
+        assert_eq!(a.get_i64(2), -3);
+        assert_eq!(a.get_u32(3), 9);
+    }
+
+    #[test]
+    fn empty() {
+        assert!(ArgsStack::new().is_empty());
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_get_panics() {
+        ArgsStack::new().get_u64(0);
+    }
+}

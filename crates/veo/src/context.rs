@@ -1,0 +1,189 @@
+//! VEO contexts: the command queue executing kernels on the VE.
+
+use crate::args::ArgsStack;
+use crate::library::SymHandle;
+use crate::VeoError;
+use aurora_mem::ShmManager;
+use aurora_sim_core::{calib, Clock, SimTime};
+use aurora_ve::{LhmShmUnit, UserDma};
+use crossbeam::channel::{unbounded, Sender};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use veos_sim::VeProcess;
+
+/// The VE-side world a kernel executes in: what code "running on the VE"
+/// can touch. Handed to every [`crate::KernelFn`].
+pub struct VeContext {
+    /// The VE process (memory, VEMVA translation, clock).
+    pub proc: Arc<VeProcess>,
+    /// This core's user DMA engine (§IV-A).
+    pub udma: UserDma,
+    /// This core's LHM/SHM unit (§IV-A).
+    pub lhm_shm: LhmShmUnit,
+    /// The machine's SysV shm registry (for attaching host segments,
+    /// Fig. 7).
+    pub shm: Arc<ShmManager>,
+}
+
+impl VeContext {
+    /// The VE process's virtual clock.
+    pub fn clock(&self) -> &Clock {
+        self.proc.clock()
+    }
+}
+
+/// Identifies an in-flight VEO call.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct ReqId(pub u64);
+
+enum Command {
+    Call {
+        req: ReqId,
+        sym: SymHandle,
+        args: ArgsStack,
+        /// Host virtual time at submission.
+        submitted: SimTime,
+    },
+    Close,
+}
+
+/// An open VEO thread context (`veo_context_open`): an in-order command
+/// queue served by one VE worker thread.
+pub struct VeoContext {
+    tx: Sender<Command>,
+    results: Arc<Mutex<HashMap<u64, (u64, SimTime)>>>,
+    next_req: Mutex<u64>,
+    host_clock: Clock,
+    worker: Mutex<Option<JoinHandle<()>>>,
+    /// Cleared when the worker thread exits — including by panic (a
+    /// crashed kernel must turn waiting callers into errors, not hangs).
+    alive: Arc<std::sync::atomic::AtomicBool>,
+}
+
+impl VeoContext {
+    /// Open a context on `proc`; `ve_ctx` is the world kernels see.
+    /// `host_clock` is the submitting VH process's clock.
+    pub(crate) fn open(ve_ctx: VeContext, host_clock: Clock) -> Arc<Self> {
+        let (tx, rx) = unbounded::<Command>();
+        let results: Arc<Mutex<HashMap<u64, (u64, SimTime)>>> =
+            Arc::new(Mutex::new(HashMap::new()));
+        let results2 = Arc::clone(&results);
+        let alive = Arc::new(std::sync::atomic::AtomicBool::new(true));
+        let alive2 = Arc::clone(&alive);
+        let worker = std::thread::Builder::new()
+            .name(format!("veo-ctx-ve{}", ve_ctx.proc.ve().id()))
+            .spawn(move || {
+                // Clear the liveness flag on ANY exit path, panics
+                // included.
+                struct Liveness(Arc<std::sync::atomic::AtomicBool>);
+                impl Drop for Liveness {
+                    fn drop(&mut self) {
+                        self.0.store(false, std::sync::atomic::Ordering::Release);
+                    }
+                }
+                let _liveness = Liveness(alive2);
+                while let Ok(cmd) = rx.recv() {
+                    match cmd {
+                        Command::Close => break,
+                        Command::Call {
+                            req,
+                            sym,
+                            args,
+                            submitted,
+                        } => {
+                            // Command reaches the VE half a round trip
+                            // after submission.
+                            let clock = ve_ctx.proc.clock().clone();
+                            clock.join(submitted + calib::VEO_CALL_ROUNDTRIP / 2);
+                            let ret = (sym.func)(&ve_ctx, &args);
+                            // Completion notification travels back.
+                            let done = clock.now() + calib::VEO_CALL_ROUNDTRIP / 2;
+                            results2.lock().insert(req.0, (ret, done));
+                        }
+                    }
+                }
+            })
+            .expect("spawn veo context worker");
+        Arc::new(Self {
+            tx,
+            results,
+            next_req: Mutex::new(1),
+            host_clock,
+            worker: Mutex::new(Some(worker)),
+            alive,
+        })
+    }
+
+    /// True while the worker thread is running (a long-running kernel
+    /// like `ham_main` counts as running). False after close or after a
+    /// kernel panic killed the worker.
+    pub fn is_alive(&self) -> bool {
+        self.alive.load(std::sync::atomic::Ordering::Acquire)
+    }
+
+    /// `veo_call_async`: enqueue a kernel call.
+    pub fn call_async(&self, sym: &SymHandle, args: ArgsStack) -> Result<ReqId, VeoError> {
+        let req = {
+            let mut n = self.next_req.lock();
+            let r = ReqId(*n);
+            *n += 1;
+            r
+        };
+        self.tx
+            .send(Command::Call {
+                req,
+                sym: sym.clone(),
+                args,
+                submitted: self.host_clock.now(),
+            })
+            .map_err(|_| VeoError::ContextClosed)?;
+        Ok(req)
+    }
+
+    /// `veo_call_peek_result`: non-blocking.
+    pub fn peek_result(&self, req: ReqId) -> Option<u64> {
+        let mut results = self.results.lock();
+        if let Some((ret, done)) = results.remove(&req.0) {
+            self.host_clock.join(done);
+            Some(ret)
+        } else {
+            None
+        }
+    }
+
+    /// `veo_call_wait_result`: block until the kernel finished; the host
+    /// clock joins the completion time (an empty kernel thus costs
+    /// exactly [`calib::VEO_CALL_ROUNDTRIP`]).
+    pub fn wait_result(&self, req: ReqId) -> Result<u64, VeoError> {
+        loop {
+            if let Some(ret) = self.peek_result(req) {
+                return Ok(ret);
+            }
+            if !self.is_alive() {
+                return Err(VeoError::ContextClosed);
+            }
+            std::thread::yield_now();
+        }
+    }
+
+    /// Close the context and join its worker. Idempotent. A context
+    /// blocked inside a long-running kernel (e.g. `ham_main`) only joins
+    /// after that kernel returns.
+    pub fn close(&self) {
+        let _ = self.tx.send(Command::Close);
+        if let Some(h) = self.worker.lock().take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for VeoContext {
+    fn drop(&mut self) {
+        let _ = self.tx.send(Command::Close);
+        if let Some(h) = self.worker.lock().take() {
+            let _ = h.join();
+        }
+    }
+}

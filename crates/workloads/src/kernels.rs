@@ -1,0 +1,435 @@
+//! The offloadable kernels.
+//!
+//! Buffer arguments travel as raw addresses plus element counts — the
+//! `buffer_ptr` pattern of Table II: the host allocates with
+//! `Offload::allocate`, fills with `put`, and passes `ptr.addr()`.
+
+use ham::{ham_kernel, RegistryBuilder};
+
+ham_kernel! {
+    /// The paper's Fig. 2 example: inner product of two target vectors.
+    pub fn inner_product(ctx, a: u64, b: u64, n: u64) -> f64 {
+        let x = ctx.mem.read_f64s(a, n as usize).expect("read a");
+        let y = ctx.mem.read_f64s(b, n as usize).expect("read b");
+        ctx.charge_flops(2 * n);
+        x.iter().zip(&y).map(|(p, q)| p * q).sum()
+    }
+}
+
+ham_kernel! {
+    /// `y ← α·x + y` on target memory; returns the checksum of `y`.
+    pub fn daxpy(ctx, alpha: f64, x: u64, y: u64, n: u64) -> f64 {
+        let xs = ctx.mem.read_f64s(x, n as usize).expect("read x");
+        let mut ys = ctx.mem.read_f64s(y, n as usize).expect("read y");
+        for (yi, xi) in ys.iter_mut().zip(&xs) {
+            *yi += alpha * xi;
+        }
+        ctx.mem.write_f64s(y, &ys).expect("write y");
+        ctx.charge_flops(2 * n);
+        ys.iter().sum()
+    }
+}
+
+ham_kernel! {
+    /// Dense `C ← A·B` for row-major `m×k · k×n` matrices on the target.
+    /// Returns the Frobenius-ish checksum of `C`.
+    pub fn dgemm(ctx, a: u64, b: u64, c: u64, m: u64, k: u64, n: u64) -> f64 {
+        let (m, k, n) = (m as usize, k as usize, n as usize);
+        let av = ctx.mem.read_f64s(a, m * k).expect("read A");
+        let bv = ctx.mem.read_f64s(b, k * n).expect("read B");
+        let mut cv = vec![0.0f64; m * n];
+        // i-k-j loop order: streams B rows, vectorises the inner j loop
+        // (what NCC would auto-vectorise on the VE).
+        for i in 0..m {
+            for kk in 0..k {
+                let aik = av[i * k + kk];
+                let brow = &bv[kk * n..(kk + 1) * n];
+                let crow = &mut cv[i * n..(i + 1) * n];
+                for (cij, bkj) in crow.iter_mut().zip(brow) {
+                    *cij += aik * bkj;
+                }
+            }
+        }
+        ctx.mem.write_f64s(c, &cv).expect("write C");
+        ctx.charge_flops(2 * (m * k * n) as u64);
+        cv.iter().sum()
+    }
+}
+
+ham_kernel! {
+    /// One Jacobi sweep on an `nx×ny` grid: `dst ← stencil(src)`,
+    /// boundaries copied through. Returns the max |dst−src| residual.
+    pub fn jacobi_step(ctx, src: u64, dst: u64, nx: u64, ny: u64) -> f64 {
+        let (nx, ny) = (nx as usize, ny as usize);
+        let s = ctx.mem.read_f64s(src, nx * ny).expect("read src");
+        let mut d = s.clone();
+        let mut residual: f64 = 0.0;
+        for i in 1..nx - 1 {
+            for j in 1..ny - 1 {
+                let v = 0.25
+                    * (s[(i - 1) * ny + j]
+                        + s[(i + 1) * ny + j]
+                        + s[i * ny + j - 1]
+                        + s[i * ny + j + 1]);
+                residual = residual.max((v - s[i * ny + j]).abs());
+                d[i * ny + j] = v;
+            }
+        }
+        ctx.mem.write_f64s(dst, &d).expect("write dst");
+        ctx.charge_flops(5 * (nx.saturating_sub(2) * ny.saturating_sub(2)) as u64);
+        residual
+    }
+}
+
+ham_kernel! {
+    /// Monte-Carlo π estimation with a deterministic per-call stream.
+    pub fn monte_carlo_pi(_ctx, seed: u64, samples: u64) -> f64 {
+        let mut state = seed.max(1);
+        let mut hits = 0u64;
+        let mut next = || {
+            // xorshift64*
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            (state.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 11) as f64
+                * (1.0 / (1u64 << 53) as f64)
+        };
+        for _ in 0..samples {
+            let x = next();
+            let y = next();
+            if x * x + y * y <= 1.0 {
+                hits += 1;
+            }
+        }
+        _ctx.charge_flops(5 * samples);
+        4.0 * hits as f64 / samples as f64
+    }
+}
+
+ham_kernel! {
+    /// Sum-reduce a target vector.
+    pub fn vec_sum(ctx, x: u64, n: u64) -> f64 {
+        ctx.charge_flops(n);
+        ctx.mem.read_f64s(x, n as usize).expect("read x").iter().sum()
+    }
+}
+
+ham_kernel! {
+    /// Scale a target vector in place.
+    pub fn vec_scale(ctx, x: u64, n: u64, factor: f64) -> () {
+        let mut xs = ctx.mem.read_f64s(x, n as usize).expect("read x");
+        for v in &mut xs {
+            *v *= factor;
+        }
+        ctx.mem.write_f64s(x, &xs).expect("write x");
+        ctx.charge_flops(n);
+    }
+}
+
+ham_kernel! {
+    /// A batch of small dense multiply-accumulate kernels, standing in
+    /// for the FETI local-Schur-complement batches of related work \[10\]:
+    /// `count` square `dim×dim` GEMMs over consecutive target buffers.
+    pub fn dense_batch(ctx, base_a: u64, base_b: u64, count: u64, dim: u64) -> f64 {
+        let d = dim as usize;
+        let mut checksum = 0.0;
+        for i in 0..count {
+            let off = i * (d * d * 8) as u64;
+            let a = ctx.mem.read_f64s(base_a + off, d * d).expect("read a");
+            let b = ctx.mem.read_f64s(base_b + off, d * d).expect("read b");
+            let mut acc = 0.0;
+            for r in 0..d {
+                for c in 0..d {
+                    let mut v = 0.0;
+                    for t in 0..d {
+                        v += a[r * d + t] * b[t * d + c];
+                    }
+                    acc += v;
+                }
+            }
+            checksum += acc;
+        }
+        ctx.charge_flops(2 * count * dim * dim * dim);
+        checksum
+    }
+}
+
+ham_kernel! {
+    /// Spin for a deterministic amount of work — used to model kernels
+    /// of a given granularity in overlap/ablation experiments. Returns
+    /// the number of iterations executed.
+    pub fn busy_work(_ctx, iterations: u64) -> u64 {
+        let mut acc = 0u64;
+        for i in 0..iterations {
+            acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
+        }
+        // Defeat optimisation by folding the accumulator into the result.
+        iterations.wrapping_add(acc & 1)
+    }
+}
+
+ham_kernel! {
+    /// Identity echo, for wire-integrity tests.
+    pub fn echo(_ctx, data: Vec<u8>) -> Vec<u8> { data }
+}
+
+ham_kernel! {
+    /// Charge exactly `flops` of modeled compute and return the device's
+    /// node id — the probe kernel of the measured break-even experiment.
+    pub fn compute_burn(ctx, flops: u64) -> u16 {
+        ctx.charge_flops(flops);
+        ctx.node
+    }
+}
+
+ham_kernel! {
+    /// Report which node executed (topology smoke test).
+    pub fn whoami(ctx) -> u16 { ctx.node }
+}
+
+ham_kernel! {
+    /// Sparse matrix-vector product `y = A·x` in CSR form. The three CSR
+    /// arrays and `x` live in target memory; `y` is written back.
+    /// Returns the checksum of `y`. Irregular access — the kind of
+    /// kernel whose scalar index arithmetic the paper notes runs slowly
+    /// on the VE's scalar unit.
+    pub fn spmv_csr(
+        ctx,
+        row_ptr: u64,
+        col_idx: u64,
+        values: u64,
+        x: u64,
+        y: u64,
+        rows: u64,
+        nnz: u64,
+    ) -> f64 {
+        let rp = ctx.mem.read_u64s(row_ptr, rows as usize + 1).expect("row_ptr");
+        let ci = ctx.mem.read_u64s(col_idx, nnz as usize).expect("col_idx");
+        let va = ctx.mem.read_f64s(values, nnz as usize).expect("values");
+        // x length = max referenced column + 1; callers size it, we read
+        // lazily per row span to stay bounds-safe.
+        let xmax = ci.iter().copied().max().map(|m| m + 1).unwrap_or(0);
+        let xv = ctx.mem.read_f64s(x, xmax as usize).expect("x");
+        let mut yv = vec![0.0f64; rows as usize];
+        for r in 0..rows as usize {
+            let (lo, hi) = (rp[r] as usize, rp[r + 1] as usize);
+            let mut acc = 0.0;
+            for k in lo..hi {
+                acc += va[k] * xv[ci[k] as usize];
+            }
+            yv[r] = acc;
+        }
+        ctx.mem.write_f64s(y, &yv).expect("write y");
+        ctx.charge_flops(2 * nnz);
+        yv.iter().sum()
+    }
+}
+
+ham_kernel! {
+    /// Histogram of a `u64` key stream into `bins` buckets (modulo
+    /// binning); the counts are written to `out` as u64s. Returns the
+    /// number of keys processed.
+    pub fn histogram(ctx, keys: u64, n: u64, out: u64, bins: u64) -> u64 {
+        let ks = ctx.mem.read_u64s(keys, n as usize).expect("keys");
+        let mut counts = vec![0u64; bins as usize];
+        for k in &ks {
+            counts[(k % bins) as usize] += 1;
+        }
+        ctx.mem.write_u64s(out, &counts).expect("write counts");
+        ctx.charge_flops(n);
+        n
+    }
+}
+
+/// Register every workload kernel (call from your backend registrar).
+pub fn register_all(b: &mut RegistryBuilder) {
+    b.register::<inner_product>();
+    b.register::<daxpy>();
+    b.register::<dgemm>();
+    b.register::<jacobi_step>();
+    b.register::<monte_carlo_pi>();
+    b.register::<vec_sum>();
+    b.register::<vec_scale>();
+    b.register::<dense_batch>();
+    b.register::<busy_work>();
+    b.register::<echo>();
+    b.register::<compute_burn>();
+    b.register::<spmv_csr>();
+    b.register::<histogram>();
+    b.register::<whoami>();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ham::message::{TargetMemory, VecMemory};
+    use ham::{f2f, ActiveMessage, ExecContext};
+
+    fn ctx_mem(bytes: usize) -> VecMemory {
+        VecMemory::new(bytes)
+    }
+
+    #[test]
+    fn inner_product_matches_reference() {
+        let mem = ctx_mem(4096);
+        mem.write_f64s(0, &[1.0, 2.0, 3.0]).unwrap();
+        mem.write_f64s(1024, &[4.0, 5.0, 6.0]).unwrap();
+        let mut ctx = ExecContext::new(1, &mem);
+        let r = f2f!(inner_product, 0, 1024, 3).execute(&mut ctx);
+        assert_eq!(r, 32.0);
+    }
+
+    #[test]
+    fn daxpy_updates_in_place() {
+        let mem = ctx_mem(4096);
+        mem.write_f64s(0, &[1.0, 1.0]).unwrap();
+        mem.write_f64s(512, &[10.0, 20.0]).unwrap();
+        let mut ctx = ExecContext::new(1, &mem);
+        let sum = f2f!(daxpy, 2.0, 0, 512, 2).execute(&mut ctx);
+        assert_eq!(sum, 12.0 + 22.0);
+        assert_eq!(mem.read_f64s(512, 2).unwrap(), vec![12.0, 22.0]);
+    }
+
+    #[test]
+    fn dgemm_small_known_product() {
+        let mem = ctx_mem(8192);
+        // A = [[1,2],[3,4]], B = [[5,6],[7,8]] → C = [[19,22],[43,50]].
+        mem.write_f64s(0, &[1.0, 2.0, 3.0, 4.0]).unwrap();
+        mem.write_f64s(512, &[5.0, 6.0, 7.0, 8.0]).unwrap();
+        let mut ctx = ExecContext::new(1, &mem);
+        let checksum = f2f!(dgemm, 0, 512, 1024, 2, 2, 2).execute(&mut ctx);
+        assert_eq!(
+            mem.read_f64s(1024, 4).unwrap(),
+            vec![19.0, 22.0, 43.0, 50.0]
+        );
+        assert_eq!(checksum, 19.0 + 22.0 + 43.0 + 50.0);
+    }
+
+    #[test]
+    fn jacobi_converges_on_flat_interior() {
+        let mem = ctx_mem(1 << 16);
+        // 4x4 grid, boundary = 1, interior = 0.
+        let mut grid = vec![1.0f64; 16];
+        grid[5] = 0.0;
+        grid[6] = 0.0;
+        grid[9] = 0.0;
+        grid[10] = 0.0;
+        mem.write_f64s(0, &grid).unwrap();
+        let mut ctx = ExecContext::new(1, &mem);
+        let r1 = f2f!(jacobi_step, 0, 2048, 4, 4).execute(&mut ctx);
+        assert!(r1 > 0.0);
+        // Iterate src/dst ping-pong until the residual vanishes.
+        let mut residual = r1;
+        let (mut src, mut dst) = (2048u64, 0u64);
+        for _ in 0..200 {
+            residual = f2f!(jacobi_step, src, dst, 4, 4).execute(&mut ctx);
+            core::mem::swap(&mut src, &mut dst);
+        }
+        assert!(residual < 1e-10, "residual = {residual}");
+    }
+
+    #[test]
+    fn monte_carlo_pi_is_close() {
+        let mem = ctx_mem(0);
+        let mut ctx = ExecContext::new(1, &mem);
+        let pi = f2f!(monte_carlo_pi, 42, 200_000).execute(&mut ctx);
+        assert!((pi - core::f64::consts::PI).abs() < 0.02, "pi = {pi}");
+    }
+
+    #[test]
+    fn monte_carlo_is_deterministic_per_seed() {
+        let mem = ctx_mem(0);
+        let mut ctx = ExecContext::new(1, &mem);
+        let a = f2f!(monte_carlo_pi, 7, 10_000).execute(&mut ctx);
+        let b = f2f!(monte_carlo_pi, 7, 10_000).execute(&mut ctx);
+        let c = f2f!(monte_carlo_pi, 8, 10_000).execute(&mut ctx);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn vec_ops() {
+        let mem = ctx_mem(4096);
+        mem.write_f64s(0, &[1.0, 2.0, 3.0, 4.0]).unwrap();
+        let mut ctx = ExecContext::new(1, &mem);
+        assert_eq!(f2f!(vec_sum, 0, 4).execute(&mut ctx), 10.0);
+        f2f!(vec_scale, 0, 4, 0.5).execute(&mut ctx);
+        assert_eq!(mem.read_f64s(0, 4).unwrap(), vec![0.5, 1.0, 1.5, 2.0]);
+    }
+
+    #[test]
+    fn dense_batch_equals_repeated_dgemm_checksums() {
+        let mem = ctx_mem(1 << 16);
+        let d = 3usize;
+        let count = 4u64;
+        for i in 0..count {
+            let vals: Vec<f64> = (0..d * d).map(|v| (v as f64) + i as f64).collect();
+            mem.write_f64s(i * (d * d * 8) as u64, &vals).unwrap();
+            mem.write_f64s(0x4000 + i * (d * d * 8) as u64, &vals)
+                .unwrap();
+        }
+        let mut ctx = ExecContext::new(1, &mem);
+        let batch = f2f!(dense_batch, 0, 0x4000, count, d as u64).execute(&mut ctx);
+        assert!(batch.is_finite() && batch > 0.0);
+    }
+
+    #[test]
+    fn busy_work_returns_iteration_count_shape() {
+        let mem = ctx_mem(0);
+        let mut ctx = ExecContext::new(1, &mem);
+        let r = f2f!(busy_work, 1000).execute(&mut ctx);
+        assert!(r == 1000 || r == 1001);
+    }
+
+    #[test]
+    fn echo_round_trips() {
+        let mem = ctx_mem(0);
+        let mut ctx = ExecContext::new(1, &mem);
+        let data = vec![1u8, 2, 3, 255];
+        assert_eq!(f2f!(echo, data.clone()).execute(&mut ctx), data);
+    }
+
+    #[test]
+    fn spmv_matches_dense_reference() {
+        // A = [[2,0,1],[0,3,0],[4,5,6]] in CSR; x = [1,2,3].
+        let mem = ctx_mem(1 << 14);
+        let row_ptr: Vec<u64> = vec![0, 2, 3, 6];
+        let col_idx: Vec<u64> = vec![0, 2, 1, 0, 1, 2];
+        let values = vec![2.0, 1.0, 3.0, 4.0, 5.0, 6.0];
+        let x = vec![1.0, 2.0, 3.0];
+        mem.write_u64s(0, &row_ptr).unwrap();
+        mem.write_u64s(0x400, &col_idx).unwrap();
+        mem.write_f64s(0x800, &values).unwrap();
+        mem.write_f64s(0xC00, &x).unwrap();
+        let mut ctx = ExecContext::new(1, &mem);
+        let checksum = f2f!(spmv_csr, 0, 0x400, 0x800, 0xC00, 0x1000, 3, 6).execute(&mut ctx);
+        let y = mem.read_f64s(0x1000, 3).unwrap();
+        assert_eq!(y, vec![5.0, 6.0, 32.0]);
+        assert_eq!(checksum, 43.0);
+    }
+
+    #[test]
+    fn histogram_counts_mod_bins() {
+        let mem = ctx_mem(1 << 12);
+        let keys: Vec<u64> = (0..100).collect();
+        mem.write_u64s(0, &keys).unwrap();
+        let mut ctx = ExecContext::new(1, &mem);
+        let n = f2f!(histogram, 0, 100, 0x800, 7).execute(&mut ctx);
+        assert_eq!(n, 100);
+        let counts = mem.read_u64s(0x800, 7).unwrap();
+        assert_eq!(counts.iter().sum::<u64>(), 100);
+        // 100 = 14*7 + 2: bins 0,1 get 15, the rest 14.
+        assert_eq!(counts[0], 15);
+        assert_eq!(counts[1], 15);
+        assert!(counts[2..].iter().all(|&c| c == 14));
+    }
+
+    #[test]
+    fn register_all_registers_everything_once() {
+        let mut b = RegistryBuilder::new();
+        register_all(&mut b);
+        register_all(&mut b); // idempotent
+        let r = b.seal(0);
+        assert_eq!(r.len(), 14);
+    }
+}

@@ -1,0 +1,144 @@
+//! Host/VE load balancing over batches of dense kernels — the usage
+//! pattern of Malý et al. [10], who used HAM-Offload to balance FETI
+//! domain-decomposition dense-matrix batches between the host CPU and
+//! coprocessors.
+//!
+//! A queue of dense-batch tasks is served greedily: every VE holds one
+//! in-flight offload; whenever a VE's future completes it is refilled;
+//! the host consumes tasks itself between polls. The decision logic is
+//! exactly what the paper's `future::test()` (Table II) enables.
+//!
+//! Run with: `cargo run --example feti_load_balance`
+
+use aurora_workloads::generators::random_matrix;
+use aurora_workloads::kernels::dense_batch;
+use ham::f2f;
+use ham_aurora_repro::{dma_offload, Future, NodeId};
+
+const DIM: usize = 8; // small dense blocks, FETI-style
+const PER_BATCH: u64 = 4; // blocks per offloaded batch
+const TASKS: usize = 24;
+
+fn host_dense_batch(a: &[f64], b: &[f64], count: u64, dim: usize) -> f64 {
+    let mut checksum = 0.0;
+    for i in 0..count as usize {
+        let (a, b) = (&a[i * dim * dim..], &b[i * dim * dim..]);
+        for r in 0..dim {
+            for c in 0..dim {
+                let mut v = 0.0;
+                for t in 0..dim {
+                    v += a[r * dim + t] * b[t * dim + c];
+                }
+                checksum += v;
+            }
+        }
+    }
+    checksum
+}
+
+fn main() {
+    let ves = 2u8;
+    let offload = dma_offload(ves, |b| {
+        aurora_workloads::register_all(b);
+    });
+
+    // Generate all task inputs up front (deterministic).
+    let inputs: Vec<(Vec<f64>, Vec<f64>)> = (0..TASKS)
+        .map(|i| {
+            (
+                random_matrix(100 + i as u64, PER_BATCH as usize * DIM, DIM),
+                random_matrix(200 + i as u64, PER_BATCH as usize * DIM, DIM),
+            )
+        })
+        .collect();
+
+    // One resident buffer pair per VE.
+    let elems = (PER_BATCH as usize * DIM * DIM) as u64;
+    let buffers: Vec<_> = (1..=ves as u16)
+        .map(|n| {
+            let node = NodeId(n);
+            (
+                node,
+                offload.allocate::<f64>(node, elems).expect("alloc a"),
+                offload.allocate::<f64>(node, elems).expect("alloc b"),
+            )
+        })
+        .collect();
+
+    let mut results = [0.0f64; TASKS];
+    let mut next_task = 0usize;
+    let mut host_done = 0usize;
+    let mut ve_done = 0usize;
+    let mut in_flight: Vec<Option<(usize, Future<f64>)>> =
+        (0..ves as usize).map(|_| None).collect();
+
+    let fill = |slot: usize, task: usize, in_flight: &mut Vec<Option<(usize, Future<f64>)>>| {
+        let (node, a_dev, b_dev) = buffers[slot];
+        let (a, b) = &inputs[task];
+        offload.put(a, a_dev).expect("put a");
+        offload.put(b, b_dev).expect("put b");
+        let fut = offload
+            .async_(
+                node,
+                f2f!(
+                    dense_batch,
+                    a_dev.addr(),
+                    b_dev.addr(),
+                    PER_BATCH,
+                    DIM as u64
+                ),
+            )
+            .expect("offload batch");
+        in_flight[slot] = Some((task, fut));
+    };
+
+    // Prime every VE.
+    for slot in 0..ves as usize {
+        if next_task < TASKS {
+            fill(slot, next_task, &mut in_flight);
+            next_task += 1;
+        }
+    }
+
+    // Greedy loop: poll VEs; if all busy, the host takes a task itself.
+    while ve_done + host_done < TASKS {
+        let mut progressed = false;
+        for slot in 0..ves as usize {
+            if let Some((task, mut fut)) = in_flight[slot].take() {
+                if fut.test() {
+                    results[task] = fut.get().expect("batch result");
+                    ve_done += 1;
+                    progressed = true;
+                    if next_task < TASKS {
+                        fill(slot, next_task, &mut in_flight);
+                        next_task += 1;
+                    }
+                } else {
+                    in_flight[slot] = Some((task, fut));
+                }
+            }
+        }
+        if !progressed && next_task < TASKS {
+            // Every VE is busy: the host works on the next task.
+            let (a, b) = &inputs[next_task];
+            results[next_task] = host_dense_batch(a, b, PER_BATCH, DIM);
+            host_done += 1;
+            next_task += 1;
+        }
+    }
+
+    // Validate every result against the host reference.
+    for (i, (a, b)) in inputs.iter().enumerate() {
+        let reference = host_dense_batch(a, b, PER_BATCH, DIM);
+        assert!(
+            (results[i] - reference).abs() < 1e-9,
+            "task {i}: {} vs {reference}",
+            results[i]
+        );
+    }
+
+    println!("{TASKS} dense batches: {ve_done} on {ves} VEs, {host_done} on the host");
+    println!("virtual time: {}", offload.backend().host_clock().now());
+    offload.shutdown();
+    println!("ok");
+}

@@ -1,0 +1,62 @@
+//! Side-by-side protocol comparison: the Fig. 9 experiment as a demo.
+//!
+//! Measures the empty-offload cost of (a) a native VEO call, (b)
+//! HAM-Offload over the VEO backend, (c) HAM-Offload over the DMA
+//! backend, and prints the factors the paper headlines.
+//!
+//! Run with: `cargo run --example protocol_comparison`
+
+use aurora_bench::harness::{
+    benchmark_machine, mean_empty_offload_us, mean_native_veo_call_us, BenchConfig,
+};
+use aurora_workloads::kernels::register_all;
+use ham_aurora_repro::offload::Offload;
+use ham_backend_dma::DmaBackend;
+use ham_backend_veo::{ProtocolConfig, VeoBackend};
+
+fn main() {
+    let cfg = BenchConfig::quick();
+
+    let m = benchmark_machine(&cfg);
+    let veo_native = mean_native_veo_call_us(&m, &cfg);
+
+    let m = benchmark_machine(&cfg);
+    let o = Offload::new(VeoBackend::spawn(
+        m,
+        0,
+        &[0],
+        ProtocolConfig::default(),
+        register_all,
+    ));
+    let ham_veo = mean_empty_offload_us(&o, &cfg);
+    o.shutdown();
+
+    let m = benchmark_machine(&cfg);
+    let o = Offload::new(DmaBackend::spawn(
+        m,
+        0,
+        &[0],
+        ProtocolConfig::default(),
+        register_all,
+    ));
+    let ham_dma = mean_empty_offload_us(&o, &cfg);
+    o.shutdown();
+
+    println!("Function offload cost, VH to local VE (paper Fig. 9):\n");
+    println!("  {:<28} {:>10}   paper", "method", "cost");
+    println!("  {:<28} {:>8.1} us   79.9 us", "VEO (native)", veo_native);
+    println!("  {:<28} {:>8.1} us  432 us", "HAM-Offload (VEO)", ham_veo);
+    println!(
+        "  {:<28} {:>8.1} us    6.1 us",
+        "HAM-Offload (DMA)", ham_dma
+    );
+    println!();
+    println!(
+        "  DMA protocol is {:.1}x faster than a native VEO offload (paper: 13.1x)",
+        veo_native / ham_dma
+    );
+    println!(
+        "  and {:.1}x faster than the VEO-backend messaging (paper: 70.8x).",
+        ham_veo / ham_dma
+    );
+}

@@ -1,0 +1,73 @@
+//! Quickstart: the paper's Fig. 2 example, ported line for line.
+//!
+//! Computes the inner product of two vectors on a (simulated) Vector
+//! Engine: allocate target memory, `put` the data, offload the kernel
+//! asynchronously, overlap host work, synchronise on the future.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use ham::f2f;
+use ham_aurora_repro::{dma_offload, NodeId};
+
+// In HAM-Offload the kernel is ordinary application code; ham_kernel!
+// plays the role the C++ template machinery plays in the paper.
+ham::ham_kernel! {
+    /// inner product of vector a and b
+    pub fn inner_prod(ctx, a: u64, b: u64, n: u64) -> f64 {
+        let x = ctx.mem.read_f64s(a, n as usize).expect("read a");
+        let y = ctx.mem.read_f64s(b, n as usize).expect("read b");
+        x.iter().zip(&y).map(|(p, q)| p * q).sum()
+    }
+}
+
+fn main() {
+    // Host memory.
+    const N: usize = 1024;
+    let a: Vec<f64> = (0..N).map(|i| (i as f64).sin()).collect();
+    let b: Vec<f64> = (0..N).map(|i| (i as f64).cos()).collect();
+
+    // The runtime: one VE, the paper's fast DMA-based protocol.
+    let offload = dma_offload(1, |builder| {
+        builder.register::<inner_prod>();
+    });
+
+    // Target memory.
+    let target = NodeId(1);
+    let a_target = offload
+        .allocate::<f64>(target, N as u64)
+        .expect("allocate a");
+    let b_target = offload
+        .allocate::<f64>(target, N as u64)
+        .expect("allocate b");
+
+    // Transfer memory.
+    offload.put(&a, a_target).expect("put a");
+    offload.put(&b, b_target).expect("put b");
+
+    // Async offload, returns a Future<f64>.
+    let result = offload
+        .async_(
+            target,
+            f2f!(inner_prod, a_target.addr(), b_target.addr(), N as u64),
+        )
+        .expect("offload");
+
+    // Do something in parallel on the host.
+    let host_reference: f64 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
+
+    // Sync on the result future.
+    let c = result.get().expect("result");
+
+    println!("offloaded inner product = {c:.9}");
+    println!("host reference          = {host_reference:.9}");
+    assert!((c - host_reference).abs() < 1e-9);
+    println!(
+        "virtual time spent: {}",
+        offload.backend().host_clock().now()
+    );
+
+    offload.free(a_target).expect("free a");
+    offload.free(b_target).expect("free b");
+    offload.shutdown();
+    println!("ok");
+}

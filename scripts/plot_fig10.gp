@@ -1,0 +1,55 @@
+# Re-plot the Fig. 10 panels from repro_fig10's CSV output.
+#
+#   cargo run --release -p aurora-bench --bin repro_fig10 > fig10.csv
+#   gnuplot -e "csv='fig10.csv'" scripts/plot_fig10.gp
+#
+# Produces fig10.png with the four panels of the paper: {VH=>VE, VE=>VH}
+# x {small sizes <=1 KiB, full range}.
+
+if (!exists("csv")) csv = "fig10.csv"
+
+set datafile separator ","
+set terminal pngcairo size 1400,1000 font ",11"
+set output "fig10.png"
+set multiplot layout 2,2 title "Fig. 10 — transfer bandwidth between VH and VE (reproduction)"
+
+set logscale xy
+set xlabel "transfer size [byte]"
+set ylabel "bandwidth [GiB/s]"
+set key bottom right
+set grid
+
+series_w_veo = "VH=>VE VEO Read/Write"
+series_w_dma = "VH=>VE VE User DMA"
+series_w_shm = "VH=>VE VE SHM/LHM"
+series_r_veo = "VE=>VH VEO Read/Write"
+series_r_dma = "VE=>VH VE User DMA"
+series_r_shm = "VE=>VH VE SHM/LHM"
+
+filter(s) = sprintf("< awk -F, '$1==\"%s\"' %s", s, csv)
+
+# Panel 1: VH=>VE, small sizes.
+set title "VH => VE (<= 1 KiB)"
+set xrange [8:1024]
+plot filter(series_w_veo) using 2:3 with linespoints title "VEO Write", \
+     filter(series_w_dma) using 2:3 with linespoints title "VE User DMA", \
+     filter(series_w_shm) using 2:3 with linespoints title "VE LHM"
+
+# Panel 2: VH=>VE, full range.
+set title "VH => VE (full range)"
+set xrange [8:268435456]
+replot
+
+# Panel 3: VE=>VH, small sizes.
+set title "VE => VH (<= 1 KiB)"
+set xrange [8:1024]
+plot filter(series_r_veo) using 2:3 with linespoints title "VEO Read", \
+     filter(series_r_dma) using 2:3 with linespoints title "VE User DMA", \
+     filter(series_r_shm) using 2:3 with linespoints title "VE SHM"
+
+# Panel 4: VE=>VH, full range.
+set title "VE => VH (full range)"
+set xrange [8:268435456]
+replot
+
+unset multiplot

@@ -1,0 +1,154 @@
+//! # ham-aurora-repro
+//!
+//! Reproduction of *"Heterogeneous Active Messages for Offloading on the
+//! NEC SX-Aurora TSUBASA"* (Noack, Focht, Steinke; IPDPSW/HCW 2019):
+//! the HAM-Offload framework with its two SX-Aurora messaging protocols,
+//! running against a fully simulated Aurora platform.
+//!
+//! This facade crate re-exports the whole stack and provides one-call
+//! constructors for the common setups. See `README.md` for the tour,
+//! `DESIGN.md` for the system inventory, and `EXPERIMENTS.md` for
+//! paper-vs-measured results.
+//!
+//! ```
+//! use ham::{ham_kernel, f2f};
+//! use ham_aurora_repro::{dma_offload, NodeId};
+//!
+//! ham_kernel! {
+//!     pub fn triple(_ctx, x: u64) -> u64 { x * 3 }
+//! }
+//!
+//! // One VE, DMA-based protocol (the paper's fast path).
+//! let offload = dma_offload(1, |b| { b.register::<triple>(); });
+//! assert_eq!(offload.sync(NodeId(1), f2f!(triple, 14)).unwrap(), 42);
+//! offload.shutdown();
+//! ```
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub use aurora_mem as mem;
+pub use aurora_pcie as pcie;
+pub use aurora_sim_core as sim_core;
+pub use aurora_ve as ve;
+pub use aurora_workloads as workloads;
+pub use ham;
+pub use ham_backend_dma as backend_dma;
+pub use ham_backend_tcp as backend_tcp;
+pub use ham_backend_veo as backend_veo;
+pub use ham_offload as offload;
+pub use veo_api as veo;
+pub use veos_sim as veos;
+
+pub use ham_offload::{BufferPtr, Future, NodeId, Offload, OffloadError};
+
+use ham_backend_dma::DmaBackend;
+use ham_backend_veo::{ProtocolConfig, VeoBackend};
+use std::sync::Arc;
+use veos_sim::{AuroraMachine, MachineConfig};
+
+/// Default simulated memory sizes for the convenience constructors.
+fn default_machine(ves: u8) -> Arc<AuroraMachine> {
+    let cfg = MachineConfig {
+        hbm_bytes: 64 << 20,
+        vh_bytes: 128 << 20,
+        ..Default::default()
+    };
+    if ves <= 4 {
+        AuroraMachine::small(ves.max(1), cfg)
+    } else {
+        AuroraMachine::a300_8(cfg)
+    }
+}
+
+/// An [`Offload`] runtime over the **DMA-based** protocol (paper §IV) on
+/// a default simulated machine with `ves` Vector Engines.
+pub fn dma_offload(
+    ves: u8,
+    registrar: impl Fn(&mut ham::RegistryBuilder) + Send + Sync + 'static,
+) -> Offload {
+    let machine = default_machine(ves);
+    let targets: Vec<u8> = (0..ves.max(1).min(machine.ves().len() as u8)).collect();
+    Offload::new(DmaBackend::spawn(
+        machine,
+        0,
+        &targets,
+        ProtocolConfig::default(),
+        registrar,
+    ))
+}
+
+/// An [`Offload`] runtime over the **VEO-based** protocol (paper §III).
+pub fn veo_offload(
+    ves: u8,
+    registrar: impl Fn(&mut ham::RegistryBuilder) + Send + Sync + 'static,
+) -> Offload {
+    let machine = default_machine(ves);
+    let targets: Vec<u8> = (0..ves.max(1).min(machine.ves().len() as u8)).collect();
+    Offload::new(VeoBackend::spawn(
+        machine,
+        0,
+        &targets,
+        ProtocolConfig::default(),
+        registrar,
+    ))
+}
+
+/// An [`Offload`] runtime over the in-process reference backend (no
+/// Aurora modelling; fastest wall-clock).
+pub fn local_offload(
+    targets: u16,
+    registrar: impl Fn(&mut ham::RegistryBuilder) + Send + Sync + 'static,
+) -> Offload {
+    Offload::new(ham_offload::local::LocalBackend::spawn(targets, registrar))
+}
+
+/// An [`Offload`] runtime over real loopback TCP sockets — the paper's
+/// "most generic backend" (§I-A), favouring interoperability over
+/// performance.
+pub fn tcp_offload(
+    targets: u16,
+    registrar: impl Fn(&mut ham::RegistryBuilder) + Send + Sync + 'static,
+) -> Offload {
+    Offload::new(ham_backend_tcp::TcpBackend::spawn(targets, registrar))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ham::f2f;
+
+    ham::ham_kernel! {
+        pub fn ping(ctx) -> u16 { ctx.node }
+    }
+
+    #[test]
+    fn all_three_constructors_work() {
+        for o in [
+            local_offload(1, |b| {
+                b.register::<ping>();
+            }),
+            veo_offload(1, |b| {
+                b.register::<ping>();
+            }),
+            dma_offload(1, |b| {
+                b.register::<ping>();
+            }),
+        ] {
+            assert_eq!(o.sync(NodeId(1), f2f!(ping)).unwrap(), 1);
+            o.shutdown();
+        }
+    }
+
+    #[test]
+    fn eight_ve_machine() {
+        let o = dma_offload(8, |b| {
+            b.register::<ping>();
+        });
+        assert_eq!(o.num_nodes(), 9);
+        for n in 1..=8 {
+            assert_eq!(o.sync(NodeId(n), f2f!(ping)).unwrap(), n);
+        }
+        o.shutdown();
+    }
+}

@@ -1,0 +1,251 @@
+//! Failure injection: the framework must fail loudly and recoverably,
+//! never corrupt state.
+
+use aurora_workloads::kernels::{echo, whoami};
+use ham::f2f;
+use ham_aurora_repro::{dma_offload, tcp_offload, veo_offload, NodeId, OffloadError};
+use ham_backend_dma::DmaBackend;
+use ham_backend_veo::{ProtocolConfig, VeoBackend};
+use ham_offload::Offload;
+use std::sync::Arc;
+use veos_sim::{AuroraMachine, MachineConfig};
+
+fn tiny_machine() -> Arc<AuroraMachine> {
+    AuroraMachine::small(
+        1,
+        MachineConfig {
+            hbm_bytes: 2 << 20, // 2 MiB of "HBM"
+            vh_bytes: 16 << 20,
+            ..Default::default()
+        },
+    )
+}
+
+#[test]
+fn device_oom_is_an_error_not_a_crash() {
+    let o = Offload::new(DmaBackend::spawn(
+        tiny_machine(),
+        0,
+        &[0],
+        ProtocolConfig::default(),
+        aurora_workloads::register_all,
+    ));
+    let t = NodeId(1);
+    // The protocol's own buffers already occupy part of the 2 MiB.
+    let err = o.allocate::<f64>(t, 1 << 20).unwrap_err();
+    assert!(matches!(err, OffloadError::Mem(_)), "{err}");
+    // The runtime still works after the failed allocation.
+    assert_eq!(o.sync(t, f2f!(whoami)).unwrap(), 1);
+    let ok = o.allocate::<f64>(t, 64).unwrap();
+    o.free(ok).unwrap();
+    o.shutdown();
+}
+
+#[test]
+fn oversized_messages_rejected_on_both_protocols() {
+    let small_cfg = ProtocolConfig {
+        msg_bytes: 256,
+        ..Default::default()
+    };
+    let veo = Offload::new(VeoBackend::spawn(
+        tiny_machine(),
+        0,
+        &[0],
+        small_cfg,
+        aurora_workloads::register_all,
+    ));
+    let dma = Offload::new(DmaBackend::spawn(
+        tiny_machine(),
+        0,
+        &[0],
+        small_cfg,
+        aurora_workloads::register_all,
+    ));
+    for (name, o) in [("veo", &veo), ("dma", &dma)] {
+        let err = o.sync(NodeId(1), f2f!(echo, vec![0u8; 4096])).unwrap_err();
+        assert!(
+            matches!(&err, OffloadError::Backend(m) if m.contains("exceeds")),
+            "{name}: {err}"
+        );
+        // Small messages still flow afterwards.
+        assert_eq!(
+            o.sync(NodeId(1), f2f!(echo, vec![7u8; 32])).unwrap(),
+            vec![7u8; 32],
+            "{name}"
+        );
+    }
+    veo.shutdown();
+    dma.shutdown();
+}
+
+#[test]
+fn oversized_results_become_error_frames_not_hangs() {
+    // Regression: a request that fits the slot can produce a result that
+    // does not (results carry ~9 bytes of framing on top of the output).
+    // The target must answer with an error frame instead of dying.
+    let small_cfg = ProtocolConfig {
+        msg_bytes: 256,
+        ..Default::default()
+    };
+    for (name, o) in [
+        (
+            "veo",
+            Offload::new(VeoBackend::spawn(
+                tiny_machine(),
+                0,
+                &[0],
+                small_cfg,
+                aurora_workloads::register_all,
+            )),
+        ),
+        (
+            "dma",
+            Offload::new(DmaBackend::spawn(
+                tiny_machine(),
+                0,
+                &[0],
+                small_cfg,
+                aurora_workloads::register_all,
+            )),
+        ),
+    ] {
+        // Request: 8 + 248 = 256 bytes (fits exactly). Result frame:
+        // 1 + 8 + 248 = 257 bytes (does not fit).
+        let blob = vec![9u8; 248];
+        let err = o.sync(NodeId(1), f2f!(echo, blob)).unwrap_err();
+        assert!(
+            matches!(&err, OffloadError::Backend(m) if m.contains("exceeds")),
+            "{name}: {err}"
+        );
+        // The target loop survived and keeps serving.
+        assert_eq!(o.sync(NodeId(1), f2f!(whoami)).unwrap(), 1, "{name}");
+        o.shutdown();
+    }
+}
+
+#[test]
+fn double_free_is_rejected_everywhere() {
+    for o in [
+        veo_offload(1, aurora_workloads::register_all),
+        dma_offload(1, aurora_workloads::register_all),
+        tcp_offload(1, aurora_workloads::register_all),
+    ] {
+        let b = o.allocate::<u64>(NodeId(1), 8).unwrap();
+        o.free(b).unwrap();
+        assert!(matches!(o.free(b), Err(OffloadError::Mem(_))));
+        o.shutdown();
+    }
+}
+
+#[test]
+fn out_of_bounds_put_is_rejected_everywhere() {
+    for o in [
+        veo_offload(1, aurora_workloads::register_all),
+        dma_offload(1, aurora_workloads::register_all),
+        tcp_offload(1, aurora_workloads::register_all),
+    ] {
+        let b = o.allocate::<f64>(NodeId(1), 4).unwrap();
+        // More elements than the buffer: caught at the API layer.
+        assert!(o.put(&[0.0; 8], b).is_err());
+        // Within bounds still works.
+        o.put(&[1.0; 4], b).unwrap();
+        o.shutdown();
+    }
+}
+
+#[test]
+fn kernel_panics_do_not_poison_other_backends() {
+    // A kernel that errors internally (reads beyond its buffer) returns
+    // an error frame; the target loop keeps serving.
+    ham::ham_kernel! {
+        pub fn reads_too_far(ctx, addr: u64) -> f64 {
+            match ctx.mem.read_f64s(addr, 1_000_000_000) {
+                Ok(v) => v.iter().sum(),
+                Err(_) => f64::NAN, // graceful: report NaN
+            }
+        }
+    }
+    let o = Offload::new(DmaBackend::spawn(
+        tiny_machine(),
+        0,
+        &[0],
+        ProtocolConfig::default(),
+        |b| {
+            b.register::<reads_too_far>();
+            aurora_workloads::register_all(b);
+        },
+    ));
+    let r = o.sync(NodeId(1), f2f!(reads_too_far, 0)).unwrap();
+    assert!(r.is_nan());
+    // The loop survived; normal traffic continues.
+    assert_eq!(o.sync(NodeId(1), f2f!(whoami)).unwrap(), 1);
+    o.shutdown();
+}
+
+#[test]
+fn a_panicking_kernel_errors_the_future_instead_of_hanging() {
+    // A kernel that panics kills the VE worker thread; pending and
+    // subsequent operations must turn into errors, not infinite spins.
+    ham::ham_kernel! {
+        pub fn kernel_panics(_ctx) -> u64 {
+            panic!("deliberate kernel crash");
+        }
+    }
+    let o = Offload::new(DmaBackend::spawn(
+        tiny_machine(),
+        0,
+        &[0],
+        ProtocolConfig::default(),
+        |b| {
+            b.register::<kernel_panics>();
+            aurora_workloads::register_all(b);
+        },
+    ));
+    let err = o.sync(NodeId(1), f2f!(kernel_panics)).unwrap_err();
+    assert!(
+        matches!(&err, OffloadError::Backend(m) if m.contains("terminated")),
+        "{err}"
+    );
+    // Posting to the dead target also errors promptly.
+    let err = o.sync(NodeId(1), f2f!(whoami)).unwrap_err();
+    assert!(matches!(err, OffloadError::Backend(_)), "{err}");
+    o.shutdown();
+}
+
+#[test]
+fn concurrent_host_threads_share_one_offload_handle() {
+    // Offload is Clone + Send; several host threads posting to the same
+    // target must not corrupt slot bookkeeping.
+    let o = dma_offload(1, aurora_workloads::register_all);
+    std::thread::scope(|s| {
+        for t in 0..4 {
+            let o = o.clone();
+            s.spawn(move || {
+                for i in 0..25u64 {
+                    let blob = vec![(t * 25 + i) as u8; 100];
+                    let r = o.sync(NodeId(1), f2f!(echo, blob.clone())).unwrap();
+                    assert_eq!(r, blob);
+                }
+            });
+        }
+    });
+    o.shutdown();
+}
+
+#[test]
+fn concurrent_host_threads_on_tcp_backend() {
+    let o = tcp_offload(1, aurora_workloads::register_all);
+    std::thread::scope(|s| {
+        for t in 0..4 {
+            let o = o.clone();
+            s.spawn(move || {
+                for i in 0..10u64 {
+                    let blob = vec![(t * 10 + i) as u8; 64];
+                    let r = o.sync(NodeId(1), f2f!(echo, blob.clone())).unwrap();
+                    assert_eq!(r, blob);
+                }
+            });
+        }
+    });
+    o.shutdown();
+}

@@ -1,0 +1,117 @@
+//! Whole-machine tests on the A300-8 topology: all eight VEs, both
+//! sockets, concurrent traffic.
+
+use aurora_workloads::kernels::{monte_carlo_pi, vec_sum, whoami};
+use ham::f2f;
+use ham_aurora_repro::{dma_offload, NodeId};
+use ham_backend_dma::DmaBackend;
+use ham_backend_veo::ProtocolConfig;
+use ham_offload::Offload;
+use std::sync::Arc;
+use veos_sim::{AuroraMachine, MachineConfig};
+
+#[test]
+fn all_eight_ves_respond() {
+    let o = dma_offload(8, aurora_workloads::register_all);
+    assert_eq!(o.num_nodes(), 9);
+    let futures: Vec<_> = (1..=8u16)
+        .map(|n| o.async_(NodeId(n), f2f!(whoami)).unwrap())
+        .collect();
+    let nodes: Vec<u16> = futures.into_iter().map(|f| f.get().unwrap()).collect();
+    assert_eq!(nodes, (1..=8).collect::<Vec<u16>>());
+    o.shutdown();
+}
+
+#[test]
+fn per_ve_memory_is_isolated() {
+    let o = dma_offload(4, aurora_workloads::register_all);
+    let bufs: Vec<_> = (1..=4u16)
+        .map(|n| {
+            let b = o.allocate::<f64>(NodeId(n), 4).unwrap();
+            o.put(&[n as f64; 4], b).unwrap();
+            (n, b)
+        })
+        .collect();
+    for (n, b) in bufs {
+        let sum = o.sync(NodeId(n), f2f!(vec_sum, b.addr(), 4)).unwrap();
+        assert_eq!(sum, 4.0 * n as f64, "VE {n} sees its own data");
+    }
+    o.shutdown();
+}
+
+#[test]
+fn fan_out_fan_in_aggregation() {
+    let o = dma_offload(8, aurora_workloads::register_all);
+    let futures: Vec<_> = (1..=8u16)
+        .map(|n| {
+            o.async_(NodeId(n), f2f!(monte_carlo_pi, n as u64, 20_000))
+                .unwrap()
+        })
+        .collect();
+    let mean: f64 = futures.into_iter().map(|f| f.get().unwrap()).sum::<f64>() / 8.0;
+    assert!((mean - std::f64::consts::PI).abs() < 0.05, "pi ~ {mean}");
+    o.shutdown();
+}
+
+#[test]
+fn ves_behind_the_remote_socket_still_work() {
+    // Host pinned to socket 0 offloading to VE 7 (socket 1's switch).
+    let machine = AuroraMachine::a300_8(MachineConfig {
+        hbm_bytes: 16 << 20,
+        vh_bytes: 32 << 20,
+        ..Default::default()
+    });
+    let o = Offload::new(DmaBackend::spawn(
+        Arc::clone(&machine),
+        0,
+        &[7],
+        ProtocolConfig::default(),
+        aurora_workloads::register_all,
+    ));
+    assert_eq!(o.sync(NodeId(1), f2f!(whoami)).unwrap(), 1);
+    // The descriptor names the real device index.
+    let d = o.get_node_descriptor(NodeId(1)).unwrap();
+    assert!(d.name.contains("VE7"), "{}", d.name);
+    o.shutdown();
+}
+
+#[test]
+fn concurrent_hosts_on_different_ves_share_the_machine() {
+    // Two independent HAM-Offload applications (one per socket) on one
+    // machine, each with its own VE — as multi-tenant A300-8 usage.
+    let machine = AuroraMachine::a300_8(MachineConfig {
+        hbm_bytes: 16 << 20,
+        vh_bytes: 32 << 20,
+        ..Default::default()
+    });
+    let o1 = Offload::new(DmaBackend::spawn(
+        Arc::clone(&machine),
+        0,
+        &[0],
+        ProtocolConfig::default(),
+        aurora_workloads::register_all,
+    ));
+    let o2 = Offload::new(DmaBackend::spawn(
+        Arc::clone(&machine),
+        1,
+        &[4],
+        ProtocolConfig::default(),
+        aurora_workloads::register_all,
+    ));
+    std::thread::scope(|s| {
+        let h1 = s.spawn(|| {
+            for _ in 0..20 {
+                assert_eq!(o1.sync(NodeId(1), f2f!(whoami)).unwrap(), 1);
+            }
+        });
+        let h2 = s.spawn(|| {
+            for _ in 0..20 {
+                assert_eq!(o2.sync(NodeId(1), f2f!(whoami)).unwrap(), 1);
+            }
+        });
+        h1.join().unwrap();
+        h2.join().unwrap();
+    });
+    o1.shutdown();
+    o2.shutdown();
+}

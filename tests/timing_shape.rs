@@ -1,0 +1,103 @@
+//! End-to-end timing-shape checks through the public API: the ordering
+//! and magnitude relations of the paper's evaluation must hold for any
+//! user of the crate, not just the calibrated benchmarks.
+
+use aurora_workloads::kernels::whoami;
+use ham::f2f;
+use ham_aurora_repro::{dma_offload, veo_offload, NodeId, Offload};
+
+fn steady_state_offload_us(o: &Offload, reps: u32) -> f64 {
+    for _ in 0..10 {
+        o.sync(NodeId(1), f2f!(whoami)).unwrap();
+    }
+    let t0 = o.backend().host_clock().now();
+    for _ in 0..reps {
+        o.sync(NodeId(1), f2f!(whoami)).unwrap();
+    }
+    (o.backend().host_clock().now() - t0).as_us_f64() / reps as f64
+}
+
+#[test]
+fn dma_offload_is_single_digit_microseconds() {
+    let o = dma_offload(1, aurora_workloads::register_all);
+    let us = steady_state_offload_us(&o, 50);
+    assert!(us > 4.0 && us < 8.0, "DMA offload = {us} us");
+    o.shutdown();
+}
+
+#[test]
+fn veo_offload_is_hundreds_of_microseconds() {
+    let o = veo_offload(1, aurora_workloads::register_all);
+    let us = steady_state_offload_us(&o, 20);
+    assert!(us > 300.0 && us < 600.0, "VEO offload = {us} us");
+    o.shutdown();
+}
+
+#[test]
+fn protocols_differ_by_the_paper_factor() {
+    let dma = dma_offload(1, aurora_workloads::register_all);
+    let veo = veo_offload(1, aurora_workloads::register_all);
+    let ratio = steady_state_offload_us(&veo, 20) / steady_state_offload_us(&dma, 20);
+    assert!(
+        ratio > 55.0 && ratio < 90.0,
+        "VEO/DMA cost ratio = {ratio} (paper: 70.8)"
+    );
+    dma.shutdown();
+    veo.shutdown();
+}
+
+#[test]
+fn put_get_costs_scale_with_size() {
+    // Bulk transfers go through VEO on both backends (§IV-B): the cost
+    // of a large put dwarfs a small one by the bandwidth model.
+    let o = dma_offload(1, aurora_workloads::register_all);
+    let t = NodeId(1);
+    let small = o.allocate::<f64>(t, 8).unwrap();
+    let large = o.allocate::<f64>(t, 1 << 20).unwrap();
+    let data_small = [0.0f64; 8];
+    let data_large = vec![0.0f64; 1 << 20];
+
+    let t0 = o.backend().host_clock().now();
+    o.put(&data_small, small).unwrap();
+    let small_cost = o.backend().host_clock().now() - t0;
+
+    let t1 = o.backend().host_clock().now();
+    o.put(&data_large, large).unwrap();
+    let large_cost = o.backend().host_clock().now() - t1;
+
+    assert!(large_cost > small_cost * 5, "{small_cost} vs {large_cost}");
+    // And the small put is still dominated by the VEO base latency.
+    assert!(small_cost.as_us_f64() > 80.0, "small put = {small_cost}");
+    o.shutdown();
+}
+
+#[test]
+fn async_offloads_overlap_on_the_virtual_timeline() {
+    // Two busy kernels posted back-to-back must finish in less than
+    // twice the synchronous time: the protocol's multiple slots enable
+    // communication/computation overlap (Fig. 5 discussion).
+    let o = dma_offload(1, aurora_workloads::register_all);
+    // Synchronous baseline.
+    for _ in 0..5 {
+        o.sync(NodeId(1), f2f!(whoami)).unwrap();
+    }
+    let t0 = o.backend().host_clock().now();
+    for _ in 0..4 {
+        o.sync(NodeId(1), f2f!(whoami)).unwrap();
+    }
+    let sync_time = o.backend().host_clock().now() - t0;
+
+    let t1 = o.backend().host_clock().now();
+    let futs: Vec<_> = (0..4)
+        .map(|_| o.async_(NodeId(1), f2f!(whoami)).unwrap())
+        .collect();
+    for f in futs {
+        f.get().unwrap();
+    }
+    let async_time = o.backend().host_clock().now() - t1;
+    assert!(
+        async_time < sync_time,
+        "async {async_time} !< sync {sync_time}"
+    );
+    o.shutdown();
+}

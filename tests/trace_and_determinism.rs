@@ -1,0 +1,114 @@
+//! Observability and determinism guarantees of the simulation.
+
+use aurora_workloads::kernels::whoami;
+use ham::f2f;
+use ham_aurora_repro::{dma_offload, NodeId};
+use ham_backend_dma::DmaBackend;
+use ham_backend_veo::ProtocolConfig;
+use ham_offload::Offload;
+use std::sync::Arc;
+use veos_sim::{AuroraMachine, MachineConfig};
+
+fn machine() -> Arc<AuroraMachine> {
+    AuroraMachine::small(
+        1,
+        MachineConfig {
+            hbm_bytes: 16 << 20,
+            vh_bytes: 32 << 20,
+            ..Default::default()
+        },
+    )
+}
+
+/// Tracing is process-global and the other tests in this binary also
+/// drive offloads; run everything sequentially inside one test so no
+/// concurrent offload pollutes the trace buffer.
+#[test]
+fn trace_and_determinism_suite() {
+    traced_components_cover_the_critical_path();
+    virtual_time_is_deterministic_across_runs();
+    offload_costs_are_stable_per_iteration();
+}
+
+fn traced_components_cover_the_critical_path() {
+    let o = Offload::new(DmaBackend::spawn(
+        machine(),
+        0,
+        &[0],
+        ProtocolConfig::default(),
+        aurora_workloads::register_all,
+    ));
+    for _ in 0..10 {
+        o.sync(NodeId(1), f2f!(whoami)).unwrap();
+    }
+    aurora_sim_core::trace::enable();
+    let t0 = o.backend().host_clock().now();
+    o.sync(NodeId(1), f2f!(whoami)).unwrap();
+    let t1 = o.backend().host_clock().now();
+    let events = aurora_sim_core::trace::disable_and_take();
+
+    // The steady-state offload decomposes into exactly these components.
+    let cats: Vec<&str> = events.iter().map(|e| e.category).collect();
+    assert_eq!(
+        cats,
+        vec![
+            "ham.host_overhead",
+            "vh.local_post",
+            "lhm.word",
+            "udma.read",
+            "shm.word",
+            "ham.target_overhead",
+            "udma.write",
+            "shm.flag",
+            "vh.local_consume",
+        ],
+        "critical path composition"
+    );
+    // Gap-free: each event starts where the previous one ended, and the
+    // whole chain spans the measured end-to-end cost.
+    for w in events.windows(2) {
+        assert_eq!(w[0].end, w[1].start, "{:?} -> {:?}", w[0], w[1]);
+    }
+    assert_eq!(events.first().unwrap().start, t0);
+    assert_eq!(events.last().unwrap().end, t1);
+    o.shutdown();
+}
+
+fn virtual_time_is_deterministic_across_runs() {
+    // Two independent runs of the same scenario produce identical
+    // virtual-time results — regardless of OS scheduling.
+    let run = || {
+        let o = dma_offload(2, aurora_workloads::register_all);
+        for n in 1..=2u16 {
+            for _ in 0..10 {
+                o.sync(NodeId(n), f2f!(whoami)).unwrap();
+            }
+        }
+        let t = o.backend().host_clock().now();
+        o.shutdown();
+        t
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a, b, "virtual end times must match exactly");
+}
+
+fn offload_costs_are_stable_per_iteration() {
+    // In steady state every empty offload costs exactly the same
+    // virtual time (the simulation has no noise to average away).
+    let o = dma_offload(1, aurora_workloads::register_all);
+    for _ in 0..10 {
+        o.sync(NodeId(1), f2f!(whoami)).unwrap();
+    }
+    let mut costs = Vec::new();
+    for _ in 0..5 {
+        let t0 = o.backend().host_clock().now();
+        o.sync(NodeId(1), f2f!(whoami)).unwrap();
+        costs.push(o.backend().host_clock().now() - t0);
+    }
+    assert!(
+        costs.windows(2).all(|w| w[0] == w[1]),
+        "steady-state costs vary: {costs:?}"
+    );
+    o.shutdown();
+}
