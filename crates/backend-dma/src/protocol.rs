@@ -343,7 +343,7 @@ impl DmaBackend {
             payload_len: payload.len() as u32,
             kind,
             reply_slot: s as u16,
-            ts_ps: 0,
+            corr: aurora_sim_core::trace::current_offload(),
             seq,
         };
         let mut bytes = header.encode().to_vec();
@@ -502,6 +502,10 @@ impl CommBackend for DmaBackend {
 
     fn host_clock(&self) -> &Clock {
         self.core.host_clock()
+    }
+
+    fn metrics(&self) -> &aurora_sim_core::BackendMetrics {
+        self.core.metrics()
     }
 
     fn shutdown(&self) {
@@ -671,7 +675,7 @@ impl TargetChannel for VeSideChannel {
             payload_len: payload.len() as u32,
             kind: MsgKind::Result,
             reply_slot,
-            ts_ps: 0,
+            corr: 0,
             seq,
         };
         let mut bytes = header.encode().to_vec();

@@ -143,7 +143,7 @@ impl ReverseService {
                 payload_len: frame.len() as u32,
                 kind: MsgKind::Result,
                 reply_slot: 0,
-                ts_ps: 0,
+                corr: header.corr,
                 seq: header.seq,
             };
             let mut bytes = resp_header.encode().to_vec();
@@ -200,7 +200,7 @@ impl ReverseTransport for VeReverseTransport {
             payload_len: payload.len() as u32,
             kind: MsgKind::Offload,
             reply_slot: 0,
-            ts_ps: 0,
+            corr: aurora_sim_core::trace::current_offload(),
             seq,
         };
         let mut bytes = header.encode().to_vec();

@@ -39,6 +39,7 @@ pub struct TcpBackend {
     targets: Vec<TcpTarget>,
     next_slot: Mutex<u64>,
     clock: Clock,
+    metrics: aurora_sim_core::BackendMetrics,
 }
 
 /// The target-process side of one TCP channel.
@@ -63,7 +64,7 @@ impl TargetChannel for TcpSideChannel {
             payload_len: payload.len() as u32,
             kind: MsgKind::Result,
             reply_slot,
-            ts_ps: 0,
+            corr: 0,
             seq,
         };
         let mut body = header.encode().to_vec();
@@ -231,6 +232,7 @@ impl TcpBackend {
             targets,
             next_slot: Mutex::new(0),
             clock: Clock::new(),
+            metrics: aurora_sim_core::BackendMetrics::new(),
         })
     }
 
@@ -312,7 +314,7 @@ impl CommBackend for TcpBackend {
             payload_len: payload.len() as u32,
             kind: MsgKind::Offload,
             reply_slot: 0,
-            ts_ps: 0,
+            corr: aurora_sim_core::trace::current_offload(),
             seq: slot,
         };
         let mut body = header.encode().to_vec();
@@ -372,6 +374,10 @@ impl CommBackend for TcpBackend {
         &self.clock
     }
 
+    fn metrics(&self) -> &aurora_sim_core::BackendMetrics {
+        &self.metrics
+    }
+
     fn shutdown(&self) {
         for node in 1..=self.num_targets() {
             let t = match self.target(NodeId(node)) {
@@ -387,7 +393,7 @@ impl CommBackend for TcpBackend {
                 payload_len: 0,
                 kind: MsgKind::Control,
                 reply_slot: 0,
-                ts_ps: 0,
+                corr: 0,
                 seq: u64::MAX,
             };
             let _ = write_frame(&mut *t.msg_tx.lock(), &header.encode());

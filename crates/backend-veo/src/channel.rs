@@ -297,7 +297,7 @@ impl VeoBackend {
             payload_len: payload.len() as u32,
             kind,
             reply_slot: s as u16,
-            ts_ps: 0,
+            corr: aurora_sim_core::trace::current_offload(),
             seq,
         };
         let mut bytes = header.encode().to_vec();
@@ -503,6 +503,10 @@ impl CommBackend for VeoBackend {
         self.core.host_clock()
     }
 
+    fn metrics(&self) -> &aurora_sim_core::BackendMetrics {
+        self.core.metrics()
+    }
+
     fn shutdown(&self) {
         for node in 1..=self.num_targets() {
             let target = NodeId(node);
@@ -611,7 +615,7 @@ impl TargetChannel for VeSideChannel {
             payload_len: payload.len() as u32,
             kind: MsgKind::Result,
             reply_slot,
-            ts_ps: 0,
+            corr: 0,
             seq,
         };
         let mut bytes = header.encode().to_vec();

@@ -3,7 +3,7 @@
 //! VEO-based bulk transfers (`put`/`get`).
 
 use aurora_mem::{VeAddr, VhAddr};
-use aurora_sim_core::Clock;
+use aurora_sim_core::{BackendMetrics, Clock};
 use ham::{HamError, Registry, RegistryBuilder, TargetMemory};
 use ham_offload::backend::{RawBuffer, Registrar};
 use ham_offload::types::{DeviceType, NodeDescriptor, NodeId};
@@ -139,6 +139,7 @@ pub struct AuroraCore {
     host_registry: Arc<Registry>,
     registrar: Arc<Registrar>,
     targets: Vec<TargetCore>,
+    metrics: BackendMetrics,
 }
 
 impl AuroraCore {
@@ -166,6 +167,7 @@ impl AuroraCore {
             host_registry,
             registrar,
             targets,
+            metrics: BackendMetrics::new(),
         }
     }
 
@@ -200,6 +202,12 @@ impl AuroraCore {
     /// The host registry.
     pub fn host_registry(&self) -> &Arc<Registry> {
         &self.host_registry
+    }
+
+    /// The backend's metric registers (shared by whichever protocol
+    /// backend wraps this core).
+    pub fn metrics(&self) -> &BackendMetrics {
+        &self.metrics
     }
 
     /// Number of targets.

@@ -1,0 +1,54 @@
+//! Wall-clock cost of the flight recorder on the simulation's hot path.
+//!
+//! Every costed hardware operation calls `trace::record`; with no session
+//! active that must stay a single relaxed atomic load so the disabled
+//! telemetry is free. The enabled path (per-thread shard push) is bounded
+//! here too, together with the attribution scope guards.
+
+use aurora_sim_core::trace;
+use aurora_sim_core::SimTime;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench_telemetry(c: &mut Criterion) {
+    let mut g = c.benchmark_group("telemetry");
+
+    // No session: the disabled fast path (the one every simulation run
+    // without tracing pays on each costed operation).
+    g.bench_function("record_disabled", |b| {
+        let t0 = SimTime::from_ns(10);
+        let t1 = SimTime::from_ns(20);
+        b.iter(|| trace::record(black_box("bench.disabled"), 64, t0, t1))
+    });
+
+    // Active session: per-thread shard push, no locks on the hot path.
+    g.bench_function("record_enabled", |b| {
+        let session = trace::TraceSession::start();
+        let t0 = SimTime::from_ns(10);
+        let t1 = SimTime::from_ns(20);
+        b.iter(|| trace::record(black_box("bench.enabled"), 64, t0, t1));
+        drop(session.finish());
+    });
+
+    g.bench_function("record_enabled_attributed", |b| {
+        let session = trace::TraceSession::start();
+        let _node = trace::node_scope(1);
+        let _of = trace::offload_scope(trace::next_offload_id());
+        let t0 = SimTime::from_ns(10);
+        let t1 = SimTime::from_ns(20);
+        b.iter(|| trace::record(black_box("bench.attributed"), 64, t0, t1));
+        drop(session.finish());
+    });
+
+    // The scope guards themselves (entered once per offload).
+    g.bench_function("offload_scope_guard", |b| {
+        let id = trace::next_offload_id();
+        b.iter(|| {
+            let _g = trace::offload_scope(black_box(id));
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_telemetry);
+criterion_main!(benches);

@@ -1,7 +1,13 @@
-//! Trace one live offload through the DMA protocol and render its
-//! virtual-time timeline — the *measured* counterpart of the §V-A cost
+//! Trace live offloads through the DMA protocol and render their
+//! virtual-time timelines — the *measured* counterpart of the §V-A cost
 //! breakdown (`repro_breakdown` computes the same table from the
 //! calibration constants).
+//!
+//! Besides the text timeline this harness exports the capture as
+//! `repro_trace.trace.json` (Chrome trace-event format — load it in
+//! Perfetto / `chrome://tracing` for one track per simulated engine) and
+//! `repro_trace.jsonl` (one event per line for ad-hoc tooling), and
+//! prints the backend's metric registers.
 
 use aurora_bench::harness::{benchmark_machine, BenchConfig};
 use aurora_sim_core::trace;
@@ -26,19 +32,60 @@ fn main() {
         o.sync(NodeId(1), f2f!(whoami)).unwrap();
     }
 
-    trace::enable();
+    let session = trace::TraceSession::start();
     let t0 = o.backend().host_clock().now();
     o.sync(NodeId(1), f2f!(whoami)).unwrap();
     let t1 = o.backend().host_clock().now();
-    let events = trace::disable_and_take();
+    // A bulk round trip so the capture also shows the put/get path.
+    let buf = o.allocate::<u64>(NodeId(1), 512).unwrap();
+    let data = vec![7u64; 512];
+    o.put(&data, buf).unwrap();
+    let mut back = vec![0u64; 512];
+    o.get(buf, &mut back).unwrap();
+    assert_eq!(back, data);
+    o.free(buf).unwrap();
+    let capture = session.finish();
 
     println!("## Measured timeline of one empty offload (DMA protocol)\n");
-    println!("{}", trace::render(&events));
+    let events = trace::sim_events(&capture);
+    let offload_events: Vec<_> = events.iter().filter(|e| e.offload != 0).cloned().collect();
+    println!("{}", trace::render(&offload_events));
     println!(
         "end-to-end (host clock): {} — paper Fig. 9: 6.1 us",
         t1 - t0
     );
-    let traced: f64 = events.iter().map(|e| e.duration().as_us_f64()).sum();
+    let traced: f64 = offload_events
+        .iter()
+        .map(|e| e.duration().as_us_f64())
+        .sum();
     println!("sum of traced component durations: {traced:.3} us");
+    println!(
+        "correlated components: {:?}",
+        capture
+            .offload_ids()
+            .first()
+            .map(|&id| {
+                let mut engines: Vec<_> = capture
+                    .events_for_offload(id)
+                    .iter()
+                    .map(|e| e.engine())
+                    .collect();
+                engines.sort_unstable();
+                engines.dedup();
+                engines
+            })
+            .unwrap_or_default()
+    );
+
+    println!("\n## Backend metric registers\n");
+    println!("{}", o.metrics_snapshot().render());
+
+    std::fs::write("repro_trace.trace.json", capture.to_chrome_json()).expect("write chrome trace");
+    std::fs::write("repro_trace.jsonl", capture.to_jsonl()).expect("write jsonl");
+    println!(
+        "wrote repro_trace.trace.json ({} spans) — load in Perfetto / chrome://tracing",
+        capture.len()
+    );
+    println!("wrote repro_trace.jsonl");
     o.shutdown();
 }

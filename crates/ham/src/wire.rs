@@ -9,15 +9,17 @@
 //!      8     4  payload_len   (u32)
 //!     12     2  kind          (u16)  offload / result / control
 //!     14     2  reply_slot    (u16)  piggybacked buffer bookkeeping
-//!     16     8  ts_ps         (u64)  virtual send-completion timestamp
+//!     16     8  corr          (u64)  offload correlation id
 //!     24     8  seq           (u64)  per-channel sequence number
 //! ```
 //!
-//! `ts_ps` is the simulation's in-band timestamp (see `aurora-sim-core`
-//! docs): the virtual time at which the message lands in destination
-//! memory, joined into the receiver's clock. `reply_slot` carries the
-//! "which buffer to send the result to" bookkeeping the paper piggybacks
-//! onto messages and flags (§III-D).
+//! `corr` is the telemetry correlation id (`trace::OffloadId`) of the
+//! offload this message belongs to, carried in-band so the target side can
+//! attribute its work to the same span tree the host started (0 = not part
+//! of an offload). Virtual timestamps travel out-of-band through the
+//! protocol flags, not here. `reply_slot` carries the "which buffer to
+//! send the result to" bookkeeping the paper piggybacks onto messages and
+//! flags (§III-D).
 
 use crate::registry::HandlerKey;
 use crate::HamError;
@@ -67,9 +69,9 @@ pub struct MsgHeader {
     /// Which send-buffer slot the result should use (piggybacked
     /// bookkeeping).
     pub reply_slot: u16,
-    /// Virtual timestamp (ps) at which the message lands in destination
-    /// memory.
-    pub ts_ps: u64,
+    /// Telemetry correlation id of the offload this message serves
+    /// (0 when the message is not attributable to one).
+    pub corr: u64,
     /// Per-channel sequence number.
     pub seq: u64,
 }
@@ -82,7 +84,7 @@ impl MsgHeader {
         out[8..12].copy_from_slice(&self.payload_len.to_le_bytes());
         out[12..14].copy_from_slice(&self.kind.to_u16().to_le_bytes());
         out[14..16].copy_from_slice(&self.reply_slot.to_le_bytes());
-        out[16..24].copy_from_slice(&self.ts_ps.to_le_bytes());
+        out[16..24].copy_from_slice(&self.corr.to_le_bytes());
         out[24..32].copy_from_slice(&self.seq.to_le_bytes());
         out
     }
@@ -105,7 +107,7 @@ impl MsgHeader {
             payload_len: word(8..12) as u32,
             kind: MsgKind::from_u16(word(12..14) as u16)?,
             reply_slot: word(14..16) as u16,
-            ts_ps: word(16..24),
+            corr: word(16..24),
             seq: word(24..32),
         })
     }
@@ -127,7 +129,7 @@ mod tests {
             payload_len: 48,
             kind: MsgKind::Offload,
             reply_slot: 3,
-            ts_ps: 123_456_789,
+            corr: 123_456_789,
             seq: 42,
         }
     }
@@ -174,13 +176,13 @@ mod tests {
 
     proptest! {
         #[test]
-        fn prop_round_trip(key: u64, len: u32, slot: u16, ts: u64, seq: u64, k in 1u16..4) {
+        fn prop_round_trip(key: u64, len: u32, slot: u16, corr: u64, seq: u64, k in 1u16..4) {
             let h = MsgHeader {
                 handler_key: HandlerKey(key),
                 payload_len: len,
                 kind: MsgKind::from_u16(k).unwrap(),
                 reply_slot: slot,
-                ts_ps: ts,
+                corr,
                 seq,
             };
             prop_assert_eq!(MsgHeader::decode(&h.encode()).unwrap(), h);

@@ -9,7 +9,7 @@
 
 use crate::types::{NodeDescriptor, NodeId};
 use crate::OffloadError;
-use aurora_sim_core::Clock;
+use aurora_sim_core::{BackendMetrics, Clock};
 use ham::registry::HandlerKey;
 use ham::Registry;
 use std::sync::Arc;
@@ -68,6 +68,10 @@ pub trait CommBackend: Send + Sync + 'static {
 
     /// The host process's virtual clock (what benchmarks read).
     fn host_clock(&self) -> &Clock;
+
+    /// This backend's metric registers. The runtime bumps them on every
+    /// Table II operation; backends only need to own the storage.
+    fn metrics(&self) -> &BackendMetrics;
 
     /// Ask all targets to leave their message loops and join them.
     /// Idempotent.

@@ -10,6 +10,8 @@
 use crate::backend::{CommBackend, SlotId};
 use crate::types::NodeId;
 use crate::OffloadError;
+use aurora_sim_core::trace::{self, OffloadId};
+use aurora_sim_core::SimTime;
 use ham::HamError;
 use std::sync::Arc;
 
@@ -23,6 +25,10 @@ pub struct Future<T> {
     slot: SlotId,
     decode: fn(&[u8]) -> Result<T, HamError>,
     state: State<T>,
+    /// Telemetry correlation id of the offload this future resolves.
+    offload: OffloadId,
+    /// Virtual post time, for the latency metric at completion.
+    posted_at: SimTime,
 }
 
 enum State<T> {
@@ -38,6 +44,8 @@ impl<T> Future<T> {
         target: NodeId,
         slot: SlotId,
         decode: fn(&[u8]) -> Result<T, HamError>,
+        offload: OffloadId,
+        posted_at: SimTime,
     ) -> Self {
         Self {
             backend: Some(backend),
@@ -45,6 +53,8 @@ impl<T> Future<T> {
             slot,
             decode,
             state: State::Pending,
+            offload,
+            posted_at,
         }
     }
 
@@ -62,6 +72,8 @@ impl<T> Future<T> {
             slot: SlotId(u64::MAX),
             decode: never::<T>,
             state: State::Ready(value),
+            offload: OffloadId(0),
+            posted_at: SimTime::ZERO,
         }
     }
 
@@ -73,14 +85,23 @@ impl<T> Future<T> {
                 let Some(backend) = &self.backend else {
                     return true;
                 };
+                // Polls run on the host thread but belong to the offload's
+                // span tree.
+                let _scope = trace::offload_scope(self.offload);
+                let _node = trace::node_scope(crate::types::NodeId::HOST.0);
                 match backend.try_result(self.target, self.slot) {
-                    Ok(None) => false,
+                    Ok(None) => {
+                        backend.metrics().on_poll(false);
+                        false
+                    }
                     Ok(Some(bytes)) => {
+                        Self::complete(backend, self.posted_at);
                         let decoded = (self.decode)(&bytes).map_err(OffloadError::from);
                         self.state = State::Ready(decoded);
                         true
                     }
                     Err(e) => {
+                        Self::complete(backend, self.posted_at);
                         self.state = State::Ready(Err(e));
                         true
                     }
@@ -108,9 +129,22 @@ impl<T> Future<T> {
         }
     }
 
+    /// The hit poll: count it, close the latency register. Errors also
+    /// complete the offload — otherwise the inflight gauge would leak.
+    fn complete(backend: &Arc<dyn CommBackend>, posted_at: SimTime) {
+        backend.metrics().on_poll(true);
+        let now = backend.host_clock().now();
+        backend.metrics().on_complete(now.saturating_sub(posted_at));
+    }
+
     /// The target this offload ran on.
     pub fn target(&self) -> NodeId {
         self.target
+    }
+
+    /// Telemetry correlation id of this offload (0 for ready futures).
+    pub fn offload_id(&self) -> OffloadId {
+        self.offload
     }
 }
 

@@ -11,7 +11,7 @@ use crate::target_loop::{run_target_loop, unframe_result, TargetChannel};
 use crate::types::{DeviceType, NodeDescriptor, NodeId};
 use crate::OffloadError;
 use aurora_mem::RangeAllocator;
-use aurora_sim_core::Clock;
+use aurora_sim_core::{trace, BackendMetrics, Clock};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use ham::message::VecMemory;
 use ham::registry::HandlerKey;
@@ -54,6 +54,7 @@ pub struct LocalBackend {
     next_slot: Mutex<u64>,
     clock: Clock,
     mem_bytes: u64,
+    metrics: BackendMetrics,
 }
 
 impl LocalBackend {
@@ -109,6 +110,7 @@ impl LocalBackend {
             next_slot: Mutex::new(0),
             clock: Clock::new(),
             mem_bytes,
+            metrics: BackendMetrics::new(),
         })
     }
 
@@ -178,7 +180,7 @@ impl CommBackend for LocalBackend {
             payload_len: payload.len() as u32,
             kind: MsgKind::Offload,
             reply_slot: 0,
-            ts_ps: self.clock.now().as_ps(),
+            corr: trace::current_offload(),
             seq: slot,
         };
         t.tx.send((header, payload.to_vec()))
@@ -232,6 +234,10 @@ impl CommBackend for LocalBackend {
         &self.clock
     }
 
+    fn metrics(&self) -> &BackendMetrics {
+        &self.metrics
+    }
+
     fn shutdown(&self) {
         for (i, t) in self.targets.iter().enumerate() {
             let header = MsgHeader {
@@ -239,7 +245,7 @@ impl CommBackend for LocalBackend {
                 payload_len: 0,
                 kind: MsgKind::Control,
                 reply_slot: 0,
-                ts_ps: self.clock.now().as_ps(),
+                corr: 0,
                 seq: u64::MAX - i as u64,
             };
             // Ignore send failures: the loop may already be gone.

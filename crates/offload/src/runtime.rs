@@ -6,7 +6,7 @@ use crate::future::Future;
 use crate::scalar::Scalar;
 use crate::types::{NodeDescriptor, NodeId};
 use crate::OffloadError;
-use aurora_sim_core::calib;
+use aurora_sim_core::{calib, trace, MetricsSnapshot};
 use ham::{ActiveMessage, HamError};
 use std::sync::Arc;
 
@@ -66,17 +66,27 @@ impl Offload {
         msg: M,
     ) -> Result<Future<M::Output>, OffloadError> {
         self.check_target(target)?;
+        // Every offload gets a fresh correlation id; everything recorded
+        // in this scope — and by the backend while posting — joins its
+        // span tree. The id also travels in the wire header (`corr`) so
+        // the target side attributes its work to the same tree.
+        let id = trace::next_offload_id();
+        let _of = trace::offload_scope(id);
+        let _node = trace::node_scope(NodeId::HOST.0);
         // Host-side framework cost: serialisation, bookkeeping, future.
         let t0 = self.backend.host_clock().now();
         let t1 = self.backend.host_clock().advance(calib::HAM_HOST_OVERHEAD);
-        aurora_sim_core::trace::record("ham.host_overhead", 0, t0, t1);
+        trace::record("ham.host_overhead", 0, t0, t1);
         let (key, payload) = self.backend.host_registry().encode_message(&msg)?;
         let slot = self.backend.post(target, key, &payload)?;
+        self.backend.metrics().on_post(payload.len() as u64);
         Ok(Future::new(
             Arc::clone(&self.backend),
             target,
             slot,
             decode_output::<M>,
+            id,
+            self.backend.host_clock().now(),
         ))
     }
 
@@ -98,13 +108,17 @@ impl Offload {
         len: u64,
     ) -> Result<BufferPtr<T>, OffloadError> {
         self.check_target(node)?;
-        let addr = self.backend.allocate(node, len * T::SIZE as u64)?;
+        let bytes = len * T::SIZE as u64;
+        let addr = self.backend.allocate(node, bytes)?;
+        self.backend.metrics().on_alloc(node.0, addr, bytes);
         Ok(BufferPtr::from_raw(node, addr, len))
     }
 
     /// Free a buffer previously returned by [`Offload::allocate`].
     pub fn free<T: Scalar>(&self, ptr: BufferPtr<T>) -> Result<(), OffloadError> {
-        self.backend.free(ptr.node(), ptr.addr())
+        self.backend.free(ptr.node(), ptr.addr())?;
+        self.backend.metrics().on_free(ptr.node().0, ptr.addr());
+        Ok(())
     }
 
     /// Write host data into target memory (Table II `put`).
@@ -117,6 +131,7 @@ impl Offload {
             )));
         }
         let bytes = T::encode_slice(src);
+        let _node = trace::node_scope(NodeId::HOST.0);
         self.backend.put_bytes(
             RawBuffer {
                 node: dst.node(),
@@ -124,7 +139,9 @@ impl Offload {
                 len: bytes.len() as u64,
             },
             &bytes,
-        )
+        )?;
+        self.backend.metrics().on_put(bytes.len() as u64);
+        Ok(())
     }
 
     /// Read target memory into a host slice (Table II `get`).
@@ -137,6 +154,7 @@ impl Offload {
             )));
         }
         let mut bytes = vec![0u8; dst.len() * T::SIZE];
+        let _node = trace::node_scope(NodeId::HOST.0);
         self.backend.get_bytes(
             RawBuffer {
                 node: src.node(),
@@ -145,6 +163,7 @@ impl Offload {
             },
             &mut bytes,
         )?;
+        self.backend.metrics().on_get(bytes.len() as u64);
         T::decode_slice(&bytes, dst);
         Ok(())
     }
@@ -160,7 +179,7 @@ impl Offload {
     /// Table II's asynchronous `get`: returns a future holding the read
     /// elements (a Rust-safe rendering of the paper's `get(src, dst*)`).
     pub fn get_async<T: Scalar>(&self, src: BufferPtr<T>, len: u64) -> Future<Vec<T>> {
-        let mut out = vec![T::read_le(&vec![0u8; T::SIZE]); len as usize];
+        let mut out = vec![T::ZERO; len as usize];
         let result = self.get(src, &mut out).map(|()| out);
         Future::ready(src.node(), result)
     }
@@ -183,6 +202,7 @@ impl Offload {
             )));
         }
         let mut staging = vec![0u8; (len as usize) * T::SIZE];
+        let _node = trace::node_scope(NodeId::HOST.0);
         self.backend.get_bytes(
             RawBuffer {
                 node: src.node(),
@@ -191,6 +211,7 @@ impl Offload {
             },
             &mut staging,
         )?;
+        self.backend.metrics().on_get(staging.len() as u64);
         self.backend.put_bytes(
             RawBuffer {
                 node: dst.node(),
@@ -198,7 +219,19 @@ impl Offload {
                 len: staging.len() as u64,
             },
             &staging,
-        )
+        )?;
+        self.backend.metrics().on_put(staging.len() as u64);
+        Ok(())
+    }
+
+    // --- observability ---------------------------------------------------
+
+    /// Point-in-time copy of the backend's metric registers: posts,
+    /// polls/retries, put/get byte totals, live allocation bytes and the
+    /// offload latency distribution. Always on — independent of whether a
+    /// [`aurora_sim_core::trace::TraceSession`] is recording.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.backend.metrics().snapshot()
     }
 
     // --- lifecycle -------------------------------------------------------

@@ -9,6 +9,10 @@ pub trait Scalar: Copy + Send + Sync + 'static {
     /// Encoded size in bytes.
     const SIZE: usize;
 
+    /// The additive identity — what freshly `allocate`d buffers read as
+    /// before data lands in them.
+    const ZERO: Self;
+
     /// Write `self` little-endian into `out` (`out.len() == SIZE`).
     fn write_le(&self, out: &mut [u8]);
 
@@ -38,6 +42,7 @@ macro_rules! scalar_impl {
         $(
             impl Scalar for $ty {
                 const SIZE: usize = core::mem::size_of::<$ty>();
+                const ZERO: Self = 0 as $ty;
                 fn write_le(&self, out: &mut [u8]) {
                     out.copy_from_slice(&self.to_le_bytes());
                 }

@@ -8,6 +8,7 @@
 //! The loop is transport-agnostic through [`TargetChannel`]; each backend
 //! provides the flag-polling / DMA-fetching implementation.
 
+use aurora_sim_core::trace::{self, OffloadId};
 use ham::wire::{MsgHeader, MsgKind};
 use ham::{ExecContext, HamError, Registry, TargetMemory};
 
@@ -110,11 +111,24 @@ pub fn run_target_loop_with_reverse(
 
 /// The fully-general message loop over a [`TargetEnv`].
 pub fn run_target_loop_env(env: &TargetEnv<'_>, chan: &dyn TargetChannel) -> u64 {
+    let _node = trace::node_scope(env.node);
     let mut served = 0;
-    while let Some((header, payload)) = chan.recv() {
+    loop {
+        // Transport work inside `recv` (flag polls, DMA fetches) runs
+        // before the header — and with it the correlation id — is known.
+        // Mark here and retag afterwards so those spans join the
+        // offload's tree.
+        let mark = trace::mark();
+        let Some((header, payload)) = chan.recv() else {
+            break;
+        };
+        if header.corr != 0 {
+            trace::retag_since(&mark, OffloadId(header.corr));
+        }
         match header.kind {
             MsgKind::Control => break,
             MsgKind::Offload => {
+                let _of = trace::offload_scope(OffloadId(header.corr));
                 let mut ctx = ExecContext::new(env.node, env.mem);
                 if let Some(r) = env.reverse {
                     ctx = ctx.with_reverse_transport(env.registry, r);
@@ -169,7 +183,7 @@ mod tests {
             payload_len: len as u32,
             kind,
             reply_slot: slot,
-            ts_ps: 0,
+            corr: 0,
             seq,
         }
     }

@@ -102,23 +102,38 @@ impl PcieLink {
     /// earlier than `earliest`. Returns the service window; concurrent
     /// users of the same direction are serialized FIFO.
     pub fn occupy(&self, dir: Direction, earliest: SimTime, bytes: u64) -> Reservation {
-        let tl = match dir {
-            Direction::Vh2Ve => &self.down,
-            Direction::Ve2Vh => &self.up,
-        };
-        tl.reserve(earliest, self.wire_time(bytes))
+        self.reserve(dir, earliest, self.wire_time(bytes), bytes)
     }
 
     /// Occupy the wire in `dir` for an explicitly given duration — used
     /// by engines whose streaming rate is below the link's effective rate
     /// (the engine, not the wire, is the bottleneck, but the wire is held
-    /// for the duration either way).
-    pub fn occupy_for(&self, dir: Direction, earliest: SimTime, duration: SimTime) -> Reservation {
-        let tl = match dir {
-            Direction::Vh2Ve => &self.down,
-            Direction::Ve2Vh => &self.up,
+    /// for the duration either way). `bytes` is the payload moved during
+    /// the window (occupancy telemetry).
+    pub fn occupy_for(
+        &self,
+        dir: Direction,
+        earliest: SimTime,
+        duration: SimTime,
+        bytes: u64,
+    ) -> Reservation {
+        self.reserve(dir, earliest, duration, bytes)
+    }
+
+    fn reserve(
+        &self,
+        dir: Direction,
+        earliest: SimTime,
+        duration: SimTime,
+        bytes: u64,
+    ) -> Reservation {
+        let (tl, category) = match dir {
+            Direction::Vh2Ve => (&self.down, "pcie.down"),
+            Direction::Ve2Vh => (&self.up, "pcie.up"),
         };
-        tl.reserve(earliest, duration)
+        let res = tl.reserve(earliest, duration);
+        aurora_sim_core::trace::record(category, bytes, res.start, res.end);
+        res
     }
 
     /// Total busy time of a direction (utilization accounting).

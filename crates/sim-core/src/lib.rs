@@ -25,6 +25,7 @@
 
 pub mod calib;
 pub mod clock;
+pub mod metrics;
 pub mod model;
 pub mod resource;
 pub mod rng;
@@ -33,6 +34,7 @@ pub mod time;
 pub mod trace;
 
 pub use clock::Clock;
+pub use metrics::{BackendMetrics, MetricsSnapshot};
 pub use model::{LinkModel, SegmentedModel, TransferCost};
 pub use resource::Timeline;
 pub use stats::{Histogram, OnlineStats, Sampler};

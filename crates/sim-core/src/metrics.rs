@@ -1,0 +1,300 @@
+//! Per-backend metric registers.
+//!
+//! Every communication backend owns a [`BackendMetrics`]; the offload
+//! runtime bumps it on the paper's API operations (post, poll, put/get,
+//! allocate/free), so all four backends are measured identically and for
+//! free — counters are single relaxed atomics (see
+//! [`aurora_telemetry::metrics`]) and stay on even when no trace session
+//! is recording. [`BackendMetrics::snapshot`] returns a plain-data
+//! [`MetricsSnapshot`] with derived statistics (offload latency
+//! mean/stddev and a log₂ histogram, payload size distribution).
+
+use crate::stats::{Histogram, OnlineStats};
+use crate::time::SimTime;
+use aurora_telemetry::{Counter, Gauge};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+
+/// Live metric registers of one backend instance.
+#[derive(Debug)]
+pub struct BackendMetrics {
+    posts: Counter,
+    polls: Counter,
+    retries: Counter,
+    completions: Counter,
+    puts: Counter,
+    gets: Counter,
+    bytes_put: Counter,
+    bytes_get: Counter,
+    allocs: Counter,
+    frees: Counter,
+    /// Offloads posted but not yet completed.
+    inflight: Gauge,
+    /// Bytes currently allocated on targets via `allocate`.
+    alloc_live: Gauge,
+    payload: Mutex<OnlineStats>,
+    latency: Mutex<OnlineStats>,
+    latency_hist: Mutex<Histogram>,
+    /// `(node, addr) → bytes`, to credit frees against the live gauge.
+    allocations: Mutex<HashMap<(u16, u64), u64>>,
+}
+
+impl Default for BackendMetrics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BackendMetrics {
+    /// Zeroed registers.
+    pub fn new() -> Self {
+        BackendMetrics {
+            posts: Counter::new(),
+            polls: Counter::new(),
+            retries: Counter::new(),
+            completions: Counter::new(),
+            puts: Counter::new(),
+            gets: Counter::new(),
+            bytes_put: Counter::new(),
+            bytes_get: Counter::new(),
+            allocs: Counter::new(),
+            frees: Counter::new(),
+            inflight: Gauge::new(),
+            alloc_live: Gauge::new(),
+            payload: Mutex::new(OnlineStats::new()),
+            latency: Mutex::new(OnlineStats::new()),
+            latency_hist: Mutex::new(Histogram::new()),
+            allocations: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// An offload message of `payload_bytes` was posted.
+    pub fn on_post(&self, payload_bytes: u64) {
+        self.posts.incr();
+        self.inflight.add(1);
+        self.payload.lock().record(payload_bytes as f64);
+    }
+
+    /// The host polled a future; `ready` tells whether the result had
+    /// arrived (a miss counts as a retry).
+    pub fn on_poll(&self, ready: bool) {
+        self.polls.incr();
+        if !ready {
+            self.retries.incr();
+        }
+    }
+
+    /// An offload completed after `latency` of virtual time post→result.
+    pub fn on_complete(&self, latency: SimTime) {
+        self.completions.incr();
+        self.inflight.add(-1);
+        self.latency.lock().record_time(latency);
+        self.latency_hist.lock().record(latency);
+    }
+
+    /// `put` moved `bytes` host → target.
+    pub fn on_put(&self, bytes: u64) {
+        self.puts.incr();
+        self.bytes_put.add(bytes);
+    }
+
+    /// `get` moved `bytes` target → host.
+    pub fn on_get(&self, bytes: u64) {
+        self.gets.incr();
+        self.bytes_get.add(bytes);
+    }
+
+    /// `allocate` reserved `bytes` at `(node, addr)`.
+    pub fn on_alloc(&self, node: u16, addr: u64, bytes: u64) {
+        self.allocs.incr();
+        self.alloc_live.add(bytes as i64);
+        self.allocations.lock().insert((node, addr), bytes);
+    }
+
+    /// `free` released the buffer at `(node, addr)`.
+    pub fn on_free(&self, node: u16, addr: u64) {
+        self.frees.incr();
+        if let Some(bytes) = self.allocations.lock().remove(&(node, addr)) {
+            self.alloc_live.add(-(bytes as i64));
+        }
+    }
+
+    /// Copy the registers into a plain-data snapshot.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            posts: self.posts.get(),
+            polls: self.polls.get(),
+            retries: self.retries.get(),
+            completions: self.completions.get(),
+            puts: self.puts.get(),
+            gets: self.gets.get(),
+            bytes_put: self.bytes_put.get(),
+            bytes_get: self.bytes_get.get(),
+            allocs: self.allocs.get(),
+            frees: self.frees.get(),
+            inflight: self.inflight.get(),
+            inflight_peak: self.inflight.peak(),
+            alloc_bytes_live: self.alloc_live.get(),
+            alloc_bytes_peak: self.alloc_live.peak(),
+            payload_bytes: self.payload.lock().clone(),
+            latency: self.latency.lock().clone(),
+            latency_hist: self.latency_hist.lock().clone(),
+        }
+    }
+}
+
+/// Point-in-time copy of a backend's metrics.
+#[derive(Clone, Debug)]
+pub struct MetricsSnapshot {
+    /// Offload messages posted.
+    pub posts: u64,
+    /// Future polls (`test()` calls reaching the backend).
+    pub polls: u64,
+    /// Polls that found no result yet.
+    pub retries: u64,
+    /// Offloads whose result was consumed.
+    pub completions: u64,
+    /// `put` operations.
+    pub puts: u64,
+    /// `get` operations.
+    pub gets: u64,
+    /// Total bytes moved host → target by `put`.
+    pub bytes_put: u64,
+    /// Total bytes moved target → host by `get`.
+    pub bytes_get: u64,
+    /// `allocate` calls.
+    pub allocs: u64,
+    /// `free` calls.
+    pub frees: u64,
+    /// Offloads currently in flight.
+    pub inflight: i64,
+    /// Highest concurrent in-flight count observed.
+    pub inflight_peak: i64,
+    /// Bytes currently allocated on targets.
+    pub alloc_bytes_live: i64,
+    /// Highest live allocation level observed.
+    pub alloc_bytes_peak: i64,
+    /// Distribution of posted payload sizes (bytes).
+    pub payload_bytes: OnlineStats,
+    /// Offload latency distribution (recorded in nanoseconds).
+    pub latency: OnlineStats,
+    /// Log₂ histogram of offload latencies.
+    pub latency_hist: Histogram,
+}
+
+impl MetricsSnapshot {
+    /// Aligned text rendering for reports.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let mut line = |k: &str, v: String| out.push_str(&format!("{k:<22} {v}\n"));
+        line("posts", self.posts.to_string());
+        line("polls", self.polls.to_string());
+        line("retries", self.retries.to_string());
+        line("completions", self.completions.to_string());
+        line(
+            "inflight (now/peak)",
+            format!("{}/{}", self.inflight, self.inflight_peak),
+        );
+        line("puts", format!("{} ({} bytes)", self.puts, self.bytes_put));
+        line("gets", format!("{} ({} bytes)", self.gets, self.bytes_get));
+        line("allocs/frees", format!("{}/{}", self.allocs, self.frees));
+        line(
+            "alloc bytes (now/peak)",
+            format!("{}/{}", self.alloc_bytes_live, self.alloc_bytes_peak),
+        );
+        if self.payload_bytes.count() > 0 {
+            line(
+                "payload bytes",
+                format!(
+                    "mean {:.1} min {:.0} max {:.0}",
+                    self.payload_bytes.mean(),
+                    self.payload_bytes.min(),
+                    self.payload_bytes.max()
+                ),
+            );
+        }
+        if self.latency.count() > 0 {
+            line(
+                "offload latency",
+                format!(
+                    "mean {:.3} us (sd {:.3}, min {:.3}, max {:.3})",
+                    self.latency.mean() / 1e3,
+                    self.latency.stddev() / 1e3,
+                    self.latency.min() / 1e3,
+                    self.latency.max() / 1e3
+                ),
+            );
+            for (floor, count) in self.latency_hist.nonzero() {
+                line(&format!("  latency ≥ {floor}"), count.to_string());
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_accumulate() {
+        let m = BackendMetrics::new();
+        m.on_post(100);
+        m.on_post(300);
+        m.on_poll(false);
+        m.on_poll(true);
+        m.on_complete(SimTime::from_us(6));
+        let s = m.snapshot();
+        assert_eq!(s.posts, 2);
+        assert_eq!(s.polls, 2);
+        assert_eq!(s.retries, 1);
+        assert_eq!(s.completions, 1);
+        assert_eq!(s.inflight, 1);
+        assert_eq!(s.inflight_peak, 2);
+        assert_eq!(s.payload_bytes.count(), 2);
+        assert!((s.payload_bytes.mean() - 200.0).abs() < 1e-9);
+        assert_eq!(s.latency_hist.count(), 1);
+    }
+
+    #[test]
+    fn allocation_gauge_credits_frees() {
+        let m = BackendMetrics::new();
+        m.on_alloc(1, 0x1000, 512);
+        m.on_alloc(1, 0x2000, 256);
+        m.on_free(1, 0x1000);
+        // Double free of an unknown address must not underflow.
+        m.on_free(1, 0x1000);
+        let s = m.snapshot();
+        assert_eq!(s.allocs, 2);
+        assert_eq!(s.frees, 2);
+        assert_eq!(s.alloc_bytes_live, 256);
+        assert_eq!(s.alloc_bytes_peak, 768);
+    }
+
+    #[test]
+    fn transfer_bytes_totalled() {
+        let m = BackendMetrics::new();
+        m.on_put(1024);
+        m.on_put(1024);
+        m.on_get(64);
+        let s = m.snapshot();
+        assert_eq!(s.puts, 2);
+        assert_eq!(s.bytes_put, 2048);
+        assert_eq!(s.gets, 1);
+        assert_eq!(s.bytes_get, 64);
+    }
+
+    #[test]
+    fn render_mentions_key_registers() {
+        let m = BackendMetrics::new();
+        m.on_post(64);
+        m.on_complete(SimTime::from_us(6));
+        let text = m.snapshot().render();
+        assert!(text.contains("posts"));
+        assert!(text.contains("offload latency"));
+        assert!(
+            text.contains("6.000 us") || text.contains("mean 6.000"),
+            "{text}"
+        );
+    }
+}

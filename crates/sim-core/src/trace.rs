@@ -1,23 +1,38 @@
-//! Virtual-time event tracing.
+//! Virtual-time event tracing — `SimTime`-typed facade over the
+//! [`aurora_telemetry`] flight recorder.
 //!
-//! When enabled, simulated hardware components record every costed
-//! operation (engine reservations, wire occupancy, instruction streams)
-//! into a global buffer; the `repro_trace` harness renders the resulting
+//! Simulated hardware components call [`record`] for every costed
+//! operation (engine reservations, wire occupancy, framework overheads).
+//! A [`TraceSession`] collects those spans; the returned [`Trace`] exports
+//! text, JSONL, and Chrome trace-event JSON (see
+//! [`aurora_telemetry::export`]). The `repro_trace` harness renders the
 //! per-offload timeline — the measured counterpart of the §V-A cost
 //! breakdown.
 //!
-//! Tracing is process-global and off by default; recording is a single
-//! relaxed atomic load when disabled.
+//! Recording state is process-global but guarded: sessions are RAII
+//! ([`TraceSession`]) and mutually exclusive, so concurrently running
+//! traced tests serialize instead of polluting each other. When no
+//! session is active, [`record`] costs a single relaxed atomic load.
 
 use crate::time::SimTime;
-use parking_lot::Mutex;
-use std::sync::atomic::{AtomicBool, Ordering};
 
-/// One recorded operation on the virtual timeline.
+pub use aurora_telemetry::{
+    current_offload, enabled, mark, next_offload_id, node_scope, offload_scope, retag_since,
+    ContextGuard, Mark, OffloadId, Trace, NODE_UNKNOWN,
+};
+
+/// One recorded operation on the virtual timeline, `SimTime`-typed.
+///
+/// The raw [`Trace`] keeps picoseconds; this view is for consumers that
+/// compare against simulation clocks.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Event {
-    /// Component category (e.g. `"udma.read"`, `"veo.write"`).
+    /// Component category, `"<engine>.<phase>"` (e.g. `"udma.read"`).
     pub category: &'static str,
+    /// Correlation id of the offload this span served (0 = unattributed).
+    pub offload: u64,
+    /// Node the work ran on ([`NODE_UNKNOWN`] if outside a `node_scope`).
+    pub node: u16,
     /// Operation size in bytes (0 when not applicable).
     pub bytes: u64,
     /// Virtual start time.
@@ -31,55 +46,91 @@ impl Event {
     pub fn duration(&self) -> SimTime {
         self.end.saturating_sub(self.start)
     }
+
+    /// The engine (category up to the first `'.'`).
+    pub fn engine(&self) -> &'static str {
+        match self.category.split_once('.') {
+            Some((engine, _)) => engine,
+            None => self.category,
+        }
+    }
+
+    /// The phase (category after the first `'.'`).
+    pub fn phase(&self) -> &'static str {
+        match self.category.split_once('.') {
+            Some((_, phase)) => phase,
+            None => self.category,
+        }
+    }
 }
 
-static ENABLED: AtomicBool = AtomicBool::new(false);
-static EVENTS: Mutex<Vec<Event>> = Mutex::new(Vec::new());
+/// RAII recording session (see [`aurora_telemetry::TraceSession`]).
+///
+/// Starting a session waits for any other live session to end; dropping
+/// without [`TraceSession::finish`] discards the captured spans. This
+/// replaces the old free-running `enable()`/`disable_and_take()` pair,
+/// whose process-global toggle let concurrent tests corrupt each other's
+/// captures.
+pub struct TraceSession(aurora_telemetry::TraceSession);
 
-/// Start recording (clears previously captured events).
-pub fn enable() {
-    EVENTS.lock().clear();
-    ENABLED.store(true, Ordering::Release);
+impl TraceSession {
+    /// Begin recording.
+    pub fn start() -> TraceSession {
+        TraceSession(aurora_telemetry::TraceSession::start())
+    }
+
+    /// Stop recording; spans come back sorted by `(start, end)`.
+    pub fn finish(self) -> Trace {
+        self.0.finish()
+    }
 }
 
-/// Stop recording and return the captured events sorted by start time.
-pub fn disable_and_take() -> Vec<Event> {
-    ENABLED.store(false, Ordering::Release);
-    let mut events = std::mem::take(&mut *EVENTS.lock());
-    events.sort_by_key(|e| (e.start, e.end));
-    events
-}
-
-/// True while tracing is active.
-pub fn enabled() -> bool {
-    ENABLED.load(Ordering::Acquire)
-}
-
-/// Record one operation (no-op unless tracing is enabled).
+/// Record one operation (no-op unless a session is active). Attribution
+/// comes from the calling thread's [`offload_scope`] / [`node_scope`].
 #[inline]
 pub fn record(category: &'static str, bytes: u64, start: SimTime, end: SimTime) {
-    if !ENABLED.load(Ordering::Relaxed) {
-        return;
-    }
-    EVENTS.lock().push(Event {
-        category,
-        bytes,
-        start,
-        end,
-    });
+    aurora_telemetry::record(category, bytes, start.as_ps(), end.as_ps());
 }
 
-/// Render events as an aligned text timeline.
+/// `SimTime`-typed copies of a trace's spans, in timeline order.
+pub fn sim_events(trace: &Trace) -> Vec<Event> {
+    trace
+        .events
+        .iter()
+        .map(|e| Event {
+            category: e.category,
+            offload: e.offload,
+            node: e.node,
+            bytes: e.bytes,
+            start: SimTime::from_ps(e.start_ps),
+            end: SimTime::from_ps(e.end_ps),
+        })
+        .collect()
+}
+
+/// Render `SimTime`-typed events as an aligned text timeline.
 pub fn render(events: &[Event]) -> String {
     let mut out = String::new();
     out.push_str(&format!(
-        "{:<20} {:>10} {:>14} {:>14} {:>12}\n",
-        "component", "bytes", "start", "end", "duration"
+        "{:<20} {:>8} {:>6} {:>10} {:>14} {:>14} {:>12}\n",
+        "component", "offload", "node", "bytes", "start", "end", "duration"
     ));
     for e in events {
+        let offload = if e.offload == 0 {
+            "-".to_string()
+        } else {
+            format!("of{}", e.offload)
+        };
+        let node = if e.node == NODE_UNKNOWN {
+            "-".to_string()
+        } else {
+            e.node.to_string()
+        };
         out.push_str(&format!(
-            "{:<20} {:>10} {:>14} {:>14} {:>12}\n",
+            "{:<20} {:>8} {:>6} {:>10} {:>14} {:>14} {:>12}\n",
             e.category,
+            offload,
+            node,
             e.bytes,
             format!("{}", e.start),
             format!("{}", e.end),
@@ -93,26 +144,79 @@ pub fn render(events: &[Event]) -> String {
 mod tests {
     use super::*;
 
-    // Tracing state is process-global; run the whole lifecycle in one
-    // test to avoid cross-test interference.
+    // These tests each hold a TraceSession; the session lock serializes
+    // them, so — unlike the pre-session-guard implementation, which needed
+    // one monolithic lifecycle test — they can run as independent tests.
+
     #[test]
-    fn lifecycle_capture_and_render() {
-        assert!(!enabled());
-        record("ignored", 0, SimTime::ZERO, SimTime::from_ns(1));
-        enable();
-        assert!(enabled());
-        record("b.op", 8, SimTime::from_ns(10), SimTime::from_ns(20));
-        record("a.op", 64, SimTime::from_ns(5), SimTime::from_ns(9));
-        let events = disable_and_take();
-        assert!(!enabled());
-        assert_eq!(events.len(), 2, "pre-enable event must be dropped");
-        assert_eq!(events[0].category, "a.op", "sorted by start");
-        assert_eq!(events[1].duration(), SimTime::from_ns(10));
+    fn pre_session_events_are_dropped() {
+        record("facade.ignored", 0, SimTime::ZERO, SimTime::from_ns(1));
+        let session = TraceSession::start();
+        let trace = session.finish();
+        assert!(!trace.events.iter().any(|e| e.category == "facade.ignored"));
+    }
+
+    #[test]
+    fn capture_is_sorted_and_timed() {
+        let session = TraceSession::start();
+        record("facade.late", 8, SimTime::from_ns(10), SimTime::from_ns(20));
+        record("facade.early", 64, SimTime::from_ns(5), SimTime::from_ns(9));
+        let events = sim_events(&session.finish());
+        let own: Vec<_> = events
+            .iter()
+            .filter(|e| e.category.starts_with("facade."))
+            .collect();
+        assert_eq!(own.len(), 2);
+        assert_eq!(own[0].category, "facade.early", "sorted by start");
+        assert_eq!(own[1].duration(), SimTime::from_ns(10));
+    }
+
+    /// The binary's tests run concurrently and one of them deliberately
+    /// records outside any session; restrict assertions to a test's own
+    /// categories so a stray drop-in can't break exact counts.
+    fn own(trace: &Trace, prefix: &str) -> usize {
+        trace
+            .events
+            .iter()
+            .filter(|e| e.category.starts_with(prefix))
+            .count()
+    }
+
+    #[test]
+    fn sessions_drain_completely() {
+        let s1 = TraceSession::start();
+        record("drain.first", 0, SimTime::ZERO, SimTime::from_ns(1));
+        assert_eq!(own(&s1.finish(), "drain."), 1);
+        // Buffer drained; a new session sees none of them.
+        let s2 = TraceSession::start();
+        assert_eq!(own(&s2.finish(), "drain."), 0);
+    }
+
+    #[test]
+    fn render_includes_attribution() {
+        let session = TraceSession::start();
+        let id = next_offload_id();
+        {
+            let _node = node_scope(2);
+            let _of = offload_scope(id);
+            record("facade.span", 96, SimTime::from_ns(5), SimTime::from_ns(15));
+        }
+        let events = sim_events(&session.finish());
         let rendered = render(&events);
-        assert!(rendered.contains("a.op"));
-        assert!(rendered.contains("b.op"));
-        // Buffer drained; a second take is empty.
-        enable();
-        assert!(disable_and_take().is_empty());
+        assert!(rendered.contains("facade.span"));
+        assert!(rendered.contains(&format!("of{}", id.0)));
+        assert!(
+            rendered.contains("10.000ns"),
+            "duration column:\n{rendered}"
+        );
+    }
+
+    #[test]
+    fn dropped_session_discards_events() {
+        let s1 = TraceSession::start();
+        record("lost.span", 0, SimTime::ZERO, SimTime::from_ns(1));
+        drop(s1);
+        let s2 = TraceSession::start();
+        assert_eq!(own(&s2.finish(), "lost."), 0);
     }
 }

@@ -1,0 +1,109 @@
+//! Lock-free metric primitives.
+//!
+//! Counters and gauges are plain atomics: safe to bump from the host
+//! thread and every simulated target thread without coordination. Unlike
+//! spans they are always on — the cost is one relaxed RMW — so steady
+//! counters (posts, polls, bytes moved) are available even when no trace
+//! session is running.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+
+/// Monotonically increasing event count.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// A zeroed counter.
+    pub const fn new() -> Self {
+        Counter {
+            value: AtomicU64::new(0),
+        }
+    }
+
+    /// Add one.
+    #[inline]
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Add `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Signed level that rises and falls (in-flight offloads, live allocator
+/// bytes), with a high-water mark.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicI64,
+    peak: AtomicI64,
+}
+
+impl Gauge {
+    /// A zeroed gauge.
+    pub const fn new() -> Self {
+        Gauge {
+            value: AtomicI64::new(0),
+            peak: AtomicI64::new(0),
+        }
+    }
+
+    /// Move the level by `delta` (positive or negative), updating the
+    /// high-water mark.
+    #[inline]
+    pub fn add(&self, delta: i64) {
+        let now = self.value.fetch_add(delta, Ordering::Relaxed) + delta;
+        self.peak.fetch_max(now, Ordering::Relaxed);
+    }
+
+    /// Current level.
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// Highest level ever observed.
+    pub fn peak(&self) -> i64 {
+        self.peak.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates() {
+        let c = Counter::new();
+        c.incr();
+        c.add(41);
+        assert_eq!(c.get(), 42);
+    }
+
+    #[test]
+    fn gauge_tracks_level_and_peak() {
+        let g = Gauge::new();
+        g.add(5);
+        g.add(3);
+        g.add(-6);
+        assert_eq!(g.get(), 2);
+        assert_eq!(g.peak(), 8);
+    }
+
+    #[test]
+    fn gauge_peak_survives_drain() {
+        let g = Gauge::new();
+        g.add(4);
+        g.add(-4);
+        assert_eq!(g.get(), 0);
+        assert_eq!(g.peak(), 4);
+    }
+}

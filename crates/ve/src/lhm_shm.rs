@@ -145,7 +145,9 @@ impl LhmShmUnit {
         let stream = self.take_window(clock.now(), |win| {
             calib::shm_stream().transfer_time_with_window(words.len() as u64, win)
         });
-        let wire = self.link.occupy_for(Direction::Ve2Vh, clock.now(), stream);
+        let wire = self
+            .link
+            .occupy_for(Direction::Ve2Vh, clock.now(), stream, len);
         Ok(clock.join(wire.end + self.extra_one_way))
     }
 

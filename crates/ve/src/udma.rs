@@ -62,7 +62,9 @@ impl UserDma {
         let setup = calib::UDMA_SETUP + self.extra_one_way * 2;
         let issue = self.engine.reserve(clock.now(), setup);
         let stream = aurora_sim_core::time::time_at_gib_per_sec(len, calib::UDMA_VH2VE_GIB_S);
-        let wire = self.link.occupy_for(Direction::Vh2Ve, issue.end, stream);
+        let wire = self
+            .link
+            .occupy_for(Direction::Vh2Ve, issue.end, stream, len);
         aurora_sim_core::trace::record("udma.read", len, issue.start, wire.end);
         Ok(clock.join(wire.end))
     }
@@ -84,7 +86,9 @@ impl UserDma {
         let setup = calib::UDMA_SETUP + self.extra_one_way;
         let issue = self.engine.reserve(clock.now(), setup);
         let stream = aurora_sim_core::time::time_at_gib_per_sec(len, calib::UDMA_VE2VH_GIB_S);
-        let wire = self.link.occupy_for(Direction::Ve2Vh, issue.end, stream);
+        let wire = self
+            .link
+            .occupy_for(Direction::Ve2Vh, issue.end, stream, len);
         aurora_sim_core::trace::record("udma.write", len, issue.start, wire.end);
         Ok(clock.join(wire.end))
     }

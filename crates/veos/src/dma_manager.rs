@@ -119,6 +119,7 @@ impl DmaManager {
             dir,
             issue.end,
             aurora_sim_core::time::time_at_gib_per_sec(len, model.gib_per_sec),
+            len,
         );
         aurora_sim_core::trace::record(
             if write {

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# The repo's gate: tier-1 build + tests, then lints. CI runs exactly this.
+# Only workspace crates (crates/* + the facade) are linted/formatted; the
+# vendored stand-ins under vendor/ are plain dependencies and stay exempt.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tier-1: release build =="
+cargo build --release
+
+echo "== tier-1: tests =="
+cargo test -q
+
+echo "== clippy (warnings are errors) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== rustfmt =="
+cargo fmt --check
+
+echo "All checks passed."

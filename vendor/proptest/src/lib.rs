@@ -1,0 +1,429 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build container has no access to crates.io, so this crate provides
+//! the subset of the proptest API the workspace uses: the [`proptest!`]
+//! macro (with `#![proptest_config(..)]`, `name in strategy` and
+//! `name: Type` parameters), `prop_assert!`/`prop_assert_eq!`/
+//! `prop_assert_ne!`/`prop_assume!`, [`strategy::Strategy`] implemented for
+//! integer ranges and tuples, [`arbitrary::any`], and
+//! [`collection::vec`].
+//!
+//! Differences from real proptest, deliberately accepted for a stand-in:
+//! cases are generated from a deterministic per-test seed (derived from the
+//! test's module path and name) and failures are **not shrunk** — the
+//! failing assertion message reports the case number instead.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod test_runner {
+    //! Deterministic RNG and run configuration.
+
+    /// Run configuration; only `cases` is honoured.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of random cases each property test runs.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` random cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            // Real proptest defaults to 256; 64 keeps simulation-heavy
+            // properties fast while still exercising varied inputs.
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// SplitMix64 generator — deterministic per seed, good 64-bit avalanche.
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seed the generator from an arbitrary label (test name), so each
+        /// property gets a distinct but reproducible stream.
+        pub fn deterministic(label: &str) -> Self {
+            // FNV-1a over the label.
+            let mut h = 0xcbf2_9ce4_8422_2325u64;
+            for b in label.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            TestRng { state: h | 1 }
+        }
+
+        /// Next 64 uniformly random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// A uniformly random `usize` below `bound` (which must be > 0).
+        pub fn below(&mut self, bound: usize) -> usize {
+            (self.next_u64() % bound as u64) as usize
+        }
+    }
+}
+
+pub mod strategy {
+    //! Value-generation strategies (no shrinking).
+
+    use crate::test_runner::TestRng;
+
+    /// A recipe for generating random values of one type.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+        /// Produce one random value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),* $(,)?) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let off = (rng.next_u64() as u128) % span;
+                    (self.start as i128 + off as i128) as $t
+                }
+            }
+        )*};
+    }
+    int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! tuple_strategy {
+        ($(($($s:ident . $idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+    tuple_strategy! {
+        (A.0)
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+    }
+}
+
+pub mod arbitrary {
+    //! Default strategies per type (`any::<T>()`).
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use core::marker::PhantomData;
+
+    /// Types with a canonical random generator.
+    pub trait Arbitrary: Sized {
+        /// Produce one random value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    /// The strategy returned by [`any`].
+    pub struct Any<T>(PhantomData<fn() -> T>);
+
+    /// The canonical strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    macro_rules! int_arbitrary {
+        ($($t:ty),* $(,)?) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for u128 {
+        fn arbitrary(rng: &mut TestRng) -> u128 {
+            ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128
+        }
+    }
+
+    impl Arbitrary for i128 {
+        fn arbitrary(rng: &mut TestRng) -> i128 {
+            u128::arbitrary(rng) as i128
+        }
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> f64 {
+            // Uniform over bit patterns, excluding NaN/inf so equality-based
+            // round-trip properties stay meaningful.
+            loop {
+                let v = f64::from_bits(rng.next_u64());
+                if v.is_finite() {
+                    return v;
+                }
+            }
+        }
+    }
+
+    impl Arbitrary for f32 {
+        fn arbitrary(rng: &mut TestRng) -> f32 {
+            loop {
+                let v = f32::from_bits(rng.next_u64() as u32);
+                if v.is_finite() {
+                    return v;
+                }
+            }
+        }
+    }
+
+    impl Arbitrary for char {
+        fn arbitrary(rng: &mut TestRng) -> char {
+            const POOL: &[char] = &[
+                'a', 'Z', '0', ' ', '_', 'λ', 'é', '中', '🚀', '\n', '\'', '"',
+            ];
+            POOL[rng.below(POOL.len())]
+        }
+    }
+
+    impl Arbitrary for String {
+        fn arbitrary(rng: &mut TestRng) -> String {
+            let len = rng.below(12);
+            (0..len).map(|_| char::arbitrary(rng)).collect()
+        }
+    }
+
+    impl<T: Arbitrary> Arbitrary for Vec<T> {
+        fn arbitrary(rng: &mut TestRng) -> Vec<T> {
+            let len = rng.below(9);
+            (0..len).map(|_| T::arbitrary(rng)).collect()
+        }
+    }
+
+    impl<T: Arbitrary> Arbitrary for Option<T> {
+        fn arbitrary(rng: &mut TestRng) -> Option<T> {
+            if bool::arbitrary(rng) {
+                Some(T::arbitrary(rng))
+            } else {
+                None
+            }
+        }
+    }
+
+    macro_rules! tuple_arbitrary {
+        ($(($($t:ident),+))*) => {$(
+            impl<$($t: Arbitrary),+> Arbitrary for ($($t,)+) {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    ($($t::arbitrary(rng),)+)
+                }
+            }
+        )*};
+    }
+    tuple_arbitrary! {
+        (A)
+        (A, B)
+        (A, B, C)
+        (A, B, C, D)
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy for `Vec`s with element strategy `S` and a length range.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: core::ops::Range<usize>,
+    }
+
+    /// A `Vec` whose length is drawn from `size` and whose elements come
+    /// from `element`.
+    pub fn vec<S: Strategy>(element: S, size: core::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.size.generate(rng);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    //! One-stop imports, mirroring `proptest::prelude`.
+
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Define property tests. Supports an optional
+/// `#![proptest_config(expr)]` header and parameters written either as
+/// `name in strategy` or `name: Type` (the latter uses `any::<Type>()`).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns!(($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!(($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Implementation detail of [`proptest!`]: expand each `fn` into a test
+/// running `cases` deterministic random cases.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($cfg:expr)) => {};
+    (($cfg:expr) $(#[$meta:meta])* fn $name:ident($($params:tt)*) $body:block $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut __rng = $crate::test_runner::TestRng::deterministic(
+                concat!(module_path!(), "::", stringify!($name)),
+            );
+            for __case in 0..__config.cases {
+                let _ = __case;
+                $crate::__proptest_case!(__rng, ($($params)*) $body);
+            }
+        }
+        $crate::__proptest_fns!(($cfg) $($rest)*);
+    };
+}
+
+/// Implementation detail of [`proptest!`]: bind one parameter, recurse.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_case {
+    ($rng:ident, () $body:block) => {
+        $body
+    };
+    ($rng:ident, ($name:ident in $strat:expr, $($rest:tt)+) $body:block) => {{
+        let $name = $crate::strategy::Strategy::generate(&($strat), &mut $rng);
+        $crate::__proptest_case!($rng, ($($rest)+) $body);
+    }};
+    ($rng:ident, ($name:ident : $ty:ty, $($rest:tt)+) $body:block) => {{
+        let $name: $ty = $crate::strategy::Strategy::generate(
+            &$crate::arbitrary::any::<$ty>(),
+            &mut $rng,
+        );
+        $crate::__proptest_case!($rng, ($($rest)+) $body);
+    }};
+    ($rng:ident, ($name:ident in $strat:expr $(,)?) $body:block) => {{
+        let $name = $crate::strategy::Strategy::generate(&($strat), &mut $rng);
+        $body
+    }};
+    ($rng:ident, ($name:ident : $ty:ty $(,)?) $body:block) => {{
+        let $name: $ty = $crate::strategy::Strategy::generate(
+            &$crate::arbitrary::any::<$ty>(),
+            &mut $rng,
+        );
+        $body
+    }};
+}
+
+/// Property-scoped `assert!` (no shrinking: plain assertion).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Property-scoped `assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => { assert_eq!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)+) => { assert_eq!($left, $right, $($fmt)+) };
+}
+
+/// Property-scoped `assert_ne!`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => { assert_ne!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)+) => { assert_ne!($left, $right, $($fmt)+) };
+}
+
+/// Skip the current case when a precondition fails.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(, $($fmt:tt)+)?) => {
+        if !($cond) {
+            continue;
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = crate::test_runner::TestRng::deterministic("bounds");
+        for _ in 0..1000 {
+            let v = Strategy::generate(&(3u64..17), &mut rng);
+            assert!((3..17).contains(&v));
+            let s = Strategy::generate(&(-5i16..5), &mut rng);
+            assert!((-5..5).contains(&s));
+        }
+    }
+
+    #[test]
+    fn deterministic_streams() {
+        let mut a = crate::test_runner::TestRng::deterministic("x");
+        let mut b = crate::test_runner::TestRng::deterministic("x");
+        for _ in 0..10 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// The macro handles mixed `in`/`:` parameters and prop_assume.
+        #[test]
+        fn macro_smoke(
+            a in 1u32..10,
+            b: bool,
+            xs in crate::collection::vec(any::<u8>(), 0..4),
+        ) {
+            prop_assume!(a != 5);
+            prop_assert!((1..10u32).contains(&a));
+            prop_assert_eq!(b, b);
+            prop_assert!(xs.len() < 4);
+        }
+    }
+}

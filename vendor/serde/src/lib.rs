@@ -1,0 +1,24 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build container has no access to crates.io, so the workspace vendors
+//! the serde data model: the [`ser::Serialize`]/[`ser::Serializer`] and
+//! [`de::Deserialize`]/[`de::Deserializer`] trait families with the method
+//! sets and signatures the repo's codec (`ham::codec`) implements, plus
+//! impls for the primitive/std types that appear in messages. The `derive`
+//! feature re-exports `#[derive(Serialize, Deserialize)]` proc-macros from
+//! the vendored `serde_derive`.
+//!
+//! Supported attributes: `#[serde(skip)]` on fields and
+//! `#[serde(crate = "path")]` on containers — the two the repo uses.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod de;
+pub mod ser;
+
+pub use de::{Deserialize, Deserializer};
+pub use ser::{Serialize, Serializer};
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

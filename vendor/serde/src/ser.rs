@@ -1,0 +1,418 @@
+//! Serialization half of the data model.
+
+use std::fmt::Display;
+
+/// Error construction hook for serializers.
+pub trait Error: Sized {
+    /// Build an error from a display-able message.
+    fn custom<T: Display>(msg: T) -> Self;
+}
+
+/// A data structure that can be serialized into any serde data format.
+pub trait Serialize {
+    /// Serialize `self` into the given serializer.
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}
+
+/// A data format that can serialize any serde data structure.
+pub trait Serializer: Sized {
+    /// Output produced on success.
+    type Ok;
+    /// Error type.
+    type Error: Error;
+    /// Sub-serializer for sequences.
+    type SerializeSeq: SerializeSeq<Ok = Self::Ok, Error = Self::Error>;
+    /// Sub-serializer for tuples.
+    type SerializeTuple: SerializeTuple<Ok = Self::Ok, Error = Self::Error>;
+    /// Sub-serializer for tuple structs.
+    type SerializeTupleStruct: SerializeTupleStruct<Ok = Self::Ok, Error = Self::Error>;
+    /// Sub-serializer for tuple enum variants.
+    type SerializeTupleVariant: SerializeTupleVariant<Ok = Self::Ok, Error = Self::Error>;
+    /// Sub-serializer for maps.
+    type SerializeMap: SerializeMap<Ok = Self::Ok, Error = Self::Error>;
+    /// Sub-serializer for structs.
+    type SerializeStruct: SerializeStruct<Ok = Self::Ok, Error = Self::Error>;
+    /// Sub-serializer for struct enum variants.
+    type SerializeStructVariant: SerializeStructVariant<Ok = Self::Ok, Error = Self::Error>;
+
+    /// Serialize a `bool`.
+    fn serialize_bool(self, v: bool) -> Result<Self::Ok, Self::Error>;
+    /// Serialize an `i8`.
+    fn serialize_i8(self, v: i8) -> Result<Self::Ok, Self::Error>;
+    /// Serialize an `i16`.
+    fn serialize_i16(self, v: i16) -> Result<Self::Ok, Self::Error>;
+    /// Serialize an `i32`.
+    fn serialize_i32(self, v: i32) -> Result<Self::Ok, Self::Error>;
+    /// Serialize an `i64`.
+    fn serialize_i64(self, v: i64) -> Result<Self::Ok, Self::Error>;
+    /// Serialize an `i128`.
+    fn serialize_i128(self, v: i128) -> Result<Self::Ok, Self::Error> {
+        let _ = v;
+        Err(Error::custom("i128 is not supported"))
+    }
+    /// Serialize a `u8`.
+    fn serialize_u8(self, v: u8) -> Result<Self::Ok, Self::Error>;
+    /// Serialize a `u16`.
+    fn serialize_u16(self, v: u16) -> Result<Self::Ok, Self::Error>;
+    /// Serialize a `u32`.
+    fn serialize_u32(self, v: u32) -> Result<Self::Ok, Self::Error>;
+    /// Serialize a `u64`.
+    fn serialize_u64(self, v: u64) -> Result<Self::Ok, Self::Error>;
+    /// Serialize a `u128`.
+    fn serialize_u128(self, v: u128) -> Result<Self::Ok, Self::Error> {
+        let _ = v;
+        Err(Error::custom("u128 is not supported"))
+    }
+    /// Serialize an `f32`.
+    fn serialize_f32(self, v: f32) -> Result<Self::Ok, Self::Error>;
+    /// Serialize an `f64`.
+    fn serialize_f64(self, v: f64) -> Result<Self::Ok, Self::Error>;
+    /// Serialize a `char`.
+    fn serialize_char(self, v: char) -> Result<Self::Ok, Self::Error>;
+    /// Serialize a string slice.
+    fn serialize_str(self, v: &str) -> Result<Self::Ok, Self::Error>;
+    /// Serialize opaque bytes.
+    fn serialize_bytes(self, v: &[u8]) -> Result<Self::Ok, Self::Error>;
+    /// Serialize `Option::None`.
+    fn serialize_none(self) -> Result<Self::Ok, Self::Error>;
+    /// Serialize `Option::Some(value)`.
+    fn serialize_some<T: Serialize + ?Sized>(self, value: &T) -> Result<Self::Ok, Self::Error>;
+    /// Serialize `()`.
+    fn serialize_unit(self) -> Result<Self::Ok, Self::Error>;
+    /// Serialize a unit struct like `struct Ghost;`.
+    fn serialize_unit_struct(self, name: &'static str) -> Result<Self::Ok, Self::Error>;
+    /// Serialize a unit enum variant.
+    fn serialize_unit_variant(
+        self,
+        name: &'static str,
+        variant_index: u32,
+        variant: &'static str,
+    ) -> Result<Self::Ok, Self::Error>;
+    /// Serialize a newtype struct like `struct Id(u64);`.
+    fn serialize_newtype_struct<T: Serialize + ?Sized>(
+        self,
+        name: &'static str,
+        value: &T,
+    ) -> Result<Self::Ok, Self::Error>;
+    /// Serialize a newtype enum variant.
+    fn serialize_newtype_variant<T: Serialize + ?Sized>(
+        self,
+        name: &'static str,
+        variant_index: u32,
+        variant: &'static str,
+        value: &T,
+    ) -> Result<Self::Ok, Self::Error>;
+    /// Begin a variable-length sequence.
+    fn serialize_seq(self, len: Option<usize>) -> Result<Self::SerializeSeq, Self::Error>;
+    /// Begin a fixed-length tuple.
+    fn serialize_tuple(self, len: usize) -> Result<Self::SerializeTuple, Self::Error>;
+    /// Begin a tuple struct.
+    fn serialize_tuple_struct(
+        self,
+        name: &'static str,
+        len: usize,
+    ) -> Result<Self::SerializeTupleStruct, Self::Error>;
+    /// Begin a tuple enum variant.
+    fn serialize_tuple_variant(
+        self,
+        name: &'static str,
+        variant_index: u32,
+        variant: &'static str,
+        len: usize,
+    ) -> Result<Self::SerializeTupleVariant, Self::Error>;
+    /// Begin a map.
+    fn serialize_map(self, len: Option<usize>) -> Result<Self::SerializeMap, Self::Error>;
+    /// Begin a struct.
+    fn serialize_struct(
+        self,
+        name: &'static str,
+        len: usize,
+    ) -> Result<Self::SerializeStruct, Self::Error>;
+    /// Begin a struct enum variant.
+    fn serialize_struct_variant(
+        self,
+        name: &'static str,
+        variant_index: u32,
+        variant: &'static str,
+        len: usize,
+    ) -> Result<Self::SerializeStructVariant, Self::Error>;
+    /// Hint for formats with human-readable and binary representations.
+    fn is_human_readable(&self) -> bool {
+        true
+    }
+}
+
+/// Incremental serializer for sequences.
+pub trait SerializeSeq {
+    /// Output produced on success.
+    type Ok;
+    /// Error type.
+    type Error: Error;
+    /// Serialize the next element.
+    fn serialize_element<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), Self::Error>;
+    /// Finish the sequence.
+    fn end(self) -> Result<Self::Ok, Self::Error>;
+}
+
+/// Incremental serializer for tuples.
+pub trait SerializeTuple {
+    /// Output produced on success.
+    type Ok;
+    /// Error type.
+    type Error: Error;
+    /// Serialize the next element.
+    fn serialize_element<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), Self::Error>;
+    /// Finish the tuple.
+    fn end(self) -> Result<Self::Ok, Self::Error>;
+}
+
+/// Incremental serializer for tuple structs.
+pub trait SerializeTupleStruct {
+    /// Output produced on success.
+    type Ok;
+    /// Error type.
+    type Error: Error;
+    /// Serialize the next field.
+    fn serialize_field<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), Self::Error>;
+    /// Finish the tuple struct.
+    fn end(self) -> Result<Self::Ok, Self::Error>;
+}
+
+/// Incremental serializer for tuple enum variants.
+pub trait SerializeTupleVariant {
+    /// Output produced on success.
+    type Ok;
+    /// Error type.
+    type Error: Error;
+    /// Serialize the next field.
+    fn serialize_field<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), Self::Error>;
+    /// Finish the variant.
+    fn end(self) -> Result<Self::Ok, Self::Error>;
+}
+
+/// Incremental serializer for maps.
+pub trait SerializeMap {
+    /// Output produced on success.
+    type Ok;
+    /// Error type.
+    type Error: Error;
+    /// Serialize the next key.
+    fn serialize_key<T: Serialize + ?Sized>(&mut self, key: &T) -> Result<(), Self::Error>;
+    /// Serialize the next value.
+    fn serialize_value<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), Self::Error>;
+    /// Serialize a key-value entry.
+    fn serialize_entry<K: Serialize + ?Sized, V: Serialize + ?Sized>(
+        &mut self,
+        key: &K,
+        value: &V,
+    ) -> Result<(), Self::Error> {
+        self.serialize_key(key)?;
+        self.serialize_value(value)
+    }
+    /// Finish the map.
+    fn end(self) -> Result<Self::Ok, Self::Error>;
+}
+
+/// Incremental serializer for structs.
+pub trait SerializeStruct {
+    /// Output produced on success.
+    type Ok;
+    /// Error type.
+    type Error: Error;
+    /// Serialize the next named field.
+    fn serialize_field<T: Serialize + ?Sized>(
+        &mut self,
+        key: &'static str,
+        value: &T,
+    ) -> Result<(), Self::Error>;
+    /// Finish the struct.
+    fn end(self) -> Result<Self::Ok, Self::Error>;
+}
+
+/// Incremental serializer for struct enum variants.
+pub trait SerializeStructVariant {
+    /// Output produced on success.
+    type Ok;
+    /// Error type.
+    type Error: Error;
+    /// Serialize the next named field.
+    fn serialize_field<T: Serialize + ?Sized>(
+        &mut self,
+        key: &'static str,
+        value: &T,
+    ) -> Result<(), Self::Error>;
+    /// Finish the variant.
+    fn end(self) -> Result<Self::Ok, Self::Error>;
+}
+
+// ---------------------------------------------------------------------------
+// Serialize impls for primitive and common std types
+// ---------------------------------------------------------------------------
+
+macro_rules! primitive_serialize {
+    ($($ty:ty => $method:ident,)*) => {$(
+        impl Serialize for $ty {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                serializer.$method(*self)
+            }
+        }
+    )*};
+}
+
+primitive_serialize! {
+    bool => serialize_bool,
+    i8 => serialize_i8,
+    i16 => serialize_i16,
+    i32 => serialize_i32,
+    i64 => serialize_i64,
+    i128 => serialize_i128,
+    u8 => serialize_u8,
+    u16 => serialize_u16,
+    u32 => serialize_u32,
+    u64 => serialize_u64,
+    u128 => serialize_u128,
+    f32 => serialize_f32,
+    f64 => serialize_f64,
+    char => serialize_char,
+}
+
+impl Serialize for usize {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_u64(*self as u64)
+    }
+}
+
+impl Serialize for isize {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_i64(*self as i64)
+    }
+}
+
+impl Serialize for str {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self)
+    }
+}
+
+impl Serialize for String {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self)
+    }
+}
+
+impl Serialize for () {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_unit()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &mut T {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        match self {
+            Some(v) => serializer.serialize_some(v),
+            None => serializer.serialize_none(),
+        }
+    }
+}
+
+impl<T: Serialize, E: Serialize> Serialize for Result<T, E> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        match self {
+            Ok(v) => serializer.serialize_newtype_variant("Result", 0, "Ok", v),
+            Err(e) => serializer.serialize_newtype_variant("Result", 1, "Err", e),
+        }
+    }
+}
+
+impl<T> Serialize for std::marker::PhantomData<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_unit_struct("PhantomData")
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut seq = serializer.serialize_seq(Some(self.len()))?;
+        for item in self {
+            seq.serialize_element(item)?;
+        }
+        seq.end()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        self.as_slice().serialize(serializer)
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        // Arrays are fixed-size: serialized as tuples, without a length
+        // prefix, matching upstream serde.
+        let mut tup = serializer.serialize_tuple(N)?;
+        for item in self {
+            tup.serialize_element(item)?;
+        }
+        tup.end()
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut map = serializer.serialize_map(Some(self.len()))?;
+        for (k, v) in self {
+            map.serialize_entry(k, v)?;
+        }
+        map.end()
+    }
+}
+
+impl<K: Serialize, V: Serialize, H> Serialize for std::collections::HashMap<K, V, H> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut map = serializer.serialize_map(Some(self.len()))?;
+        for (k, v) in self {
+            map.serialize_entry(k, v)?;
+        }
+        map.end()
+    }
+}
+
+macro_rules! tuple_serialize {
+    ($(($($name:ident $idx:tt),+),)*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                let mut tup = serializer.serialize_tuple(0 $(+ { let _ = $idx; 1 })+)?;
+                $( tup.serialize_element(&self.$idx)?; )+
+                tup.end()
+            }
+        }
+    )*};
+}
+
+tuple_serialize! {
+    (T0 0),
+    (T0 0, T1 1),
+    (T0 0, T1 1, T2 2),
+    (T0 0, T1 1, T2 2, T3 3),
+    (T0 0, T1 1, T2 2, T3 3, T4 4),
+    (T0 0, T1 1, T2 2, T3 3, T4 4, T5 5),
+}

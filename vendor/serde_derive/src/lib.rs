@@ -1,0 +1,691 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The build container has no access to crates.io, so this proc-macro crate
+//! re-implements `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! shapes the workspace uses — named/tuple/unit structs (with simple type
+//! generics) and enums with unit/newtype/tuple/struct variants — by parsing
+//! the raw `TokenStream` directly (no `syn`/`quote`, which are equally
+//! unfetchable). Two attributes are honoured, matching the repo's usage:
+//!
+//! * `#[serde(crate = "path")]` on the container: root path for generated
+//!   code (default `serde`);
+//! * `#[serde(skip)]` on a named field: omitted from the wire, rebuilt with
+//!   `Default::default()` on deserialize.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+// ---------------------------------------------------------------------------
+// Input model
+// ---------------------------------------------------------------------------
+
+struct Field {
+    /// Named field identifier, or tuple index rendered as a string.
+    name: String,
+    skip: bool,
+}
+
+enum Fields {
+    Named(Vec<Field>),
+    Tuple(Vec<Field>),
+    Unit,
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Data {
+    Struct(Fields),
+    Enum(Vec<Variant>),
+}
+
+struct Input {
+    /// Root path of the serde facade in generated code.
+    krate: String,
+    name: String,
+    /// Type-parameter identifiers (`T` in `struct Foo<T>`), sans bounds.
+    type_params: Vec<String>,
+    /// Lifetime parameters (`'a`), rendered with the tick.
+    lifetimes: Vec<String>,
+    data: Data,
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+/// Flatten `Delimiter::None` groups (invisible delimiters introduced by
+/// `macro_rules!` fragment captures, e.g. a `$vis` or `$ty` forwarded into
+/// the struct definition) so the parser sees a plain token sequence.
+fn flatten(stream: TokenStream, out: &mut Vec<TokenTree>) {
+    for tt in stream {
+        match tt {
+            TokenTree::Group(g) if g.delimiter() == Delimiter::None => {
+                flatten(g.stream(), out);
+            }
+            other => out.push(other),
+        }
+    }
+}
+
+impl Cursor {
+    fn new(stream: TokenStream) -> Self {
+        let mut tokens = Vec::new();
+        flatten(stream, &mut tokens);
+        Cursor { tokens, pos: 0 }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat_punct(&mut self, ch: char) -> bool {
+        if let Some(TokenTree::Punct(p)) = self.peek() {
+            if p.as_char() == ch {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn expect_ident(&mut self, what: &str) -> String {
+        match self.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            other => panic!("serde derive: expected {what}, found {other:?}"),
+        }
+    }
+
+    /// Consume leading attributes; returns (serde_skip_seen, serde_crate).
+    fn eat_attributes(&mut self) -> (bool, Option<String>) {
+        let mut skip = false;
+        let mut krate = None;
+        while self.eat_punct('#') {
+            let group = match self.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => g,
+                other => panic!("serde derive: malformed attribute: {other:?}"),
+            };
+            let inner: Vec<TokenTree> = group.stream().into_iter().collect();
+            let is_serde =
+                matches!(inner.first(), Some(TokenTree::Ident(i)) if i.to_string() == "serde");
+            if !is_serde {
+                continue; // doc comments, #[allow], other derives' helpers
+            }
+            let args = match inner.get(1) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => g.stream(),
+                _ => continue,
+            };
+            let args: Vec<TokenTree> = args.into_iter().collect();
+            match args.first() {
+                Some(TokenTree::Ident(i)) if i.to_string() == "skip" => skip = true,
+                Some(TokenTree::Ident(i)) if i.to_string() == "crate" => {
+                    if let Some(TokenTree::Literal(lit)) = args.get(2) {
+                        let s = lit.to_string();
+                        krate = Some(s.trim_matches('"').to_string());
+                    }
+                }
+                other => panic!(
+                    "serde derive: unsupported #[serde(...)] attribute: {other:?} \
+                     (only `skip` and `crate = \"...\"` are supported)"
+                ),
+            }
+        }
+        (skip, krate)
+    }
+
+    /// Consume an optional `pub` / `pub(...)` visibility.
+    fn eat_visibility(&mut self) {
+        if let Some(TokenTree::Ident(i)) = self.peek() {
+            if i.to_string() == "pub" {
+                self.pos += 1;
+                if let Some(TokenTree::Group(g)) = self.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        self.pos += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Parse `<...>` generic parameters (idents and lifetimes; bounds in the
+    /// declaration are tolerated and stripped).
+    fn eat_generics(&mut self) -> (Vec<String>, Vec<String>) {
+        let mut type_params = Vec::new();
+        let mut lifetimes = Vec::new();
+        if !self.eat_punct('<') {
+            return (type_params, lifetimes);
+        }
+        let mut depth = 1u32;
+        let mut expecting_param = true;
+        let mut pending_lifetime = false;
+        while depth > 0 {
+            match self.next() {
+                Some(TokenTree::Punct(p)) => match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth -= 1,
+                    ',' if depth == 1 => expecting_param = true,
+                    ':' if depth == 1 => expecting_param = false, // bounds follow
+                    '\'' if depth == 1 && expecting_param => pending_lifetime = true,
+                    _ => {}
+                },
+                Some(TokenTree::Ident(i)) => {
+                    if depth == 1 && expecting_param {
+                        if pending_lifetime {
+                            lifetimes.push(format!("'{i}"));
+                            pending_lifetime = false;
+                        } else {
+                            type_params.push(i.to_string());
+                        }
+                        expecting_param = false;
+                    }
+                }
+                Some(_) => {}
+                None => panic!("serde derive: unterminated generic parameter list"),
+            }
+        }
+        (type_params, lifetimes)
+    }
+
+    /// Skip a field's type: everything until a top-level comma (tracking
+    /// angle-bracket depth; `->` does not close a bracket).
+    fn skip_type(&mut self) {
+        let mut angle = 0i32;
+        let mut prev_dash = false;
+        while let Some(t) = self.peek() {
+            match t {
+                TokenTree::Punct(p) => {
+                    let c = p.as_char();
+                    if c == ',' && angle == 0 {
+                        return;
+                    }
+                    if c == '<' {
+                        angle += 1;
+                    } else if c == '>' && !prev_dash {
+                        angle -= 1;
+                    }
+                    prev_dash = c == '-';
+                }
+                _ => prev_dash = false,
+            }
+            self.pos += 1;
+        }
+    }
+}
+
+fn parse_named_fields(group: TokenStream) -> Vec<Field> {
+    let mut c = Cursor::new(group);
+    let mut fields = Vec::new();
+    while c.peek().is_some() {
+        let (skip, _) = c.eat_attributes();
+        c.eat_visibility();
+        let name = c.expect_ident("field name");
+        assert!(
+            c.eat_punct(':'),
+            "serde derive: expected `:` after field `{name}`"
+        );
+        c.skip_type();
+        c.eat_punct(',');
+        fields.push(Field { name, skip });
+    }
+    fields
+}
+
+fn parse_tuple_fields(group: TokenStream) -> Vec<Field> {
+    let mut c = Cursor::new(group);
+    let mut fields = Vec::new();
+    let mut index = 0usize;
+    while c.peek().is_some() {
+        let (skip, _) = c.eat_attributes();
+        c.eat_visibility();
+        c.skip_type();
+        c.eat_punct(',');
+        fields.push(Field {
+            name: index.to_string(),
+            skip,
+        });
+        index += 1;
+    }
+    fields
+}
+
+fn parse_input(stream: TokenStream) -> Input {
+    let mut c = Cursor::new(stream);
+    let (_, krate) = c.eat_attributes();
+    c.eat_visibility();
+    let kw = c.expect_ident("`struct` or `enum`");
+    let name = c.expect_ident("container name");
+    let (type_params, lifetimes) = c.eat_generics();
+
+    let data = match kw.as_str() {
+        "struct" => match c.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Data::Struct(Fields::Named(parse_named_fields(g.stream())))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Data::Struct(Fields::Tuple(parse_tuple_fields(g.stream())))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Data::Struct(Fields::Unit),
+            Some(TokenTree::Ident(i)) if i.to_string() == "where" => {
+                panic!("serde derive: `where` clauses are not supported by the vendored derive")
+            }
+            other => panic!("serde derive: unexpected struct body: {other:?}"),
+        },
+        "enum" => {
+            let body = match c.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                other => panic!("serde derive: unexpected enum body: {other:?}"),
+            };
+            let mut vc = Cursor::new(body);
+            let mut variants = Vec::new();
+            while vc.peek().is_some() {
+                vc.eat_attributes();
+                let vname = vc.expect_ident("variant name");
+                let fields = match vc.peek() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        let g = g.stream();
+                        vc.pos += 1;
+                        Fields::Tuple(parse_tuple_fields(g))
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        let g = g.stream();
+                        vc.pos += 1;
+                        Fields::Named(parse_named_fields(g))
+                    }
+                    _ => Fields::Unit,
+                };
+                if vc.eat_punct('=') {
+                    panic!("serde derive: explicit discriminants are not supported");
+                }
+                vc.eat_punct(',');
+                variants.push(Variant {
+                    name: vname,
+                    fields,
+                });
+            }
+            Data::Enum(variants)
+        }
+        other => panic!("serde derive: expected struct or enum, found `{other}`"),
+    };
+
+    Input {
+        krate: krate.unwrap_or_else(|| "serde".to_string()),
+        name,
+        type_params,
+        lifetimes,
+        data,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shared codegen helpers
+// ---------------------------------------------------------------------------
+
+impl Input {
+    /// `Name<'a, T>` — the self type.
+    fn self_ty(&self) -> String {
+        if self.lifetimes.is_empty() && self.type_params.is_empty() {
+            self.name.clone()
+        } else {
+            let mut params: Vec<String> = self.lifetimes.clone();
+            params.extend(self.type_params.iter().cloned());
+            format!("{}<{}>", self.name, params.join(", "))
+        }
+    }
+
+    /// Generic parameter list for an impl, with a trait bound applied to
+    /// every type parameter; `extra` is prepended (e.g. `'de`).
+    fn impl_generics(&self, extra: &str, bound: &str) -> String {
+        let mut params: Vec<String> = Vec::new();
+        if !extra.is_empty() {
+            params.push(extra.to_string());
+        }
+        params.extend(self.lifetimes.iter().cloned());
+        params.extend(self.type_params.iter().map(|p| format!("{p}: {bound}")));
+        if params.is_empty() {
+            String::new()
+        } else {
+            format!("<{}>", params.join(", "))
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Serialize
+// ---------------------------------------------------------------------------
+
+/// Derive `Serialize` for structs and enums (vendored subset).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let input = parse_input(input);
+    let p = &input.krate;
+    let name = &input.name;
+    let self_ty = input.self_ty();
+    let generics = input.impl_generics("", &format!("{p}::ser::Serialize"));
+
+    let body = match &input.data {
+        Data::Struct(Fields::Named(fields)) => {
+            let live: Vec<&Field> = fields.iter().filter(|f| !f.skip).collect();
+            let mut s = format!(
+                "let mut __st = {p}::ser::Serializer::serialize_struct(__serializer, \"{name}\", {})?;\n",
+                live.len()
+            );
+            for f in &live {
+                s.push_str(&format!(
+                    "{p}::ser::SerializeStruct::serialize_field(&mut __st, \"{0}\", &self.{0})?;\n",
+                    f.name
+                ));
+            }
+            s.push_str(&format!("{p}::ser::SerializeStruct::end(__st)\n"));
+            s
+        }
+        Data::Struct(Fields::Tuple(fields)) if fields.len() == 1 => format!(
+            "{p}::ser::Serializer::serialize_newtype_struct(__serializer, \"{name}\", &self.0)\n"
+        ),
+        Data::Struct(Fields::Tuple(fields)) => {
+            let mut s = format!(
+                "let mut __st = {p}::ser::Serializer::serialize_tuple_struct(__serializer, \"{name}\", {})?;\n",
+                fields.len()
+            );
+            for f in fields {
+                s.push_str(&format!(
+                    "{p}::ser::SerializeTupleStruct::serialize_field(&mut __st, &self.{})?;\n",
+                    f.name
+                ));
+            }
+            s.push_str(&format!("{p}::ser::SerializeTupleStruct::end(__st)\n"));
+            s
+        }
+        Data::Struct(Fields::Unit) => {
+            format!("{p}::ser::Serializer::serialize_unit_struct(__serializer, \"{name}\")\n")
+        }
+        Data::Enum(variants) => {
+            let mut s = String::from("match self {\n");
+            for (idx, v) in variants.iter().enumerate() {
+                let vname = &v.name;
+                match &v.fields {
+                    Fields::Unit => s.push_str(&format!(
+                        "{name}::{vname} => {p}::ser::Serializer::serialize_unit_variant(__serializer, \"{name}\", {idx}u32, \"{vname}\"),\n"
+                    )),
+                    Fields::Tuple(fields) if fields.len() == 1 => s.push_str(&format!(
+                        "{name}::{vname}(__f0) => {p}::ser::Serializer::serialize_newtype_variant(__serializer, \"{name}\", {idx}u32, \"{vname}\", __f0),\n"
+                    )),
+                    Fields::Tuple(fields) => {
+                        let binders: Vec<String> =
+                            (0..fields.len()).map(|i| format!("__f{i}")).collect();
+                        s.push_str(&format!(
+                            "{name}::{vname}({}) => {{\nlet mut __sv = {p}::ser::Serializer::serialize_tuple_variant(__serializer, \"{name}\", {idx}u32, \"{vname}\", {})?;\n",
+                            binders.join(", "),
+                            fields.len()
+                        ));
+                        for b in &binders {
+                            s.push_str(&format!(
+                                "{p}::ser::SerializeTupleVariant::serialize_field(&mut __sv, {b})?;\n"
+                            ));
+                        }
+                        s.push_str(&format!(
+                            "{p}::ser::SerializeTupleVariant::end(__sv)\n}}\n"
+                        ));
+                    }
+                    Fields::Named(fields) => {
+                        let names: Vec<&str> =
+                            fields.iter().map(|f| f.name.as_str()).collect();
+                        s.push_str(&format!(
+                            "{name}::{vname} {{ {} }} => {{\nlet mut __sv = {p}::ser::Serializer::serialize_struct_variant(__serializer, \"{name}\", {idx}u32, \"{vname}\", {})?;\n",
+                            names.join(", "),
+                            fields.len()
+                        ));
+                        for n in &names {
+                            s.push_str(&format!(
+                                "{p}::ser::SerializeStructVariant::serialize_field(&mut __sv, \"{n}\", {n})?;\n"
+                            ));
+                        }
+                        s.push_str(&format!(
+                            "{p}::ser::SerializeStructVariant::end(__sv)\n}}\n"
+                        ));
+                    }
+                }
+            }
+            s.push_str("}\n");
+            s
+        }
+    };
+
+    let out = format!(
+        "#[automatically_derived]\n\
+         impl{generics} {p}::ser::Serialize for {self_ty} {{\n\
+         fn serialize<__S: {p}::ser::Serializer>(&self, __serializer: __S) \
+         -> core::result::Result<__S::Ok, __S::Error> {{\n{body}}}\n}}\n"
+    );
+    out.parse()
+        .expect("serde derive: generated invalid Serialize impl")
+}
+
+// ---------------------------------------------------------------------------
+// Deserialize
+// ---------------------------------------------------------------------------
+
+/// Emit a visitor `visit_seq` body reading `fields` positionally into
+/// `ctor` (e.g. `Name { a, b }` or `Name(__e0, __e1)`).
+fn seq_body(p: &str, fields: &[Field], named: bool, ctor_path: &str) -> String {
+    let mut s = String::from("let mut __taken = 0usize;\n");
+    let mut binders = Vec::new();
+    for (i, f) in fields.iter().enumerate() {
+        let binder = if named {
+            format!("__field_{}", f.name)
+        } else {
+            format!("__e{i}")
+        };
+        if f.skip {
+            s.push_str(&format!(
+                "let {binder} = core::default::Default::default();\n"
+            ));
+        } else {
+            s.push_str(&format!(
+                "let {binder} = match {p}::de::SeqAccess::next_element(&mut __seq)? {{\n\
+                 Some(__v) => {{ __taken += 1; __v }}\n\
+                 None => return Err({p}::de::Error::invalid_length(__taken, &\"more fields\")),\n\
+                 }};\n"
+            ));
+        }
+        binders.push((binder, f.name.clone()));
+    }
+    s.push_str("let _ = __taken;\n");
+    if named {
+        let inits: Vec<String> = binders.iter().map(|(b, n)| format!("{n}: {b}")).collect();
+        s.push_str(&format!("Ok({ctor_path} {{ {} }})\n", inits.join(", ")));
+    } else {
+        let args: Vec<String> = binders.iter().map(|(b, _)| b.clone()).collect();
+        s.push_str(&format!("Ok({ctor_path}({}))\n", args.join(", ")));
+    }
+    s
+}
+
+/// Derive `Deserialize` for structs and enums (vendored subset).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let input = parse_input(input);
+    let p = &input.krate;
+    let name = &input.name;
+    let self_ty = input.self_ty();
+    let generics = input.impl_generics("'de", &format!("{p}::de::Deserialize<'de>"));
+
+    // Helper visitor struct, generic over the container's type params.
+    let (vis_decl, vis_generics, vis_ctor, vis_ty) = if input.type_params.is_empty() {
+        (
+            "struct __Visitor;".to_string(),
+            "<'de>".to_string(),
+            "__Visitor".to_string(),
+            "__Visitor".to_string(),
+        )
+    } else {
+        let tp = input.type_params.join(", ");
+        (
+            format!("struct __Visitor<{tp}>(core::marker::PhantomData<fn() -> ({tp},)>);"),
+            format!(
+                "<'de, {}>",
+                input
+                    .type_params
+                    .iter()
+                    .map(|t| format!("{t}: {p}::de::Deserialize<'de>"))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ),
+            "__Visitor(core::marker::PhantomData)".to_string(),
+            format!("__Visitor<{tp}>"),
+        )
+    };
+
+    let (visitor_methods, driver) = match &input.data {
+        Data::Struct(Fields::Named(fields)) => {
+            let live_names: Vec<String> = fields
+                .iter()
+                .filter(|f| !f.skip)
+                .map(|f| format!("\"{}\"", f.name))
+                .collect();
+            let body = seq_body(p, fields, true, name);
+            (
+                format!(
+                    "fn visit_seq<__A: {p}::de::SeqAccess<'de>>(self, mut __seq: __A) \
+                     -> core::result::Result<Self::Value, __A::Error> {{\n{body}}}\n"
+                ),
+                format!(
+                    "{p}::de::Deserializer::deserialize_struct(__deserializer, \"{name}\", &[{}], {vis_ctor})",
+                    live_names.join(", ")
+                ),
+            )
+        }
+        Data::Struct(Fields::Tuple(fields)) if fields.len() == 1 => (
+            format!(
+                "fn visit_newtype_struct<__D2: {p}::de::Deserializer<'de>>(self, __d: __D2) \
+                 -> core::result::Result<Self::Value, __D2::Error> {{\n\
+                 {p}::de::Deserialize::deserialize(__d).map({name})\n}}\n"
+            ),
+            format!(
+                "{p}::de::Deserializer::deserialize_newtype_struct(__deserializer, \"{name}\", {vis_ctor})"
+            ),
+        ),
+        Data::Struct(Fields::Tuple(fields)) => {
+            let body = seq_body(p, fields, false, name);
+            (
+                format!(
+                    "fn visit_seq<__A: {p}::de::SeqAccess<'de>>(self, mut __seq: __A) \
+                     -> core::result::Result<Self::Value, __A::Error> {{\n{body}}}\n"
+                ),
+                format!(
+                    "{p}::de::Deserializer::deserialize_tuple_struct(__deserializer, \"{name}\", {}, {vis_ctor})",
+                    fields.len()
+                ),
+            )
+        }
+        Data::Struct(Fields::Unit) => (
+            format!(
+                "fn visit_unit<__E: {p}::de::Error>(self) \
+                 -> core::result::Result<Self::Value, __E> {{ Ok({name}) }}\n"
+            ),
+            format!(
+                "{p}::de::Deserializer::deserialize_unit_struct(__deserializer, \"{name}\", {vis_ctor})"
+            ),
+        ),
+        Data::Enum(variants) => {
+            if !input.type_params.is_empty() {
+                panic!("serde derive: generic enums are not supported by the vendored derive");
+            }
+            let variant_names: Vec<String> =
+                variants.iter().map(|v| format!("\"{}\"", v.name)).collect();
+            let mut arms = String::new();
+            for (idx, v) in variants.iter().enumerate() {
+                let vname = &v.name;
+                match &v.fields {
+                    Fields::Unit => arms.push_str(&format!(
+                        "{idx}u32 => {{ {p}::de::VariantAccess::unit_variant(__variant)?; Ok({name}::{vname}) }}\n"
+                    )),
+                    Fields::Tuple(fields) if fields.len() == 1 => arms.push_str(&format!(
+                        "{idx}u32 => {p}::de::VariantAccess::newtype_variant(__variant).map({name}::{vname}),\n"
+                    )),
+                    Fields::Tuple(fields) => {
+                        let body =
+                            seq_body(p, fields, false, &format!("{name}::{vname}"));
+                        arms.push_str(&format!(
+                            "{idx}u32 => {{\n\
+                             struct __V{idx};\n\
+                             impl<'de> {p}::de::Visitor<'de> for __V{idx} {{\n\
+                             type Value = {name};\n\
+                             fn expecting(&self, __f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {{ __f.write_str(\"tuple variant {name}::{vname}\") }}\n\
+                             fn visit_seq<__A2: {p}::de::SeqAccess<'de>>(self, mut __seq: __A2) -> core::result::Result<Self::Value, __A2::Error> {{\n{body}}}\n\
+                             }}\n\
+                             {p}::de::VariantAccess::tuple_variant(__variant, {len}, __V{idx})\n\
+                             }}\n",
+                            len = fields.len()
+                        ));
+                    }
+                    Fields::Named(fields) => {
+                        let body =
+                            seq_body(p, fields, true, &format!("{name}::{vname}"));
+                        let fnames: Vec<String> =
+                            fields.iter().map(|f| format!("\"{}\"", f.name)).collect();
+                        arms.push_str(&format!(
+                            "{idx}u32 => {{\n\
+                             struct __V{idx};\n\
+                             impl<'de> {p}::de::Visitor<'de> for __V{idx} {{\n\
+                             type Value = {name};\n\
+                             fn expecting(&self, __f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {{ __f.write_str(\"struct variant {name}::{vname}\") }}\n\
+                             fn visit_seq<__A2: {p}::de::SeqAccess<'de>>(self, mut __seq: __A2) -> core::result::Result<Self::Value, __A2::Error> {{\n{body}}}\n\
+                             }}\n\
+                             {p}::de::VariantAccess::struct_variant(__variant, &[{fields_list}], __V{idx})\n\
+                             }}\n",
+                            fields_list = fnames.join(", ")
+                        ));
+                    }
+                }
+            }
+            (
+                format!(
+                    "fn visit_enum<__A: {p}::de::EnumAccess<'de>>(self, __data: __A) \
+                     -> core::result::Result<Self::Value, __A::Error> {{\n\
+                     let (__tag, __variant): (u32, _) = {p}::de::EnumAccess::variant(__data)?;\n\
+                     match __tag {{\n{arms}\
+                     __other => Err({p}::de::Error::custom(format_args!(\
+                     \"invalid {name} variant index {{__other}}\"))),\n\
+                     }}\n}}\n"
+                ),
+                format!(
+                    "{p}::de::Deserializer::deserialize_enum(__deserializer, \"{name}\", &[{}], {vis_ctor})",
+                    variant_names.join(", ")
+                ),
+            )
+        }
+    };
+
+    let out = format!(
+        "#[automatically_derived]\n\
+         impl{generics} {p}::de::Deserialize<'de> for {self_ty} {{\n\
+         fn deserialize<__D: {p}::de::Deserializer<'de>>(__deserializer: __D) \
+         -> core::result::Result<Self, __D::Error> {{\n\
+         #[allow(non_camel_case_types)]\n\
+         {vis_decl}\n\
+         impl{vis_generics} {p}::de::Visitor<'de> for {vis_ty} {{\n\
+         type Value = {self_ty};\n\
+         fn expecting(&self, __f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {{\n\
+         __f.write_str(\"{name}\")\n}}\n\
+         {visitor_methods}\
+         }}\n\
+         {driver}\n\
+         }}\n}}\n"
+    );
+    out.parse()
+        .expect("serde derive: generated invalid Deserialize impl")
+}
