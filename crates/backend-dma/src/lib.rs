@@ -15,7 +15,10 @@
 //! Application start, initialisation (shm key exchange, DMAATB
 //! registration via the `ham_dma_init` C-API call) and bulk data
 //! exchange (`put`/`get`) still go through the VEO API (§IV-B), which is
-//! why this crate builds on `ham-backend-veo`'s [`AuroraCore`].
+//! why this crate builds on the shared `aurora-proto` [`AuroraCore`].
+//! Host-side protocol state (slots, sequences, completions) lives in
+//! `ham_offload::chan`; this crate implements only the DMA transport
+//! verbs.
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
@@ -25,4 +28,4 @@ pub mod reverse;
 
 pub use protocol::DmaBackend;
 
-pub use ham_backend_veo::core::{AuroraCore, ProtocolConfig};
+pub use aurora_proto::{AuroraCore, ProtocolConfig};

@@ -21,12 +21,12 @@
 //! most one reverse call is in flight per target.
 
 use aurora_mem::{Region, VeAddr, Vehva};
+use aurora_proto::ProtocolConfig;
 use aurora_sim_core::{calib, Clock, SimTime};
 use ham::message::ReverseTransport;
 use ham::registry::HandlerKey;
 use ham::wire::{MsgHeader, MsgKind, HEADER_BYTES};
 use ham::{ExecContext, HamError, Registry};
-use ham_backend_veo::core::ProtocolConfig;
 use ham_offload::target_loop::{frame_result, unframe_result};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicBool, Ordering};

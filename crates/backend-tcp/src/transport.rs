@@ -1,4 +1,10 @@
 //! The TCP backend proper: real sockets, one acceptor per target.
+//!
+//! This is a **push** transport: a host-side reader thread per target
+//! deposits result frames straight into the shared
+//! [`ChannelCore`](ham_offload::chan::ChannelCore) completion queue
+//! (matched by sequence number), so the backend keeps the default no-op
+//! `poll_flags`/`fetch_frame` verbs.
 
 use crate::frame::{read_frame, write_frame, ControlOp};
 use aurora_mem::RangeAllocator;
@@ -7,12 +13,12 @@ use ham::message::VecMemory;
 use ham::registry::HandlerKey;
 use ham::wire::{MsgHeader, MsgKind, HEADER_BYTES};
 use ham::{Registry, RegistryBuilder, TargetMemory};
-use ham_offload::backend::{CommBackend, RawBuffer, Registrar, SlotId};
-use ham_offload::target_loop::{run_target_loop, unframe_result, TargetChannel};
+use ham_offload::backend::{CommBackend, RawBuffer, Registrar};
+use ham_offload::chan::{ChannelCore, Reservation};
+use ham_offload::target_loop::{run_target_loop, TargetChannel};
 use ham_offload::types::{DeviceType, NodeDescriptor, NodeId};
 use ham_offload::OffloadError;
 use parking_lot::Mutex;
-use std::collections::HashMap;
 use std::io::{Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::sync::Arc;
@@ -26,18 +32,16 @@ struct TcpTarget {
     addr: std::net::SocketAddr,
     msg_tx: Mutex<TcpStream>,
     ctrl: Mutex<TcpStream>,
-    results: Arc<Mutex<HashMap<u64, Vec<u8>>>>,
+    chan: Arc<ChannelCore>,
     reader: Mutex<Option<JoinHandle<()>>>,
     server: Mutex<Option<JoinHandle<u64>>>,
     mem_bytes: u64,
-    shutdown: std::sync::atomic::AtomicBool,
 }
 
 /// The TCP/IP communication backend.
 pub struct TcpBackend {
     host_registry: Arc<Registry>,
     targets: Vec<TcpTarget>,
-    next_slot: Mutex<u64>,
     clock: Clock,
     metrics: aurora_sim_core::BackendMetrics,
 }
@@ -194,10 +198,10 @@ impl TcpBackend {
                 ctrl.write_all(b"C").expect("hello C");
                 ctrl.set_nodelay(true).ok();
 
-                // Host-side result reader.
-                let results: Arc<Mutex<HashMap<u64, Vec<u8>>>> =
-                    Arc::new(Mutex::new(HashMap::new()));
-                let results2 = Arc::clone(&results);
+                // Host-side result reader: deposits completions straight
+                // into the channel core, matched by sequence number.
+                let chan = Arc::new(ChannelCore::unbounded());
+                let chan2 = Arc::clone(&chan);
                 let mut msg_rx = msg.try_clone().expect("clone msg stream");
                 let reader = std::thread::Builder::new()
                     .name(format!("tcp-host-reader-{node}"))
@@ -206,9 +210,7 @@ impl TcpBackend {
                             if let Ok(header) = MsgHeader::decode(&body) {
                                 if header.kind == MsgKind::Result && body.len() == header.wire_len()
                                 {
-                                    results2
-                                        .lock()
-                                        .insert(header.seq, body[HEADER_BYTES..].to_vec());
+                                    chan2.deposit(header.seq, body[HEADER_BYTES..].to_vec());
                                 }
                             }
                         }
@@ -219,18 +221,16 @@ impl TcpBackend {
                     addr,
                     msg_tx: Mutex::new(msg),
                     ctrl: Mutex::new(ctrl),
-                    results,
+                    chan,
                     reader: Mutex::new(Some(reader)),
                     server: Mutex::new(Some(server)),
                     mem_bytes,
-                    shutdown: std::sync::atomic::AtomicBool::new(false),
                 }
             })
             .collect();
         Arc::new(Self {
             host_registry,
             targets,
-            next_slot: Mutex::new(0),
             clock: Clock::new(),
             metrics: aurora_sim_core::BackendMetrics::new(),
         })
@@ -248,7 +248,7 @@ impl TcpBackend {
     /// Synchronous control RPC.
     fn control(&self, node: NodeId, op: ControlOp) -> Result<Vec<u8>, OffloadError> {
         let t = self.target(node)?;
-        if t.shutdown.load(std::sync::atomic::Ordering::Acquire) {
+        if t.chan.is_shutdown() {
             return Err(OffloadError::Shutdown);
         }
         let mut stream = t.ctrl.lock();
@@ -293,44 +293,21 @@ impl CommBackend for TcpBackend {
         })
     }
 
-    fn post(
-        &self,
-        target: NodeId,
-        key: HandlerKey,
-        payload: &[u8],
-    ) -> Result<SlotId, OffloadError> {
-        let t = self.target(target)?;
-        if t.shutdown.load(std::sync::atomic::Ordering::Acquire) {
-            return Err(OffloadError::Shutdown);
-        }
-        let slot = {
-            let mut s = self.next_slot.lock();
-            let v = *s;
-            *s += 1;
-            v
-        };
-        let header = MsgHeader {
-            handler_key: key,
-            payload_len: payload.len() as u32,
-            kind: MsgKind::Offload,
-            reply_slot: 0,
-            corr: aurora_sim_core::trace::current_offload(),
-            seq: slot,
-        };
-        let mut body = header.encode().to_vec();
-        body.extend_from_slice(payload);
-        write_frame(&mut *t.msg_tx.lock(), &body).map_err(io_err)?;
-        Ok(SlotId(slot))
+    fn channel(&self, target: NodeId) -> Result<&ChannelCore, OffloadError> {
+        Ok(&self.target(target)?.chan)
     }
 
-    fn try_result(&self, target: NodeId, slot: SlotId) -> Result<Option<Vec<u8>>, OffloadError> {
+    fn send_frame(
+        &self,
+        target: NodeId,
+        _res: &Reservation,
+        header: &MsgHeader,
+        payload: &[u8],
+    ) -> Result<(), OffloadError> {
         let t = self.target(target)?;
-        match t.results.lock().remove(&slot.0) {
-            None => Ok(None),
-            Some(frame) => unframe_result(&frame)
-                .map(Some)
-                .map_err(OffloadError::Backend),
-        }
+        let mut body = header.encode().to_vec();
+        body.extend_from_slice(payload);
+        write_frame(&mut *t.msg_tx.lock(), &body).map_err(io_err)
     }
 
     fn allocate(&self, node: NodeId, bytes: u64) -> Result<u64, OffloadError> {
@@ -384,10 +361,12 @@ impl CommBackend for TcpBackend {
                 Ok(t) => t,
                 Err(_) => continue,
             };
-            if t.shutdown.swap(true, std::sync::atomic::Ordering::AcqRel) {
+            if t.chan.begin_shutdown() {
                 continue;
             }
-            // Terminate the message loop with a Control message.
+            // Terminate the message loop with a Control frame, written
+            // directly (no reservation: a terminating target sends no
+            // result back).
             let header = MsgHeader {
                 handler_key: HandlerKey(0),
                 payload_len: 0,
@@ -481,6 +460,21 @@ mod tests {
         for f in futures {
             assert_eq!(f.get().unwrap(), 1);
         }
+        o.shutdown();
+    }
+
+    #[test]
+    fn wait_all_gathers_across_targets() {
+        let o = Offload::new(TcpBackend::spawn(2, registrar));
+        let futures: Vec<_> = (0..8u16)
+            .map(|i| o.async_(NodeId(1 + i % 2), f2f!(node_echo)).unwrap())
+            .collect();
+        let nodes: Vec<u16> = o
+            .wait_all(futures)
+            .into_iter()
+            .map(|r| r.unwrap())
+            .collect();
+        assert_eq!(nodes, vec![1, 2, 1, 2, 1, 2, 1, 2]);
         o.shutdown();
     }
 

@@ -20,8 +20,11 @@
 //! Fig. 9. Results are matched by sequence number, so send-slot flags
 //! never need a (costly) host-side reset write.
 //!
-//! Polling is arrival-driven in virtual time (zero-cost real peeks; the
-//! successful poll is charged) — see the DESIGN.md discussion.
+//! Host-side protocol state (slot rings, pending table, completion
+//! queue) lives in [`ham_offload::chan`]; this module implements only
+//! the VEO transport verbs. Polling is arrival-driven in virtual time
+//! (zero-cost real peeks; the successful poll is charged) — see the
+//! DESIGN.md discussion.
 
 use crate::core::{AuroraCore, ProtocolConfig, VeTargetMemory, SLOT_META, VE_SEED_BASE};
 use aurora_mem::VeAddr;
@@ -29,12 +32,12 @@ use aurora_sim_core::{calib, Clock, SimTime};
 use ham::registry::HandlerKey;
 use ham::wire::{MsgHeader, MsgKind, HEADER_BYTES};
 use ham::Registry;
-use ham_offload::backend::{CommBackend, RawBuffer, SlotId};
-use ham_offload::target_loop::{unframe_result, TargetChannel};
+use ham_offload::backend::{CommBackend, RawBuffer};
+use ham_offload::chan::{engine, ChannelCore, PendingEntry, Reservation};
+use ham_offload::target_loop::TargetChannel;
 use ham_offload::types::{NodeDescriptor, NodeId};
 use ham_offload::OffloadError;
 use parking_lot::Mutex;
-use std::collections::HashMap;
 use std::sync::Arc;
 use veo_api::{ArgsStack, KernelLibrary, VeoContext};
 use veos_sim::{AuroraMachine, HostSlice, VeProcess};
@@ -59,27 +62,11 @@ impl Slots {
     }
 }
 
-struct Pending {
-    recv_slot: usize,
-    send_slot: usize,
-}
-
-#[derive(Default)]
-struct Inner {
-    next_recv: u64,
-    recv_busy: Vec<bool>,
-    send_busy: Vec<bool>,
-    pending: HashMap<u64, Pending>,
-    completed: HashMap<u64, Vec<u8>>,
-    seq: u64,
-    shutdown: bool,
-}
-
 struct TargetChan {
     recv: Slots,
     send: Slots,
     ctx: Arc<VeoContext>,
-    inner: Mutex<Inner>,
+    chan: ChannelCore,
 }
 
 /// The VEO communication backend (Fig. 5).
@@ -206,11 +193,7 @@ impl VeoBackend {
                     stride,
                 },
                 ctx,
-                inner: Mutex::new(Inner {
-                    recv_busy: vec![false; cfg.recv_slots],
-                    send_busy: vec![false; cfg.send_slots],
-                    ..Default::default()
-                }),
+                chan: ChannelCore::bounded(cfg.recv_slots, cfg.send_slots, cfg.msg_bytes),
             });
         }
         Arc::new(Self {
@@ -234,72 +217,42 @@ impl VeoBackend {
         self.core.target(node)?;
         Ok(&self.channels[node.0 as usize - 1])
     }
+}
 
-    /// Post a message of any kind (offloads and control).
-    fn raw_post(
+impl CommBackend for VeoBackend {
+    fn num_targets(&self) -> u16 {
+        self.core.num_targets()
+    }
+
+    fn host_registry(&self) -> &Arc<Registry> {
+        self.core.host_registry()
+    }
+
+    fn descriptor(&self, node: NodeId) -> Result<NodeDescriptor, OffloadError> {
+        self.core.descriptor(node)
+    }
+
+    fn channel(&self, target: NodeId) -> Result<&ChannelCore, OffloadError> {
+        Ok(&self.chan(target)?.chan)
+    }
+
+    /// Two `veo_write_mem`s: the message body, then the 16-byte ts+flag
+    /// publish (the flag embeds its own quoted landing time).
+    fn send_frame(
         &self,
         target: NodeId,
-        kind: MsgKind,
-        key: HandlerKey,
+        res: &Reservation,
+        header: &MsgHeader,
         payload: &[u8],
-    ) -> Result<SlotId, OffloadError> {
-        if payload.len() > self.cfg.msg_bytes {
-            return Err(OffloadError::Backend(format!(
-                "message of {} bytes exceeds the protocol's {}-byte slots; \
-                 transfer bulk data with put/get",
-                payload.len(),
-                self.cfg.msg_bytes
-            )));
-        }
+    ) -> Result<(), OffloadError> {
         let chan = self.chan(target)?;
+        if !chan.ctx.is_alive() {
+            return Err(OffloadError::Backend(
+                "ham_main terminated on the target".into(),
+            ));
+        }
         let proc = &self.core.target(target)?.proc;
-
-        // Reserve a recv slot (strictly round-robin so the VE's in-order
-        // polling matches) and a free send slot for the result.
-        let (seq, r, s) = loop {
-            {
-                let mut inner = chan.inner.lock();
-                if inner.shutdown {
-                    return Err(OffloadError::Shutdown);
-                }
-                if !chan.ctx.is_alive() {
-                    return Err(OffloadError::Backend(
-                        "ham_main terminated on the target".into(),
-                    ));
-                }
-                let r = (inner.next_recv % chan.recv.count as u64) as usize;
-                let s = inner.send_busy.iter().position(|b| !b);
-                if !inner.recv_busy[r] {
-                    if let Some(s) = s {
-                        let seq = inner.seq;
-                        inner.seq += 1;
-                        inner.next_recv += 1;
-                        inner.recv_busy[r] = true;
-                        inner.send_busy[s] = true;
-                        inner.pending.insert(
-                            seq,
-                            Pending {
-                                recv_slot: r,
-                                send_slot: s,
-                            },
-                        );
-                        break (seq, r, s);
-                    }
-                }
-            }
-            // All slots busy: poll for finished results to free them.
-            self.harvest(target)?;
-            std::thread::yield_now();
-        };
-
-        let header = MsgHeader {
-            handler_key: key,
-            payload_len: payload.len() as u32,
-            kind,
-            reply_slot: s as u16,
-            corr: aurora_sim_core::trace::current_offload(),
-            seq,
-        };
+        let r = res.recv_slot;
         let mut bytes = header.encode().to_vec();
         bytes.extend_from_slice(payload);
 
@@ -332,24 +285,50 @@ impl VeoBackend {
                 .write(chan.recv.ts(r), &landing.as_ps().to_le_bytes())
                 .map_err(|e| OffloadError::Mem(e.to_string()))?;
             proc.process()
-                .store_flag(chan.recv.flag(r), seq + 1)
+                .store_flag(chan.recv.flag(r), res.seq + 1)
                 .map_err(|e| OffloadError::Mem(e.to_string()))?;
             Ok(())
-        })?;
-        Ok(SlotId(seq))
+        })
     }
 
-    /// Fetch a completed result: join its timestamp, pay the two VEO
-    /// reads of the protocol, release both slots.
-    fn fetch_result(
+    /// Free peek of the result flag (`seq+1` = ready). A dead
+    /// `ham_main` with no result pending errors the offload out.
+    fn poll_flags(
         &self,
         target: NodeId,
         seq: u64,
-        pending: Pending,
+        entry: &PendingEntry,
+    ) -> Result<Option<u64>, OffloadError> {
+        let chan = self.chan(target)?;
+        let proc = &self.core.target(target)?.proc;
+        let ready = proc
+            .process()
+            .load_flag(chan.send.flag(entry.send_slot))
+            .map(|f| f == seq + 1)
+            .unwrap_or(false);
+        if ready {
+            Ok(Some(0))
+        } else if chan.ctx.is_alive() {
+            Ok(None)
+        } else {
+            Err(OffloadError::Backend(
+                "ham_main terminated on the target".into(),
+            ))
+        }
+    }
+
+    /// Fetch a completed result: join its timestamp, pay the two VEO
+    /// reads of the protocol.
+    fn fetch_frame(
+        &self,
+        target: NodeId,
+        seq: u64,
+        entry: &PendingEntry,
+        _token: u64,
     ) -> Result<Vec<u8>, OffloadError> {
         let chan = self.chan(target)?;
         let proc = &self.core.target(target)?.proc;
-        let s = pending.send_slot;
+        let s = entry.send_slot;
 
         // The flag is set (caller peeked); join its landing time.
         let mut ts_bytes = [0u8; 8];
@@ -387,100 +366,7 @@ impl VeoBackend {
             frame.copy_from_slice(&all[HEADER_BYTES..]);
             Ok(())
         })?;
-
-        let mut inner = chan.inner.lock();
-        inner.recv_busy[pending.recv_slot] = false;
-        inner.send_busy[s] = false;
         Ok(frame)
-    }
-
-    /// Poll every pending offload once; move finished results into the
-    /// completed map (freeing their slots).
-    fn harvest(&self, target: NodeId) -> Result<(), OffloadError> {
-        let chan = self.chan(target)?;
-        let proc = &self.core.target(target)?.proc;
-        let ready: Vec<(u64, Pending)> = {
-            let mut inner = chan.inner.lock();
-            let seqs: Vec<u64> = inner
-                .pending
-                .iter()
-                .filter(|(seq, p)| {
-                    proc.process()
-                        .load_flag(chan.send.flag(p.send_slot))
-                        .map(|f| f == **seq + 1)
-                        .unwrap_or(false)
-                })
-                .map(|(seq, _)| *seq)
-                .collect();
-            seqs.into_iter()
-                .map(|seq| (seq, inner.pending.remove(&seq).expect("just listed")))
-                .collect()
-        };
-        for (seq, p) in ready {
-            let frame = self.fetch_result(target, seq, p)?;
-            self.chan(target)?.inner.lock().completed.insert(seq, frame);
-        }
-        Ok(())
-    }
-}
-
-impl CommBackend for VeoBackend {
-    fn num_targets(&self) -> u16 {
-        self.core.num_targets()
-    }
-
-    fn host_registry(&self) -> &Arc<Registry> {
-        self.core.host_registry()
-    }
-
-    fn descriptor(&self, node: NodeId) -> Result<NodeDescriptor, OffloadError> {
-        self.core.descriptor(node)
-    }
-
-    fn post(
-        &self,
-        target: NodeId,
-        key: HandlerKey,
-        payload: &[u8],
-    ) -> Result<SlotId, OffloadError> {
-        self.raw_post(target, MsgKind::Offload, key, payload)
-    }
-
-    fn try_result(&self, target: NodeId, slot: SlotId) -> Result<Option<Vec<u8>>, OffloadError> {
-        let chan = self.chan(target)?;
-        let proc = &self.core.target(target)?.proc;
-        let pending = {
-            let mut inner = chan.inner.lock();
-            if let Some(frame) = inner.completed.remove(&slot.0) {
-                return unframe_result(&frame)
-                    .map(Some)
-                    .map_err(OffloadError::Backend);
-            }
-            let ready = inner
-                .pending
-                .get(&slot.0)
-                .map(|p| {
-                    proc.process()
-                        .load_flag(chan.send.flag(p.send_slot))
-                        .map(|f| f == slot.0 + 1)
-                        .unwrap_or(false)
-                })
-                .unwrap_or(false);
-            if !ready {
-                return if chan.ctx.is_alive() {
-                    Ok(None)
-                } else {
-                    Err(OffloadError::Backend(
-                        "ham_main terminated on the target".into(),
-                    ))
-                };
-            }
-            inner.pending.remove(&slot.0).expect("checked above")
-        };
-        let frame = self.fetch_result(target, slot.0, pending)?;
-        unframe_result(&frame)
-            .map(Some)
-            .map_err(OffloadError::Backend)
     }
 
     fn allocate(&self, node: NodeId, bytes: u64) -> Result<u64, OffloadError> {
@@ -510,30 +396,16 @@ impl CommBackend for VeoBackend {
     fn shutdown(&self) {
         for node in 1..=self.num_targets() {
             let target = NodeId(node);
-            let already = {
-                let chan = match self.chan(target) {
-                    Ok(c) => c,
-                    Err(_) => continue,
-                };
-                let mut inner = chan.inner.lock();
-                core::mem::replace(&mut inner.shutdown, true)
+            let Ok(chan) = self.chan(target) else {
+                continue;
             };
-            if already {
+            if chan.chan.begin_shutdown() {
                 continue;
             }
-            // Drain in-flight offloads so the termination message has a
-            // slot, then stop ham_main and join the context worker.
-            // (raw_post itself checks `shutdown`, so bypass via kind.)
-            let chan = self.chan(target).expect("checked");
-            {
-                let mut inner = chan.inner.lock();
-                inner.shutdown = false;
-            }
-            let _ = self.raw_post(target, MsgKind::Control, HandlerKey(0), &[]);
-            {
-                let mut inner = chan.inner.lock();
-                inner.shutdown = true;
-            }
+            // Deliver the termination message (control frames bypass the
+            // shutdown gate; a dead target is ignored), then stop
+            // ham_main and join the context worker.
+            let _ = engine::post_control(self, target);
             chan.ctx.close();
         }
     }
@@ -710,6 +582,17 @@ mod tests {
         let futures: Vec<_> = (0..20).map(|_| o.async_(t, f2f!(empty)).unwrap()).collect();
         for f in futures {
             f.get().unwrap();
+        }
+        o.shutdown();
+    }
+
+    #[test]
+    fn wait_all_over_veo_protocol() {
+        let o = Offload::new(backend(machine()));
+        let t = NodeId(1);
+        let futures: Vec<_> = (0..20).map(|_| o.async_(t, f2f!(empty)).unwrap()).collect();
+        for r in o.wait_all(futures) {
+            r.unwrap();
         }
         o.shutdown();
     }

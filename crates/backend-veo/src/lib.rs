@@ -13,10 +13,13 @@
 //! which is why this backend's empty-offload cost is ~432 µs (Fig. 9):
 //! two writes (message, flag) + two reads (result flag, result message).
 //!
-//! This crate also exports [`core::AuroraCore`] — setup, buffer
-//! management and VEO-based bulk transfer — which `ham-backend-dma`
-//! reuses, since "starting the application, initialisation and data
-//! exchange are still performed through the VEO API" (§IV-B).
+//! Setup, buffer management and VEO-based bulk transfer live in the
+//! shared `aurora-proto` crate ([`core::AuroraCore`] re-exports it),
+//! since "starting the application, initialisation and data exchange
+//! are still performed through the VEO API" (§IV-B) for both Aurora
+//! backends. Host-side protocol state (slots, sequences, completions)
+//! lives in `ham_offload::chan` — this crate implements only the
+//! transport verbs of the VEO protocol.
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]

@@ -7,7 +7,8 @@
 //! `repro_trace.trace.json` (Chrome trace-event format — load it in
 //! Perfetto / `chrome://tracing` for one track per simulated engine) and
 //! `repro_trace.jsonl` (one event per line for ad-hoc tooling), and
-//! prints the backend's metric registers.
+//! prints the backend's metric registers. Files land in `target/repro/`
+//! by default; override with `--out-dir <dir>`.
 
 use aurora_bench::harness::{benchmark_machine, BenchConfig};
 use aurora_sim_core::trace;
@@ -18,7 +19,23 @@ use ham_backend_veo::ProtocolConfig;
 use ham_offload::types::NodeId;
 use ham_offload::Offload;
 
+/// `--out-dir <dir>` (default `target/repro/`): where the trace files go.
+fn out_dir() -> std::path::PathBuf {
+    let mut args = std::env::args().skip(1);
+    let mut dir = std::path::PathBuf::from("target/repro");
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out-dir" => {
+                dir = args.next().expect("--out-dir needs a value").into();
+            }
+            other => panic!("unknown argument {other:?} (supported: --out-dir <dir>)"),
+        }
+    }
+    dir
+}
+
 fn main() {
+    let out = out_dir();
     let cfg = BenchConfig::quick();
     let o = Offload::new(DmaBackend::spawn(
         benchmark_machine(&cfg),
@@ -80,12 +97,16 @@ fn main() {
     println!("\n## Backend metric registers\n");
     println!("{}", o.metrics_snapshot().render());
 
-    std::fs::write("repro_trace.trace.json", capture.to_chrome_json()).expect("write chrome trace");
-    std::fs::write("repro_trace.jsonl", capture.to_jsonl()).expect("write jsonl");
+    std::fs::create_dir_all(&out).expect("create out dir");
+    let chrome = out.join("repro_trace.trace.json");
+    let jsonl = out.join("repro_trace.jsonl");
+    std::fs::write(&chrome, capture.to_chrome_json()).expect("write chrome trace");
+    std::fs::write(&jsonl, capture.to_jsonl()).expect("write jsonl");
     println!(
-        "wrote repro_trace.trace.json ({} spans) — load in Perfetto / chrome://tracing",
+        "wrote {} ({} spans) — load in Perfetto / chrome://tracing",
+        chrome.display(),
         capture.len()
     );
-    println!("wrote repro_trace.jsonl");
+    println!("wrote {}", jsonl.display());
     o.shutdown();
 }

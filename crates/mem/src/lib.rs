@@ -31,7 +31,7 @@ pub use alloc::RangeAllocator;
 pub use dmaatb::{DmaTarget, Dmaatb};
 pub use page::{PageSize, PageTable};
 pub use region::Region;
-pub use shm::{ShmManager, ShmSegment};
+pub use shm::{ShmGuard, ShmManager, ShmSegment};
 
 /// Errors of the memory substrate.
 #[derive(Clone, Debug, PartialEq, Eq)]

@@ -46,6 +46,37 @@ impl ShmSegment {
     }
 }
 
+/// RAII handle for a created segment: marks it for removal
+/// (`shmctl(IPC_RMID)`) when dropped, so an unwinding owner cannot leak
+/// the key. With SysV semantics the segment's memory survives until the
+/// last attachment detaches — in-flight VE-side users are unaffected.
+#[derive(Debug)]
+pub struct ShmGuard {
+    mgr: Arc<ShmManager>,
+    seg: Arc<ShmSegment>,
+}
+
+impl ShmGuard {
+    /// The guarded segment.
+    pub fn segment(&self) -> &Arc<ShmSegment> {
+        &self.seg
+    }
+}
+
+impl std::ops::Deref for ShmGuard {
+    type Target = ShmSegment;
+    fn deref(&self) -> &ShmSegment {
+        &self.seg
+    }
+}
+
+impl Drop for ShmGuard {
+    fn drop(&mut self) {
+        // The key may already be gone (explicit mark_remove); ignore.
+        let _ = self.mgr.mark_remove(self.seg.key());
+    }
+}
+
 /// System-wide SysV shm registry (one per simulated machine).
 #[derive(Debug, Default)]
 pub struct ShmManager {
@@ -56,6 +87,15 @@ impl ShmManager {
     /// Empty registry.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// [`ShmManager::create`] wrapped in a guard that issues
+    /// `shmctl(IPC_RMID)` when dropped.
+    pub fn create_guarded(self: &Arc<Self>, key: i32, size: u64) -> Result<ShmGuard, MemError> {
+        Ok(ShmGuard {
+            mgr: Arc::clone(self),
+            seg: self.create(key, size)?,
+        })
     }
 
     /// `shmget(key, size, IPC_CREAT | IPC_EXCL)`: create a segment.
@@ -158,6 +198,31 @@ mod tests {
         mgr.create(7, 64).unwrap();
         assert_eq!(mgr.segment_count(), 1);
         mgr.mark_remove(7).unwrap();
+        assert_eq!(mgr.segment_count(), 0);
+    }
+
+    #[test]
+    fn guard_drop_removes_unattached_segment() {
+        let mgr = Arc::new(ShmManager::new());
+        {
+            let g = mgr.create_guarded(11, 64).unwrap();
+            assert_eq!(g.key(), 11);
+            assert_eq!(mgr.segment_count(), 1);
+        }
+        assert_eq!(mgr.segment_count(), 0, "guard drop must IPC_RMID");
+    }
+
+    #[test]
+    fn guard_drop_defers_to_last_detach() {
+        let mgr = Arc::new(ShmManager::new());
+        let att = {
+            let _g = mgr.create_guarded(12, 64).unwrap();
+            mgr.attach(12).unwrap()
+        };
+        // Guard dropped while attached: memory survives, key is doomed.
+        assert_eq!(mgr.segment_count(), 1);
+        att.region().write(0, b"ok").unwrap();
+        mgr.detach(&att);
         assert_eq!(mgr.segment_count(), 0);
     }
 

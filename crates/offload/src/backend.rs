@@ -1,16 +1,25 @@
 //! The communication-backend seam (paper Fig. 1, bottom layer).
 //!
-//! HAM separates active-message semantics from transport. A backend
-//! moves opaque `(key, payload)` messages to a target, result payloads
-//! back, and bulk buffer data in both directions. The paper's NEC
-//! backends (`ham-backend-veo`, `ham-backend-dma`) implement this trait
-//! against the simulated SX-Aurora; [`crate::local::LocalBackend`] is the
-//! in-process reference.
+//! HAM separates active-message semantics from transport — and since the
+//! channel-core refactor a backend is *only* a transport. All protocol
+//! state (slot accounting, sequence numbers, the in-flight table,
+//! completion buffering) lives in the [`crate::chan::ChannelCore`] each
+//! backend owns per target, and [`crate::chan::engine`] drives both
+//! halves. What remains here are transport verbs:
+//!
+//! * **polled** transports (VEO, DMA — the Aurora protocols with real
+//!   flag words in memory) implement [`CommBackend::poll_flags`] and
+//!   [`CommBackend::fetch_frame`]; the engine sweeps flags and pulls
+//!   every ready frame;
+//! * **push** transports (in-process channels, TCP sockets) have a
+//!   receiver thread call [`crate::chan::ChannelCore::deposit`] as
+//!   results arrive, and keep the default no-op polls.
 
+use crate::chan::{ChannelCore, PendingEntry, Reservation};
 use crate::types::{NodeDescriptor, NodeId};
 use crate::OffloadError;
 use aurora_sim_core::{BackendMetrics, Clock};
-use ham::registry::HandlerKey;
+use ham::wire::MsgHeader;
 use ham::Registry;
 use std::sync::Arc;
 
@@ -19,7 +28,8 @@ use std::sync::Arc;
 /// "compile the whole application for both sides" (§III-C).
 pub type Registrar = dyn Fn(&mut ham::RegistryBuilder) + Send + Sync;
 
-/// Identifies an in-flight offload on a target's channel.
+/// Identifies an in-flight offload on a target's channel: the sequence
+/// number its [`ChannelCore`] minted at reservation.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct SlotId(pub u64);
 
@@ -46,13 +56,51 @@ pub trait CommBackend: Send + Sync + 'static {
     /// Descriptor of any node, including the host.
     fn descriptor(&self, node: NodeId) -> Result<NodeDescriptor, OffloadError>;
 
-    /// Send an offload message to `target`; returns the slot whose result
-    /// to poll. Non-blocking with respect to kernel execution.
-    fn post(&self, target: NodeId, key: HandlerKey, payload: &[u8])
-        -> Result<SlotId, OffloadError>;
+    /// The channel state of `target` — the engine's half of the
+    /// protocol. Every backend owns one [`ChannelCore`] per target.
+    fn channel(&self, target: NodeId) -> Result<&ChannelCore, OffloadError>;
 
-    /// Poll for the result of `slot`. `Ok(None)` while still running.
-    fn try_result(&self, target: NodeId, slot: SlotId) -> Result<Option<Vec<u8>>, OffloadError>;
+    /// Put one framed message (header ‖ payload) onto the transport,
+    /// into the slots named by `res`. Called by the engine after a
+    /// successful reservation; if this fails the engine cancels the
+    /// reservation, so implementations need not clean up channel state.
+    fn send_frame(
+        &self,
+        target: NodeId,
+        res: &Reservation,
+        header: &MsgHeader,
+        payload: &[u8],
+    ) -> Result<(), OffloadError>;
+
+    /// Polled transports: check the completion flag of one in-flight
+    /// offload. `Ok(Some(token))` means the result frame is ready;
+    /// `token` is transport-defined (the DMA protocol passes the
+    /// flag's landing timestamp) and is handed back to
+    /// [`CommBackend::fetch_frame`]. The default suits push
+    /// transports: never ready by polling.
+    fn poll_flags(
+        &self,
+        _target: NodeId,
+        _seq: u64,
+        _entry: &PendingEntry,
+    ) -> Result<Option<u64>, OffloadError> {
+        Ok(None)
+    }
+
+    /// Polled transports: read the result frame of an offload whose
+    /// flag was seen ready, releasing the transport-side slot state.
+    /// Slot accounting itself is the engine's job.
+    fn fetch_frame(
+        &self,
+        _target: NodeId,
+        _seq: u64,
+        _entry: &PendingEntry,
+        _token: u64,
+    ) -> Result<Vec<u8>, OffloadError> {
+        Err(OffloadError::Backend(
+            "push transport: results are deposited, not fetched".into(),
+        ))
+    }
 
     /// Allocate `bytes` on a target; returns the target-virtual address.
     fn allocate(&self, node: NodeId, bytes: u64) -> Result<u64, OffloadError>;

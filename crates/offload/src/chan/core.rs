@@ -1,0 +1,356 @@
+//! The per-target channel state machine.
+
+use super::pending::{PendingEntry, PendingTable};
+use super::queue::CompletionQueue;
+use super::ring::SlotRing;
+use crate::OffloadError;
+use aurora_sim_core::SimTime;
+use parking_lot::Mutex;
+
+/// A claimed pair of slots plus the sequence number minted for them —
+/// what a backend needs to address its transport writes.
+#[derive(Clone, Copy, Debug)]
+pub struct Reservation {
+    /// Sequence number of the offload (also its wire `seq`).
+    pub seq: u64,
+    /// Receive slot the message goes into.
+    pub recv_slot: usize,
+    /// Send slot the result will come back in (wire `reply_slot`).
+    pub send_slot: usize,
+}
+
+/// Outcome of [`ChannelCore::try_reserve`].
+#[derive(Debug)]
+pub enum Reserve {
+    /// Slots claimed; post the frame.
+    Reserved(Reservation),
+    /// No slot free right now — drain completions and retry.
+    Full,
+    /// The channel is shut down; nothing may be posted.
+    Shutdown,
+}
+
+/// Everything guarded by the channel lock.
+struct ChanState {
+    recv: SlotRing,
+    send: SlotRing,
+    pending: PendingTable,
+    completed: CompletionQueue,
+    seq: u64,
+    shutdown: bool,
+}
+
+/// The host-side state of one target's channel: slot rings, the
+/// in-flight table and the completion queue under a single lock, plus
+/// the message-size limit the engine enforces before reserving.
+///
+/// Backends own one per target and expose it through
+/// [`crate::CommBackend::channel`]; all transitions are driven by
+/// [`crate::chan::engine`]. The state machine per offload:
+///
+/// ```text
+/// try_reserve ──► pending ──(flags ready / deposit)──► completed ──take──► future
+///      │                                                     ▲
+///      └── cancel (send failed: slots freed, seq retired) ───┘ (errors park here too)
+/// ```
+pub struct ChannelCore {
+    state: Mutex<ChanState>,
+    max_msg_bytes: usize,
+}
+
+impl ChannelCore {
+    /// A channel over real slot arrays: `recv_slots` round-robin receive
+    /// slots, `send_slots` first-free send slots, payloads capped at
+    /// `max_msg_bytes`.
+    pub fn bounded(recv_slots: usize, send_slots: usize, max_msg_bytes: usize) -> Self {
+        Self {
+            state: Mutex::new(ChanState {
+                recv: SlotRing::round_robin(recv_slots),
+                send: SlotRing::first_free(send_slots),
+                pending: PendingTable::new(),
+                completed: CompletionQueue::new(),
+                seq: 0,
+                shutdown: false,
+            }),
+            max_msg_bytes,
+        }
+    }
+
+    /// A channel for transports without slot arrays (in-process
+    /// channels, TCP streams): reservations never refuse and payloads
+    /// are unlimited.
+    pub fn unbounded() -> Self {
+        Self {
+            state: Mutex::new(ChanState {
+                recv: SlotRing::unbounded(),
+                send: SlotRing::unbounded(),
+                pending: PendingTable::new(),
+                completed: CompletionQueue::new(),
+                seq: 0,
+                shutdown: false,
+            }),
+            max_msg_bytes: usize::MAX,
+        }
+    }
+
+    /// Largest payload the transport's slots can carry.
+    pub fn max_msg_bytes(&self) -> usize {
+        self.max_msg_bytes
+    }
+
+    /// Claim a slot pair and mint a sequence number. Control frames
+    /// (`control = true`) may be posted into a shut-down channel — that
+    /// is how shutdown itself is delivered.
+    pub fn try_reserve(&self, control: bool, offload: u64, posted_at: SimTime) -> Reserve {
+        let mut st = self.state.lock();
+        if st.shutdown && !control {
+            return Reserve::Shutdown;
+        }
+        let Some(recv_slot) = st.recv.acquire() else {
+            return Reserve::Full;
+        };
+        let Some(send_slot) = st.send.acquire() else {
+            // Rewind, don't release: the rotation must re-offer this
+            // recv slot, since the target never saw it claimed.
+            st.recv.unacquire(recv_slot);
+            return Reserve::Full;
+        };
+        let seq = st.seq;
+        st.seq += 1;
+        st.pending.insert(
+            seq,
+            PendingEntry {
+                recv_slot,
+                send_slot,
+                offload,
+                posted_at,
+            },
+        );
+        Reserve::Reserved(Reservation {
+            seq,
+            recv_slot,
+            send_slot,
+        })
+    }
+
+    /// Retire a reservation whose frame never made it onto the
+    /// transport: slots return to the rings, the seq is abandoned.
+    pub fn cancel(&self, seq: u64) {
+        let mut st = self.state.lock();
+        if let Some(e) = st.pending.remove(seq) {
+            st.recv.release(e.recv_slot);
+            st.send.release(e.send_slot);
+        }
+    }
+
+    /// Remove an in-flight entry for completion. Returns `None` if
+    /// another thread already claimed it (the completion race is
+    /// resolved here, under the lock).
+    pub fn take_pending(&self, seq: u64) -> Option<PendingEntry> {
+        self.state.lock().pending.remove(seq)
+    }
+
+    /// Snapshot of all in-flight offloads, ordered by seq.
+    pub fn pending_snapshot(&self) -> Vec<(u64, PendingEntry)> {
+        self.state.lock().pending.snapshot()
+    }
+
+    /// Number of in-flight offloads.
+    pub fn in_flight(&self) -> usize {
+        self.state.lock().pending.len()
+    }
+
+    /// Finish an offload whose entry was already removed with
+    /// [`Self::take_pending`]: free its slots and park the result for
+    /// its future.
+    pub fn finish(&self, seq: u64, entry: &PendingEntry, result: Result<Vec<u8>, OffloadError>) {
+        let mut st = self.state.lock();
+        st.recv.release(entry.recv_slot);
+        st.send.release(entry.send_slot);
+        st.completed.push(seq, result);
+    }
+
+    /// Push-transport completion path: a receiver thread deposits a
+    /// finished result frame. Unknown sequence numbers are dropped
+    /// (late frames racing a shutdown).
+    pub fn deposit(&self, seq: u64, frame: Vec<u8>) {
+        let mut st = self.state.lock();
+        if let Some(e) = st.pending.remove(seq) {
+            st.recv.release(e.recv_slot);
+            st.send.release(e.send_slot);
+            st.completed.push(seq, Ok(frame));
+        }
+    }
+
+    /// Claim a parked completion.
+    pub fn take_completed(&self, seq: u64) -> Option<Result<Vec<u8>, OffloadError>> {
+        self.state.lock().completed.take(seq)
+    }
+
+    /// Mark the channel shut down; returns the *previous* state so the
+    /// first caller (and only the first) runs the shutdown protocol.
+    pub fn begin_shutdown(&self) -> bool {
+        core::mem::replace(&mut self.state.lock().shutdown, true)
+    }
+
+    /// True once [`Self::begin_shutdown`] has run.
+    pub fn is_shutdown(&self) -> bool {
+        self.state.lock().shutdown
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn reserve(c: &ChannelCore) -> Reserve {
+        c.try_reserve(false, 0, SimTime::ZERO)
+    }
+
+    #[test]
+    fn reserve_post_complete_take() {
+        let c = ChannelCore::bounded(2, 2, 4096);
+        let Reserve::Reserved(r) = reserve(&c) else {
+            panic!("reserve failed");
+        };
+        assert_eq!((r.seq, r.recv_slot, r.send_slot), (0, 0, 0));
+        let e = c.take_pending(r.seq).unwrap();
+        c.finish(r.seq, &e, Ok(b"done".to_vec()));
+        assert_eq!(c.take_completed(r.seq).unwrap().unwrap(), b"done");
+        assert!(c.take_completed(r.seq).is_none(), "claims are one-shot");
+    }
+
+    #[test]
+    fn full_rings_refuse_until_freed() {
+        let c = ChannelCore::bounded(1, 1, 4096);
+        let Reserve::Reserved(r) = reserve(&c) else {
+            panic!("reserve failed");
+        };
+        assert!(matches!(reserve(&c), Reserve::Full));
+        c.deposit(r.seq, vec![]);
+        assert!(matches!(reserve(&c), Reserve::Reserved(_)));
+    }
+
+    #[test]
+    fn cancel_frees_slots_and_retires_seq() {
+        let c = ChannelCore::bounded(1, 1, 4096);
+        let Reserve::Reserved(r) = reserve(&c) else {
+            panic!("reserve failed");
+        };
+        c.cancel(r.seq);
+        let Reserve::Reserved(r2) = reserve(&c) else {
+            panic!("slots not freed");
+        };
+        assert_eq!(r2.seq, 1, "sequence numbers are never reused");
+        assert!(c.take_completed(r.seq).is_none());
+    }
+
+    #[test]
+    fn shutdown_blocks_posts_but_not_control() {
+        let c = ChannelCore::bounded(2, 2, 4096);
+        assert!(!c.begin_shutdown());
+        assert!(c.begin_shutdown(), "second caller sees it already down");
+        assert!(matches!(reserve(&c), Reserve::Shutdown));
+        assert!(matches!(
+            c.try_reserve(true, 0, SimTime::ZERO),
+            Reserve::Reserved(_)
+        ));
+    }
+
+    #[test]
+    fn deposit_for_unknown_seq_is_dropped() {
+        let c = ChannelCore::unbounded();
+        c.deposit(7, b"late".to_vec());
+        assert!(c.take_completed(7).is_none());
+    }
+
+    /// One step of the model interleaving, decoded from a `(kind, i)`
+    /// pair (the vendored proptest has no `prop_oneof`).
+    #[derive(Clone, Debug)]
+    enum Op {
+        Reserve,
+        /// Deposit the i-th oldest in-flight offload's result.
+        Deposit(usize),
+        /// Claim the completion of the i-th tracked seq.
+        Take(usize),
+    }
+
+    fn decode_op((kind, i): (u8, usize)) -> Op {
+        match kind {
+            0 => Op::Reserve,
+            1 => Op::Deposit(i),
+            _ => Op::Take(i),
+        }
+    }
+
+    proptest! {
+        /// Random post/complete/claim interleavings never lose,
+        /// duplicate, or corrupt a completion, and recv slots are
+        /// assigned in strict rotation order.
+        #[test]
+        fn interleavings_preserve_every_completion(
+            recv_slots in 1usize..4,
+            send_slots in 1usize..4,
+            ops in proptest::collection::vec((0u8..3, 0usize..16), 0..96),
+        ) {
+            let c = ChannelCore::bounded(recv_slots, send_slots, 4096);
+            let mut in_flight: Vec<(u64, usize)> = Vec::new(); // (seq, recv_slot)
+            let mut deposited: Vec<u64> = Vec::new();
+            let mut claimed: Vec<u64> = Vec::new();
+            let mut next_recv = 0usize;
+            for op in ops.into_iter().map(decode_op) {
+                match op {
+                    Op::Reserve => match reserve(&c) {
+                        Reserve::Reserved(r) => {
+                            prop_assert_eq!(
+                                r.recv_slot, next_recv,
+                                "recv rotation broken"
+                            );
+                            next_recv = (next_recv + 1) % recv_slots;
+                            in_flight.push((r.seq, r.recv_slot));
+                        }
+                        Reserve::Full => {
+                            prop_assert!(
+                                in_flight.len() >= recv_slots.min(send_slots)
+                                    || !in_flight.is_empty(),
+                                "refused while empty"
+                            );
+                        }
+                        Reserve::Shutdown => prop_assert!(false, "never shut down"),
+                    },
+                    Op::Deposit(i) => {
+                        if let Some(&(seq, _)) = in_flight.get(i) {
+                            c.deposit(seq, seq.to_le_bytes().to_vec());
+                            in_flight.remove(i);
+                            deposited.push(seq);
+                        }
+                    }
+                    Op::Take(i) => {
+                        if let Some(&seq) = deposited.get(i) {
+                            let got = c.take_completed(seq);
+                            prop_assert!(got.is_some(), "completion lost: seq {}", seq);
+                            prop_assert_eq!(
+                                got.unwrap().unwrap(),
+                                seq.to_le_bytes().to_vec(),
+                                "completion corrupted"
+                            );
+                            deposited.remove(i);
+                            claimed.push(seq);
+                        }
+                    }
+                }
+            }
+            // Drain the tail: everything deposited is still claimable
+            // exactly once, nothing claimed twice.
+            for seq in deposited {
+                prop_assert!(c.take_completed(seq).is_some(), "tail completion lost");
+                claimed.push(seq);
+            }
+            for seq in &claimed {
+                prop_assert!(c.take_completed(*seq).is_none(), "duplicate completion");
+            }
+            prop_assert_eq!(c.in_flight(), in_flight.len());
+        }
+    }
+}

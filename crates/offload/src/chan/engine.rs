@@ -1,0 +1,159 @@
+//! The protocol engine: drives a [`ChannelCore`] against a backend's
+//! transport verbs.
+//!
+//! Every host-side transition an offload goes through — reserve, frame,
+//! post, flag sweep, fetch, unframe, claim — happens in these four
+//! functions, for all transports. Backends contribute only
+//! [`CommBackend::send_frame`] / [`CommBackend::poll_flags`] /
+//! [`CommBackend::fetch_frame`] (or a receiver thread that calls
+//! [`super::ChannelCore::deposit`]).
+
+use super::core::Reserve;
+use crate::backend::CommBackend;
+use crate::target_loop::unframe_result;
+use crate::types::NodeId;
+use crate::OffloadError;
+use aurora_sim_core::trace::{self, OffloadId};
+use ham::registry::HandlerKey;
+use ham::wire::{MsgHeader, MsgKind};
+
+/// Post an offload message: reserve slots (draining completions while
+/// the rings are full), frame, and hand to the transport. Returns the
+/// sequence number the result will be claimable under.
+pub fn post<B: CommBackend + ?Sized>(
+    backend: &B,
+    target: NodeId,
+    key: HandlerKey,
+    payload: &[u8],
+) -> Result<u64, OffloadError> {
+    post_inner(backend, target, key, payload, MsgKind::Offload)
+}
+
+/// Post a control message (shutdown). Control frames bypass the
+/// shutdown gate — they are how shutdown is delivered — but share the
+/// reservation path so slot discipline holds to the very last frame.
+pub fn post_control<B: CommBackend + ?Sized>(
+    backend: &B,
+    target: NodeId,
+) -> Result<u64, OffloadError> {
+    post_inner(backend, target, HandlerKey(0), &[], MsgKind::Control)
+}
+
+fn post_inner<B: CommBackend + ?Sized>(
+    backend: &B,
+    target: NodeId,
+    key: HandlerKey,
+    payload: &[u8],
+    kind: MsgKind,
+) -> Result<u64, OffloadError> {
+    let chan = backend.channel(target)?;
+    if payload.len() > chan.max_msg_bytes() {
+        return Err(OffloadError::Backend(format!(
+            "message of {} bytes exceeds the protocol's {}-byte slots; transfer bulk data with put/get",
+            payload.len(),
+            chan.max_msg_bytes()
+        )));
+    }
+    let control = matches!(kind, MsgKind::Control);
+    let offload = trace::current_offload();
+    let res = loop {
+        match chan.try_reserve(control, offload, backend.host_clock().now()) {
+            Reserve::Reserved(r) => break r,
+            Reserve::Shutdown => return Err(OffloadError::Shutdown),
+            Reserve::Full => {
+                // All slots in flight: sweep completions to free some.
+                // A dead target errors its pending entries out here, so
+                // this loop cannot spin forever.
+                drain(backend, target)?;
+                std::thread::yield_now();
+            }
+        }
+    };
+    let header = MsgHeader {
+        handler_key: key,
+        payload_len: payload.len() as u32,
+        kind,
+        reply_slot: res.send_slot as u16,
+        corr: offload,
+        seq: res.seq,
+    };
+    if let Err(e) = backend.send_frame(target, &res, &header, payload) {
+        chan.cancel(res.seq);
+        return Err(e);
+    }
+    Ok(res.seq)
+}
+
+/// Sweep the completion flags of *every* in-flight offload on `target`
+/// and move the ready ones into the completion queue — one poll pass
+/// retires any number of completions (O(completions) host work, not
+/// O(in-flight · polls)). Push transports have nothing to sweep; their
+/// receiver threads deposit directly. Returns how many offloads
+/// completed (transport errors count: they complete their futures with
+/// the error).
+pub fn drain<B: CommBackend + ?Sized>(backend: &B, target: NodeId) -> Result<usize, OffloadError> {
+    let chan = backend.channel(target)?;
+    let mut completed = 0;
+    for (seq, entry) in chan.pending_snapshot() {
+        let ready = backend.poll_flags(target, seq, &entry);
+        match ready {
+            Ok(None) => {}
+            Ok(Some(token)) => {
+                // Re-check under the lock: another thread may have
+                // claimed this completion between snapshot and now.
+                let Some(entry) = chan.take_pending(seq) else {
+                    continue;
+                };
+                // The fetch belongs to the span tree of the offload it
+                // completes, not whichever future's poll triggered it.
+                let _scope = trace::offload_scope(OffloadId(entry.offload));
+                let result = backend.fetch_frame(target, seq, &entry, token);
+                chan.finish(seq, &entry, result);
+                completed += 1;
+            }
+            Err(e) => {
+                // A dead transport fails every in-flight offload: park
+                // the error so each future observes it, and free the
+                // slots so posting paths stop blocking.
+                let Some(entry) = chan.take_pending(seq) else {
+                    continue;
+                };
+                chan.finish(seq, &entry, Err(e));
+                completed += 1;
+            }
+        }
+    }
+    Ok(completed)
+}
+
+/// Poll for the result of offload `seq`: claim it if already parked,
+/// otherwise sweep the flags once and try again. `Ok(None)` while the
+/// offload is still running. Result frames are unframed here — an
+/// error frame (a handler that panicked on the target) surfaces as
+/// `Err(Backend(..))`.
+pub fn try_result<B: CommBackend + ?Sized>(
+    backend: &B,
+    target: NodeId,
+    seq: u64,
+) -> Result<Option<Vec<u8>>, OffloadError> {
+    let chan = backend.channel(target)?;
+    if let Some(done) = chan.take_completed(seq) {
+        return settle(done);
+    }
+    drain(backend, target)?;
+    match chan.take_completed(seq) {
+        Some(done) => settle(done),
+        None => Ok(None),
+    }
+}
+
+/// Unwrap a parked completion: unframe result frames, pass transport
+/// errors through.
+fn settle(done: Result<Vec<u8>, OffloadError>) -> Result<Option<Vec<u8>>, OffloadError> {
+    match done {
+        Ok(frame) => unframe_result(&frame)
+            .map(Some)
+            .map_err(OffloadError::Backend),
+        Err(e) => Err(e),
+    }
+}

@@ -1,0 +1,42 @@
+//! The shared **channel core**: one host-side protocol engine for every
+//! transport.
+//!
+//! The paper's layering (Fig. 1) puts a single HAM-Offload runtime over
+//! interchangeable transports — the RPC machinery itself is
+//! transport-agnostic. This module family is that machinery, extracted
+//! so each backend implements only *transport verbs* (send a frame, poll
+//! flags, fetch or deposit a result frame) while everything a channel
+//! has to get right lives here exactly once:
+//!
+//! * slot accounting — [`SlotRing`] hands out receive/send slots with
+//!   the discipline each side expects (strict round-robin for the
+//!   target-polled receive array, first-free for results);
+//! * sequence management and in-flight bookkeeping — [`PendingTable`]
+//!   maps a sequence number to its slots, post time and telemetry id;
+//! * completion buffering — [`CompletionQueue`] holds finished result
+//!   frames (or transport errors) until the owning future claims them,
+//!   so one flag sweep drains *all* ready completions instead of
+//!   checking a single slot;
+//! * the protocol state machine — [`ChannelCore`] ties the three
+//!   together under one lock, and [`engine`] drives it against the
+//!   [`crate::CommBackend`] transport verbs.
+//!
+//! Slot-layout constants shared by the Aurora transports
+//! ([`ProtocolConfig`], [`SLOT_META`]) also live here, so `ham-backend-dma`
+//! no longer reaches into a sibling backend for them.
+//!
+//! See `docs/channel-core.md` for the state machine diagram and a guide
+//! to writing a new backend on top of this module.
+
+pub mod config;
+pub mod core;
+pub mod engine;
+pub mod pending;
+pub mod queue;
+pub mod ring;
+
+pub use self::core::{ChannelCore, Reservation, Reserve};
+pub use config::{ProtocolConfig, SLOT_META};
+pub use pending::{PendingEntry, PendingTable};
+pub use queue::CompletionQueue;
+pub use ring::SlotRing;

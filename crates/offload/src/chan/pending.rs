@@ -1,0 +1,62 @@
+//! In-flight offload bookkeeping: sequence number → slots, post time,
+//! telemetry id.
+
+use aurora_sim_core::SimTime;
+use std::collections::HashMap;
+
+/// Everything the channel remembers about one in-flight offload.
+#[derive(Clone, Copy, Debug)]
+pub struct PendingEntry {
+    /// Receive slot (VH → VE message) the offload occupies.
+    pub recv_slot: usize,
+    /// Send slot (VE → VH result) reserved for its reply.
+    pub send_slot: usize,
+    /// Telemetry correlation id ([`aurora_sim_core::trace::OffloadId`])
+    /// — completions harvested on another future's poll are still
+    /// attributed to *their* span tree.
+    pub offload: u64,
+    /// Virtual post time, for the completion-latency metric.
+    pub posted_at: SimTime,
+}
+
+/// The in-flight table of one channel (seq → [`PendingEntry`]).
+#[derive(Debug, Default)]
+pub struct PendingTable {
+    entries: HashMap<u64, PendingEntry>,
+}
+
+impl PendingTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record an in-flight offload.
+    pub fn insert(&mut self, seq: u64, entry: PendingEntry) {
+        self.entries.insert(seq, entry);
+    }
+
+    /// Remove and return an in-flight offload (idempotent: the second
+    /// caller racing on the same completion gets `None`).
+    pub fn remove(&mut self, seq: u64) -> Option<PendingEntry> {
+        self.entries.remove(&seq)
+    }
+
+    /// All in-flight offloads, ordered by sequence number so flag
+    /// sweeps visit slots deterministically.
+    pub fn snapshot(&self) -> Vec<(u64, PendingEntry)> {
+        let mut v: Vec<_> = self.entries.iter().map(|(s, e)| (*s, *e)).collect();
+        v.sort_unstable_by_key(|(s, _)| *s);
+        v
+    }
+
+    /// Number of in-flight offloads.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is in flight.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}

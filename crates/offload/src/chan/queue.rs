@@ -1,0 +1,44 @@
+//! Completion buffering: finished result frames parked until the owning
+//! future claims them.
+
+use crate::OffloadError;
+use std::collections::HashMap;
+
+/// Completed-but-unclaimed results of one channel.
+///
+/// A flag sweep ([`crate::chan::engine::drain`]) moves *every* ready
+/// offload from the pending table into this queue, keyed by sequence
+/// number; each future then claims its own entry without touching the
+/// transport. Transport errors are parked the same way, so a dead
+/// target errors every outstanding future instead of hanging them.
+#[derive(Debug, Default)]
+pub struct CompletionQueue {
+    done: HashMap<u64, Result<Vec<u8>, OffloadError>>,
+}
+
+impl CompletionQueue {
+    /// An empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Park a finished offload's result frame (or transport error).
+    pub fn push(&mut self, seq: u64, result: Result<Vec<u8>, OffloadError>) {
+        self.done.insert(seq, result);
+    }
+
+    /// Claim a completion, if it has arrived.
+    pub fn take(&mut self, seq: u64) -> Option<Result<Vec<u8>, OffloadError>> {
+        self.done.remove(&seq)
+    }
+
+    /// Number of unclaimed completions.
+    pub fn len(&self) -> usize {
+        self.done.len()
+    }
+
+    /// True when no completion is waiting.
+    pub fn is_empty(&self) -> bool {
+        self.done.is_empty()
+    }
+}

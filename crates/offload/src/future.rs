@@ -5,9 +5,13 @@
 //! target's result flag when asked ([`Future::test`]) or spins on it
 //! ([`Future::get`]). Nothing runs in the background on the host — the
 //! paper's design keeps the host thread in control of when communication
-//! happens.
+//! happens. Since the channel-core refactor a poll is a *drain*: one
+//! flag sweep retires every ready completion on the channel into the
+//! [`crate::chan::CompletionQueue`], so sibling futures settle from the
+//! queue without touching the transport again.
 
 use crate::backend::{CommBackend, SlotId};
+use crate::chan::engine;
 use crate::types::NodeId;
 use crate::OffloadError;
 use aurora_sim_core::trace::{self, OffloadId};
@@ -79,6 +83,11 @@ impl<T> Future<T> {
 
     /// Non-blocking readiness check (Table II `test()`). Once this
     /// returns `true`, [`Future::get`] will not block.
+    ///
+    /// A `test` sweeps the whole channel: every in-flight offload whose
+    /// flag is set completes into the queue in this one pass, so with N
+    /// offloads in flight the host does O(completions) work rather than
+    /// one transport poll per future per round.
     pub fn test(&mut self) -> bool {
         match &self.state {
             State::Pending => {
@@ -89,7 +98,7 @@ impl<T> Future<T> {
                 // span tree.
                 let _scope = trace::offload_scope(self.offload);
                 let _node = trace::node_scope(crate::types::NodeId::HOST.0);
-                match backend.try_result(self.target, self.slot) {
+                match engine::try_result(backend.as_ref(), self.target, self.slot.0) {
                     Ok(None) => {
                         backend.metrics().on_poll(false);
                         false
@@ -135,6 +144,68 @@ impl<T> Future<T> {
         backend.metrics().on_poll(true);
         let now = backend.host_clock().now();
         backend.metrics().on_complete(now.saturating_sub(posted_at));
+    }
+
+    /// Still waiting on the transport?
+    pub(crate) fn is_pending(&self) -> bool {
+        matches!(self.state, State::Pending)
+    }
+
+    /// Result arrived (and not yet consumed)?
+    pub(crate) fn is_ready(&self) -> bool {
+        matches!(self.state, State::Ready(_))
+    }
+
+    /// Settle from the completion queue *without* a transport sweep —
+    /// the cheap half of `wait_any`/`wait_all` rounds: after one drain
+    /// of the channel, every sibling future settles from the queue.
+    /// Returns `true` if this future became (or already was) ready.
+    pub(crate) fn try_settle_completed(&mut self) -> bool {
+        if !self.is_pending() {
+            return true;
+        }
+        let Some(backend) = &self.backend else {
+            return true;
+        };
+        let Ok(chan) = backend.channel(self.target) else {
+            return false;
+        };
+        match chan.take_completed(self.slot.0) {
+            None => false,
+            Some(done) => {
+                Self::complete(backend, self.posted_at);
+                let decoded = match done {
+                    Ok(frame) => match crate::target_loop::unframe_result(&frame) {
+                        Ok(bytes) => (self.decode)(&bytes).map_err(OffloadError::from),
+                        Err(msg) => Err(OffloadError::Backend(msg)),
+                    },
+                    Err(e) => Err(e),
+                };
+                self.state = State::Ready(decoded);
+                true
+            }
+        }
+    }
+
+    /// Identity of the channel this future waits on (backend + target),
+    /// for deduplicating sweeps across a future set. `None` once
+    /// settled or for ready-constructed futures.
+    pub(crate) fn channel_key(&self) -> Option<(usize, NodeId)> {
+        if !self.is_pending() {
+            return None;
+        }
+        self.backend
+            .as_ref()
+            .map(|b| (Arc::as_ptr(b) as *const () as usize, self.target))
+    }
+
+    /// One flag sweep of this future's channel (no-op for ready
+    /// futures). Completions land in the queue for any sibling future.
+    pub(crate) fn drain_channel(&self) {
+        if let Some(backend) = &self.backend {
+            let _node = trace::node_scope(crate::types::NodeId::HOST.0);
+            let _ = engine::drain(backend.as_ref(), self.target);
+        }
     }
 
     /// The target this offload ran on.

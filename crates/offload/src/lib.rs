@@ -35,6 +35,7 @@
 
 pub mod backend;
 pub mod buffer;
+pub mod chan;
 pub mod future;
 pub mod local;
 pub mod runtime;
@@ -44,6 +45,7 @@ pub mod types;
 
 pub use backend::{CommBackend, RawBuffer, SlotId};
 pub use buffer::BufferPtr;
+pub use chan::{ChannelCore, ProtocolConfig, SLOT_META};
 pub use future::Future;
 pub use runtime::Offload;
 pub use scalar::Scalar;

@@ -5,20 +5,23 @@
 //! *semantics* of [`crate::CommBackend`] so the protocol backends can be
 //! checked against it, and gives examples/tests a fast, dependency-free
 //! transport (it plays the role of the paper's most generic backend).
+//!
+//! It is a **push** transport in channel-core terms: the target thread
+//! deposits result frames straight into the per-target
+//! [`ChannelCore`]'s completion queue, and the host never polls flags.
 
-use crate::backend::{CommBackend, RawBuffer, Registrar, SlotId};
-use crate::target_loop::{run_target_loop, unframe_result, TargetChannel};
+use crate::backend::{CommBackend, RawBuffer, Registrar};
+use crate::chan::{engine, ChannelCore, Reservation};
+use crate::target_loop::{run_target_loop, TargetChannel};
 use crate::types::{DeviceType, NodeDescriptor, NodeId};
 use crate::OffloadError;
 use aurora_mem::RangeAllocator;
-use aurora_sim_core::{trace, BackendMetrics, Clock};
+use aurora_sim_core::{BackendMetrics, Clock};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use ham::message::VecMemory;
-use ham::registry::HandlerKey;
-use ham::wire::{MsgHeader, MsgKind};
+use ham::wire::MsgHeader;
 use ham::{Registry, RegistryBuilder};
 use parking_lot::Mutex;
-use std::collections::HashMap;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
@@ -27,7 +30,7 @@ const HOST_SEED: u64 = 0x4841_4D00;
 
 struct ChannelEnd {
     rx: Receiver<(MsgHeader, Vec<u8>)>,
-    results: Arc<Mutex<HashMap<u64, Vec<u8>>>>,
+    chan: Arc<ChannelCore>,
 }
 
 impl TargetChannel for ChannelEnd {
@@ -35,13 +38,13 @@ impl TargetChannel for ChannelEnd {
         self.rx.recv().ok()
     }
     fn send_result(&self, _reply_slot: u16, seq: u64, payload: &[u8]) {
-        self.results.lock().insert(seq, payload.to_vec());
+        self.chan.deposit(seq, payload.to_vec());
     }
 }
 
 struct Target {
     tx: Sender<(MsgHeader, Vec<u8>)>,
-    results: Arc<Mutex<HashMap<u64, Vec<u8>>>>,
+    chan: Arc<ChannelCore>,
     mem: Arc<VecMemory>,
     alloc: Mutex<RangeAllocator>,
     thread: Mutex<Option<JoinHandle<u64>>>,
@@ -51,7 +54,6 @@ struct Target {
 pub struct LocalBackend {
     host_registry: Arc<Registry>,
     targets: Vec<Target>,
-    next_slot: Mutex<u64>,
     clock: Clock,
     mem_bytes: u64,
     metrics: BackendMetrics,
@@ -81,23 +83,23 @@ impl LocalBackend {
         let targets = (1..=n)
             .map(|node| {
                 let (tx, rx) = unbounded();
-                let results = Arc::new(Mutex::new(HashMap::new()));
+                let chan = Arc::new(ChannelCore::unbounded());
                 let mem = Arc::new(VecMemory::new(mem_bytes as usize));
                 // Each target is its own "binary": same registrar,
                 // different seed → different local handler addresses.
                 let registry = build_registry(&registrar, 0x5645_0000 + node as u64);
-                let chan = ChannelEnd {
+                let end = ChannelEnd {
                     rx,
-                    results: Arc::clone(&results),
+                    chan: Arc::clone(&chan),
                 };
                 let mem2 = Arc::clone(&mem);
                 let thread = std::thread::Builder::new()
                     .name(format!("local-target-{node}"))
-                    .spawn(move || run_target_loop(node, &registry, &*mem2, &chan))
+                    .spawn(move || run_target_loop(node, &registry, &*mem2, &end))
                     .expect("spawn target thread");
                 Target {
                     tx,
-                    results,
+                    chan,
                     mem,
                     alloc: Mutex::new(RangeAllocator::new(mem_bytes)),
                     thread: Mutex::new(Some(thread)),
@@ -107,7 +109,6 @@ impl LocalBackend {
         Arc::new(Self {
             host_registry,
             targets,
-            next_slot: Mutex::new(0),
             clock: Clock::new(),
             mem_bytes,
             metrics: BackendMetrics::new(),
@@ -162,40 +163,21 @@ impl CommBackend for LocalBackend {
         })
     }
 
-    fn post(
-        &self,
-        target: NodeId,
-        key: HandlerKey,
-        payload: &[u8],
-    ) -> Result<SlotId, OffloadError> {
-        let t = self.target(target)?;
-        let slot = {
-            let mut s = self.next_slot.lock();
-            let v = *s;
-            *s += 1;
-            v
-        };
-        let header = MsgHeader {
-            handler_key: key,
-            payload_len: payload.len() as u32,
-            kind: MsgKind::Offload,
-            reply_slot: 0,
-            corr: trace::current_offload(),
-            seq: slot,
-        };
-        t.tx.send((header, payload.to_vec()))
-            .map_err(|_| OffloadError::Shutdown)?;
-        Ok(SlotId(slot))
+    fn channel(&self, target: NodeId) -> Result<&ChannelCore, OffloadError> {
+        Ok(self.target(target)?.chan.as_ref())
     }
 
-    fn try_result(&self, target: NodeId, slot: SlotId) -> Result<Option<Vec<u8>>, OffloadError> {
+    fn send_frame(
+        &self,
+        target: NodeId,
+        _res: &Reservation,
+        header: &MsgHeader,
+        payload: &[u8],
+    ) -> Result<(), OffloadError> {
         let t = self.target(target)?;
-        match t.results.lock().remove(&slot.0) {
-            None => Ok(None),
-            Some(frame) => unframe_result(&frame)
-                .map(Some)
-                .map_err(OffloadError::Backend),
-        }
+        // A closed channel means the target thread is gone.
+        t.tx.send((*header, payload.to_vec()))
+            .map_err(|_| OffloadError::Shutdown)
     }
 
     fn allocate(&self, node: NodeId, bytes: u64) -> Result<u64, OffloadError> {
@@ -240,16 +222,11 @@ impl CommBackend for LocalBackend {
 
     fn shutdown(&self) {
         for (i, t) in self.targets.iter().enumerate() {
-            let header = MsgHeader {
-                handler_key: HandlerKey(0),
-                payload_len: 0,
-                kind: MsgKind::Control,
-                reply_slot: 0,
-                corr: 0,
-                seq: u64::MAX - i as u64,
-            };
-            // Ignore send failures: the loop may already be gone.
-            let _ = t.tx.send((header, vec![]));
+            if !t.chan.begin_shutdown() {
+                // First caller: deliver the control frame (ignore a
+                // target that already died) and join the thread.
+                let _ = engine::post_control(self, NodeId(i as u16 + 1));
+            }
             if let Some(h) = t.thread.lock().take() {
                 let _ = h.join();
             }
@@ -407,6 +384,39 @@ mod tests {
         for f in futures {
             assert_eq!(f.get().unwrap(), 1);
         }
+        o.shutdown();
+    }
+
+    #[test]
+    fn wait_any_returns_some_ready_future() {
+        let o = setup(2);
+        let mut futures: Vec<_> = (0u16..8)
+            .map(|i| o.async_(NodeId(1 + (i % 2)), f2f!(which_node)).unwrap())
+            .collect();
+        let mut got = Vec::new();
+        while !futures.is_empty() {
+            let i = o.wait_any(&mut futures).expect("something pending");
+            let f = futures.swap_remove(i);
+            got.push(f.get().unwrap());
+        }
+        assert!(o.wait_any::<u16>(&mut []).is_none());
+        got.sort_unstable();
+        assert_eq!(got, [1, 1, 1, 1, 2, 2, 2, 2]);
+        o.shutdown();
+    }
+
+    #[test]
+    fn wait_all_returns_results_in_order() {
+        let o = setup(2);
+        let futures: Vec<_> = (0u16..8)
+            .map(|i| o.async_(NodeId(1 + (i % 2)), f2f!(which_node)).unwrap())
+            .collect();
+        let results: Vec<u16> = o
+            .wait_all(futures)
+            .into_iter()
+            .map(|r| r.unwrap())
+            .collect();
+        assert_eq!(results, [1, 2, 1, 2, 1, 2, 1, 2]);
         o.shutdown();
     }
 }

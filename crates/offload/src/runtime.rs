@@ -1,7 +1,8 @@
 //! The host-side runtime: the API of Table II.
 
-use crate::backend::{CommBackend, RawBuffer};
+use crate::backend::{CommBackend, RawBuffer, SlotId};
 use crate::buffer::BufferPtr;
+use crate::chan::engine;
 use crate::future::Future;
 use crate::scalar::Scalar;
 use crate::types::{NodeDescriptor, NodeId};
@@ -78,12 +79,12 @@ impl Offload {
         let t1 = self.backend.host_clock().advance(calib::HAM_HOST_OVERHEAD);
         trace::record("ham.host_overhead", 0, t0, t1);
         let (key, payload) = self.backend.host_registry().encode_message(&msg)?;
-        let slot = self.backend.post(target, key, &payload)?;
+        let seq = engine::post(self.backend.as_ref(), target, key, &payload)?;
         self.backend.metrics().on_post(payload.len() as u64);
         Ok(Future::new(
             Arc::clone(&self.backend),
             target,
-            slot,
+            SlotId(seq),
             decode_output::<M>,
             id,
             self.backend.host_clock().now(),
@@ -97,6 +98,75 @@ impl Offload {
         msg: M,
     ) -> Result<M::Output, OffloadError> {
         self.async_(target, msg)?.get()
+    }
+
+    // --- batched synchronisation ------------------------------------------
+
+    /// Block until at least one future in `futures` is ready and return
+    /// its index (its result is still in the future — claim it with
+    /// [`Future::get`]). Returns `None` if no future is pending or
+    /// ready (empty slice, or every result already taken).
+    ///
+    /// One flag sweep per distinct channel serves the whole set: with N
+    /// offloads in flight this is O(completions) host work per round,
+    /// not N transport polls — the primitive load balancers used to
+    /// fake with round-robin [`Future::test`] loops.
+    pub fn wait_any<T>(&self, futures: &mut [Future<T>]) -> Option<usize> {
+        loop {
+            let mut pending = false;
+            for (i, f) in futures.iter_mut().enumerate() {
+                if f.is_ready() {
+                    return Some(i);
+                }
+                if f.is_pending() {
+                    if f.try_settle_completed() {
+                        return Some(i);
+                    }
+                    pending = true;
+                }
+            }
+            if !pending {
+                return None;
+            }
+            self.sweep(futures);
+            std::thread::yield_now();
+        }
+    }
+
+    /// Block until *every* future in `futures` is ready, then return
+    /// all results in order. Like `wait_any`, each round costs one flag
+    /// sweep per distinct channel regardless of how many offloads are
+    /// in flight.
+    pub fn wait_all<T>(&self, futures: Vec<Future<T>>) -> Vec<Result<T, OffloadError>> {
+        let mut futures = futures;
+        loop {
+            let mut pending = false;
+            for f in futures.iter_mut() {
+                if f.is_pending() && !f.try_settle_completed() {
+                    pending = true;
+                }
+            }
+            if !pending {
+                break;
+            }
+            self.sweep(&futures);
+            std::thread::yield_now();
+        }
+        // Everything is settled; get() only decodes/claims.
+        futures.into_iter().map(Future::get).collect()
+    }
+
+    /// One drain of every distinct channel the pending futures wait on.
+    fn sweep<T>(&self, futures: &[Future<T>]) {
+        let mut seen: Vec<(usize, NodeId)> = Vec::new();
+        for f in futures {
+            if let Some(key) = f.channel_key() {
+                if !seen.contains(&key) {
+                    seen.push(key);
+                    f.drain_channel();
+                }
+            }
+        }
     }
 
     // --- explicit buffer management (Table II) ---------------------------

@@ -4,9 +4,10 @@
 //! coprocessors.
 //!
 //! A queue of dense-batch tasks is served greedily: every VE holds one
-//! in-flight offload; whenever a VE's future completes it is refilled;
-//! the host consumes tasks itself between polls. The decision logic is
-//! exactly what the paper's `future::test()` (Table II) enables.
+//! in-flight offload; free VEs are refilled first; while every VE is
+//! busy the host consumes a task itself; then `wait_any` blocks until
+//! the next VE completion, which drains the whole channel with one flag
+//! sweep and frees that VE's slot for refilling.
 //!
 //! Run with: `cargo run --example feti_load_balance`
 
@@ -69,61 +70,52 @@ fn main() {
     let mut next_task = 0usize;
     let mut host_done = 0usize;
     let mut ve_done = 0usize;
-    let mut in_flight: Vec<Option<(usize, Future<f64>)>> =
-        (0..ves as usize).map(|_| None).collect();
 
-    let fill = |slot: usize, task: usize, in_flight: &mut Vec<Option<(usize, Future<f64>)>>| {
-        let (node, a_dev, b_dev) = buffers[slot];
-        let (a, b) = &inputs[task];
-        offload.put(a, a_dev).expect("put a");
-        offload.put(b, b_dev).expect("put b");
-        let fut = offload
-            .async_(
-                node,
-                f2f!(
-                    dense_batch,
-                    a_dev.addr(),
-                    b_dev.addr(),
-                    PER_BATCH,
-                    DIM as u64
-                ),
-            )
-            .expect("offload batch");
-        in_flight[slot] = Some((task, fut));
-    };
+    // In-flight futures, with parallel task/slot tags (swap_remove keeps
+    // the three vectors in lock-step).
+    let mut futs: Vec<Future<f64>> = Vec::new();
+    let mut task_of: Vec<usize> = Vec::new();
+    let mut slot_of: Vec<usize> = Vec::new();
+    let mut free_slots: Vec<usize> = (0..ves as usize).collect();
 
-    // Prime every VE.
-    for slot in 0..ves as usize {
-        if next_task < TASKS {
-            fill(slot, next_task, &mut in_flight);
+    while !futs.is_empty() || next_task < TASKS {
+        // Refill every idle VE from the queue.
+        while next_task < TASKS {
+            let Some(slot) = free_slots.pop() else { break };
+            let (node, a_dev, b_dev) = buffers[slot];
+            let (a, b) = &inputs[next_task];
+            offload.put(a, a_dev).expect("put a");
+            offload.put(b, b_dev).expect("put b");
+            let fut = offload
+                .async_(
+                    node,
+                    f2f!(
+                        dense_batch,
+                        a_dev.addr(),
+                        b_dev.addr(),
+                        PER_BATCH,
+                        DIM as u64
+                    ),
+                )
+                .expect("offload batch");
+            futs.push(fut);
+            task_of.push(next_task);
+            slot_of.push(slot);
             next_task += 1;
         }
-    }
-
-    // Greedy loop: poll VEs; if all busy, the host takes a task itself.
-    while ve_done + host_done < TASKS {
-        let mut progressed = false;
-        for slot in 0..ves as usize {
-            if let Some((task, mut fut)) = in_flight[slot].take() {
-                if fut.test() {
-                    results[task] = fut.get().expect("batch result");
-                    ve_done += 1;
-                    progressed = true;
-                    if next_task < TASKS {
-                        fill(slot, next_task, &mut in_flight);
-                        next_task += 1;
-                    }
-                } else {
-                    in_flight[slot] = Some((task, fut));
-                }
-            }
-        }
-        if !progressed && next_task < TASKS {
-            // Every VE is busy: the host works on the next task.
+        // Every VE is busy and work remains: the host takes one task.
+        if next_task < TASKS {
             let (a, b) = &inputs[next_task];
             results[next_task] = host_dense_batch(a, b, PER_BATCH, DIM);
             host_done += 1;
             next_task += 1;
+        }
+        // Block until the next VE completion, whichever VE it is.
+        if let Some(i) = offload.wait_any(&mut futs) {
+            let task = task_of.swap_remove(i);
+            free_slots.push(slot_of.swap_remove(i));
+            results[task] = futs.swap_remove(i).get().expect("batch result");
+            ve_done += 1;
         }
     }
 

@@ -34,8 +34,14 @@ fn main() {
         })
         .collect();
 
-    // Gather and average.
-    let estimates: Vec<f64> = futures.into_iter().map(|f| f.get().expect("pi")).collect();
+    // Gather with one call: wait_all drains every channel's completion
+    // queue until all eight futures have settled, then returns results
+    // in submission order.
+    let estimates: Vec<f64> = offload
+        .wait_all(futures)
+        .into_iter()
+        .map(|r| r.expect("pi"))
+        .collect();
     for (i, pi) in estimates.iter().enumerate() {
         println!("VE{i}: pi ~ {pi:.6}");
     }

@@ -11,6 +11,12 @@ cargo build --release
 echo "== tier-1: tests =="
 cargo test -q
 
+echo "== examples build =="
+cargo build --release --examples
+
+echo "== pipelined-offloads smoke =="
+cargo bench -q -p aurora-bench --bench pipelined_offloads -- --smoke
+
 echo "== clippy (warnings are errors) =="
 cargo clippy --workspace --all-targets -- -D warnings
 

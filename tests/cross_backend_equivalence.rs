@@ -70,6 +70,53 @@ fn stateless_kernels_agree() {
     assert!(results.windows(2).all(|w| w[0].1 == w[1].1), "{results:?}");
 }
 
+/// `wait_all` and a `wait_any` drain loop must deliver the same results
+/// as serial `get()`s — on every backend, bit for bit.
+#[test]
+fn wait_any_and_wait_all_agree_everywhere() {
+    let seeds: Vec<u64> = (0..8).collect();
+    let mut per_backend: Vec<(&str, Vec<u64>)> = Vec::new();
+    for (name, o) in backends() {
+        let t = NodeId(1);
+        // Baseline: serial sync.
+        let serial: Vec<u64> = seeds
+            .iter()
+            .map(|&s| o.sync(t, f2f!(monte_carlo_pi, s, 2_000)).unwrap().to_bits())
+            .collect();
+        // wait_all: in submission order.
+        let futures: Vec<_> = seeds
+            .iter()
+            .map(|&s| o.async_(t, f2f!(monte_carlo_pi, s, 2_000)).unwrap())
+            .collect();
+        let gathered: Vec<u64> = o
+            .wait_all(futures)
+            .into_iter()
+            .map(|r| r.unwrap().to_bits())
+            .collect();
+        assert_eq!(gathered, serial, "{name}: wait_all vs serial");
+        // wait_any: completion order; parallel vec tags each future
+        // with its submission index.
+        let mut ids: Vec<usize> = (0..seeds.len()).collect();
+        let mut futs: Vec<_> = seeds
+            .iter()
+            .map(|&s| o.async_(t, f2f!(monte_carlo_pi, s, 2_000)).unwrap())
+            .collect();
+        let mut drained = vec![0u64; seeds.len()];
+        while let Some(i) = o.wait_any(&mut futs) {
+            let idx = ids.swap_remove(i);
+            drained[idx] = futs.swap_remove(i).get().unwrap().to_bits();
+        }
+        assert!(futs.is_empty(), "{name}: wait_any left futures behind");
+        assert_eq!(drained, serial, "{name}: wait_any vs serial");
+        per_backend.push((name, serial));
+        o.shutdown();
+    }
+    assert!(
+        per_backend.windows(2).all(|w| w[0].1 == w[1].1),
+        "{per_backend:?}"
+    );
+}
+
 #[test]
 fn jacobi_iteration_converges_on_every_backend() {
     let (nx, ny) = (16u64, 16u64);

@@ -1,0 +1,69 @@
+//! Fig. 9's headline ratio, measured across backend crates: the DMA
+//! protocol's empty offload is 70.8× cheaper than the VEO protocol's.
+//! (Lives here because `ham-backend-dma` no longer depends on
+//! `ham-backend-veo` — backends only share the channel core and the
+//! `aurora-proto` host core.)
+
+use ham::f2f;
+use ham_backend_dma::DmaBackend;
+use ham_backend_veo::VeoBackend;
+use ham_offload::types::NodeId;
+use ham_offload::Offload;
+use std::sync::Arc;
+use veos_sim::{AuroraMachine, MachineConfig};
+
+ham::ham_kernel! {
+    pub fn empty(_ctx) -> () {}
+}
+
+fn machine() -> Arc<AuroraMachine> {
+    AuroraMachine::small(
+        1,
+        MachineConfig {
+            hbm_bytes: 16 << 20,
+            vh_bytes: 32 << 20,
+            ..Default::default()
+        },
+    )
+}
+
+/// The paper's methodology (§V): warm-up iterations, then the mean over
+/// many repetitions.
+fn mean_offload_us(o: &Offload, reps: u32) -> f64 {
+    for _ in 0..10 {
+        o.sync(NodeId(1), f2f!(empty)).unwrap();
+    }
+    let t0 = o.backend().host_clock().now();
+    for _ in 0..reps {
+        o.sync(NodeId(1), f2f!(empty)).unwrap();
+    }
+    (o.backend().host_clock().now() - t0).as_us_f64() / reps as f64
+}
+
+#[test]
+fn dma_is_70x_cheaper_than_veo_backend() {
+    let dma = Offload::new(DmaBackend::spawn(
+        machine(),
+        0,
+        &[0],
+        Default::default(),
+        |b| {
+            b.register::<empty>();
+        },
+    ));
+    let veo = Offload::new(VeoBackend::spawn(
+        machine(),
+        0,
+        &[0],
+        Default::default(),
+        |b| {
+            b.register::<empty>();
+        },
+    ));
+    let dma_cost = mean_offload_us(&dma, 50);
+    let veo_cost = mean_offload_us(&veo, 50);
+    let ratio = veo_cost / dma_cost;
+    assert!((ratio - 70.8).abs() / 70.8 < 0.06, "ratio = {ratio}");
+    dma.shutdown();
+    veo.shutdown();
+}
