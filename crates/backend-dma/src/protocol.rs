@@ -32,12 +32,12 @@ use aurora_mem::{ShmGuard, VeAddr, Vehva};
 use aurora_proto::{
     AuroraCore, ProtocolConfig, VeComputeMeter, VeTargetMemory, SLOT_META, VE_SEED_BASE,
 };
-use aurora_sim_core::{calib, Clock, SimTime};
+use aurora_sim_core::{calib, Clock, FaultPlan, SimTime};
 use ham::registry::HandlerKey;
 use ham::wire::{MsgHeader, MsgKind, HEADER_BYTES};
 use ham::Registry;
 use ham_offload::backend::{CommBackend, RawBuffer};
-use ham_offload::chan::{engine, ChannelCore, PendingEntry, Reservation};
+use ham_offload::chan::{engine, ChannelCore, PendingEntry, RecoveryPolicy, Reservation};
 use ham_offload::target_loop::TargetChannel;
 use ham_offload::types::{NodeDescriptor, NodeId};
 use ham_offload::OffloadError;
@@ -128,6 +128,7 @@ pub struct DmaBackend {
     core: AuroraCore,
     cfg: ProtocolConfig,
     channels: Vec<TargetChan>,
+    plan: Arc<FaultPlan>,
 }
 
 impl DmaBackend {
@@ -141,12 +142,41 @@ impl DmaBackend {
         cfg: ProtocolConfig,
         registrar: impl Fn(&mut ham::RegistryBuilder) + Send + Sync + 'static,
     ) -> Arc<Self> {
+        Self::spawn_with_faults(
+            machine,
+            host_socket,
+            ves,
+            cfg,
+            FaultPlan::none(),
+            None,
+            registrar,
+        )
+    }
+
+    /// [`DmaBackend::spawn`] under a deterministic [`FaultPlan`]: each
+    /// VE's PCIe link and user-DMA engines are armed with the plan
+    /// (actor = node id), and an optional [`RecoveryPolicy`] arms
+    /// timeout/retry on every channel. An all-zero plan and `None`
+    /// policy behave bit-identically to [`DmaBackend::spawn`].
+    pub fn spawn_with_faults(
+        machine: Arc<AuroraMachine>,
+        host_socket: u8,
+        ves: &[u8],
+        cfg: ProtocolConfig,
+        plan: Arc<FaultPlan>,
+        policy: Option<RecoveryPolicy>,
+        registrar: impl Fn(&mut ham::RegistryBuilder) + Send + Sync + 'static,
+    ) -> Arc<Self> {
         cfg.validate();
         let core = AuroraCore::new(machine, host_socket, ves, registrar);
         let mut channels = Vec::with_capacity(ves.len());
         for node in 1..=core.num_targets() {
             let t = core.target(NodeId(node)).expect("just created");
             let proc = &t.proc;
+            core.machine()
+                .topology()
+                .link(proc.ve_id())
+                .arm_faults(Arc::clone(&plan), node);
             let stride = cfg.slot_stride();
             let recv_bytes = cfg.array_bytes(cfg.recv_slots);
             let send_bytes = cfg.array_bytes(cfg.send_slots);
@@ -173,6 +203,7 @@ impl DmaBackend {
             let registrar = Arc::clone(core.registrar());
             let node_id = node;
             let cfg2 = cfg;
+            let ve_plan = Arc::clone(&plan);
             type VeInit = (Vehva, Arc<aurora_mem::ShmSegment>);
             let init_state: Arc<Mutex<Option<VeInit>>> = Arc::new(Mutex::new(None));
             let init_state2 = Arc::clone(&init_state);
@@ -215,6 +246,8 @@ impl DmaBackend {
                         cfg: cfg2,
                         staging,
                         next: std::cell::Cell::new(0),
+                        node: node_id,
+                        plan: Arc::clone(&ve_plan),
                     };
                     let meter = VeComputeMeter::new(ve.proc.clock().clone());
                     let transport = reverse_staging.map(|rstaging| {
@@ -239,6 +272,9 @@ impl DmaBackend {
                                 .as_ref()
                                 .map(|t| t as &dyn ham::message::ReverseTransport),
                             meter: Some(&meter),
+                            // DMA slot rotation delivers seqs in order,
+                            // so recovery re-sends dedup by watermark.
+                            dedup: true,
                         },
                         &chan,
                     );
@@ -285,7 +321,13 @@ impl DmaBackend {
                 send_base: recv_bytes,
                 cfg,
                 ctx,
-                chan: ChannelCore::bounded(cfg.recv_slots, cfg.send_slots, cfg.msg_bytes),
+                chan: {
+                    let c = ChannelCore::bounded(cfg.recv_slots, cfg.send_slots, cfg.msg_bytes);
+                    match policy {
+                        Some(p) => c.with_recovery(p),
+                        None => c,
+                    }
+                },
                 reverse_stop,
                 reverse_thread: Mutex::new(reverse_thread),
                 reverse_service,
@@ -295,6 +337,7 @@ impl DmaBackend {
             core,
             cfg,
             channels,
+            plan,
         })
     }
 
@@ -357,9 +400,19 @@ impl CommBackend for DmaBackend {
     ) -> Result<(), OffloadError> {
         let chan = self.chan(target)?;
         if !chan.ctx.is_alive() {
-            return Err(OffloadError::Backend(
-                "ham_main terminated on the target".into(),
-            ));
+            return Err(OffloadError::TargetLost(target));
+        }
+        // Injected TLP drop: the frame vanishes in transit — the slot
+        // stays reserved, the flag never lands, and only a recovery
+        // re-send (same seq, next attempt) can complete the offload.
+        // Control frames are exempt: they are the teardown path, the
+        // one frame kind the recovery policy cannot re-send.
+        if matches!(header.kind, MsgKind::Offload)
+            && self
+                .plan
+                .drop_frame(target.0, res.seq, res.attempt, self.core.host_clock().now())
+        {
+            return Ok(());
         }
         let clock = self.core.host_clock();
         let mut bytes = header.encode().to_vec();
@@ -395,9 +448,7 @@ impl CommBackend for DmaBackend {
         } else if chan.ctx.is_alive() {
             Ok(None)
         } else {
-            Err(OffloadError::Backend(
-                "ham_main terminated on the target".into(),
-            ))
+            Err(OffloadError::TargetLost(target))
         }
     }
 
@@ -460,6 +511,16 @@ impl CommBackend for DmaBackend {
         self.core.metrics()
     }
 
+    /// Kill the VE process abruptly: `ham_main`'s polling loop observes
+    /// the plan's kill bit and panics, which clears the context's
+    /// liveness flag; the next host flag sweep sees the death and
+    /// evicts the channel with [`OffloadError::TargetLost`].
+    fn kill_target(&self, target: NodeId) -> Result<(), OffloadError> {
+        self.chan(target)?;
+        self.plan.kill(target.0, self.core.host_clock().now());
+        Ok(())
+    }
+
     fn shutdown(&self) {
         for node in 1..=self.num_targets() {
             let target = NodeId(node);
@@ -470,7 +531,14 @@ impl CommBackend for DmaBackend {
             if chan.chan.begin_shutdown() {
                 continue;
             }
-            let _ = engine::post_control(self, target);
+            if engine::post_control(self, target).is_err() && chan.ctx.is_alive() {
+                // The control frame cannot reach the target (evicted
+                // channel: its slot cursor is wedged on a lost frame's
+                // hole). Reap the stranded VE process — the moral
+                // equivalent of SIGKILLing an unreachable peer — or
+                // the context join below would wait forever.
+                self.plan.kill(node, self.core.host_clock().now());
+            }
             chan.ctx.close();
             // Stop the reverse service after ham_main exited (no more
             // reverse calls can be in flight).
@@ -503,6 +571,8 @@ struct VeSideChannel {
     /// VE-local staging buffer (VEMVA) for DMA.
     staging: VeAddr,
     next: std::cell::Cell<u64>,
+    node: u16,
+    plan: Arc<FaultPlan>,
 }
 
 impl VeSideChannel {
@@ -539,6 +609,12 @@ impl TargetChannel for VeSideChannel {
         // Zero-cost peeks until the host publishes (arrival-driven
         // polling; see DESIGN.md).
         let ts = loop {
+            if self.plan.killed(self.node) {
+                // Injected VE process death: die like a crash, not a
+                // shutdown — the panic clears the VEO context's
+                // liveness flag and the host evicts the channel.
+                panic!("fault injection: VE process {} killed", self.node);
+            }
             match self.lhm_shm.peek_word(self.atb(), flag) {
                 Ok(0) => std::thread::yield_now(),
                 Ok(ts) => break SimTime::from_ps(ts),

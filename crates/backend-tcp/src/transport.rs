@@ -8,7 +8,7 @@
 
 use crate::frame::{read_frame, write_frame, ControlOp};
 use aurora_mem::RangeAllocator;
-use aurora_sim_core::Clock;
+use aurora_sim_core::{Clock, FaultPlan};
 use ham::message::VecMemory;
 use ham::registry::HandlerKey;
 use ham::wire::{MsgHeader, MsgKind, HEADER_BYTES};
@@ -43,7 +43,8 @@ pub struct TcpBackend {
     host_registry: Arc<Registry>,
     targets: Vec<TcpTarget>,
     clock: Clock,
-    metrics: aurora_sim_core::BackendMetrics,
+    metrics: Arc<aurora_sim_core::BackendMetrics>,
+    plan: Arc<FaultPlan>,
 }
 
 /// The target-process side of one TCP channel.
@@ -174,6 +175,22 @@ impl TcpBackend {
         mem_bytes: u64,
         registrar: impl Fn(&mut RegistryBuilder) + Send + Sync + 'static,
     ) -> Arc<Self> {
+        Self::spawn_with_faults(n, mem_bytes, FaultPlan::none(), registrar)
+    }
+
+    /// [`TcpBackend::spawn_with_memory`] under a deterministic
+    /// [`FaultPlan`] (used by [`CommBackend::kill_target`] to record
+    /// injected disconnects). TCP is a push transport with no recovery
+    /// policy: a dead peer is detected by the reader thread's EOF, which
+    /// evicts the channel with [`OffloadError::TargetLost`]. An
+    /// all-zero plan behaves identically to
+    /// [`TcpBackend::spawn_with_memory`].
+    pub fn spawn_with_faults(
+        n: u16,
+        mem_bytes: u64,
+        plan: Arc<FaultPlan>,
+        registrar: impl Fn(&mut RegistryBuilder) + Send + Sync + 'static,
+    ) -> Arc<Self> {
         let registrar: Arc<Registrar> = Arc::new(registrar);
         let build = |seed: u64| {
             let mut b = RegistryBuilder::new();
@@ -181,6 +198,7 @@ impl TcpBackend {
             b.seal(seed)
         };
         let host_registry = Arc::new(build(0x7463_7000)); // "tcp"
+        let metrics = Arc::new(aurora_sim_core::BackendMetrics::new());
         let targets = (1..=n)
             .map(|node| {
                 let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback listener");
@@ -202,6 +220,7 @@ impl TcpBackend {
                 // into the channel core, matched by sequence number.
                 let chan = Arc::new(ChannelCore::unbounded());
                 let chan2 = Arc::clone(&chan);
+                let metrics2 = Arc::clone(&metrics);
                 let mut msg_rx = msg.try_clone().expect("clone msg stream");
                 let reader = std::thread::Builder::new()
                     .name(format!("tcp-host-reader-{node}"))
@@ -213,6 +232,18 @@ impl TcpBackend {
                                     chan2.deposit(header.seq, body[HEADER_BYTES..].to_vec());
                                 }
                             }
+                        }
+                        // EOF or socket error. During an orderly shutdown
+                        // the channel gate is already closed; anything
+                        // else is a peer death — evict so every in-flight
+                        // offload fails with `TargetLost` instead of
+                        // hanging, and new posts are refused.
+                        if !chan2.is_shutdown()
+                            && chan2
+                                .evict(OffloadError::TargetLost(NodeId(node)))
+                                .is_some()
+                        {
+                            metrics2.on_evict();
                         }
                     })
                     .expect("spawn reader");
@@ -232,7 +263,8 @@ impl TcpBackend {
             host_registry,
             targets,
             clock: Clock::new(),
-            metrics: aurora_sim_core::BackendMetrics::new(),
+            metrics,
+            plan,
         })
     }
 
@@ -353,6 +385,18 @@ impl CommBackend for TcpBackend {
 
     fn metrics(&self) -> &aurora_sim_core::BackendMetrics {
         &self.metrics
+    }
+
+    /// Kill one peer abruptly: both sockets are torn down with no
+    /// Control handshake, as if the remote process died. The reader
+    /// thread observes EOF and evicts the channel; the ctrl and server
+    /// threads unblock on their dead sockets and exit.
+    fn kill_target(&self, target: NodeId) -> Result<(), OffloadError> {
+        let t = self.target(target)?;
+        self.plan.disconnect(target.0, self.clock.now());
+        let _ = t.msg_tx.lock().shutdown(std::net::Shutdown::Both);
+        let _ = t.ctrl.lock().shutdown(std::net::Shutdown::Both);
+        Ok(())
     }
 
     fn shutdown(&self) {

@@ -28,12 +28,12 @@
 
 use crate::core::{AuroraCore, ProtocolConfig, VeTargetMemory, SLOT_META, VE_SEED_BASE};
 use aurora_mem::VeAddr;
-use aurora_sim_core::{calib, Clock, SimTime};
+use aurora_sim_core::{calib, Clock, FaultPlan, SimTime};
 use ham::registry::HandlerKey;
 use ham::wire::{MsgHeader, MsgKind, HEADER_BYTES};
 use ham::Registry;
 use ham_offload::backend::{CommBackend, RawBuffer};
-use ham_offload::chan::{engine, ChannelCore, PendingEntry, Reservation};
+use ham_offload::chan::{engine, ChannelCore, PendingEntry, RecoveryPolicy, Reservation};
 use ham_offload::target_loop::TargetChannel;
 use ham_offload::types::{NodeDescriptor, NodeId};
 use ham_offload::OffloadError;
@@ -74,6 +74,7 @@ pub struct VeoBackend {
     core: AuroraCore,
     cfg: ProtocolConfig,
     channels: Vec<TargetChan>,
+    plan: Arc<FaultPlan>,
 }
 
 impl VeoBackend {
@@ -87,12 +88,43 @@ impl VeoBackend {
         cfg: ProtocolConfig,
         registrar: impl Fn(&mut ham::RegistryBuilder) + Send + Sync + 'static,
     ) -> Arc<Self> {
+        Self::spawn_with_faults(
+            machine,
+            host_socket,
+            ves,
+            cfg,
+            FaultPlan::none(),
+            None,
+            registrar,
+        )
+    }
+
+    /// [`VeoBackend::spawn`] under a deterministic [`FaultPlan`]: each
+    /// VE's PCIe link, DMA engine and process are armed with the plan
+    /// (actor = node id), and an optional [`RecoveryPolicy`] arms
+    /// timeout/retry on every channel. An all-zero plan and `None`
+    /// policy behave bit-identically to [`VeoBackend::spawn`].
+    pub fn spawn_with_faults(
+        machine: Arc<AuroraMachine>,
+        host_socket: u8,
+        ves: &[u8],
+        cfg: ProtocolConfig,
+        plan: Arc<FaultPlan>,
+        policy: Option<RecoveryPolicy>,
+        registrar: impl Fn(&mut ham::RegistryBuilder) + Send + Sync + 'static,
+    ) -> Arc<Self> {
         cfg.validate();
         let core = AuroraCore::new(machine, host_socket, ves, registrar);
         let mut channels = Vec::with_capacity(ves.len());
         for node in 1..=core.num_targets() {
             let t = core.target(NodeId(node)).expect("just created");
             let proc = &t.proc;
+            // Arm this VE's PCIe link (and through it the user DMA
+            // engines) with the plan; actor = node id keys the draws.
+            core.machine()
+                .topology()
+                .link(proc.ve_id())
+                .arm_faults(Arc::clone(&plan), node);
             let stride = cfg.slot_stride();
             let recv_base = proc
                 .alloc_mem(cfg.array_bytes(cfg.recv_slots))
@@ -122,6 +154,7 @@ impl VeoBackend {
             let init_cfg: Arc<Mutex<Option<(Slots, Slots)>>> = Arc::new(Mutex::new(None));
             let init_cfg2 = Arc::clone(&init_cfg);
             let cfg2 = cfg;
+            let ve_plan = Arc::clone(&plan);
             let lib = KernelLibrary::new()
                 .with("ham_comm_init", move |_ve, args| {
                     let recv = Slots {
@@ -150,6 +183,8 @@ impl VeoBackend {
                         send,
                         cfg: cfg2,
                         next: std::cell::Cell::new(0),
+                        node: node_id,
+                        plan: Arc::clone(&ve_plan),
                     };
                     ham_offload::target_loop::run_target_loop_env(
                         &ham_offload::target_loop::TargetEnv {
@@ -158,6 +193,9 @@ impl VeoBackend {
                             mem: &mem,
                             reverse: None,
                             meter: Some(&meter),
+                            // VEO slot rotation delivers seqs in order,
+                            // so recovery re-sends dedup by watermark.
+                            dedup: true,
                         },
                         &chan,
                     )
@@ -193,13 +231,20 @@ impl VeoBackend {
                     stride,
                 },
                 ctx,
-                chan: ChannelCore::bounded(cfg.recv_slots, cfg.send_slots, cfg.msg_bytes),
+                chan: {
+                    let c = ChannelCore::bounded(cfg.recv_slots, cfg.send_slots, cfg.msg_bytes);
+                    match policy {
+                        Some(p) => c.with_recovery(p),
+                        None => c,
+                    }
+                },
             });
         }
         Arc::new(Self {
             core,
             cfg,
             channels,
+            plan,
         })
     }
 
@@ -247,9 +292,19 @@ impl CommBackend for VeoBackend {
     ) -> Result<(), OffloadError> {
         let chan = self.chan(target)?;
         if !chan.ctx.is_alive() {
-            return Err(OffloadError::Backend(
-                "ham_main terminated on the target".into(),
-            ));
+            return Err(OffloadError::TargetLost(target));
+        }
+        // Injected TLP drop: the frame vanishes in transit — the slot
+        // stays reserved, the flag never lands, and only a recovery
+        // re-send (same seq, next attempt) can complete the offload.
+        // Control frames are exempt: they are the teardown path, the
+        // one frame kind the recovery policy cannot re-send.
+        if matches!(header.kind, MsgKind::Offload)
+            && self
+                .plan
+                .drop_frame(target.0, res.seq, res.attempt, self.core.host_clock().now())
+        {
+            return Ok(());
         }
         let proc = &self.core.target(target)?.proc;
         let r = res.recv_slot;
@@ -311,9 +366,7 @@ impl CommBackend for VeoBackend {
         } else if chan.ctx.is_alive() {
             Ok(None)
         } else {
-            Err(OffloadError::Backend(
-                "ham_main terminated on the target".into(),
-            ))
+            Err(OffloadError::TargetLost(target))
         }
     }
 
@@ -393,6 +446,16 @@ impl CommBackend for VeoBackend {
         self.core.metrics()
     }
 
+    /// Kill the VE process abruptly: `ham_main`'s polling loop observes
+    /// the plan's kill bit and panics, which clears the context's
+    /// liveness flag; the next host flag sweep sees the death and
+    /// evicts the channel with [`OffloadError::TargetLost`].
+    fn kill_target(&self, target: NodeId) -> Result<(), OffloadError> {
+        self.chan(target)?;
+        self.plan.kill(target.0, self.core.host_clock().now());
+        Ok(())
+    }
+
     fn shutdown(&self) {
         for node in 1..=self.num_targets() {
             let target = NodeId(node);
@@ -405,7 +468,14 @@ impl CommBackend for VeoBackend {
             // Deliver the termination message (control frames bypass the
             // shutdown gate; a dead target is ignored), then stop
             // ham_main and join the context worker.
-            let _ = engine::post_control(self, target);
+            if engine::post_control(self, target).is_err() && chan.ctx.is_alive() {
+                // The control frame cannot reach the target (evicted
+                // channel: its slot cursor is wedged on a lost frame's
+                // hole). Reap the stranded VE process — the moral
+                // equivalent of SIGKILLing an unreachable peer — or
+                // the context join below would wait forever.
+                self.plan.kill(node, self.core.host_clock().now());
+            }
             chan.ctx.close();
         }
     }
@@ -424,6 +494,8 @@ struct VeSideChannel {
     send: Slots,
     cfg: ProtocolConfig,
     next: std::cell::Cell<u64>,
+    node: u16,
+    plan: Arc<FaultPlan>,
 }
 
 impl TargetChannel for VeSideChannel {
@@ -432,6 +504,12 @@ impl TargetChannel for VeSideChannel {
         let flag_addr = self.recv.flag(i);
         // Poll (real, zero virtual cost) until the host publishes.
         loop {
+            if self.plan.killed(self.node) {
+                // Injected VE process death: die like a crash, not a
+                // shutdown — the panic clears the VEO context's
+                // liveness flag and the host evicts the channel.
+                panic!("fault injection: VE process {} killed", self.node);
+            }
             match self.proc.load_flag(flag_addr) {
                 Ok(0) => std::thread::yield_now(),
                 Ok(_seq_plus_one) => break,

@@ -121,6 +121,16 @@ pub trait CommBackend: Send + Sync + 'static {
     /// Table II operation; backends only need to own the storage.
     fn metrics(&self) -> &BackendMetrics;
 
+    /// Fault injection: kill one target abruptly (process death, link
+    /// cut) without the shutdown handshake, as if the hardware failed.
+    /// The next flag sweep observes the death and evicts the target's
+    /// channel. Backends without a kill mechanism keep the default.
+    fn kill_target(&self, _target: NodeId) -> Result<(), OffloadError> {
+        Err(OffloadError::Backend(
+            "fault injection is not supported by this backend".into(),
+        ))
+    }
+
     /// Ask all targets to leave their message loops and join them.
     /// Idempotent.
     fn shutdown(&self);

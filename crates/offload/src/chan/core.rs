@@ -2,9 +2,11 @@
 
 use super::pending::{PendingEntry, PendingTable};
 use super::queue::CompletionQueue;
+use super::recovery::{MissVerdict, RecoveryPolicy, RecoveryState};
 use super::ring::SlotRing;
 use crate::OffloadError;
 use aurora_sim_core::SimTime;
+use ham::wire::{MsgHeader, MsgKind};
 use parking_lot::Mutex;
 
 /// A claimed pair of slots plus the sequence number minted for them —
@@ -17,6 +19,9 @@ pub struct Reservation {
     pub recv_slot: usize,
     /// Send slot the result will come back in (wire `reply_slot`).
     pub send_slot: usize,
+    /// Send attempt (0 = original post, `n` = n-th recovery re-send);
+    /// fault injection keys frame-drop decisions on `(seq, attempt)`.
+    pub attempt: u32,
 }
 
 /// Outcome of [`ChannelCore::try_reserve`].
@@ -28,6 +33,8 @@ pub enum Reserve {
     Full,
     /// The channel is shut down; nothing may be posted.
     Shutdown,
+    /// The target was evicted; the error says why it is gone.
+    Lost(OffloadError),
 }
 
 /// Everything guarded by the channel lock.
@@ -38,6 +45,12 @@ struct ChanState {
     completed: CompletionQueue,
     seq: u64,
     shutdown: bool,
+    /// `Some(why)` once the target was evicted: every in-flight offload
+    /// was failed and new reservations are refused with this error.
+    evicted: Option<OffloadError>,
+    /// Armed timeout/retry policy plus stored frames (fault-tolerant
+    /// channels only; `None` keeps the historical always-wait behavior).
+    recovery: Option<RecoveryState>,
 }
 
 /// The host-side state of one target's channel: slot rings, the
@@ -50,9 +63,17 @@ struct ChanState {
 ///
 /// ```text
 /// try_reserve ──► pending ──(flags ready / deposit)──► completed ──take──► future
-///      │                                                     ▲
-///      └── cancel (send failed: slots freed, seq retired) ───┘ (errors park here too)
+///      │             │                                       ▲
+///      │             ├─(deadline, budget left)─ retry ───────┤ (same seq/slots)
+///      │             ├─(deadline, budget gone)─ Err(Timeout)─┤
+///      │             └─(transport dead)─ evict: Err(lost) ───┘ (errors park here too)
+///      └── cancel (send failed: slots freed, seq retired)
 /// ```
+///
+/// The retry/timeout edges exist only when a [`RecoveryPolicy`] is
+/// armed; eviction ([`ChannelCore::evict`]) fails every in-flight
+/// offload at once and latches the channel so later reservations refuse
+/// with the eviction error ([`Reserve::Lost`]).
 pub struct ChannelCore {
     state: Mutex<ChanState>,
     max_msg_bytes: usize,
@@ -71,6 +92,8 @@ impl ChannelCore {
                 completed: CompletionQueue::new(),
                 seq: 0,
                 shutdown: false,
+                evicted: None,
+                recovery: None,
             }),
             max_msg_bytes,
         }
@@ -88,9 +111,19 @@ impl ChannelCore {
                 completed: CompletionQueue::new(),
                 seq: 0,
                 shutdown: false,
+                evicted: None,
+                recovery: None,
             }),
             max_msg_bytes: usize::MAX,
         }
+    }
+
+    /// Arm a timeout/retry policy on this channel (builder style — used
+    /// by fault-tolerant backend constructors). Without this, in-flight
+    /// offloads wait forever, exactly as before.
+    pub fn with_recovery(self, policy: RecoveryPolicy) -> Self {
+        self.state.lock().recovery = Some(RecoveryState::new(policy));
+        self
     }
 
     /// Largest payload the transport's slots can carry.
@@ -105,6 +138,11 @@ impl ChannelCore {
         let mut st = self.state.lock();
         if st.shutdown && !control {
             return Reserve::Shutdown;
+        }
+        // An evicted target is gone for control frames too — there is
+        // nobody left to deliver them to.
+        if let Some(err) = &st.evicted {
+            return Reserve::Lost(err.clone());
         }
         let Some(recv_slot) = st.recv.acquire() else {
             return Reserve::Full;
@@ -130,6 +168,7 @@ impl ChannelCore {
             seq,
             recv_slot,
             send_slot,
+            attempt: 0,
         })
     }
 
@@ -141,13 +180,74 @@ impl ChannelCore {
             st.recv.release(e.recv_slot);
             st.send.release(e.send_slot);
         }
+        if let Some(r) = st.recovery.as_mut() {
+            r.forget(seq);
+        }
     }
 
     /// Remove an in-flight entry for completion. Returns `None` if
     /// another thread already claimed it (the completion race is
     /// resolved here, under the lock).
     pub fn take_pending(&self, seq: u64) -> Option<PendingEntry> {
-        self.state.lock().pending.remove(seq)
+        let mut st = self.state.lock();
+        let e = st.pending.remove(seq);
+        if e.is_some() {
+            if let Some(r) = st.recovery.as_mut() {
+                r.forget(seq);
+            }
+        }
+        e
+    }
+
+    /// Record a successfully-sent frame for possible recovery re-sends.
+    /// Control frames are not retryable; without an armed
+    /// [`RecoveryPolicy`] this is a no-op.
+    pub fn note_sent(&self, seq: u64, header: &MsgHeader, payload: &[u8]) {
+        if !matches!(header.kind, MsgKind::Offload) {
+            return;
+        }
+        if let Some(r) = self.state.lock().recovery.as_mut() {
+            r.store(seq, *header, payload);
+        }
+    }
+
+    /// Count one fruitless flag sweep against `seq` and apply the armed
+    /// deadline policy. [`MissVerdict::Keep`] when no policy is armed.
+    pub fn note_miss(&self, seq: u64) -> MissVerdict {
+        match self.state.lock().recovery.as_mut() {
+            Some(r) => r.miss(seq),
+            None => MissVerdict::Keep,
+        }
+    }
+
+    /// Evict the target: fail every in-flight offload with `err`, free
+    /// their slots, refuse all future reservations with `err`. Returns
+    /// the number of offloads failed, or `None` if already evicted (the
+    /// first caller runs the eviction; later callers see a no-op).
+    pub fn evict(&self, err: OffloadError) -> Option<usize> {
+        let mut st = self.state.lock();
+        if st.evicted.is_some() {
+            return None;
+        }
+        st.evicted = Some(err.clone());
+        if let Some(r) = st.recovery.as_mut() {
+            r.clear();
+        }
+        let seqs: Vec<u64> = st.pending.snapshot().into_iter().map(|(s, _)| s).collect();
+        let failed = seqs.len();
+        for seq in seqs {
+            if let Some(e) = st.pending.remove(seq) {
+                st.recv.release(e.recv_slot);
+                st.send.release(e.send_slot);
+                st.completed.push(seq, Err(err.clone()));
+            }
+        }
+        Some(failed)
+    }
+
+    /// Why the target was evicted, if it was.
+    pub fn eviction(&self) -> Option<OffloadError> {
+        self.state.lock().evicted.clone()
     }
 
     /// Snapshot of all in-flight offloads, ordered by seq.
@@ -179,6 +279,9 @@ impl ChannelCore {
             st.recv.release(e.recv_slot);
             st.send.release(e.send_slot);
             st.completed.push(seq, Ok(frame));
+            if let Some(r) = st.recovery.as_mut() {
+                r.forget(seq);
+            }
         }
     }
 
@@ -265,6 +368,100 @@ mod tests {
         assert!(c.take_completed(7).is_none());
     }
 
+    #[test]
+    fn evict_fails_pending_frees_slots_and_latches() {
+        use crate::types::NodeId;
+        let c = ChannelCore::bounded(2, 2, 4096);
+        let Reserve::Reserved(r1) = reserve(&c) else {
+            panic!("reserve failed");
+        };
+        let Reserve::Reserved(r2) = reserve(&c) else {
+            panic!("reserve failed");
+        };
+        let lost = OffloadError::TargetLost(NodeId(1));
+        assert_eq!(c.evict(lost.clone()), Some(2));
+        assert_eq!(c.evict(lost.clone()), None, "second eviction is a no-op");
+        assert_eq!(c.in_flight(), 0, "no leaked pending entries");
+        for seq in [r1.seq, r2.seq] {
+            assert_eq!(c.take_completed(seq).unwrap().unwrap_err(), lost);
+        }
+        // Later reservations refuse with the eviction error — even
+        // control frames: the target is gone.
+        assert!(matches!(
+            reserve(&c),
+            Reserve::Lost(OffloadError::TargetLost(_))
+        ));
+        assert!(matches!(
+            c.try_reserve(true, 0, SimTime::ZERO),
+            Reserve::Lost(_)
+        ));
+        assert_eq!(c.eviction(), Some(lost));
+        // Late deposits for retired seqs are dropped.
+        c.deposit(r1.seq, b"late".to_vec());
+        assert!(c.take_completed(r1.seq).is_none());
+    }
+
+    #[test]
+    fn note_miss_is_inert_without_recovery() {
+        let c = ChannelCore::bounded(1, 1, 4096);
+        let Reserve::Reserved(r) = reserve(&c) else {
+            panic!("reserve failed");
+        };
+        for _ in 0..10_000 {
+            assert!(matches!(c.note_miss(r.seq), super::MissVerdict::Keep));
+        }
+        assert_eq!(c.in_flight(), 1, "never times out without a policy");
+    }
+
+    #[test]
+    fn recovery_retries_then_times_out_and_completion_cancels() {
+        use ham::registry::HandlerKey;
+        use ham::wire::{MsgHeader, MsgKind};
+        let c = ChannelCore::bounded(2, 2, 4096).with_recovery(RecoveryPolicy {
+            retry_after_misses: 2,
+            max_retries: 1,
+        });
+        let header = |seq| MsgHeader {
+            handler_key: HandlerKey(1),
+            payload_len: 1,
+            kind: MsgKind::Offload,
+            reply_slot: 0,
+            corr: 0,
+            seq,
+        };
+        let Reserve::Reserved(r) = reserve(&c) else {
+            panic!("reserve failed");
+        };
+        c.note_sent(r.seq, &header(r.seq), b"a");
+        assert!(matches!(c.note_miss(r.seq), MissVerdict::Keep));
+        assert!(matches!(
+            c.note_miss(r.seq),
+            MissVerdict::Retry { attempt: 1, .. }
+        ));
+        for _ in 0..3 {
+            assert!(matches!(c.note_miss(r.seq), MissVerdict::Keep));
+        }
+        assert!(matches!(c.note_miss(r.seq), MissVerdict::TimedOut));
+        // A frame whose result arrives is forgotten before any deadline.
+        let Reserve::Reserved(r2) = reserve(&c) else {
+            panic!("reserve failed");
+        };
+        c.note_sent(r2.seq, &header(r2.seq), b"b");
+        c.deposit(r2.seq, vec![0]);
+        for _ in 0..10 {
+            assert!(matches!(c.note_miss(r2.seq), MissVerdict::Keep));
+        }
+        // Control frames are never stored.
+        let ctrl = MsgHeader {
+            kind: MsgKind::Control,
+            ..header(99)
+        };
+        c.note_sent(99, &ctrl, &[]);
+        for _ in 0..10 {
+            assert!(matches!(c.note_miss(99), MissVerdict::Keep));
+        }
+    }
+
     /// One step of the model interleaving, decoded from a `(kind, i)`
     /// pair (the vendored proptest has no `prop_oneof`).
     #[derive(Clone, Debug)]
@@ -318,6 +515,7 @@ mod tests {
                             );
                         }
                         Reserve::Shutdown => prop_assert!(false, "never shut down"),
+                        Reserve::Lost(_) => prop_assert!(false, "never evicted"),
                     },
                     Op::Deposit(i) => {
                         if let Some(&(seq, _)) = in_flight.get(i) {

@@ -8,7 +8,8 @@
 //! [`CommBackend::fetch_frame`] (or a receiver thread that calls
 //! [`super::ChannelCore::deposit`]).
 
-use super::core::Reserve;
+use super::core::{ChannelCore, Reservation, Reserve};
+use super::recovery::MissVerdict;
 use crate::backend::CommBackend;
 use crate::target_loop::unframe_result;
 use crate::types::NodeId;
@@ -60,6 +61,7 @@ fn post_inner<B: CommBackend + ?Sized>(
         match chan.try_reserve(control, offload, backend.host_clock().now()) {
             Reserve::Reserved(r) => break r,
             Reserve::Shutdown => return Err(OffloadError::Shutdown),
+            Reserve::Lost(e) => return Err(e),
             Reserve::Full => {
                 // All slots in flight: sweep completions to free some.
                 // A dead target errors its pending entries out here, so
@@ -81,6 +83,7 @@ fn post_inner<B: CommBackend + ?Sized>(
         chan.cancel(res.seq);
         return Err(e);
     }
+    chan.note_sent(res.seq, &header, payload);
     Ok(res.seq)
 }
 
@@ -91,13 +94,71 @@ fn post_inner<B: CommBackend + ?Sized>(
 /// receiver threads deposit directly. Returns how many offloads
 /// completed (transport errors count: they complete their futures with
 /// the error).
+///
+/// When a recovery policy is armed on the channel, a cold flag also
+/// counts one *miss* against its offload: past the deadline the stored
+/// frame is re-sent into the same slots (`chan.retry` span), and once
+/// the retry budget is exhausted the offload fails with
+/// [`OffloadError::Timeout`] (`chan.timeout` span) **and the target is
+/// evicted** — a definitively lost frame is a hole the target's
+/// in-order slot cursor can never step over, so nothing posted after
+/// it can be delivered either. A transport error likewise evicts the
+/// whole target (`chan.evict` span): every in-flight offload fails
+/// with the error and future posts are refused.
 pub fn drain<B: CommBackend + ?Sized>(backend: &B, target: NodeId) -> Result<usize, OffloadError> {
     let chan = backend.channel(target)?;
     let mut completed = 0;
     for (seq, entry) in chan.pending_snapshot() {
         let ready = backend.poll_flags(target, seq, &entry);
         match ready {
-            Ok(None) => {}
+            Ok(None) => match chan.note_miss(seq) {
+                MissVerdict::Keep => {}
+                MissVerdict::Retry {
+                    header,
+                    payload,
+                    attempt,
+                } => {
+                    let _scope = trace::offload_scope(OffloadId(entry.offload));
+                    let t0 = backend.host_clock().now();
+                    let res = Reservation {
+                        seq,
+                        recv_slot: entry.recv_slot,
+                        send_slot: entry.send_slot,
+                        attempt,
+                    };
+                    backend.metrics().on_resend();
+                    if let Err(e) = backend.send_frame(target, &res, &header, &payload) {
+                        completed += evict(backend, chan, e);
+                        break;
+                    }
+                    trace::record(
+                        "chan.retry",
+                        payload.len() as u64,
+                        t0,
+                        backend.host_clock().now(),
+                    );
+                }
+                MissVerdict::TimedOut => {
+                    let Some(entry) = chan.take_pending(seq) else {
+                        continue;
+                    };
+                    let _scope = trace::offload_scope(OffloadId(entry.offload));
+                    let now = backend.host_clock().now();
+                    trace::record("chan.timeout", 0, now, now);
+                    backend.metrics().on_timeout();
+                    chan.finish(seq, &entry, Err(OffloadError::Timeout));
+                    completed += 1;
+                    // A frame lost beyond its retry budget leaves a
+                    // permanent hole in the slot rings: targets consume
+                    // recv slots in order and can never advance past a
+                    // slot whose frame will not be re-sent. The target
+                    // is unreachable from here on — evict it so the
+                    // remaining in-flight offloads fail immediately
+                    // instead of timing out one by one.
+                    completed += evict(backend, chan, OffloadError::TargetLost(target));
+                    break;
+                }
+            },
             Ok(Some(token)) => {
                 // Re-check under the lock: another thread may have
                 // claimed this completion between snapshot and now.
@@ -112,18 +173,28 @@ pub fn drain<B: CommBackend + ?Sized>(backend: &B, target: NodeId) -> Result<usi
                 completed += 1;
             }
             Err(e) => {
-                // A dead transport fails every in-flight offload: park
-                // the error so each future observes it, and free the
-                // slots so posting paths stop blocking.
-                let Some(entry) = chan.take_pending(seq) else {
-                    continue;
-                };
-                chan.finish(seq, &entry, Err(e));
-                completed += 1;
+                // A dead transport fails every in-flight offload at
+                // once: eviction parks the error for each future and
+                // frees the slots so posting paths stop blocking.
+                completed += evict(backend, chan, e);
+                break;
             }
         }
     }
     Ok(completed)
+}
+
+/// Evict the target behind `chan`: fail every in-flight offload with
+/// `err`, latch the channel so future posts are refused, and record the
+/// `chan.evict` span. Idempotent; returns how many offloads it failed.
+pub fn evict<B: CommBackend + ?Sized>(backend: &B, chan: &ChannelCore, err: OffloadError) -> usize {
+    let Some(failed) = chan.evict(err) else {
+        return 0;
+    };
+    let now = backend.host_clock().now();
+    trace::record("chan.evict", failed as u64, now, now);
+    backend.metrics().on_evict();
+    failed
 }
 
 /// Poll for the result of offload `seq`: claim it if already parked,

@@ -33,10 +33,12 @@ pub mod core;
 pub mod engine;
 pub mod pending;
 pub mod queue;
+pub mod recovery;
 pub mod ring;
 
 pub use self::core::{ChannelCore, Reservation, Reserve};
 pub use config::{ProtocolConfig, SLOT_META};
 pub use pending::{PendingEntry, PendingTable};
 pub use queue::CompletionQueue;
+pub use recovery::{MissVerdict, RecoveryPolicy};
 pub use ring::SlotRing;

@@ -1,0 +1,222 @@
+//! Timeout/retry policy for in-flight offloads.
+//!
+//! Completion flags normally arrive; under fault injection (or on real
+//! flaky hardware) a frame can vanish in transit and the flag stays cold
+//! forever. When a [`RecoveryPolicy`] is armed on a
+//! [`super::ChannelCore`], the engine's flag sweeps count *misses* per
+//! in-flight offload and act on deadlines:
+//!
+//! * after `retry_after_misses` fruitless sweeps the stored frame is
+//!   re-sent into the same slots (safe: sequence numbers already
+//!   deduplicate on the target, and a frame that was genuinely lost was
+//!   never consumed, so its receive slot still holds no message);
+//! * each retry doubles the deadline (binary exponential backoff);
+//! * after `max_retries` re-sends the next deadline fails the offload
+//!   with [`crate::OffloadError::Timeout`] — and the engine then
+//!   *evicts* the target: a frame that is definitively lost leaves a
+//!   hole in the slot ring that the target's in-order cursor can never
+//!   step over, so the channel is unreachable from that point on.
+//!
+//! Deadlines are counted in *sweeps*, not virtual time: a genuinely lost
+//! frame makes no virtual-time progress (failed flag peeks are free in
+//! the simulation), so a virtual deadline would never fire. Sweep counts
+//! are deterministic for serial traffic — the host performs exactly
+//! `retry_after_misses` sweeps between send and retry.
+
+use ham::wire::MsgHeader;
+use std::collections::HashMap;
+
+/// Deadline/retry configuration, armed per channel via
+/// [`super::ChannelCore::with_recovery`].
+#[derive(Clone, Copy, Debug)]
+pub struct RecoveryPolicy {
+    /// Fruitless flag sweeps before the first re-send; doubles per retry.
+    pub retry_after_misses: u32,
+    /// Re-sends before the offload is failed with `Timeout`.
+    pub max_retries: u32,
+}
+
+impl Default for RecoveryPolicy {
+    /// Retry after 256 cold sweeps, give up after 3 re-sends. High
+    /// enough that a healthy-but-slow target finishes long before a
+    /// spurious retry; a retried frame is deduplicated anyway.
+    fn default() -> Self {
+        RecoveryPolicy {
+            retry_after_misses: 256,
+            max_retries: 3,
+        }
+    }
+}
+
+/// A re-sendable copy of one posted frame plus its deadline counters.
+#[derive(Clone, Debug)]
+pub struct StoredFrame {
+    /// The wire header as originally sent (seq, slots, kind unchanged).
+    pub header: MsgHeader,
+    /// The payload bytes.
+    pub payload: Vec<u8>,
+    /// Fruitless sweeps since the last send of this frame.
+    pub misses: u32,
+    /// Re-sends performed so far.
+    pub retries: u32,
+}
+
+/// What a flag-sweep miss means for one in-flight offload.
+#[derive(Debug)]
+pub enum MissVerdict {
+    /// Below the deadline (or no recovery armed): keep waiting.
+    Keep,
+    /// Deadline passed with retry budget left: re-send this frame.
+    Retry {
+        /// Header to re-send (identical to the original).
+        header: MsgHeader,
+        /// Payload to re-send.
+        payload: Vec<u8>,
+        /// Which attempt this is (1 = first re-send).
+        attempt: u32,
+    },
+    /// Deadline passed with no budget left: fail the offload.
+    TimedOut,
+}
+
+/// Per-channel recovery state: the armed policy plus stored frames of
+/// every retryable in-flight offload. Lives inside the channel lock.
+#[derive(Debug)]
+pub struct RecoveryState {
+    policy: RecoveryPolicy,
+    frames: HashMap<u64, StoredFrame>,
+}
+
+impl RecoveryState {
+    /// Fresh state for `policy`.
+    pub fn new(policy: RecoveryPolicy) -> Self {
+        RecoveryState {
+            policy,
+            frames: HashMap::new(),
+        }
+    }
+
+    /// Stash a just-sent frame for possible re-sends.
+    pub fn store(&mut self, seq: u64, header: MsgHeader, payload: &[u8]) {
+        self.frames.insert(
+            seq,
+            StoredFrame {
+                header,
+                payload: payload.to_vec(),
+                misses: 0,
+                retries: 0,
+            },
+        );
+    }
+
+    /// Forget a frame (completed, cancelled, or evicted).
+    pub fn forget(&mut self, seq: u64) {
+        self.frames.remove(&seq);
+    }
+
+    /// Drop every stored frame (target evicted).
+    pub fn clear(&mut self) {
+        self.frames.clear();
+    }
+
+    /// Count one fruitless sweep against `seq` and apply the deadline.
+    pub fn miss(&mut self, seq: u64) -> MissVerdict {
+        let Some(f) = self.frames.get_mut(&seq) else {
+            // Control frames and anything posted before arming are not
+            // retryable; they never time out either.
+            return MissVerdict::Keep;
+        };
+        f.misses += 1;
+        let deadline = self
+            .policy
+            .retry_after_misses
+            .saturating_mul(1u32.checked_shl(f.retries).unwrap_or(u32::MAX));
+        if f.misses < deadline.max(1) {
+            return MissVerdict::Keep;
+        }
+        if f.retries < self.policy.max_retries {
+            f.retries += 1;
+            f.misses = 0;
+            MissVerdict::Retry {
+                header: f.header,
+                payload: f.payload.clone(),
+                attempt: f.retries,
+            }
+        } else {
+            self.frames.remove(&seq);
+            MissVerdict::TimedOut
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ham::registry::HandlerKey;
+    use ham::wire::{MsgHeader, MsgKind};
+
+    fn header(seq: u64) -> MsgHeader {
+        MsgHeader {
+            handler_key: HandlerKey(1),
+            payload_len: 2,
+            kind: MsgKind::Offload,
+            reply_slot: 0,
+            corr: 0,
+            seq,
+        }
+    }
+
+    #[test]
+    fn deadline_retries_then_times_out_with_backoff() {
+        let mut st = RecoveryState::new(RecoveryPolicy {
+            retry_after_misses: 4,
+            max_retries: 2,
+        });
+        st.store(0, header(0), b"hi");
+        // 3 misses: keep; 4th crosses the deadline → retry 1.
+        for _ in 0..3 {
+            assert!(matches!(st.miss(0), MissVerdict::Keep));
+        }
+        let MissVerdict::Retry {
+            attempt, payload, ..
+        } = st.miss(0)
+        else {
+            panic!("expected retry");
+        };
+        assert_eq!((attempt, payload.as_slice()), (1, b"hi".as_slice()));
+        // Backoff doubles: 8 misses to the next deadline → retry 2.
+        for _ in 0..7 {
+            assert!(matches!(st.miss(0), MissVerdict::Keep));
+        }
+        assert!(matches!(st.miss(0), MissVerdict::Retry { attempt: 2, .. }));
+        // Budget exhausted: 16 misses then timeout.
+        for _ in 0..15 {
+            assert!(matches!(st.miss(0), MissVerdict::Keep));
+        }
+        assert!(matches!(st.miss(0), MissVerdict::TimedOut));
+        // The frame is gone; further misses are inert.
+        assert!(matches!(st.miss(0), MissVerdict::Keep));
+    }
+
+    #[test]
+    fn unstored_seqs_never_time_out() {
+        let mut st = RecoveryState::new(RecoveryPolicy {
+            retry_after_misses: 1,
+            max_retries: 0,
+        });
+        for _ in 0..100 {
+            assert!(matches!(st.miss(9), MissVerdict::Keep));
+        }
+    }
+
+    #[test]
+    fn forget_cancels_the_deadline() {
+        let mut st = RecoveryState::new(RecoveryPolicy {
+            retry_after_misses: 1,
+            max_retries: 0,
+        });
+        st.store(5, header(5), b"x");
+        st.forget(5);
+        assert!(matches!(st.miss(5), MissVerdict::Keep));
+    }
+}

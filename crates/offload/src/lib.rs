@@ -66,6 +66,12 @@ pub enum OffloadError {
     BadNode(NodeId),
     /// The target has shut down.
     Shutdown,
+    /// The offload's completion flag never arrived and bounded retries
+    /// were exhausted (recovery policy deadline).
+    Timeout,
+    /// The target died (process crash, link failure, peer disconnect);
+    /// its channel is evicted, failing in-flight and future offloads.
+    TargetLost(NodeId),
 }
 
 impl From<HamError> for OffloadError {
@@ -82,6 +88,10 @@ impl core::fmt::Display for OffloadError {
             OffloadError::Mem(m) => write!(f, "target memory error: {m}"),
             OffloadError::BadNode(n) => write!(f, "bad node {}", n.0),
             OffloadError::Shutdown => write!(f, "target has shut down"),
+            OffloadError::Timeout => {
+                write!(f, "offload timed out: completion flag never arrived")
+            }
+            OffloadError::TargetLost(n) => write!(f, "target {} lost", n.0),
         }
     }
 }

@@ -304,6 +304,25 @@ impl Offload {
         self.backend.metrics().snapshot()
     }
 
+    /// How many offloads are currently in flight on `target`'s channel.
+    /// Zero after eviction — leak detection for fault scenarios: every
+    /// pending entry must be retired (completed, timed out, or failed
+    /// with the eviction error), never stranded.
+    pub fn in_flight(&self, target: NodeId) -> Result<usize, OffloadError> {
+        Ok(self.backend.channel(target)?.in_flight())
+    }
+
+    // --- fault injection --------------------------------------------------
+
+    /// Kill `target` abruptly — no shutdown handshake, as if its process
+    /// died or its link was cut. In-flight offloads on that target fail
+    /// with [`OffloadError::TargetLost`] at the next flag sweep; other
+    /// targets are unaffected. Errors on backends without a kill
+    /// mechanism (e.g. the in-process local backend).
+    pub fn kill_target(&self, target: NodeId) -> Result<(), OffloadError> {
+        self.backend.kill_target(target)
+    }
+
     // --- lifecycle -------------------------------------------------------
 
     /// Shut all targets down (also happens on drop of the last handle).

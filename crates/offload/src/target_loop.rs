@@ -65,6 +65,15 @@ pub struct TargetEnv<'a> {
     pub reverse: Option<&'a dyn ham::message::ReverseTransport>,
     /// Compute-cost meter, when the device models execution time.
     pub meter: Option<&'a dyn ham::message::ComputeMeter>,
+    /// Drop duplicate offloads by sequence-number watermark. Correct
+    /// only on transports where slot rotation guarantees in-order seq
+    /// arrival (the Aurora flag protocols: VEO, DMA) — there a frame
+    /// with `seq ≤` the watermark can only be a recovery re-send whose
+    /// original was already served, and its result still sits in the
+    /// send slot. Push transports (local, TCP) post from many host
+    /// threads and may deliver seqs out of order, so they must keep
+    /// this off (they do not re-send frames either).
+    pub dedup: bool,
 }
 
 /// Run the message loop for one target until a `Control` message or
@@ -82,6 +91,7 @@ pub fn run_target_loop(
             mem,
             reverse: None,
             meter: None,
+            dedup: false,
         },
         chan,
     )
@@ -104,6 +114,7 @@ pub fn run_target_loop_with_reverse(
             mem,
             reverse,
             meter: None,
+            dedup: false,
         },
         chan,
     )
@@ -113,6 +124,8 @@ pub fn run_target_loop_with_reverse(
 pub fn run_target_loop_env(env: &TargetEnv<'_>, chan: &dyn TargetChannel) -> u64 {
     let _node = trace::node_scope(env.node);
     let mut served = 0;
+    // Highest offload seq served so far (dedup watermark).
+    let mut watermark: Option<u64> = None;
     loop {
         // Transport work inside `recv` (flag polls, DMA fetches) runs
         // before the header — and with it the correlation id — is known.
@@ -128,6 +141,13 @@ pub fn run_target_loop_env(env: &TargetEnv<'_>, chan: &dyn TargetChannel) -> u64
         match header.kind {
             MsgKind::Control => break,
             MsgKind::Offload => {
+                if env.dedup && watermark.is_some_and(|w| header.seq <= w) {
+                    // Recovery re-send of an offload already served: the
+                    // result is still in (or on its way to) the send
+                    // slot. Executing again would double side effects
+                    // and clobber the result flag.
+                    continue;
+                }
                 let _of = trace::offload_scope(OffloadId(header.corr));
                 let mut ctx = ExecContext::new(env.node, env.mem);
                 if let Some(r) = env.reverse {
@@ -138,6 +158,7 @@ pub fn run_target_loop_env(env: &TargetEnv<'_>, chan: &dyn TargetChannel) -> u64
                 }
                 let result = env.registry.execute(header.handler_key, &payload, &mut ctx);
                 chan.send_result(header.reply_slot, header.seq, &frame_result(result));
+                watermark = Some(watermark.map_or(header.seq, |w| w.max(header.seq)));
                 served += 1;
             }
             MsgKind::Result => {
@@ -251,6 +272,39 @@ mod tests {
         run_target_loop(1, &registry, &mem, &chan);
         let out = chan.outbox.lock();
         assert!(unframe_result(&out[0].2).is_err());
+    }
+
+    #[test]
+    fn dedup_skips_resent_seqs_without_reexecuting() {
+        let mut b = RegistryBuilder::new();
+        b.register::<add>();
+        let registry = b.seal(7);
+        let key = registry.key_of::<add>().unwrap();
+        let payload = ham::codec::encode(&f2f!(add, 1, 2)).unwrap();
+        let mk = |seq| {
+            (
+                header(MsgKind::Offload, key, payload.len(), 0, seq),
+                payload.clone(),
+            )
+        };
+        let chan = QueueChannel {
+            // seq 0 served, then a duplicate of 0, then 1, then a late
+            // duplicate of 0 again.
+            inbox: Mutex::new(VecDeque::from(vec![mk(0), mk(0), mk(1), mk(0)])),
+            outbox: Mutex::new(vec![]),
+        };
+        let mem = VecMemory::new(0);
+        let env = TargetEnv {
+            node: 1,
+            registry: &registry,
+            mem: &mem,
+            reverse: None,
+            meter: None,
+            dedup: true,
+        };
+        assert_eq!(run_target_loop_env(&env, &chan), 2);
+        let out = chan.outbox.lock();
+        assert_eq!(out.iter().map(|o| o.1).collect::<Vec<_>>(), vec![0, 1]);
     }
 
     #[test]

@@ -2,7 +2,8 @@
 
 use aurora_sim_core::calib;
 use aurora_sim_core::resource::Reservation;
-use aurora_sim_core::{SimTime, Timeline};
+use aurora_sim_core::{FaultPlan, SimTime, Timeline};
+use std::sync::{Arc, OnceLock};
 
 /// Transfer direction over a VE's PCIe link.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -50,6 +51,10 @@ pub struct PcieLink {
     cfg: LinkConfig,
     down: Timeline,
     up: Timeline,
+    /// Armed fault plan and the actor id its draws are keyed on.
+    /// Shared by clones (the machine hands out `Arc<PcieLink>`, and the
+    /// DMA engines hold the same `Arc`), write-once per link.
+    faults: Arc<OnceLock<(Arc<FaultPlan>, u16)>>,
 }
 
 impl Default for PcieLink {
@@ -65,12 +70,26 @@ impl PcieLink {
             cfg,
             down: Timeline::new(),
             up: Timeline::new(),
+            faults: Arc::new(OnceLock::new()),
         }
     }
 
     /// Link configuration.
     pub fn config(&self) -> &LinkConfig {
         &self.cfg
+    }
+
+    /// Arm this link (and everything that shares it, e.g. the VE's user
+    /// DMA engines) with a deterministic fault plan; `actor` keys the
+    /// plan's draws for this link. Write-once: re-arming is ignored so a
+    /// plan cannot change mid-run. An all-zero plan injects nothing.
+    pub fn arm_faults(&self, plan: Arc<FaultPlan>, actor: u16) {
+        let _ = self.faults.set((plan, actor));
+    }
+
+    /// The armed fault plan and actor id, if any.
+    pub fn faults(&self) -> Option<&(Arc<FaultPlan>, u16)> {
+        self.faults.get()
     }
 
     /// One-way latency.
@@ -130,6 +149,12 @@ impl PcieLink {
         let (tl, category) = match dir {
             Direction::Vh2Ve => (&self.down, "pcie.down"),
             Direction::Ve2Vh => (&self.up, "pcie.up"),
+        };
+        // Injected timing faults (TLP replays, delay spikes) stretch the
+        // wire occupancy of this transfer.
+        let duration = match self.faults.get() {
+            Some((plan, actor)) => duration + plan.link_delay(*actor, duration, earliest),
+            None => duration,
         };
         let res = tl.reserve(earliest, duration);
         aurora_sim_core::trace::record(category, bytes, res.start, res.end);

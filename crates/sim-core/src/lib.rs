@@ -25,6 +25,7 @@
 
 pub mod calib;
 pub mod clock;
+pub mod fault;
 pub mod metrics;
 pub mod model;
 pub mod resource;
@@ -34,6 +35,7 @@ pub mod time;
 pub mod trace;
 
 pub use clock::Clock;
+pub use fault::{FaultEvent, FaultKind, FaultPlan, FaultSite};
 pub use metrics::{BackendMetrics, MetricsSnapshot};
 pub use model::{LinkModel, SegmentedModel, TransferCost};
 pub use resource::Timeline;

@@ -21,6 +21,9 @@ pub struct BackendMetrics {
     posts: Counter,
     polls: Counter,
     retries: Counter,
+    resends: Counter,
+    timeouts: Counter,
+    evictions: Counter,
     completions: Counter,
     puts: Counter,
     gets: Counter,
@@ -52,6 +55,9 @@ impl BackendMetrics {
             posts: Counter::new(),
             polls: Counter::new(),
             retries: Counter::new(),
+            resends: Counter::new(),
+            timeouts: Counter::new(),
+            evictions: Counter::new(),
             completions: Counter::new(),
             puts: Counter::new(),
             gets: Counter::new(),
@@ -82,6 +88,24 @@ impl BackendMetrics {
         if !ready {
             self.retries.incr();
         }
+    }
+
+    /// The recovery policy re-sent an in-flight frame whose completion
+    /// flag stayed cold past its deadline.
+    pub fn on_resend(&self) {
+        self.resends.incr();
+    }
+
+    /// An offload was failed with `OffloadError::Timeout` after its
+    /// bounded retries were exhausted.
+    pub fn on_timeout(&self) {
+        self.timeouts.incr();
+    }
+
+    /// A target was evicted: its channel failed every in-flight offload
+    /// and refuses new posts.
+    pub fn on_evict(&self) {
+        self.evictions.incr();
     }
 
     /// An offload completed after `latency` of virtual time post→result.
@@ -125,6 +149,9 @@ impl BackendMetrics {
             posts: self.posts.get(),
             polls: self.polls.get(),
             retries: self.retries.get(),
+            resends: self.resends.get(),
+            timeouts: self.timeouts.get(),
+            evictions: self.evictions.get(),
             completions: self.completions.get(),
             puts: self.puts.get(),
             gets: self.gets.get(),
@@ -152,6 +179,12 @@ pub struct MetricsSnapshot {
     pub polls: u64,
     /// Polls that found no result yet.
     pub retries: u64,
+    /// Frames re-sent by the recovery policy (deadline passed).
+    pub resends: u64,
+    /// Offloads failed with `Timeout` (bounded retries exhausted).
+    pub timeouts: u64,
+    /// Targets evicted after transport death.
+    pub evictions: u64,
     /// Offloads whose result was consumed.
     pub completions: u64,
     /// `put` operations.
@@ -190,6 +223,12 @@ impl MetricsSnapshot {
         line("posts", self.posts.to_string());
         line("polls", self.polls.to_string());
         line("retries", self.retries.to_string());
+        if self.resends + self.timeouts + self.evictions > 0 {
+            line(
+                "recovery (resend/timeout/evict)",
+                format!("{}/{}/{}", self.resends, self.timeouts, self.evictions),
+            );
+        }
         line("completions", self.completions.to_string());
         line(
             "inflight (now/peak)",

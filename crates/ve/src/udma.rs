@@ -61,7 +61,8 @@ impl UserDma {
         // Virtual cost.
         let setup = calib::UDMA_SETUP + self.extra_one_way * 2;
         let issue = self.engine.reserve(clock.now(), setup);
-        let stream = aurora_sim_core::time::time_at_gib_per_sec(len, calib::UDMA_VH2VE_GIB_S);
+        let base = aurora_sim_core::time::time_at_gib_per_sec(len, calib::UDMA_VH2VE_GIB_S);
+        let stream = base + self.fault_delay(base, clock.now());
         let wire = self
             .link
             .occupy_for(Direction::Vh2Ve, issue.end, stream, len);
@@ -85,12 +86,24 @@ impl UserDma {
         Region::copy_between(src, src_off, &target.region, target.offset, len)?;
         let setup = calib::UDMA_SETUP + self.extra_one_way;
         let issue = self.engine.reserve(clock.now(), setup);
-        let stream = aurora_sim_core::time::time_at_gib_per_sec(len, calib::UDMA_VE2VH_GIB_S);
+        let base = aurora_sim_core::time::time_at_gib_per_sec(len, calib::UDMA_VE2VH_GIB_S);
+        let stream = base + self.fault_delay(base, clock.now());
         let wire = self
             .link
             .occupy_for(Direction::Ve2Vh, issue.end, stream, len);
         aurora_sim_core::trace::record("udma.write", len, issue.start, wire.end);
         Ok(clock.join(wire.end))
+    }
+
+    /// Injected engine-level delay (stalls, partial-transfer
+    /// retransmissions) for one descriptor of streaming time `base`,
+    /// drawn from the fault plan armed on this engine's link. Zero
+    /// without a plan.
+    fn fault_delay(&self, base: SimTime, now: SimTime) -> SimTime {
+        match self.link.faults() {
+            Some((plan, actor)) => plan.dma_delay(*actor, base, now),
+            None => SimTime::ZERO,
+        }
     }
 
     /// Total busy time of this engine.

@@ -17,6 +17,9 @@ cargo build --release --examples
 echo "== pipelined-offloads smoke =="
 cargo bench -q -p aurora-bench --bench pipelined_offloads -- --smoke
 
+echo "== fault matrix (8 seeds x {veo,dma,tcp}, hang = failure) =="
+./scripts/fault_matrix.sh
+
 echo "== clippy (warnings are errors) =="
 cargo clippy --workspace --all-targets -- -D warnings
 

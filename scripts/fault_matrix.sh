@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# The fault-injection acceptance matrix, one scenario test at a time,
+# each under a hard wall-clock timeout: a fault-recovery bug's natural
+# failure mode is a *hang* (a wait that never settles, a shutdown that
+# never joins), which a plain `cargo test` run would sit in until the
+# CI job dies. Here a hung scenario kills only its own test, with a
+# name attached.
+#
+# The scenarios themselves (tests/fault_scenarios.rs) cover every
+# fault-capable backend {veo, dma, tcp} × 8 fixed seeds, each run twice
+# to assert the seeded failure timeline replays.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+PER_TEST_TIMEOUT="${PER_TEST_TIMEOUT:-120}"
+
+# Build the test binary up front so the timeout below measures the
+# scenarios, not the compiler.
+cargo test -q --test fault_scenarios --no-run
+
+tests=(
+  kill_one_of_two_targets_veo
+  kill_one_of_two_targets_dma
+  kill_one_of_two_targets_tcp
+  drops_recovered_by_retries_veo
+  drops_recovered_by_retries_dma
+  total_loss_times_out_veo
+  total_loss_times_out_dma
+  timing_faults_change_no_outcome_veo
+  timing_faults_change_no_outcome_dma
+  zero_plan_is_inert_everywhere
+)
+
+for t in "${tests[@]}"; do
+  echo "-- fault scenario: $t"
+  if ! timeout --kill-after=10 "$PER_TEST_TIMEOUT" \
+      cargo test -q --test fault_scenarios -- --exact "$t"; then
+    echo "FAULT MATRIX FAILURE: '$t' failed or hung (> ${PER_TEST_TIMEOUT}s)" >&2
+    exit 1
+  fi
+done
+
+echo "Fault matrix passed: ${#tests[@]} scenarios, 3 backends, 8 seeds."

@@ -40,6 +40,10 @@ pub use ham_offload as offload;
 pub use veo_api as veo;
 pub use veos_sim as veos;
 
+pub mod fault_scenario;
+
+pub use aurora_sim_core::{FaultEvent, FaultKind, FaultPlan, FaultSite};
+pub use ham_offload::chan::RecoveryPolicy;
 pub use ham_offload::{BufferPtr, Future, NodeId, Offload, OffloadError};
 
 use ham_backend_dma::DmaBackend;
@@ -90,6 +94,72 @@ pub fn veo_offload(
         0,
         &targets,
         ProtocolConfig::default(),
+        registrar,
+    ))
+}
+
+/// [`dma_offload`] under a deterministic [`FaultPlan`] and an optional
+/// retry/timeout [`RecoveryPolicy`].
+///
+/// The plan is armed on every VE's PCIe link (TLP drops, duplications,
+/// delay spikes and user-DMA stalls draw from it) and consulted by the
+/// backend for frame drops and VE-process kills. Pass
+/// [`FaultPlan::none`] and `None` to get exactly [`dma_offload`]
+/// behaviour.
+pub fn dma_offload_with_faults(
+    ves: u8,
+    plan: Arc<FaultPlan>,
+    policy: Option<RecoveryPolicy>,
+    registrar: impl Fn(&mut ham::RegistryBuilder) + Send + Sync + 'static,
+) -> Offload {
+    let machine = default_machine(ves);
+    let targets: Vec<u8> = (0..ves.max(1).min(machine.ves().len() as u8)).collect();
+    Offload::new(DmaBackend::spawn_with_faults(
+        machine,
+        0,
+        &targets,
+        ProtocolConfig::default(),
+        plan,
+        policy,
+        registrar,
+    ))
+}
+
+/// [`veo_offload`] under a deterministic [`FaultPlan`] and an optional
+/// retry/timeout [`RecoveryPolicy`]. See [`dma_offload_with_faults`].
+pub fn veo_offload_with_faults(
+    ves: u8,
+    plan: Arc<FaultPlan>,
+    policy: Option<RecoveryPolicy>,
+    registrar: impl Fn(&mut ham::RegistryBuilder) + Send + Sync + 'static,
+) -> Offload {
+    let machine = default_machine(ves);
+    let targets: Vec<u8> = (0..ves.max(1).min(machine.ves().len() as u8)).collect();
+    Offload::new(VeoBackend::spawn_with_faults(
+        machine,
+        0,
+        &targets,
+        ProtocolConfig::default(),
+        plan,
+        policy,
+        registrar,
+    ))
+}
+
+/// [`tcp_offload`] under a deterministic [`FaultPlan`].
+///
+/// TCP is a push transport, so there is no polling-based recovery
+/// policy: peer death is detected by the reader thread's EOF, which
+/// evicts the channel with [`OffloadError::TargetLost`].
+pub fn tcp_offload_with_faults(
+    targets: u16,
+    plan: Arc<FaultPlan>,
+    registrar: impl Fn(&mut ham::RegistryBuilder) + Send + Sync + 'static,
+) -> Offload {
+    Offload::new(ham_backend_tcp::TcpBackend::spawn_with_faults(
+        targets,
+        ham_backend_tcp::TcpBackend::DEFAULT_MEM,
+        plan,
         registrar,
     ))
 }

@@ -117,6 +117,55 @@ fn wait_any_and_wait_all_agree_everywhere() {
     );
 }
 
+/// An all-zero [`FaultPlan`] is observationally inert: threading the
+/// fault hooks through every transport (with a recovery policy armed on
+/// the Aurora backends) must leave results bit-identical to the
+/// fault-free constructors. This pins the zero-cost claim of the
+/// injection layer: the hooks themselves change nothing.
+#[test]
+fn zero_fault_plan_keeps_backends_bit_identical() {
+    use ham_aurora_repro::{
+        dma_offload_with_faults, tcp_offload_with_faults, veo_offload_with_faults, FaultPlan,
+        RecoveryPolicy,
+    };
+    let xs = random_vector(11, 256);
+    let ys = random_vector(12, 256);
+    let run = |o: Offload| {
+        let t = NodeId(1);
+        let a = o.allocate::<f64>(t, 256).unwrap();
+        let b = o.allocate::<f64>(t, 256).unwrap();
+        o.put(&xs, a).unwrap();
+        o.put(&ys, b).unwrap();
+        let dot = o
+            .sync(t, f2f!(inner_product, a.addr(), b.addr(), 256))
+            .unwrap()
+            .to_bits();
+        let pi = o.sync(t, f2f!(monte_carlo_pi, 9, 3_000)).unwrap().to_bits();
+        o.shutdown();
+        (dot, pi)
+    };
+    let reg = aurora_workloads::register_all;
+    let policy = Some(RecoveryPolicy::default());
+    let results: Vec<(&str, (u64, u64))> = vec![
+        ("veo", run(veo_offload(1, reg))),
+        (
+            "veo+zero-plan",
+            run(veo_offload_with_faults(1, FaultPlan::none(), policy, reg)),
+        ),
+        ("dma", run(dma_offload(1, reg))),
+        (
+            "dma+zero-plan",
+            run(dma_offload_with_faults(1, FaultPlan::none(), policy, reg)),
+        ),
+        ("tcp", run(tcp_offload(1, reg))),
+        (
+            "tcp+zero-plan",
+            run(tcp_offload_with_faults(1, FaultPlan::none(), reg)),
+        ),
+    ];
+    assert!(results.windows(2).all(|w| w[0].1 == w[1].1), "{results:?}");
+}
+
 #[test]
 fn jacobi_iteration_converges_on_every_backend() {
     let (nx, ny) = (16u64, 16u64);

@@ -202,13 +202,59 @@ fn a_panicking_kernel_errors_the_future_instead_of_hanging() {
         },
     ));
     let err = o.sync(NodeId(1), f2f!(kernel_panics)).unwrap_err();
-    assert!(
-        matches!(&err, OffloadError::Backend(m) if m.contains("terminated")),
-        "{err}"
-    );
-    // Posting to the dead target also errors promptly.
+    assert!(matches!(err, OffloadError::TargetLost(NodeId(1))), "{err}");
+    // The dead target's channel is evicted: posting to it also errors
+    // promptly with the latched eviction error, and nothing leaks.
     let err = o.sync(NodeId(1), f2f!(whoami)).unwrap_err();
-    assert!(matches!(err, OffloadError::Backend(_)), "{err}");
+    assert!(matches!(err, OffloadError::TargetLost(NodeId(1))), "{err}");
+    assert_eq!(o.in_flight(NodeId(1)).unwrap(), 0, "leaked pending entry");
+    o.shutdown();
+}
+
+#[test]
+fn tcp_peer_disconnect_mid_offload_is_a_clean_error() {
+    // Cut a TCP peer's sockets with offloads in flight: every affected
+    // future must settle with a clean `OffloadError` (no hang, no
+    // panic), and the same `Offload` handle must keep working for the
+    // surviving target.
+    let o = tcp_offload(2, aurora_workloads::register_all);
+    let dead = NodeId(1);
+    let alive = NodeId(2);
+    let doomed: Vec<_> = (0..20)
+        .map(|_| o.async_(dead, f2f!(whoami)).unwrap())
+        .collect();
+    let fine: Vec<_> = (0..20)
+        .map(|_| o.async_(alive, f2f!(whoami)).unwrap())
+        .collect();
+    o.kill_target(dead).unwrap();
+    // In-flight offloads on the dead peer either completed before the
+    // disconnect or fail with TargetLost — nothing hangs.
+    for r in o.wait_all(doomed) {
+        match r {
+            Ok(n) => assert_eq!(n, 1),
+            Err(e) => assert!(matches!(e, OffloadError::TargetLost(NodeId(1))), "{e}"),
+        }
+    }
+    // The survivor is untouched; the handle stays usable.
+    for r in o.wait_all(fine) {
+        assert_eq!(r.unwrap(), 2);
+    }
+    assert_eq!(o.sync(alive, f2f!(whoami)).unwrap(), 2);
+    // The reader thread latches the eviction as soon as it sees EOF;
+    // wait for it (bounded) so the fail-fast assertions are race-free.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    while o.backend().channel(dead).unwrap().eviction().is_none() {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "eviction never latched"
+        );
+        std::thread::yield_now();
+    }
+    // The dead peer's channel is evicted: posts fail fast, nothing
+    // leaks in its pending table.
+    let err = o.sync(dead, f2f!(whoami)).unwrap_err();
+    assert!(matches!(err, OffloadError::TargetLost(NodeId(1))), "{err}");
+    assert_eq!(o.in_flight(dead).unwrap(), 0, "leaked pending entry");
     o.shutdown();
 }
 

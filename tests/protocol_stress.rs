@@ -2,10 +2,38 @@
 //! under pipelining, payload integrity across sizes, interleaved
 //! multi-target traffic, and property-based wire integrity.
 
+use aurora_sim_core::SimTime;
 use aurora_workloads::kernels::{busy_work, echo, vec_sum};
 use ham::f2f;
+use ham::registry::HandlerKey;
+use ham::wire::{MsgHeader, MsgKind};
 use ham_aurora_repro::{dma_offload, veo_offload, NodeId, Offload};
+use ham_offload::chan::{ChannelCore, MissVerdict, RecoveryPolicy, Reserve};
+use ham_offload::target_loop::{run_target_loop_env, unframe_result, TargetChannel, TargetEnv};
+use ham_offload::OffloadError;
 use proptest::prelude::*;
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// In-memory [`TargetChannel`]: scripted inbox, recorded outbox. The
+/// dedup property feeds it a frame stream with recovery-style duplicate
+/// deliveries and checks what the target loop actually executes.
+struct ScriptedChannel {
+    inbox: Mutex<VecDeque<(MsgHeader, Vec<u8>)>>,
+    outbox: Mutex<Vec<(u16, u64, Vec<u8>)>>,
+}
+
+impl TargetChannel for ScriptedChannel {
+    fn recv(&self) -> Option<(MsgHeader, Vec<u8>)> {
+        self.inbox.lock().unwrap().pop_front()
+    }
+    fn send_result(&self, reply_slot: u16, seq: u64, payload: &[u8]) {
+        self.outbox
+            .lock()
+            .unwrap()
+            .push((reply_slot, seq, payload.to_vec()));
+    }
+}
 
 fn both() -> Vec<(&'static str, Offload)> {
     vec![
@@ -150,6 +178,181 @@ proptest! {
         let r = o.sync(NodeId(1), f2f!(echo, blob.clone())).unwrap();
         prop_assert_eq!(r, blob);
         o.shutdown();
+    }
+
+    /// Deadline arithmetic on the channel core itself: with a policy of
+    /// `k` misses and `r` retries armed, every in-flight offload is
+    /// re-sent exactly at cumulative miss `k·(2^a − 1)` for attempts
+    /// `a = 1..=r` and timed out exactly at miss `k·(2^(r+1) − 1)` —
+    /// regardless of how posts are staggered — and the PendingTable
+    /// evicts timed-out entries in post order, leaking nothing.
+    #[test]
+    fn prop_pending_deadline_ordering(
+        k in 1u32..8,
+        r in 0u32..3,
+        gaps in proptest::collection::vec(0u64..4, 2..6),
+    ) {
+        let core = ChannelCore::bounded(8, 8, 256).with_recovery(RecoveryPolicy {
+            retry_after_misses: k,
+            max_retries: r,
+        });
+        let mut live: Vec<u64> = Vec::new();
+        let mut posted_at_sweep: Vec<(u64, u64)> = Vec::new();
+        let mut retries: Vec<(u64, u32, u64)> = Vec::new(); // (seq, attempt, sweep)
+        let mut timeouts: Vec<(u64, u64)> = Vec::new(); // (seq, sweep)
+        let mut sweep = 0u64;
+
+        // One engine-style flag sweep: a miss for every in-flight seq.
+        macro_rules! sweep_once {
+            () => {
+                sweep += 1;
+                for seq in live.clone() {
+                    match core.note_miss(seq) {
+                        MissVerdict::Keep => {}
+                        MissVerdict::Retry { header, payload, attempt } => {
+                            prop_assert_eq!(header.seq, seq);
+                            prop_assert_eq!(payload.as_slice(), b"hi".as_slice());
+                            retries.push((seq, attempt, sweep));
+                        }
+                        MissVerdict::TimedOut => {
+                            timeouts.push((seq, sweep));
+                            let entry = core.take_pending(seq).expect("timed-out entry still pending");
+                            core.finish(seq, &entry, Err(OffloadError::Timeout));
+                            live.retain(|&s| s != seq);
+                        }
+                    }
+                }
+            };
+        }
+
+        // Post one offload per gap entry, `gap` empty sweeps apart.
+        for gap in &gaps {
+            let res = match core.try_reserve(false, 0, SimTime::ZERO) {
+                Reserve::Reserved(res) => res,
+                other => panic!("reserve refused: {other:?}"),
+            };
+            let header = MsgHeader {
+                handler_key: HandlerKey(1),
+                payload_len: 2,
+                kind: MsgKind::Offload,
+                reply_slot: res.send_slot as u16,
+                corr: 0,
+                seq: res.seq,
+            };
+            core.note_sent(res.seq, &header, b"hi");
+            posted_at_sweep.push((res.seq, sweep));
+            live.push(res.seq);
+            for _ in 0..*gap {
+                sweep_once!();
+            }
+        }
+        // Sweep until every offload has timed out (bounded: the worst
+        // deadline is 7·(2³−1) = 49 sweeps past the last post).
+        while !live.is_empty() {
+            prop_assert!(sweep < 1000, "deadlines never fired");
+            sweep_once!();
+        }
+
+        let distance = u64::from(k) * ((1u64 << (r + 1)) - 1);
+        prop_assert_eq!(timeouts.len(), gaps.len());
+        for (i, ((seq, at), (posted_seq, posted))) in
+            timeouts.iter().zip(&posted_at_sweep).enumerate()
+        {
+            // Timed out in post order, each exactly `distance` sweeps
+            // after its own post.
+            prop_assert_eq!((i, *seq), (i, *posted_seq));
+            prop_assert_eq!(at - posted, distance, "seq {} deadline", seq);
+        }
+        for (seq, attempt, at) in &retries {
+            let posted = posted_at_sweep.iter().find(|(s, _)| s == seq).unwrap().1;
+            prop_assert_eq!(at - posted, u64::from(k) * ((1u64 << attempt) - 1));
+        }
+        prop_assert_eq!(
+            retries.len(),
+            gaps.len() * r as usize,
+            "every offload re-sends exactly r times"
+        );
+        // Timeout evicted every entry: nothing leaked in the table.
+        prop_assert_eq!(core.in_flight(), 0);
+    }
+
+    /// A recovery re-send colliding with its late original: however
+    /// duplicate frames are interleaved into an in-order stream, the
+    /// dedup watermark serves each distinct seq exactly once, in
+    /// first-arrival order, and duplicates never re-execute the kernel.
+    #[test]
+    fn prop_dedup_serves_each_seq_once(
+        n in 1usize..10,
+        dups in proptest::collection::vec((1usize..64, 0usize..64), 0..8),
+    ) {
+        // An in-order distinct stream 0..n with duplicates spliced in,
+        // each strictly after (a copy of) its original — exactly what
+        // slot rotation plus recovery re-sends can produce on the wire.
+        let mut stream: Vec<u64> = (0..n as u64).collect();
+        for (pos, back) in dups {
+            let at = 1 + pos % stream.len();
+            let dup = stream[back % at];
+            stream.insert(at, dup);
+        }
+
+        let mut b = ham::RegistryBuilder::new();
+        aurora_workloads::register_all(&mut b);
+        let registry = b.seal(7);
+        let key = registry.key_of::<echo>().unwrap();
+        let mut inbox: VecDeque<(MsgHeader, Vec<u8>)> = stream
+            .iter()
+            .map(|&seq| {
+                let payload = ham::codec::encode(&f2f!(echo, vec![seq as u8; 3])).unwrap();
+                let header = MsgHeader {
+                    handler_key: key,
+                    payload_len: payload.len() as u32,
+                    kind: MsgKind::Offload,
+                    reply_slot: seq as u16,
+                    corr: 0,
+                    seq,
+                };
+                (header, payload)
+            })
+            .collect();
+        inbox.push_back((
+            MsgHeader {
+                handler_key: HandlerKey(0),
+                payload_len: 0,
+                kind: MsgKind::Control,
+                reply_slot: 0,
+                corr: 0,
+                seq: u64::MAX,
+            },
+            vec![],
+        ));
+        let chan = ScriptedChannel {
+            inbox: Mutex::new(inbox),
+            outbox: Mutex::new(vec![]),
+        };
+        let mem = ham::message::VecMemory::new(0);
+        let env = TargetEnv {
+            node: 1,
+            registry: &registry,
+            mem: &mem,
+            reverse: None,
+            meter: None,
+            dedup: true,
+        };
+        let served = run_target_loop_env(&env, &chan);
+
+        // Exactly one execution per distinct seq, results published in
+        // first-arrival (= seq) order with the right reply slots.
+        prop_assert_eq!(served, n as u64);
+        let out = chan.outbox.lock().unwrap();
+        prop_assert_eq!(out.len(), n);
+        for (i, (slot, seq, frame)) in out.iter().enumerate() {
+            prop_assert_eq!((*slot, *seq), (i as u16, i as u64));
+            let bytes = unframe_result(frame).unwrap();
+            prop_assert_eq!(
+                ham::codec::decode::<Vec<u8>>(&bytes).unwrap(),
+                vec![i as u8; 3]
+            );
+        }
     }
 
     /// Arbitrary f64 buffers survive put/kernel/get on the VEO backend.
