@@ -322,7 +322,8 @@ impl DmaBackend {
                 cfg,
                 ctx,
                 chan: {
-                    let c = ChannelCore::bounded(cfg.recv_slots, cfg.send_slots, cfg.msg_bytes);
+                    let c = ChannelCore::bounded(cfg.recv_slots, cfg.send_slots, cfg.msg_bytes)
+                        .with_batching(cfg.batch);
                     match policy {
                         Some(p) => c.with_recovery(p),
                         None => c,
@@ -396,7 +397,7 @@ impl CommBackend for DmaBackend {
         target: NodeId,
         res: &Reservation,
         header: &MsgHeader,
-        payload: &[u8],
+        frame: &[u8],
     ) -> Result<(), OffloadError> {
         let chan = self.chan(target)?;
         if !chan.ctx.is_alive() {
@@ -407,7 +408,7 @@ impl CommBackend for DmaBackend {
         // re-send (same seq, next attempt) can complete the offload.
         // Control frames are exempt: they are the teardown path, the
         // one frame kind the recovery policy cannot re-send.
-        if matches!(header.kind, MsgKind::Offload)
+        if matches!(header.kind, MsgKind::Offload | MsgKind::Batch)
             && self
                 .plan
                 .drop_frame(target.0, res.seq, res.attempt, self.core.host_clock().now())
@@ -415,15 +416,13 @@ impl CommBackend for DmaBackend {
             return Ok(());
         }
         let clock = self.core.host_clock();
-        let mut bytes = header.encode().to_vec();
-        bytes.extend_from_slice(payload);
         let region = chan.seg.region();
         region
-            .write(chan.recv_msg(res.recv_slot), &bytes)
+            .write(chan.recv_msg(res.recv_slot), frame)
             .map_err(|e| OffloadError::Mem(e.to_string()))?;
         let t0 = clock.now();
         let landing = clock.advance(calib::HAM_LOCAL_MEM_TOUCH);
-        aurora_sim_core::trace::record("vh.local_post", bytes.len() as u64, t0, landing);
+        aurora_sim_core::trace::record("vh.local_post", frame.len() as u64, t0, landing);
         region
             .store_u64(chan.recv_flag(res.recv_slot), landing.as_ps())
             .map_err(|e| OffloadError::Mem(e.to_string()))
@@ -664,21 +663,19 @@ impl TargetChannel for VeSideChannel {
         Some((header, payload))
     }
 
-    fn send_result(&self, reply_slot: u16, seq: u64, payload: &[u8]) {
+    fn send_result(&self, reply_slot: u16, seq: u64, payload: Vec<u8>) {
         let s = reply_slot as usize;
         debug_assert!(s < self.cfg.send_slots);
         // A result that cannot fit the send slot becomes an error frame
         // (results carry framing bytes on top of the kernel's output, so
         // this can happen even when the request fit).
-        let fallback;
         let payload = if payload.len() > self.cfg.msg_bytes {
-            fallback = ham_offload::target_loop::frame_result(Err(ham::HamError::Wire(format!(
+            ham_offload::target_loop::frame_result(Err(ham::HamError::Wire(format!(
                 "result of {} bytes exceeds the protocol's {}-byte slots; \
                      return bulk data via target buffers + get",
                 payload.len(),
                 self.cfg.msg_bytes
-            ))));
-            &fallback[..]
+            ))))
         } else {
             payload
         };
@@ -695,7 +692,7 @@ impl TargetChannel for VeSideChannel {
             seq,
         };
         let mut bytes = header.encode().to_vec();
-        bytes.extend_from_slice(payload);
+        bytes.extend_from_slice(&payload);
         // Stage locally, deposit with user DMA, notify with an SHM
         // timestamp flag.
         let hbm = Arc::clone(self.ve_proc.hbm());

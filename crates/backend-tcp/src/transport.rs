@@ -14,7 +14,7 @@ use ham::registry::HandlerKey;
 use ham::wire::{MsgHeader, MsgKind, HEADER_BYTES};
 use ham::{Registry, RegistryBuilder, TargetMemory};
 use ham_offload::backend::{CommBackend, RawBuffer, Registrar};
-use ham_offload::chan::{ChannelCore, Reservation};
+use ham_offload::chan::{engine, BatchConfig, ChannelCore, Reservation};
 use ham_offload::target_loop::{run_target_loop, TargetChannel};
 use ham_offload::types::{DeviceType, NodeDescriptor, NodeId};
 use ham_offload::OffloadError;
@@ -63,7 +63,7 @@ impl TargetChannel for TcpSideChannel {
         Some((header, body[HEADER_BYTES..].to_vec()))
     }
 
-    fn send_result(&self, reply_slot: u16, seq: u64, payload: &[u8]) {
+    fn send_result(&self, reply_slot: u16, seq: u64, payload: Vec<u8>) {
         let header = MsgHeader {
             handler_key: HandlerKey(0),
             payload_len: payload.len() as u32,
@@ -73,7 +73,7 @@ impl TargetChannel for TcpSideChannel {
             seq,
         };
         let mut body = header.encode().to_vec();
-        body.extend_from_slice(payload);
+        body.extend_from_slice(&payload);
         let _ = write_frame(&mut *self.tx.lock(), &body);
     }
 }
@@ -178,6 +178,16 @@ impl TcpBackend {
         Self::spawn_with_faults(n, mem_bytes, FaultPlan::none(), registrar)
     }
 
+    /// [`TcpBackend::spawn`] with small-message batching: consecutive
+    /// `post()`s coalesce into one wire frame per the watermarks.
+    pub fn spawn_batched(
+        n: u16,
+        batch: BatchConfig,
+        registrar: impl Fn(&mut RegistryBuilder) + Send + Sync + 'static,
+    ) -> Arc<Self> {
+        Self::spawn_inner(n, Self::DEFAULT_MEM, FaultPlan::none(), batch, registrar)
+    }
+
     /// [`TcpBackend::spawn_with_memory`] under a deterministic
     /// [`FaultPlan`] (used by [`CommBackend::kill_target`] to record
     /// injected disconnects). TCP is a push transport with no recovery
@@ -189,6 +199,16 @@ impl TcpBackend {
         n: u16,
         mem_bytes: u64,
         plan: Arc<FaultPlan>,
+        registrar: impl Fn(&mut RegistryBuilder) + Send + Sync + 'static,
+    ) -> Arc<Self> {
+        Self::spawn_inner(n, mem_bytes, plan, BatchConfig::default(), registrar)
+    }
+
+    fn spawn_inner(
+        n: u16,
+        mem_bytes: u64,
+        plan: Arc<FaultPlan>,
+        batch: BatchConfig,
         registrar: impl Fn(&mut RegistryBuilder) + Send + Sync + 'static,
     ) -> Arc<Self> {
         let registrar: Arc<Registrar> = Arc::new(registrar);
@@ -218,7 +238,7 @@ impl TcpBackend {
 
                 // Host-side result reader: deposits completions straight
                 // into the channel core, matched by sequence number.
-                let chan = Arc::new(ChannelCore::unbounded());
+                let chan = Arc::new(ChannelCore::unbounded().with_batching(batch));
                 let chan2 = Arc::clone(&chan);
                 let metrics2 = Arc::clone(&metrics);
                 let mut msg_rx = msg.try_clone().expect("clone msg stream");
@@ -333,13 +353,11 @@ impl CommBackend for TcpBackend {
         &self,
         target: NodeId,
         _res: &Reservation,
-        header: &MsgHeader,
-        payload: &[u8],
+        _header: &MsgHeader,
+        frame: &[u8],
     ) -> Result<(), OffloadError> {
         let t = self.target(target)?;
-        let mut body = header.encode().to_vec();
-        body.extend_from_slice(payload);
-        write_frame(&mut *t.msg_tx.lock(), &body).map_err(io_err)
+        write_frame(&mut *t.msg_tx.lock(), frame).map_err(io_err)
     }
 
     fn allocate(&self, node: NodeId, bytes: u64) -> Result<u64, OffloadError> {
@@ -408,6 +426,10 @@ impl CommBackend for TcpBackend {
             if t.chan.begin_shutdown() {
                 continue;
             }
+            // Staged batch members must reach the wire before the
+            // terminator (the shutdown gate lets an accumulated batch
+            // drain); errors mean the peer is already gone.
+            let _ = engine::flush(self, NodeId(node));
             // Terminate the message loop with a Control frame, written
             // directly (no reservation: a terminating target sends no
             // result back).

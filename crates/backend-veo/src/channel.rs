@@ -232,7 +232,8 @@ impl VeoBackend {
                 },
                 ctx,
                 chan: {
-                    let c = ChannelCore::bounded(cfg.recv_slots, cfg.send_slots, cfg.msg_bytes);
+                    let c = ChannelCore::bounded(cfg.recv_slots, cfg.send_slots, cfg.msg_bytes)
+                        .with_batching(cfg.batch);
                     match policy {
                         Some(p) => c.with_recovery(p),
                         None => c,
@@ -288,7 +289,7 @@ impl CommBackend for VeoBackend {
         target: NodeId,
         res: &Reservation,
         header: &MsgHeader,
-        payload: &[u8],
+        frame: &[u8],
     ) -> Result<(), OffloadError> {
         let chan = self.chan(target)?;
         if !chan.ctx.is_alive() {
@@ -299,7 +300,7 @@ impl CommBackend for VeoBackend {
         // re-send (same seq, next attempt) can complete the offload.
         // Control frames are exempt: they are the teardown path, the
         // one frame kind the recovery policy cannot re-send.
-        if matches!(header.kind, MsgKind::Offload)
+        if matches!(header.kind, MsgKind::Offload | MsgKind::Batch)
             && self
                 .plan
                 .drop_frame(target.0, res.seq, res.attempt, self.core.host_clock().now())
@@ -308,15 +309,14 @@ impl CommBackend for VeoBackend {
         }
         let proc = &self.core.target(target)?.proc;
         let r = res.recv_slot;
-        let mut bytes = header.encode().to_vec();
-        bytes.extend_from_slice(payload);
 
-        // Write 1: the message body.
+        // Write 1: the message body — the engine-assembled wire frame,
+        // verbatim.
         let vh = self.core.machine().vh(self.core.host_socket());
-        self.core.with_staging(bytes.len() as u64, |staging| {
-            vh.write(staging, &bytes)
+        self.core.with_staging(frame.len() as u64, |staging| {
+            vh.write(staging, frame)
                 .map_err(|e| OffloadError::Mem(e.to_string()))?;
-            proc.write_mem(staging, chan.recv.msg(r), bytes.len() as u64)
+            proc.write_mem(staging, chan.recv.msg(r), frame.len() as u64)
                 .map_err(|e| OffloadError::Backend(e.to_string()))?;
             Ok(())
         })?;
@@ -540,19 +540,17 @@ impl TargetChannel for VeSideChannel {
         Some((header, payload))
     }
 
-    fn send_result(&self, reply_slot: u16, seq: u64, payload: &[u8]) {
+    fn send_result(&self, reply_slot: u16, seq: u64, payload: Vec<u8>) {
         let s = reply_slot as usize;
         debug_assert!(s < self.send.count);
         // Oversized results become error frames (see the DMA channel).
-        let fallback;
         let payload = if payload.len() > self.cfg.msg_bytes {
-            fallback = ham_offload::target_loop::frame_result(Err(ham::HamError::Wire(format!(
+            ham_offload::target_loop::frame_result(Err(ham::HamError::Wire(format!(
                 "result of {} bytes exceeds the protocol's {}-byte slots; \
                      return bulk data via target buffers + get",
                 payload.len(),
                 self.cfg.msg_bytes
-            ))));
-            &fallback[..]
+            ))))
         } else {
             payload
         };
@@ -569,7 +567,7 @@ impl TargetChannel for VeSideChannel {
             seq,
         };
         let mut bytes = header.encode().to_vec();
-        bytes.extend_from_slice(payload);
+        bytes.extend_from_slice(&payload);
         self.proc
             .write(self.send.msg(s), &bytes)
             .expect("result write");

@@ -1,4 +1,5 @@
-//! N-deep pipelined offloads vs. a serial sync loop on the DMA protocol.
+//! N-deep pipelined offloads vs. a serial sync loop on the DMA protocol,
+//! plus the small-message batching comparison.
 //!
 //! The channel core keeps slot accounting, the pending table, and the
 //! completion queue per target, so the host can keep `recv_slots`
@@ -6,12 +7,20 @@
 //! drains every completion it finds (O(completions) host work) instead
 //! of one blocking round trip per offload.
 //!
+//! With batching enabled the engine coalesces consecutive `post()`s into
+//! one wire frame, so a deep pipeline pays one DMA transaction and one
+//! flag poll per *batch* instead of per message. The second half of this
+//! bench measures that at depths 1 / 8 / 64 and writes the depth-64
+//! numbers to `BENCH_pipelined.json` at the workspace root; the gate in
+//! `scripts/check.sh` fails if batching-on is not faster at depth 64.
+//!
 //! Run with: `cargo bench -p aurora-bench --bench pipelined_offloads`
 //! (`-- --smoke` for the small CI configuration).
 
 use aurora_workloads::kernels::whoami;
 use ham::f2f;
 use ham_backend_dma::{DmaBackend, ProtocolConfig};
+use ham_offload::chan::BatchConfig;
 use ham_offload::types::NodeId;
 use ham_offload::Offload;
 use std::sync::Arc;
@@ -26,6 +35,21 @@ fn machine() -> Arc<AuroraMachine> {
             ..Default::default()
         },
     )
+}
+
+fn spawn(slots: usize, batch: BatchConfig) -> Offload {
+    Offload::new(DmaBackend::spawn(
+        machine(),
+        0,
+        &[0],
+        ProtocolConfig {
+            recv_slots: slots,
+            send_slots: slots,
+            ..Default::default()
+        }
+        .with_batch(batch),
+        aurora_workloads::register_all,
+    ))
 }
 
 struct Phase {
@@ -65,22 +89,42 @@ fn run_phase(o: &Offload, n: u32, pipelined: bool) -> Phase {
     }
 }
 
+struct BatchPoint {
+    /// Virtual host time per offload (µs) for the async_+wait_all wave.
+    per_offload_us: f64,
+    /// Wire frames the wave produced.
+    frames: u64,
+    /// Messages those frames carried.
+    msgs: u64,
+}
+
+/// One depth-`n` pipelined wave, measured as metric deltas so the same
+/// warm `Offload` serves every depth.
+fn run_batch_point(o: &Offload, n: u32) -> BatchPoint {
+    let t = NodeId(1);
+    let before = o.metrics_snapshot();
+    let t0 = o.backend().host_clock().now();
+    let futures: Vec<_> = (0..n)
+        .map(|_| o.async_(t, f2f!(whoami)).expect("post"))
+        .collect();
+    for r in o.wait_all(futures) {
+        assert_eq!(r.expect("offload"), 1);
+    }
+    let elapsed = o.backend().host_clock().now() - t0;
+    let after = o.metrics_snapshot();
+    BatchPoint {
+        per_offload_us: elapsed.as_us_f64() / n as f64,
+        frames: after.frames_sent - before.frames_sent,
+        msgs: after.msgs_sent - before.msgs_sent,
+    }
+}
+
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
     // criterion-style runners pass --bench/--test through; ignore them.
     let depth: u32 = if smoke { 16 } else { 64 };
 
-    let o = Offload::new(DmaBackend::spawn(
-        machine(),
-        0,
-        &[0],
-        ProtocolConfig {
-            recv_slots: depth as usize,
-            send_slots: depth as usize,
-            ..Default::default()
-        },
-        aurora_workloads::register_all,
-    ));
+    let o = spawn(depth as usize, BatchConfig::default());
     // Warm both paths so slot arrays and handler tables are hot.
     for _ in 0..10 {
         o.sync(NodeId(1), f2f!(whoami)).expect("warmup");
@@ -124,6 +168,83 @@ fn main() {
         pipelined.inflight_peak >= depth as i64,
         "expected {depth} offloads in flight, peak was {}",
         pipelined.inflight_peak
+    );
+
+    // ---- batching off vs. on, depths 1 / 8 / 64 ----------------------
+    // Always at full depth (the JSON consumers key on depth 64), even in
+    // smoke mode — virtual time makes this cheap.
+    const DEPTHS: [u32; 3] = [1, 8, 64];
+    let off = spawn(64, BatchConfig::default());
+    let on = spawn(64, BatchConfig::up_to(16));
+    for o in [&off, &on] {
+        for _ in 0..10 {
+            o.sync(NodeId(1), f2f!(whoami)).expect("warmup");
+        }
+    }
+    println!("\n## Small-message batching (DMA protocol, async_ + wait_all)\n");
+    println!(
+        "{:>5} {:>16} {:>16} {:>12} {:>12} {:>9}",
+        "depth", "off us/offload", "on us/offload", "off frames", "on frames", "msgs/frm"
+    );
+    let mut last: Option<(BatchPoint, BatchPoint)> = None;
+    for d in DEPTHS {
+        let p_off = run_batch_point(&off, d);
+        let p_on = run_batch_point(&on, d);
+        println!(
+            "{:>5} {:>16.3} {:>16.3} {:>12} {:>12} {:>9.2}",
+            d,
+            p_off.per_offload_us,
+            p_on.per_offload_us,
+            p_off.frames,
+            p_on.frames,
+            p_on.msgs as f64 / p_on.frames as f64
+        );
+        last = Some((p_off, p_on));
+    }
+    off.shutdown();
+    on.shutdown();
+
+    let (d64_off, d64_on) = last.expect("depth table ran");
+    let batch_faster = d64_on.per_offload_us < d64_off.per_offload_us;
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"pipelined_offloads\",\n",
+            "  \"protocol\": \"dma\",\n",
+            "  \"depth\": 64,\n",
+            "  \"us_per_offload_batch_off\": {:.3},\n",
+            "  \"us_per_offload_batch_on\": {:.3},\n",
+            "  \"frames_batch_off\": {},\n",
+            "  \"frames_batch_on\": {},\n",
+            "  \"msgs\": {},\n",
+            "  \"frames_per_msg_batch_on\": {:.4},\n",
+            "  \"batch_faster\": {}\n",
+            "}}\n"
+        ),
+        d64_off.per_offload_us,
+        d64_on.per_offload_us,
+        d64_off.frames,
+        d64_on.frames,
+        d64_on.msgs,
+        d64_on.frames as f64 / d64_on.msgs as f64,
+        batch_faster
+    );
+    // CWD differs between `cargo bench` and a direct target/ invocation;
+    // anchor the artifact at the workspace root via the manifest dir.
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pipelined.json");
+    std::fs::write(path, &json).expect("write BENCH_pipelined.json");
+    println!("\nwrote BENCH_pipelined.json:\n{json}");
+
+    assert!(
+        d64_on.frames * 3 <= d64_on.msgs,
+        "expected >=3x fewer wire frames at depth 64: {} frames for {} msgs",
+        d64_on.frames,
+        d64_on.msgs
+    );
+    assert!(
+        batch_faster,
+        "batching-on must beat batching-off at depth 64: {:.3} vs {:.3} us/offload",
+        d64_on.per_offload_us, d64_off.per_offload_us
     );
     println!("ok");
 }

@@ -21,9 +21,17 @@ use serde::{de, ser, Serialize};
 
 /// Serialize `value` into a fresh byte vector.
 pub fn encode<T: Serialize + ?Sized>(value: &T) -> Result<Vec<u8>, HamError> {
-    let mut out = Vec::with_capacity(64);
-    value.serialize(&mut Encoder { out: &mut out })?;
+    let mut out = Vec::new();
+    encode_into(value, &mut out)?;
     Ok(out)
+}
+
+/// Serialize `value` by appending to a caller-provided buffer — the
+/// allocation-free path: a pooled buffer with retained capacity makes a
+/// steady-state encode cost zero heap allocations. Existing contents of
+/// `out` are left untouched; the value is appended.
+pub fn encode_into<T: Serialize + ?Sized>(value: &T, out: &mut Vec<u8>) -> Result<(), HamError> {
+    value.serialize(&mut Encoder { out })
 }
 
 /// Deserialize a `T` from `bytes`, requiring full consumption.

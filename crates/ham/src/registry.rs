@@ -154,6 +154,19 @@ impl Registry {
         Ok((self.key_of::<M>()?, codec::encode(msg)?))
     }
 
+    /// [`Self::encode_message`] into a caller-provided buffer (appended),
+    /// returning only the key — the allocation-free post path encodes
+    /// into a pooled frame buffer instead of a fresh `Vec`.
+    pub fn encode_message_into<M: ActiveMessage>(
+        &self,
+        msg: &M,
+        out: &mut Vec<u8>,
+    ) -> Result<HandlerKey, HamError> {
+        let key = self.key_of::<M>()?;
+        codec::encode_into(msg, out)?;
+        Ok(key)
+    }
+
     /// Decode a result payload produced by `M`'s handler.
     pub fn decode_result<M: ActiveMessage>(payload: &[u8]) -> Result<M::Output, HamError> {
         codec::decode(payload)

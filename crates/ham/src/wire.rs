@@ -36,6 +36,11 @@ pub enum MsgKind {
     Result,
     /// Control traffic (termination, setup).
     Control,
+    /// Host → target: a coalesced envelope of several offload messages.
+    /// The payload is `u32 count` followed by `count` sub-messages, each
+    /// a full 32-byte header (kind `Offload`, its own `seq`) ‖ payload.
+    /// One result message answers the whole batch.
+    Batch,
 }
 
 impl MsgKind {
@@ -44,6 +49,7 @@ impl MsgKind {
             MsgKind::Offload => 1,
             MsgKind::Result => 2,
             MsgKind::Control => 3,
+            MsgKind::Batch => 4,
         }
     }
 
@@ -52,6 +58,7 @@ impl MsgKind {
             1 => Ok(MsgKind::Offload),
             2 => Ok(MsgKind::Result),
             3 => Ok(MsgKind::Control),
+            4 => Ok(MsgKind::Batch),
             other => Err(HamError::Wire(format!("invalid message kind {other}"))),
         }
     }
@@ -168,7 +175,12 @@ mod tests {
 
     #[test]
     fn all_kinds_round_trip() {
-        for kind in [MsgKind::Offload, MsgKind::Result, MsgKind::Control] {
+        for kind in [
+            MsgKind::Offload,
+            MsgKind::Result,
+            MsgKind::Control,
+            MsgKind::Batch,
+        ] {
             let h = MsgHeader { kind, ..sample() };
             assert_eq!(MsgHeader::decode(&h.encode()).unwrap().kind, kind);
         }
@@ -176,7 +188,7 @@ mod tests {
 
     proptest! {
         #[test]
-        fn prop_round_trip(key: u64, len: u32, slot: u16, corr: u64, seq: u64, k in 1u16..4) {
+        fn prop_round_trip(key: u64, len: u32, slot: u16, corr: u64, seq: u64, k in 1u16..5) {
             let h = MsgHeader {
                 handler_key: HandlerKey(key),
                 payload_len: len,

@@ -60,8 +60,12 @@ pub trait CommBackend: Send + Sync + 'static {
     /// protocol. Every backend owns one [`ChannelCore`] per target.
     fn channel(&self, target: NodeId) -> Result<&ChannelCore, OffloadError>;
 
-    /// Put one framed message (header ‖ payload) onto the transport,
-    /// into the slots named by `res`. Called by the engine after a
+    /// Put one wire frame onto the transport, into the slots named by
+    /// `res`. `frame` is the *full* wire bytes — header ‖ payload,
+    /// already assembled in a pooled buffer by the engine — so
+    /// implementations write it verbatim instead of concatenating
+    /// header and payload themselves (`header` is passed alongside for
+    /// transports that route on it). Called by the engine after a
     /// successful reservation; if this fails the engine cancels the
     /// reservation, so implementations need not clean up channel state.
     fn send_frame(
@@ -69,7 +73,7 @@ pub trait CommBackend: Send + Sync + 'static {
         target: NodeId,
         res: &Reservation,
         header: &MsgHeader,
-        payload: &[u8],
+        frame: &[u8],
     ) -> Result<(), OffloadError>;
 
     /// Polled transports: check the completion flag of one in-flight

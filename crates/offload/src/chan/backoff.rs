@@ -1,0 +1,70 @@
+//! Spin-then-sleep backoff for host-side wait loops.
+//!
+//! The engine's `Reserve::Full` loop and the runtime's
+//! `wait_any`/`wait_all` rounds used to call `std::thread::yield_now()`
+//! unconditionally — a bare busy loop that burns a core while a target
+//! thread (or a deep pipeline's completions) makes progress. This helper
+//! keeps the first rounds cheap (spin hints resolve the common
+//! "completion is nanoseconds away" case with minimal latency), then
+//! yields, then sleeps with exponentially growing, capped pauses.
+//!
+//! Only *wall-clock* scheduling changes; virtual time and recovery
+//! deadlines are untouched — deadlines are counted in flag sweeps, and
+//! the caller sweeps exactly once per `snooze`.
+
+use std::time::Duration;
+
+/// Spin rounds before the first yield.
+const SPIN_ROUNDS: u32 = 6;
+/// Yield rounds before the first sleep.
+const YIELD_ROUNDS: u32 = 10;
+/// Longest single pause; keeps worst-case added latency small.
+const MAX_SLEEP_US: u64 = 50;
+
+/// One wait-loop's backoff state. Create per wait, call
+/// [`Backoff::snooze`] once per fruitless round.
+#[derive(Debug, Default)]
+pub struct Backoff {
+    round: u32,
+}
+
+impl Backoff {
+    /// Fresh state (starts in the spin phase).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Pause appropriately for how long this wait has been fruitless:
+    /// spin hints → `yield_now` → exponentially longer sleeps capped at
+    /// 50 µs.
+    pub fn snooze(&mut self) {
+        if self.round < SPIN_ROUNDS {
+            for _ in 0..(1u32 << self.round) {
+                core::hint::spin_loop();
+            }
+        } else if self.round < YIELD_ROUNDS {
+            std::thread::yield_now();
+        } else {
+            let exp = (self.round - YIELD_ROUNDS).min(6);
+            let us = (1u64 << exp).min(MAX_SLEEP_US);
+            std::thread::sleep(Duration::from_micros(us));
+        }
+        self.round = self.round.saturating_add(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snooze_escalates_without_panicking() {
+        let mut b = Backoff::new();
+        // Enough rounds to walk through every phase, including the
+        // saturated tail.
+        for _ in 0..64 {
+            b.snooze();
+        }
+        assert!(b.round >= 64);
+    }
+}

@@ -1,0 +1,318 @@
+//! The multi-message batch envelope (`MsgKind::Batch`).
+//!
+//! Deep pipelines used to pay one slot reservation, one `send_frame`,
+//! one transport transaction and one flag poll *per message*. Batching
+//! coalesces consecutive `post()`s to the same target into one wire
+//! frame:
+//!
+//! ```text
+//! carrier header (32 B, kind = Batch, seq = last member's seq)
+//! u32 count
+//! count × [ sub-header (32 B, kind = Offload, own seq/corr/key) ‖ payload ]
+//! ```
+//!
+//! The target executes the sub-messages in order and answers with **one**
+//! result message whose payload (inside the usual `frame_result`
+//! success wrapper) is:
+//!
+//! ```text
+//! u32 count
+//! count × [ u64 seq ‖ u32 len ‖ len × framed per-sub result ]
+//! ```
+//!
+//! Each per-sub part is itself a `frame_result` output, so a claimed
+//! batch member completion is indistinguishable from a singleton one.
+//! The carrier's `seq` is the *last* member's, which keeps the dedup
+//! watermark sound: serving a batch advances the watermark past every
+//! member, and a retried carrier frame compares against it atomically.
+
+use crate::chan::config::ProtocolConfig;
+use ham::wire::{MsgHeader, MsgKind, HEADER_BYTES};
+
+/// Length of the `u32 count` field that follows the carrier header.
+pub const COUNT_BYTES: usize = 4;
+
+/// Batching watermarks, configured per channel via
+/// [`ProtocolConfig::batch`] (slot transports) or the backends'
+/// `spawn_batched` constructors (push transports). Disabled by default:
+/// `max_msgs == 1` posts every message as its own frame, byte-identical
+/// to the pre-batching wire traffic.
+#[derive(Clone, Copy, Debug)]
+pub struct BatchConfig {
+    /// Flush once this many messages are staged. `1` disables batching.
+    pub max_msgs: usize,
+    /// Flush before the staged envelope payload would exceed this many
+    /// bytes. `0` means "whatever fits the transport's message slots".
+    pub max_bytes: usize,
+}
+
+impl Default for BatchConfig {
+    fn default() -> Self {
+        Self {
+            max_msgs: 1,
+            max_bytes: 0,
+        }
+    }
+}
+
+impl BatchConfig {
+    /// A config that coalesces up to `max_msgs` messages per frame.
+    pub fn up_to(max_msgs: usize) -> Self {
+        Self {
+            max_msgs: max_msgs.max(1),
+            max_bytes: 0,
+        }
+    }
+
+    /// Whether batching is on at all.
+    pub fn enabled(&self) -> bool {
+        self.max_msgs > 1
+    }
+
+    /// The byte budget of one envelope payload (count field + subs),
+    /// clamped so the envelope always fits the transport's slots.
+    pub fn effective_bytes(&self, msg_bytes: usize) -> usize {
+        if self.max_bytes == 0 {
+            msg_bytes
+        } else {
+            self.max_bytes.min(msg_bytes)
+        }
+    }
+}
+
+/// Re-export home: the protocol config carries one of these.
+impl ProtocolConfig {
+    /// Builder helper: same config with batching watermarks set.
+    pub fn with_batch(mut self, batch: BatchConfig) -> Self {
+        self.batch = batch;
+        self
+    }
+}
+
+/// Append one sub-message (header ‖ payload) to a staged envelope frame.
+pub fn append_sub(frame: &mut Vec<u8>, header: &MsgHeader, payload: &[u8]) {
+    frame.extend_from_slice(&header.encode());
+    frame.extend_from_slice(payload);
+}
+
+/// Patch the carrier header and count into a finished envelope frame
+/// (laid out as 32 zero bytes ‖ 4 zero bytes ‖ subs by the stager).
+pub fn patch_envelope(frame: &mut [u8], carrier: &MsgHeader, count: u32) {
+    frame[..HEADER_BYTES].copy_from_slice(&carrier.encode());
+    frame[HEADER_BYTES..HEADER_BYTES + COUNT_BYTES].copy_from_slice(&count.to_le_bytes());
+}
+
+/// Iterate the sub-messages of a batch envelope *payload* (the bytes
+/// after the carrier header). Yields `(sub_header, sub_payload)`;
+/// malformed envelopes yield one `Err`.
+pub struct BatchIter<'a> {
+    rest: &'a [u8],
+    remaining: u32,
+    poisoned: bool,
+}
+
+impl<'a> BatchIter<'a> {
+    /// Parse the count prefix; `payload` is the carrier's payload.
+    pub fn new(payload: &'a [u8]) -> Result<Self, String> {
+        if payload.len() < COUNT_BYTES {
+            return Err("batch payload shorter than its count field".into());
+        }
+        let count = u32::from_le_bytes(payload[..COUNT_BYTES].try_into().unwrap());
+        Ok(Self {
+            rest: &payload[COUNT_BYTES..],
+            remaining: count,
+            poisoned: false,
+        })
+    }
+
+    /// Sub-messages announced by the count prefix. (Named to avoid
+    /// shadowing the consuming `Iterator::count`.)
+    pub fn announced(&self) -> u32 {
+        self.remaining
+    }
+}
+
+impl<'a> Iterator for BatchIter<'a> {
+    type Item = Result<(MsgHeader, &'a [u8]), String>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.poisoned || self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        let header = match MsgHeader::decode(self.rest) {
+            Ok(h) => h,
+            Err(e) => {
+                self.poisoned = true;
+                return Some(Err(format!("malformed batch sub-header: {e}")));
+            }
+        };
+        let end = HEADER_BYTES + header.payload_len as usize;
+        if self.rest.len() < end {
+            self.poisoned = true;
+            return Some(Err("batch sub-payload truncated".into()));
+        }
+        let payload = &self.rest[HEADER_BYTES..end];
+        self.rest = &self.rest[end..];
+        Some(Ok((header, payload)))
+    }
+}
+
+/// Start a batch *result* body: the count prefix.
+pub fn begin_result(out: &mut Vec<u8>, count: u32) {
+    out.extend_from_slice(&count.to_le_bytes());
+}
+
+/// Append one sub-result (`seq` ‖ length-prefixed framed result bytes)
+/// to a batch result body.
+pub fn append_result_part(out: &mut Vec<u8>, seq: u64, part: &[u8]) {
+    out.extend_from_slice(&seq.to_le_bytes());
+    out.extend_from_slice(&(part.len() as u32).to_le_bytes());
+    out.extend_from_slice(part);
+}
+
+/// Iterate the `(seq, framed result bytes)` parts of a batch result
+/// body. Allocation-free; malformed bodies yield one `Err`.
+pub struct ResultPartIter<'a> {
+    rest: &'a [u8],
+    remaining: u32,
+    poisoned: bool,
+}
+
+impl<'a> ResultPartIter<'a> {
+    /// Parse the count prefix of a result body.
+    pub fn new(body: &'a [u8]) -> Result<Self, String> {
+        if body.len() < COUNT_BYTES {
+            return Err("batch result shorter than its count field".into());
+        }
+        let count = u32::from_le_bytes(body[..COUNT_BYTES].try_into().unwrap());
+        Ok(Self {
+            rest: &body[COUNT_BYTES..],
+            remaining: count,
+            poisoned: false,
+        })
+    }
+}
+
+impl<'a> Iterator for ResultPartIter<'a> {
+    type Item = Result<(u64, &'a [u8]), String>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.poisoned || self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        if self.rest.len() < 12 {
+            self.poisoned = true;
+            return Some(Err("batch result part truncated".into()));
+        }
+        let seq = u64::from_le_bytes(self.rest[..8].try_into().unwrap());
+        let len = u32::from_le_bytes(self.rest[8..12].try_into().unwrap()) as usize;
+        if self.rest.len() < 12 + len {
+            self.poisoned = true;
+            return Some(Err("batch result bytes truncated".into()));
+        }
+        let part = &self.rest[12..12 + len];
+        self.rest = &self.rest[12 + len..];
+        Some(Ok((seq, part)))
+    }
+}
+
+/// The carrier header of a finished envelope.
+pub fn carrier_header(seq: u64, payload_len: usize, reply_slot: u16, corr: u64) -> MsgHeader {
+    MsgHeader {
+        handler_key: ham::registry::HandlerKey(0),
+        payload_len: payload_len as u32,
+        kind: MsgKind::Batch,
+        reply_slot,
+        corr,
+        seq,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ham::registry::HandlerKey;
+
+    fn sub(seq: u64, payload: &[u8]) -> MsgHeader {
+        MsgHeader {
+            handler_key: HandlerKey(40 + seq),
+            payload_len: payload.len() as u32,
+            kind: MsgKind::Offload,
+            reply_slot: 0,
+            corr: 7,
+            seq,
+        }
+    }
+
+    #[test]
+    fn envelope_round_trip() {
+        let mut frame = vec![0u8; HEADER_BYTES + COUNT_BYTES];
+        append_sub(&mut frame, &sub(0, b"aa"), b"aa");
+        append_sub(&mut frame, &sub(1, b"bbbb"), b"bbbb");
+        let carrier = carrier_header(1, frame.len() - HEADER_BYTES, 3, 7);
+        patch_envelope(&mut frame, &carrier, 2);
+        let decoded = MsgHeader::decode(&frame).unwrap();
+        assert_eq!(decoded, carrier);
+        assert_eq!(decoded.kind, MsgKind::Batch);
+        let subs: Vec<_> = BatchIter::new(&frame[HEADER_BYTES..])
+            .unwrap()
+            .map(|r| r.unwrap())
+            .collect();
+        assert_eq!(subs.len(), 2);
+        assert_eq!(subs[0].0.seq, 0);
+        assert_eq!(subs[0].1, b"aa");
+        assert_eq!(subs[1].0.seq, 1);
+        assert_eq!(subs[1].1, b"bbbb");
+    }
+
+    #[test]
+    fn truncated_envelope_is_an_error() {
+        assert!(BatchIter::new(&[1, 0]).is_err());
+        // Count says one message but no bytes follow.
+        let payload = 1u32.to_le_bytes();
+        let mut it = BatchIter::new(&payload).unwrap();
+        assert!(it.next().unwrap().is_err());
+        assert!(it.next().is_none(), "poisoned iterators stop");
+    }
+
+    #[test]
+    fn result_body_round_trip() {
+        let mut body = Vec::new();
+        begin_result(&mut body, 2);
+        append_result_part(&mut body, 4, &[0, 9]);
+        append_result_part(&mut body, 5, &[1, b'x']);
+        let parts: Vec<_> = ResultPartIter::new(&body)
+            .unwrap()
+            .map(|r| r.unwrap())
+            .collect();
+        assert_eq!(parts, vec![(4, &[0u8, 9][..]), (5, &[1u8, b'x'][..])]);
+    }
+
+    #[test]
+    fn truncated_result_is_an_error() {
+        assert!(ResultPartIter::new(&[2]).is_err());
+        let mut body = Vec::new();
+        begin_result(&mut body, 1);
+        body.extend_from_slice(&7u64.to_le_bytes());
+        body.extend_from_slice(&100u32.to_le_bytes()); // claims 100 bytes
+        let mut it = ResultPartIter::new(&body).unwrap();
+        assert!(it.next().unwrap().is_err());
+    }
+
+    #[test]
+    fn config_watermarks() {
+        let off = BatchConfig::default();
+        assert!(!off.enabled());
+        let on = BatchConfig::up_to(16);
+        assert!(on.enabled());
+        assert_eq!(on.effective_bytes(4096), 4096);
+        let capped = BatchConfig {
+            max_msgs: 16,
+            max_bytes: 512,
+        };
+        assert_eq!(capped.effective_bytes(4096), 512);
+        assert_eq!(capped.effective_bytes(256), 256);
+    }
+}

@@ -16,6 +16,9 @@ pub struct ProtocolConfig {
     /// Enable reverse active messages (VHcall over the DMA protocol);
     /// only honoured by `ham-backend-dma`.
     pub reverse: bool,
+    /// Small-message batching watermarks (disabled by default, which
+    /// keeps the wire traffic byte-identical to the unbatched protocol).
+    pub batch: super::batch::BatchConfig,
 }
 
 impl Default for ProtocolConfig {
@@ -25,6 +28,7 @@ impl Default for ProtocolConfig {
             send_slots: 8,
             msg_bytes: 4096,
             reverse: false,
+            batch: super::batch::BatchConfig::default(),
         }
     }
 }

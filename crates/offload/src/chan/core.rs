@@ -1,13 +1,18 @@
 //! The per-target channel state machine.
 
+use super::batch::{self, BatchConfig};
 use super::pending::{PendingEntry, PendingTable};
+use super::pool::{FramePool, PooledFrame};
 use super::queue::CompletionQueue;
 use super::recovery::{MissVerdict, RecoveryPolicy, RecoveryState};
 use super::ring::SlotRing;
 use crate::OffloadError;
 use aurora_sim_core::SimTime;
-use ham::wire::{MsgHeader, MsgKind};
+use ham::registry::HandlerKey;
+use ham::wire::{MsgHeader, MsgKind, HEADER_BYTES};
 use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
 
 /// A claimed pair of slots plus the sequence number minted for them —
 /// what a backend needs to address its transport writes.
@@ -37,6 +42,75 @@ pub enum Reserve {
     Lost(OffloadError),
 }
 
+/// Outcome of [`ChannelCore::stage`] (batching enabled only).
+#[derive(Debug)]
+pub enum Stage {
+    /// The message joined the staged envelope under its own seq. When
+    /// `flush` is set a watermark tripped — send the envelope now.
+    Staged {
+        /// Seq the member's result will be claimable under.
+        seq: u64,
+        /// A count/byte watermark tripped: flush before returning.
+        flush: bool,
+    },
+    /// The message does not fit next to what is already staged — flush,
+    /// then stage again.
+    FlushFirst,
+    /// The message alone overflows an envelope — flush what is staged,
+    /// then post it as a plain frame.
+    TooBig,
+    /// The channel is shut down.
+    Shutdown,
+    /// The target was evicted.
+    Lost(OffloadError),
+}
+
+/// Outcome of [`ChannelCore::take_flush`].
+#[derive(Debug)]
+pub enum FlushPrep {
+    /// Nothing staged.
+    Empty,
+    /// Slots exhausted — sweep completions and retry.
+    Full,
+    /// An envelope frame ready to hand to the transport.
+    Ready(FlushFrame),
+}
+
+/// A batch envelope claimed out of the accumulator, with its slot
+/// reservation, ready for [`crate::CommBackend::send_frame`].
+#[derive(Debug)]
+pub struct FlushFrame {
+    /// Slot pair + carrier seq for the transport write.
+    pub res: Reservation,
+    /// The carrier header (also encoded at `frame[..32]`).
+    pub header: MsgHeader,
+    /// Full wire bytes: carrier header ‖ count ‖ sub-messages.
+    pub frame: PooledFrame,
+    /// Number of coalesced messages.
+    pub msgs: usize,
+}
+
+/// The staged-but-unflushed envelope of one channel. `frame` is laid
+/// out as `[32 zero bytes][4 zero bytes][subs…]` and patched into a
+/// finished envelope at flush time.
+struct BatchAccum {
+    frame: Option<PooledFrame>,
+    seqs: Vec<u64>,
+    first_offload: u64,
+    first_posted: SimTime,
+}
+
+impl BatchAccum {
+    fn new() -> Self {
+        Self {
+            frame: None,
+            seqs: Vec::new(),
+            first_offload: 0,
+            first_posted: SimTime::ZERO,
+        }
+    }
+}
+
 /// Everything guarded by the channel lock.
 struct ChanState {
     recv: SlotRing,
@@ -51,6 +125,12 @@ struct ChanState {
     /// Armed timeout/retry policy plus stored frames (fault-tolerant
     /// channels only; `None` keeps the historical always-wait behavior).
     recovery: Option<RecoveryState>,
+    /// Staged messages awaiting flush (batching enabled only).
+    accum: BatchAccum,
+    /// Member seqs of every in-flight batch, keyed by carrier seq.
+    batches: HashMap<u64, Vec<u64>>,
+    /// Recycled member-seq vectors (keeps settling allocation-free).
+    seq_pool: Vec<Vec<u64>>,
 }
 
 /// The host-side state of one target's channel: slot rings, the
@@ -70,6 +150,13 @@ struct ChanState {
 ///      └── cancel (send failed: slots freed, seq retired)
 /// ```
 ///
+/// With batching enabled ([`ChannelCore::with_batching`]) offload posts
+/// take a staging detour: `stage` mints the seq and appends to an
+/// envelope, `take_flush` claims **one** slot pair for the whole
+/// envelope (the pending entry is keyed by the *carrier* seq — the last
+/// member's), and settling a carrier fans its result parts out to every
+/// member seq.
+///
 /// The retry/timeout edges exist only when a [`RecoveryPolicy`] is
 /// armed; eviction ([`ChannelCore::evict`]) fails every in-flight
 /// offload at once and latches the channel so later reservations refuse
@@ -77,25 +164,39 @@ struct ChanState {
 pub struct ChannelCore {
     state: Mutex<ChanState>,
     max_msg_bytes: usize,
+    pool: Arc<FramePool>,
+    batch: BatchConfig,
 }
 
 impl ChannelCore {
+    fn fresh_state(recv: SlotRing, send: SlotRing) -> ChanState {
+        ChanState {
+            recv,
+            send,
+            pending: PendingTable::new(),
+            completed: CompletionQueue::new(),
+            seq: 0,
+            shutdown: false,
+            evicted: None,
+            recovery: None,
+            accum: BatchAccum::new(),
+            batches: HashMap::new(),
+            seq_pool: Vec::new(),
+        }
+    }
+
     /// A channel over real slot arrays: `recv_slots` round-robin receive
     /// slots, `send_slots` first-free send slots, payloads capped at
     /// `max_msg_bytes`.
     pub fn bounded(recv_slots: usize, send_slots: usize, max_msg_bytes: usize) -> Self {
         Self {
-            state: Mutex::new(ChanState {
-                recv: SlotRing::round_robin(recv_slots),
-                send: SlotRing::first_free(send_slots),
-                pending: PendingTable::new(),
-                completed: CompletionQueue::new(),
-                seq: 0,
-                shutdown: false,
-                evicted: None,
-                recovery: None,
-            }),
+            state: Mutex::new(Self::fresh_state(
+                SlotRing::round_robin(recv_slots),
+                SlotRing::first_free(send_slots),
+            )),
             max_msg_bytes,
+            pool: FramePool::new(),
+            batch: BatchConfig::default(),
         }
     }
 
@@ -104,17 +205,13 @@ impl ChannelCore {
     /// are unlimited.
     pub fn unbounded() -> Self {
         Self {
-            state: Mutex::new(ChanState {
-                recv: SlotRing::unbounded(),
-                send: SlotRing::unbounded(),
-                pending: PendingTable::new(),
-                completed: CompletionQueue::new(),
-                seq: 0,
-                shutdown: false,
-                evicted: None,
-                recovery: None,
-            }),
+            state: Mutex::new(Self::fresh_state(
+                SlotRing::unbounded(),
+                SlotRing::unbounded(),
+            )),
             max_msg_bytes: usize::MAX,
+            pool: FramePool::new(),
+            batch: BatchConfig::default(),
         }
     }
 
@@ -124,6 +221,31 @@ impl ChannelCore {
     pub fn with_recovery(self, policy: RecoveryPolicy) -> Self {
         self.state.lock().recovery = Some(RecoveryState::new(policy));
         self
+    }
+
+    /// Set the batching watermarks (builder style). The default config
+    /// (`max_msgs == 1`) keeps batching off and the wire traffic
+    /// byte-identical to the unbatched protocol.
+    pub fn with_batching(mut self, batch: BatchConfig) -> Self {
+        self.batch = batch;
+        self
+    }
+
+    /// The armed batching watermarks.
+    pub fn batching(&self) -> BatchConfig {
+        self.batch
+    }
+
+    /// Whether offload posts go through the staging path. Lock-free —
+    /// the disabled check on the default post path costs nothing.
+    pub fn batch_enabled(&self) -> bool {
+        self.batch.enabled()
+    }
+
+    /// This channel's frame-buffer pool (shared with the runtime's
+    /// encode path so message payloads are built in recycled buffers).
+    pub fn pool(&self) -> &Arc<FramePool> {
+        &self.pool
     }
 
     /// Largest payload the transport's slots can carry.
@@ -172,6 +294,223 @@ impl ChannelCore {
         })
     }
 
+    /// Stage one offload message into the batch envelope, minting its
+    /// seq. Only meaningful with batching enabled; no slots are claimed
+    /// until [`Self::take_flush`].
+    pub fn stage(
+        &self,
+        key: HandlerKey,
+        payload: &[u8],
+        offload: u64,
+        posted_at: SimTime,
+    ) -> Stage {
+        let cap = self.batch.effective_bytes(self.max_msg_bytes);
+        let mut st = self.state.lock();
+        if st.shutdown {
+            return Stage::Shutdown;
+        }
+        if let Some(err) = &st.evicted {
+            return Stage::Lost(err.clone());
+        }
+        let need = HEADER_BYTES + payload.len();
+        if batch::COUNT_BYTES.saturating_add(need) > cap {
+            return Stage::TooBig;
+        }
+        if !st.accum.seqs.is_empty() {
+            let staged = st
+                .accum
+                .frame
+                .as_ref()
+                .map_or(0, |f| f.len() - HEADER_BYTES);
+            if staged.saturating_add(need) > cap {
+                return Stage::FlushFirst;
+            }
+        }
+        let seq = st.seq;
+        st.seq += 1;
+        if st.accum.seqs.is_empty() {
+            st.accum.first_offload = offload;
+            st.accum.first_posted = posted_at;
+        }
+        if st.accum.frame.is_none() {
+            let mut f = self.pool.checkout();
+            // Placeholder for the carrier header + count, patched at
+            // flush time.
+            f.resize(HEADER_BYTES + batch::COUNT_BYTES, 0);
+            st.accum.frame = Some(f);
+        }
+        let sub = MsgHeader {
+            handler_key: key,
+            payload_len: payload.len() as u32,
+            kind: MsgKind::Offload,
+            reply_slot: 0,
+            corr: offload,
+            seq,
+        };
+        let frame = st.accum.frame.as_mut().expect("staged frame");
+        batch::append_sub(frame, &sub, payload);
+        let bytes_full = frame.len() - HEADER_BYTES >= cap;
+        st.accum.seqs.push(seq);
+        let flush = st.accum.seqs.len() >= self.batch.max_msgs || bytes_full;
+        Stage::Staged { seq, flush }
+    }
+
+    /// Claim the staged envelope for sending: one slot pair for the
+    /// whole batch, the pending entry keyed by the carrier seq (the last
+    /// member's). Works during shutdown — staged messages predate it and
+    /// must still drain.
+    pub fn take_flush(&self) -> FlushPrep {
+        let mut st = self.state.lock();
+        if st.accum.seqs.is_empty() {
+            // Eviction clears the accumulator, so an evicted channel
+            // always lands here.
+            return FlushPrep::Empty;
+        }
+        let Some(recv_slot) = st.recv.acquire() else {
+            return FlushPrep::Full;
+        };
+        let Some(send_slot) = st.send.acquire() else {
+            st.recv.unacquire(recv_slot);
+            return FlushPrep::Full;
+        };
+        let mut frame = st.accum.frame.take().expect("staged frame");
+        let recycled = st.seq_pool.pop().unwrap_or_default();
+        let seqs = core::mem::replace(&mut st.accum.seqs, recycled);
+        let (first_offload, first_posted) = (st.accum.first_offload, st.accum.first_posted);
+        let carrier_seq = *seqs.last().expect("non-empty batch");
+        let msgs = seqs.len();
+        let header = batch::carrier_header(
+            carrier_seq,
+            frame.len() - HEADER_BYTES,
+            send_slot as u16,
+            first_offload,
+        );
+        batch::patch_envelope(&mut frame, &header, msgs as u32);
+        st.pending.insert(
+            carrier_seq,
+            PendingEntry {
+                recv_slot,
+                send_slot,
+                offload: first_offload,
+                posted_at: first_posted,
+            },
+        );
+        st.batches.insert(carrier_seq, seqs);
+        FlushPrep::Ready(FlushFrame {
+            res: Reservation {
+                seq: carrier_seq,
+                recv_slot,
+                send_slot,
+                attempt: 0,
+            },
+            header,
+            frame,
+            msgs,
+        })
+    }
+
+    /// Undo a flushed batch whose envelope never made it onto the
+    /// transport: slots return, every member fails with `err`.
+    pub fn fail_batch(&self, carrier: u64, err: OffloadError) {
+        let mut st = self.state.lock();
+        if let Some(e) = st.pending.remove(carrier) {
+            st.recv.release(e.recv_slot);
+            st.send.release(e.send_slot);
+        }
+        if let Some(r) = st.recovery.as_mut() {
+            r.forget(carrier);
+        }
+        if let Some(members) = st.batches.remove(&carrier) {
+            for m in &members {
+                st.completed.push(*m, Err(err.clone()));
+            }
+            Self::recycle_seqs(&mut st, members);
+        }
+    }
+
+    fn recycle_seqs(st: &mut ChanState, mut seqs: Vec<u64>) {
+        seqs.clear();
+        if st.seq_pool.len() < 8 {
+            st.seq_pool.push(seqs);
+        }
+    }
+
+    /// Park `result` for `seq` — fanning a batch carrier's combined
+    /// result out to every member seq. Runs under the channel lock; the
+    /// happy path copies each part into a pooled buffer and allocates
+    /// nothing once pool and maps are warm.
+    fn settle_locked(
+        &self,
+        st: &mut ChanState,
+        seq: u64,
+        result: Result<PooledFrame, OffloadError>,
+    ) {
+        let Some(members) = st.batches.remove(&seq) else {
+            st.completed.push(seq, result);
+            return;
+        };
+        match result {
+            Ok(frame) => {
+                match crate::target_loop::unframe_result_ref(&frame) {
+                    Ok(body) => self.settle_batch_body(st, &members, body),
+                    Err(msg) => {
+                        // The target rejected the whole envelope.
+                        for m in &members {
+                            st.completed
+                                .push(*m, Err(OffloadError::Backend(msg.clone())));
+                        }
+                    }
+                }
+            }
+            Err(e) => {
+                for m in &members {
+                    st.completed.push(*m, Err(e.clone()));
+                }
+            }
+        }
+        Self::recycle_seqs(st, members);
+    }
+
+    /// Walk a batch result body against the member list in lockstep
+    /// (the target answers in member order) and park each part.
+    fn settle_batch_body(&self, st: &mut ChanState, members: &[u64], body: &[u8]) {
+        let mut parts = match batch::ResultPartIter::new(body) {
+            Ok(it) => it,
+            Err(msg) => {
+                for m in members {
+                    st.completed
+                        .push(*m, Err(OffloadError::Backend(msg.clone())));
+                }
+                return;
+            }
+        };
+        let mut next: Option<(u64, &[u8])> = None;
+        let mut bad: Option<String> = None;
+        for &m in members {
+            if bad.is_none() && next.is_none() {
+                match parts.next() {
+                    Some(Ok(p)) => next = Some(p),
+                    Some(Err(e)) => bad = Some(e),
+                    None => {}
+                }
+            }
+            match next {
+                Some((s, part)) if s == m => {
+                    let mut out = self.pool.checkout();
+                    out.extend_from_slice(part);
+                    st.completed.push(m, Ok(out));
+                    next = None;
+                }
+                _ => {
+                    let msg = bad
+                        .clone()
+                        .unwrap_or_else(|| format!("batch result missing part for seq {m}"));
+                    st.completed.push(m, Err(OffloadError::Backend(msg)));
+                }
+            }
+        }
+    }
+
     /// Retire a reservation whose frame never made it onto the
     /// transport: slots return to the rings, the seq is abandoned.
     pub fn cancel(&self, seq: u64) {
@@ -199,15 +538,15 @@ impl ChannelCore {
         e
     }
 
-    /// Record a successfully-sent frame for possible recovery re-sends.
-    /// Control frames are not retryable; without an armed
-    /// [`RecoveryPolicy`] this is a no-op.
-    pub fn note_sent(&self, seq: u64, header: &MsgHeader, payload: &[u8]) {
-        if !matches!(header.kind, MsgKind::Offload) {
+    /// Record a successfully-sent frame (full wire bytes) for possible
+    /// recovery re-sends. Control frames are not retryable; without an
+    /// armed [`RecoveryPolicy`] the buffer just returns to the pool.
+    pub fn note_sent(&self, seq: u64, header: &MsgHeader, frame: PooledFrame) {
+        if !matches!(header.kind, MsgKind::Offload | MsgKind::Batch) {
             return;
         }
         if let Some(r) = self.state.lock().recovery.as_mut() {
-            r.store(seq, *header, payload);
+            r.store(seq, *header, frame);
         }
     }
 
@@ -220,9 +559,10 @@ impl ChannelCore {
         }
     }
 
-    /// Evict the target: fail every in-flight offload with `err`, free
-    /// their slots, refuse all future reservations with `err`. Returns
-    /// the number of offloads failed, or `None` if already evicted (the
+    /// Evict the target: fail every in-flight offload (batch members and
+    /// staged-but-unflushed messages included) with `err`, free their
+    /// slots, refuse all future reservations with `err`. Returns the
+    /// number of offloads failed, or `None` if already evicted (the
     /// first caller runs the eviction; later callers see a no-op).
     pub fn evict(&self, err: OffloadError) -> Option<usize> {
         let mut st = self.state.lock();
@@ -234,14 +574,23 @@ impl ChannelCore {
             r.clear();
         }
         let seqs: Vec<u64> = st.pending.snapshot().into_iter().map(|(s, _)| s).collect();
-        let failed = seqs.len();
+        let mut failed = 0;
         for seq in seqs {
             if let Some(e) = st.pending.remove(seq) {
                 st.recv.release(e.recv_slot);
                 st.send.release(e.send_slot);
-                st.completed.push(seq, Err(err.clone()));
+                failed += st.batches.get(&seq).map_or(1, Vec::len);
+                self.settle_locked(&mut st, seq, Err(err.clone()));
             }
         }
+        // Staged messages never reached the wire; fail them too.
+        let staged = core::mem::take(&mut st.accum.seqs);
+        for m in &staged {
+            st.completed.push(*m, Err(err.clone()));
+            failed += 1;
+        }
+        Self::recycle_seqs(&mut st, staged);
+        st.accum.frame = None;
         Some(failed)
     }
 
@@ -255,38 +604,48 @@ impl ChannelCore {
         self.state.lock().pending.snapshot()
     }
 
-    /// Number of in-flight offloads.
+    /// Number of in-flight *messages*: pending frames count their batch
+    /// members, plus whatever is staged awaiting flush.
     pub fn in_flight(&self) -> usize {
-        self.state.lock().pending.len()
+        let st = self.state.lock();
+        let extra: usize = st.batches.values().map(|m| m.len() - 1).sum();
+        st.pending.len() + extra + st.accum.seqs.len()
     }
 
     /// Finish an offload whose entry was already removed with
     /// [`Self::take_pending`]: free its slots and park the result for
-    /// its future.
+    /// its future (fanned out to members for a batch carrier).
     pub fn finish(&self, seq: u64, entry: &PendingEntry, result: Result<Vec<u8>, OffloadError>) {
         let mut st = self.state.lock();
         st.recv.release(entry.recv_slot);
         st.send.release(entry.send_slot);
-        st.completed.push(seq, result);
+        let result = result.map(|v| self.pool.adopt(v));
+        self.settle_locked(&mut st, seq, result);
     }
 
     /// Push-transport completion path: a receiver thread deposits a
     /// finished result frame. Unknown sequence numbers are dropped
     /// (late frames racing a shutdown).
     pub fn deposit(&self, seq: u64, frame: Vec<u8>) {
+        self.deposit_frame(seq, self.pool.adopt(frame));
+    }
+
+    /// [`Self::deposit`] with a pooled buffer — the allocation-free
+    /// variant.
+    pub fn deposit_frame(&self, seq: u64, frame: PooledFrame) {
         let mut st = self.state.lock();
         if let Some(e) = st.pending.remove(seq) {
             st.recv.release(e.recv_slot);
             st.send.release(e.send_slot);
-            st.completed.push(seq, Ok(frame));
             if let Some(r) = st.recovery.as_mut() {
                 r.forget(seq);
             }
+            self.settle_locked(&mut st, seq, Ok(frame));
         }
     }
 
     /// Claim a parked completion.
-    pub fn take_completed(&self, seq: u64) -> Option<Result<Vec<u8>, OffloadError>> {
+    pub fn take_completed(&self, seq: u64) -> Option<Result<PooledFrame, OffloadError>> {
         self.state.lock().completed.take(seq)
     }
 
@@ -305,6 +664,7 @@ impl ChannelCore {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::target_loop::frame_result;
     use proptest::prelude::*;
 
     fn reserve(c: &ChannelCore) -> Reserve {
@@ -320,7 +680,10 @@ mod tests {
         assert_eq!((r.seq, r.recv_slot, r.send_slot), (0, 0, 0));
         let e = c.take_pending(r.seq).unwrap();
         c.finish(r.seq, &e, Ok(b"done".to_vec()));
-        assert_eq!(c.take_completed(r.seq).unwrap().unwrap(), b"done");
+        assert_eq!(
+            c.take_completed(r.seq).unwrap().unwrap().as_slice(),
+            b"done"
+        );
         assert!(c.take_completed(r.seq).is_none(), "claims are one-shot");
     }
 
@@ -432,7 +795,7 @@ mod tests {
         let Reserve::Reserved(r) = reserve(&c) else {
             panic!("reserve failed");
         };
-        c.note_sent(r.seq, &header(r.seq), b"a");
+        c.note_sent(r.seq, &header(r.seq), PooledFrame::detached(b"a".to_vec()));
         assert!(matches!(c.note_miss(r.seq), MissVerdict::Keep));
         assert!(matches!(
             c.note_miss(r.seq),
@@ -446,7 +809,11 @@ mod tests {
         let Reserve::Reserved(r2) = reserve(&c) else {
             panic!("reserve failed");
         };
-        c.note_sent(r2.seq, &header(r2.seq), b"b");
+        c.note_sent(
+            r2.seq,
+            &header(r2.seq),
+            PooledFrame::detached(b"b".to_vec()),
+        );
         c.deposit(r2.seq, vec![0]);
         for _ in 0..10 {
             assert!(matches!(c.note_miss(r2.seq), MissVerdict::Keep));
@@ -456,10 +823,188 @@ mod tests {
             kind: MsgKind::Control,
             ..header(99)
         };
-        c.note_sent(99, &ctrl, &[]);
+        c.note_sent(99, &ctrl, PooledFrame::detached(vec![]));
         for _ in 0..10 {
             assert!(matches!(c.note_miss(99), MissVerdict::Keep));
         }
+    }
+
+    // --- batching ---------------------------------------------------------
+
+    fn batched(recv: usize, send: usize, max_msgs: usize) -> ChannelCore {
+        ChannelCore::bounded(recv, send, 4096).with_batching(BatchConfig::up_to(max_msgs))
+    }
+
+    fn stage_one(c: &ChannelCore, payload: &[u8]) -> Stage {
+        c.stage(HandlerKey(9), payload, 0, SimTime::ZERO)
+    }
+
+    /// Deposit a well-formed batch result for `f`: each member's framed
+    /// result is its own seq, little-endian.
+    fn answer_batch(c: &ChannelCore, f: &FlushFrame, members: &[u64]) {
+        let mut body = Vec::new();
+        batch::begin_result(&mut body, members.len() as u32);
+        for &m in members {
+            batch::append_result_part(&mut body, m, &frame_result(Ok(m.to_le_bytes().to_vec())));
+        }
+        c.deposit(f.res.seq, frame_result(Ok(body)));
+    }
+
+    #[test]
+    fn stage_flush_settle_fans_out_to_members() {
+        let c = batched(2, 2, 4);
+        for i in 0..3u64 {
+            let Stage::Staged { seq, flush } = stage_one(&c, b"xy") else {
+                panic!("stage refused");
+            };
+            assert_eq!(seq, i);
+            assert!(!flush, "below the watermark");
+        }
+        assert_eq!(c.in_flight(), 3, "staged messages count as in flight");
+        let FlushPrep::Ready(f) = c.take_flush() else {
+            panic!("flush refused");
+        };
+        assert_eq!((f.res.seq, f.msgs), (2, 3), "carrier is the last member");
+        assert_eq!(f.header.kind, MsgKind::Batch);
+        assert!(matches!(c.take_flush(), FlushPrep::Empty), "accum drained");
+        // One slot pair for three messages.
+        assert_eq!(c.pending_snapshot().len(), 1);
+        assert_eq!(c.in_flight(), 3);
+        answer_batch(&c, &f, &[0, 1, 2]);
+        for m in 0..3u64 {
+            let got = c.take_completed(m).unwrap().unwrap();
+            assert_eq!(
+                crate::target_loop::unframe_result_ref(&got).unwrap(),
+                m.to_le_bytes()
+            );
+        }
+        assert_eq!(c.in_flight(), 0);
+    }
+
+    #[test]
+    fn count_watermark_requests_flush() {
+        let c = batched(2, 2, 2);
+        assert!(matches!(
+            stage_one(&c, b"a"),
+            Stage::Staged { flush: false, .. }
+        ));
+        assert!(matches!(
+            stage_one(&c, b"a"),
+            Stage::Staged { flush: true, .. }
+        ));
+    }
+
+    #[test]
+    fn byte_watermark_forces_flush_first_and_toobig_falls_through() {
+        let c = ChannelCore::bounded(2, 2, 4096).with_batching(BatchConfig {
+            max_msgs: 16,
+            max_bytes: 256,
+        });
+        // 100-byte payloads: two fit a 256-byte envelope (4 + 2·132),
+        // a third does not.
+        let p = [7u8; 100];
+        assert!(matches!(stage_one(&c, &p), Stage::Staged { .. }));
+        assert!(matches!(stage_one(&c, &p), Stage::FlushFirst));
+        // A payload that alone overflows the envelope is not stageable.
+        assert!(matches!(stage_one(&c, &[1u8; 300]), Stage::TooBig));
+    }
+
+    #[test]
+    fn flush_refuses_when_rings_are_full_without_losing_the_batch() {
+        let c = batched(1, 1, 8);
+        let Reserve::Reserved(_r) = reserve(&c) else {
+            panic!("reserve failed");
+        };
+        assert!(matches!(stage_one(&c, b"a"), Stage::Staged { .. }));
+        assert!(matches!(c.take_flush(), FlushPrep::Full));
+        assert_eq!(c.in_flight(), 2, "batch still staged after refusal");
+    }
+
+    #[test]
+    fn fail_batch_errors_every_member_and_frees_slots() {
+        let c = batched(1, 1, 4);
+        for _ in 0..2 {
+            assert!(matches!(stage_one(&c, b"a"), Stage::Staged { .. }));
+        }
+        let FlushPrep::Ready(f) = c.take_flush() else {
+            panic!("flush refused");
+        };
+        c.fail_batch(f.res.seq, OffloadError::Shutdown);
+        for m in [0u64, 1] {
+            assert!(matches!(
+                c.take_completed(m),
+                Some(Err(OffloadError::Shutdown))
+            ));
+        }
+        assert!(matches!(reserve(&c), Reserve::Reserved(_)), "slots freed");
+    }
+
+    #[test]
+    fn evict_fails_staged_and_batched_members() {
+        use crate::types::NodeId;
+        let c = batched(2, 2, 2);
+        // One flushed batch of two...
+        for _ in 0..2 {
+            assert!(matches!(stage_one(&c, b"a"), Stage::Staged { .. }));
+        }
+        let FlushPrep::Ready(_f) = c.take_flush() else {
+            panic!("flush refused");
+        };
+        // ...plus one staged message.
+        assert!(matches!(stage_one(&c, b"b"), Stage::Staged { .. }));
+        let lost = OffloadError::TargetLost(NodeId(1));
+        assert_eq!(c.evict(lost.clone()), Some(3), "members + staged");
+        for m in 0..3u64 {
+            assert_eq!(c.take_completed(m).unwrap().unwrap_err(), lost.clone());
+        }
+        assert_eq!(c.in_flight(), 0);
+        assert!(matches!(stage_one(&c, b"c"), Stage::Lost(_)));
+    }
+
+    #[test]
+    fn malformed_batch_result_errors_every_member() {
+        let c = batched(2, 2, 4);
+        for _ in 0..2 {
+            assert!(matches!(stage_one(&c, b"a"), Stage::Staged { .. }));
+        }
+        let FlushPrep::Ready(f) = c.take_flush() else {
+            panic!("flush refused");
+        };
+        // An error frame instead of a batch body: the target rejected
+        // the envelope wholesale.
+        c.deposit(
+            f.res.seq,
+            frame_result(Err(ham::HamError::Wire("bad".into()))),
+        );
+        for m in [0u64, 1] {
+            assert!(matches!(
+                c.take_completed(m),
+                Some(Err(OffloadError::Backend(_)))
+            ));
+        }
+    }
+
+    #[test]
+    fn missing_result_parts_error_their_members_only() {
+        let c = batched(2, 2, 4);
+        for _ in 0..3 {
+            assert!(matches!(stage_one(&c, b"a"), Stage::Staged { .. }));
+        }
+        let FlushPrep::Ready(f) = c.take_flush() else {
+            panic!("flush refused");
+        };
+        // Parts for members 0 and 2 only.
+        let mut body = Vec::new();
+        batch::begin_result(&mut body, 2);
+        batch::append_result_part(&mut body, 0, &frame_result(Ok(vec![0])));
+        batch::append_result_part(&mut body, 2, &frame_result(Ok(vec![2])));
+        c.deposit(f.res.seq, frame_result(Ok(body)));
+        assert!(c.take_completed(0).unwrap().is_ok());
+        assert!(matches!(
+            c.take_completed(1),
+            Some(Err(OffloadError::Backend(_)))
+        ));
+        assert!(c.take_completed(2).unwrap().is_ok());
     }
 
     /// One step of the model interleaving, decoded from a `(kind, i)`
@@ -529,8 +1074,8 @@ mod tests {
                             let got = c.take_completed(seq);
                             prop_assert!(got.is_some(), "completion lost: seq {}", seq);
                             prop_assert_eq!(
-                                got.unwrap().unwrap(),
-                                seq.to_le_bytes().to_vec(),
+                                got.unwrap().unwrap().as_slice(),
+                                &seq.to_le_bytes()[..],
                                 "completion corrupted"
                             );
                             deposited.remove(i);
@@ -549,6 +1094,146 @@ mod tests {
                 prop_assert!(c.take_completed(*seq).is_none(), "duplicate completion");
             }
             prop_assert_eq!(c.in_flight(), in_flight.len());
+        }
+    }
+
+    /// One step of the batching model, decoded from a `(kind, i)` pair.
+    #[derive(Clone, Debug)]
+    enum BatchOp {
+        /// Stage one message (flushing first / ignoring refusals as the
+        /// engine would).
+        Post,
+        /// Flush the staged envelope if slots allow.
+        Flush,
+        /// Answer the i-th oldest in-flight batch.
+        Answer(usize),
+        /// Claim the completion of the i-th completed member.
+        Take(usize),
+    }
+
+    fn decode_batch_op((kind, i): (u8, usize)) -> BatchOp {
+        match kind {
+            0 => BatchOp::Post,
+            1 => BatchOp::Flush,
+            2 => BatchOp::Answer(i),
+            _ => BatchOp::Take(i),
+        }
+    }
+
+    proptest! {
+        /// Interleaved stage/flush/answer/claim schedules deliver every
+        /// member's own result exactly once, whatever the batch
+        /// boundaries — the oracle for the engine's post/flush/drain
+        /// paths.
+        #[test]
+        fn batch_interleavings_deliver_every_member_exactly_once(
+            recv_slots in 1usize..4,
+            max_msgs in 2usize..6,
+            ops in proptest::collection::vec((0u8..4, 0usize..16), 0..96),
+        ) {
+            let c = batched(recv_slots, recv_slots, max_msgs);
+            let mut staged: Vec<u64> = Vec::new();
+            // Flushed batches awaiting an answer: (carrier, members).
+            let mut inflight: Vec<(u64, Vec<u64>)> = Vec::new();
+            let mut answered: Vec<u64> = Vec::new();
+            let mut claimed: Vec<u64> = Vec::new();
+            let flush = |c: &ChannelCore,
+                         staged: &mut Vec<u64>,
+                         inflight: &mut Vec<(u64, Vec<u64>)>| {
+                match c.take_flush() {
+                    FlushPrep::Empty => prop_assert!(staged.is_empty(), "lost staging"),
+                    FlushPrep::Full => prop_assert!(!inflight.is_empty(), "full while idle"),
+                    FlushPrep::Ready(f) => {
+                        prop_assert_eq!(f.msgs, staged.len(), "member count");
+                        prop_assert_eq!(f.res.seq, *staged.last().unwrap());
+                        inflight.push((f.res.seq, core::mem::take(staged)));
+                    }
+                }
+            };
+            for op in ops.into_iter().map(decode_batch_op) {
+                match op {
+                    BatchOp::Post => {
+                        match stage_one(&c, b"m") {
+                            Stage::Staged { seq, flush: now } => {
+                                staged.push(seq);
+                                if now {
+                                    flush(&c, &mut staged, &mut inflight);
+                                }
+                            }
+                            Stage::FlushFirst => {
+                                flush(&c, &mut staged, &mut inflight);
+                            }
+                            other => prop_assert!(false, "unexpected stage: {:?}", other),
+                        }
+                    }
+                    BatchOp::Flush => flush(&c, &mut staged, &mut inflight),
+                    BatchOp::Answer(i) => {
+                        if !inflight.is_empty() {
+                            let (carrier, members) = inflight.remove(i % inflight.len());
+                            let mut body = Vec::new();
+                            batch::begin_result(&mut body, members.len() as u32);
+                            for &m in &members {
+                                batch::append_result_part(
+                                    &mut body,
+                                    m,
+                                    &frame_result(Ok(m.to_le_bytes().to_vec())),
+                                );
+                            }
+                            c.deposit(carrier, frame_result(Ok(body)));
+                            answered.extend(members);
+                        }
+                    }
+                    BatchOp::Take(i) => {
+                        if !answered.is_empty() {
+                            let m = answered.remove(i % answered.len());
+                            let got = c.take_completed(m);
+                            prop_assert!(got.is_some(), "member completion lost: {}", m);
+                            let frame = got.unwrap().unwrap();
+                            let bytes = crate::target_loop::unframe_result_ref(&frame).unwrap();
+                            prop_assert_eq!(bytes, &m.to_le_bytes()[..], "member result corrupted");
+                            claimed.push(m);
+                        }
+                    }
+                }
+            }
+            // Drain: flush and answer everything, then claim the tail.
+            while !staged.is_empty() {
+                flush(&c, &mut staged, &mut inflight);
+                if let Some((carrier, members)) = inflight.pop() {
+                    let mut body = Vec::new();
+                    batch::begin_result(&mut body, members.len() as u32);
+                    for &m in &members {
+                        batch::append_result_part(
+                            &mut body,
+                            m,
+                            &frame_result(Ok(m.to_le_bytes().to_vec())),
+                        );
+                    }
+                    c.deposit(carrier, frame_result(Ok(body)));
+                    answered.extend(members);
+                }
+            }
+            for (carrier, members) in inflight.drain(..) {
+                let mut body = Vec::new();
+                batch::begin_result(&mut body, members.len() as u32);
+                for &m in &members {
+                    batch::append_result_part(
+                        &mut body,
+                        m,
+                        &frame_result(Ok(m.to_le_bytes().to_vec())),
+                    );
+                }
+                c.deposit(carrier, frame_result(Ok(body)));
+                answered.extend(members);
+            }
+            for m in answered {
+                prop_assert!(c.take_completed(m).is_some(), "tail member lost: {}", m);
+                claimed.push(m);
+            }
+            for m in &claimed {
+                prop_assert!(c.take_completed(*m).is_none(), "duplicate member: {}", m);
+            }
+            prop_assert_eq!(c.in_flight(), 0);
         }
     }
 }

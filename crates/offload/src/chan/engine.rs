@@ -1,42 +1,77 @@
 //! The protocol engine: drives a [`ChannelCore`] against a backend's
 //! transport verbs.
 //!
-//! Every host-side transition an offload goes through — reserve, frame,
-//! post, flag sweep, fetch, unframe, claim — happens in these four
-//! functions, for all transports. Backends contribute only
-//! [`CommBackend::send_frame`] / [`CommBackend::poll_flags`] /
-//! [`CommBackend::fetch_frame`] (or a receiver thread that calls
-//! [`super::ChannelCore::deposit`]).
+//! Every host-side transition an offload goes through — reserve (or
+//! stage, with batching on), frame, post, flag sweep, fetch, unframe,
+//! claim — happens in these functions, for all transports. Backends
+//! contribute only [`CommBackend::send_frame`] /
+//! [`CommBackend::poll_flags`] / [`CommBackend::fetch_frame`] (or a
+//! receiver thread that calls [`super::ChannelCore::deposit`]).
 
-use super::core::{ChannelCore, Reservation, Reserve};
+use super::backoff::Backoff;
+use super::core::{ChannelCore, FlushPrep, Reservation, Reserve, Stage};
+use super::pool::PooledFrame;
 use super::recovery::MissVerdict;
 use crate::backend::CommBackend;
-use crate::target_loop::unframe_result;
 use crate::types::NodeId;
 use crate::OffloadError;
 use aurora_sim_core::trace::{self, OffloadId};
 use ham::registry::HandlerKey;
-use ham::wire::{MsgHeader, MsgKind};
+use ham::wire::{MsgHeader, MsgKind, HEADER_BYTES};
 
-/// Post an offload message: reserve slots (draining completions while
-/// the rings are full), frame, and hand to the transport. Returns the
-/// sequence number the result will be claimable under.
+/// Post an offload message. With batching off (the default) this
+/// reserves slots (draining completions while the rings are full),
+/// frames, and hands the frame to the transport. With batching on the
+/// message is *staged* into the channel's envelope instead, and only a
+/// tripped watermark — or a later [`flush`] / blocking wait — puts it on
+/// the wire. Either way, returns the sequence number the result will be
+/// claimable under.
 pub fn post<B: CommBackend + ?Sized>(
     backend: &B,
     target: NodeId,
     key: HandlerKey,
     payload: &[u8],
 ) -> Result<u64, OffloadError> {
+    let chan = backend.channel(target)?;
+    if chan.batch_enabled() {
+        let offload = trace::current_offload();
+        loop {
+            match chan.stage(key, payload, offload, backend.host_clock().now()) {
+                Stage::Staged { seq, flush: now } => {
+                    if now {
+                        // A send failure here is parked on the member
+                        // futures by `fail_batch`; the post itself
+                        // succeeded.
+                        let _ = flush(backend, target);
+                    }
+                    return Ok(seq);
+                }
+                Stage::FlushFirst => {
+                    let _ = flush(backend, target);
+                }
+                Stage::TooBig => {
+                    // Flush what is staged (order must hold), then post
+                    // this message as a plain frame below.
+                    let _ = flush(backend, target);
+                    break;
+                }
+                Stage::Shutdown => return Err(OffloadError::Shutdown),
+                Stage::Lost(e) => return Err(e),
+            }
+        }
+    }
     post_inner(backend, target, key, payload, MsgKind::Offload)
 }
 
 /// Post a control message (shutdown). Control frames bypass the
 /// shutdown gate — they are how shutdown is delivered — but share the
 /// reservation path so slot discipline holds to the very last frame.
+/// Staged messages are flushed first so nothing outruns them.
 pub fn post_control<B: CommBackend + ?Sized>(
     backend: &B,
     target: NodeId,
 ) -> Result<u64, OffloadError> {
+    flush(backend, target)?;
     post_inner(backend, target, HandlerKey(0), &[], MsgKind::Control)
 }
 
@@ -57,6 +92,7 @@ fn post_inner<B: CommBackend + ?Sized>(
     }
     let control = matches!(kind, MsgKind::Control);
     let offload = trace::current_offload();
+    let mut backoff = Backoff::new();
     let res = loop {
         match chan.try_reserve(control, offload, backend.host_clock().now()) {
             Reserve::Reserved(r) => break r,
@@ -66,8 +102,8 @@ fn post_inner<B: CommBackend + ?Sized>(
                 // All slots in flight: sweep completions to free some.
                 // A dead target errors its pending entries out here, so
                 // this loop cannot spin forever.
-                drain(backend, target)?;
-                std::thread::yield_now();
+                sweep(backend, target)?;
+                backoff.snooze();
             }
         }
     };
@@ -79,12 +115,69 @@ fn post_inner<B: CommBackend + ?Sized>(
         corr: offload,
         seq: res.seq,
     };
-    if let Err(e) = backend.send_frame(target, &res, &header, payload) {
+    // Assemble the full wire frame in a pooled buffer: the transport
+    // writes it verbatim, and `note_sent` keeps the same buffer for
+    // recovery re-sends instead of copying.
+    let mut frame = chan.pool().checkout();
+    frame.extend_from_slice(&header.encode());
+    frame.extend_from_slice(payload);
+    if let Err(e) = backend.send_frame(target, &res, &header, &frame) {
         chan.cancel(res.seq);
         return Err(e);
     }
-    chan.note_sent(res.seq, &header, payload);
+    if matches!(kind, MsgKind::Offload) {
+        backend.metrics().on_frame(1);
+    }
+    chan.note_sent(res.seq, &header, frame);
     Ok(res.seq)
+}
+
+/// Put the staged batch envelope (if any) on the wire. No-op with
+/// batching off. Blocks (sweeping completions) while the slot rings are
+/// full; a transport failure fails every member via
+/// [`ChannelCore::fail_batch`] and surfaces here too.
+pub fn flush<B: CommBackend + ?Sized>(backend: &B, target: NodeId) -> Result<(), OffloadError> {
+    let chan = backend.channel(target)?;
+    if !chan.batch_enabled() {
+        return Ok(());
+    }
+    let mut backoff = Backoff::new();
+    loop {
+        match chan.take_flush() {
+            FlushPrep::Empty => return Ok(()),
+            FlushPrep::Full => {
+                // Eviction empties the accumulator, so a dead target
+                // exits through `Empty` rather than spinning here.
+                sweep(backend, target)?;
+                backoff.snooze();
+            }
+            FlushPrep::Ready(f) => {
+                let t0 = backend.host_clock().now();
+                if let Err(e) = backend.send_frame(target, &f.res, &f.header, &f.frame) {
+                    chan.fail_batch(f.res.seq, e.clone());
+                    return Err(e);
+                }
+                backend.metrics().on_frame(f.msgs as u64);
+                trace::record(
+                    "chan.batch_flush",
+                    f.msgs as u64,
+                    t0,
+                    backend.host_clock().now(),
+                );
+                chan.note_sent(f.res.seq, &f.header, f.frame);
+                return Ok(());
+            }
+        }
+    }
+}
+
+/// Flush staged messages, then sweep completion flags once — the verb
+/// every blocking wait uses. Flushing first matters: a future spinning
+/// on a staged-but-unflushed message would otherwise wait on a frame
+/// that never left the host. Returns how many offloads completed.
+pub fn drain<B: CommBackend + ?Sized>(backend: &B, target: NodeId) -> Result<usize, OffloadError> {
+    flush(backend, target)?;
+    sweep(backend, target)
 }
 
 /// Sweep the completion flags of *every* in-flight offload on `target`
@@ -102,10 +195,11 @@ fn post_inner<B: CommBackend + ?Sized>(
 /// [`OffloadError::Timeout`] (`chan.timeout` span) **and the target is
 /// evicted** — a definitively lost frame is a hole the target's
 /// in-order slot cursor can never step over, so nothing posted after
-/// it can be delivered either. A transport error likewise evicts the
-/// whole target (`chan.evict` span): every in-flight offload fails
-/// with the error and future posts are refused.
-pub fn drain<B: CommBackend + ?Sized>(backend: &B, target: NodeId) -> Result<usize, OffloadError> {
+/// it can be delivered either. A batch carrier times out and retries as
+/// one unit: its timeout fails every member at once. A transport error
+/// likewise evicts the whole target (`chan.evict` span): every
+/// in-flight offload fails with the error and future posts are refused.
+pub fn sweep<B: CommBackend + ?Sized>(backend: &B, target: NodeId) -> Result<usize, OffloadError> {
     let chan = backend.channel(target)?;
     let mut completed = 0;
     for (seq, entry) in chan.pending_snapshot() {
@@ -115,7 +209,7 @@ pub fn drain<B: CommBackend + ?Sized>(backend: &B, target: NodeId) -> Result<usi
                 MissVerdict::Keep => {}
                 MissVerdict::Retry {
                     header,
-                    payload,
+                    frame,
                     attempt,
                 } => {
                     let _scope = trace::offload_scope(OffloadId(entry.offload));
@@ -127,13 +221,13 @@ pub fn drain<B: CommBackend + ?Sized>(backend: &B, target: NodeId) -> Result<usi
                         attempt,
                     };
                     backend.metrics().on_resend();
-                    if let Err(e) = backend.send_frame(target, &res, &header, &payload) {
+                    if let Err(e) = backend.send_frame(target, &res, &header, &frame) {
                         completed += evict(backend, chan, e);
                         break;
                     }
                     trace::record(
                         "chan.retry",
-                        payload.len() as u64,
+                        (frame.len() - HEADER_BYTES) as u64,
                         t0,
                         backend.host_clock().now(),
                     );
@@ -198,33 +292,23 @@ pub fn evict<B: CommBackend + ?Sized>(backend: &B, chan: &ChannelCore, err: Offl
 }
 
 /// Poll for the result of offload `seq`: claim it if already parked,
-/// otherwise sweep the flags once and try again. `Ok(None)` while the
-/// offload is still running. Result frames are unframed here — an
-/// error frame (a handler that panicked on the target) surfaces as
-/// `Err(Backend(..))`.
+/// otherwise flush + sweep once and try again. `Ok(None)` while the
+/// offload is still running. The returned frame is still
+/// `frame_result`-framed (see [`crate::target_loop::unframe_result_ref`])
+/// and its buffer returns to the channel's pool on drop — callers
+/// decode in place instead of copying.
 pub fn try_result<B: CommBackend + ?Sized>(
     backend: &B,
     target: NodeId,
     seq: u64,
-) -> Result<Option<Vec<u8>>, OffloadError> {
+) -> Result<Option<PooledFrame>, OffloadError> {
     let chan = backend.channel(target)?;
     if let Some(done) = chan.take_completed(seq) {
-        return settle(done);
+        return done.map(Some);
     }
     drain(backend, target)?;
     match chan.take_completed(seq) {
-        Some(done) => settle(done),
+        Some(done) => done.map(Some),
         None => Ok(None),
-    }
-}
-
-/// Unwrap a parked completion: unframe result frames, pass transport
-/// errors through.
-fn settle(done: Result<Vec<u8>, OffloadError>) -> Result<Option<Vec<u8>>, OffloadError> {
-    match done {
-        Ok(frame) => unframe_result(&frame)
-            .map(Some)
-            .map_err(OffloadError::Backend),
-        Err(e) => Err(e),
     }
 }

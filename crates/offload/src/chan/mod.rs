@@ -19,7 +19,14 @@
 //!   checking a single slot;
 //! * the protocol state machine — [`ChannelCore`] ties the three
 //!   together under one lock, and [`engine`] drives it against the
-//!   [`crate::CommBackend`] transport verbs.
+//!   [`crate::CommBackend`] transport verbs;
+//! * small-message batching — [`batch`] defines the `MsgKind::Batch`
+//!   envelope and [`BatchConfig`] its flush watermarks, so deep
+//!   pipelines pay one transport transaction per *batch* instead of per
+//!   message;
+//! * buffer recycling — [`FramePool`] keeps the post → complete hot
+//!   path allocation-free by handing wire frames out of a per-channel
+//!   freelist.
 //!
 //! Slot-layout constants shared by the Aurora transports
 //! ([`ProtocolConfig`], [`SLOT_META`]) also live here, so `ham-backend-dma`
@@ -28,17 +35,23 @@
 //! See `docs/channel-core.md` for the state machine diagram and a guide
 //! to writing a new backend on top of this module.
 
+pub mod backoff;
+pub mod batch;
 pub mod config;
 pub mod core;
 pub mod engine;
 pub mod pending;
+pub mod pool;
 pub mod queue;
 pub mod recovery;
 pub mod ring;
 
-pub use self::core::{ChannelCore, Reservation, Reserve};
+pub use self::core::{ChannelCore, FlushFrame, FlushPrep, Reservation, Reserve, Stage};
+pub use backoff::Backoff;
+pub use batch::BatchConfig;
 pub use config::{ProtocolConfig, SLOT_META};
 pub use pending::{PendingEntry, PendingTable};
+pub use pool::{FramePool, PooledFrame};
 pub use queue::CompletionQueue;
 pub use recovery::{MissVerdict, RecoveryPolicy};
 pub use ring::SlotRing;

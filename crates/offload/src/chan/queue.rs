@@ -1,6 +1,7 @@
 //! Completion buffering: finished result frames parked until the owning
 //! future claims them.
 
+use super::pool::PooledFrame;
 use crate::OffloadError;
 use std::collections::HashMap;
 
@@ -11,9 +12,11 @@ use std::collections::HashMap;
 /// number; each future then claims its own entry without touching the
 /// transport. Transport errors are parked the same way, so a dead
 /// target errors every outstanding future instead of hanging them.
+/// Result frames are pooled: claiming and dropping one returns its
+/// buffer to the channel's [`super::pool::FramePool`].
 #[derive(Debug, Default)]
 pub struct CompletionQueue {
-    done: HashMap<u64, Result<Vec<u8>, OffloadError>>,
+    done: HashMap<u64, Result<PooledFrame, OffloadError>>,
 }
 
 impl CompletionQueue {
@@ -23,12 +26,12 @@ impl CompletionQueue {
     }
 
     /// Park a finished offload's result frame (or transport error).
-    pub fn push(&mut self, seq: u64, result: Result<Vec<u8>, OffloadError>) {
+    pub fn push(&mut self, seq: u64, result: Result<PooledFrame, OffloadError>) {
         self.done.insert(seq, result);
     }
 
     /// Claim a completion, if it has arrived.
-    pub fn take(&mut self, seq: u64) -> Option<Result<Vec<u8>, OffloadError>> {
+    pub fn take(&mut self, seq: u64) -> Option<Result<PooledFrame, OffloadError>> {
         self.done.remove(&seq)
     }
 

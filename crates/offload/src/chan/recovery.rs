@@ -23,6 +23,7 @@
 //! are deterministic for serial traffic — the host performs exactly
 //! `retry_after_misses` sweeps between send and retry.
 
+use super::pool::PooledFrame;
 use ham::wire::MsgHeader;
 use std::collections::HashMap;
 
@@ -49,12 +50,14 @@ impl Default for RecoveryPolicy {
 }
 
 /// A re-sendable copy of one posted frame plus its deadline counters.
-#[derive(Clone, Debug)]
+#[derive(Debug)]
 pub struct StoredFrame {
     /// The wire header as originally sent (seq, slots, kind unchanged).
     pub header: MsgHeader,
-    /// The payload bytes.
-    pub payload: Vec<u8>,
+    /// The full wire bytes (header ‖ payload) — the engine hands its
+    /// pooled send buffer here instead of copying, so the hot path is
+    /// allocation-free; the buffer returns to the pool on `forget`.
+    pub frame: PooledFrame,
     /// Fruitless sweeps since the last send of this frame.
     pub misses: u32,
     /// Re-sends performed so far.
@@ -70,8 +73,8 @@ pub enum MissVerdict {
     Retry {
         /// Header to re-send (identical to the original).
         header: MsgHeader,
-        /// Payload to re-send.
-        payload: Vec<u8>,
+        /// Full wire bytes to re-send (cloned: re-sends are cold).
+        frame: Vec<u8>,
         /// Which attempt this is (1 = first re-send).
         attempt: u32,
     },
@@ -96,13 +99,13 @@ impl RecoveryState {
         }
     }
 
-    /// Stash a just-sent frame for possible re-sends.
-    pub fn store(&mut self, seq: u64, header: MsgHeader, payload: &[u8]) {
+    /// Stash a just-sent frame (full wire bytes) for possible re-sends.
+    pub fn store(&mut self, seq: u64, header: MsgHeader, frame: PooledFrame) {
         self.frames.insert(
             seq,
             StoredFrame {
                 header,
-                payload: payload.to_vec(),
+                frame,
                 misses: 0,
                 retries: 0,
             },
@@ -139,7 +142,7 @@ impl RecoveryState {
             f.misses = 0;
             MissVerdict::Retry {
                 header: f.header,
-                payload: f.payload.clone(),
+                frame: f.frame.to_vec(),
                 attempt: f.retries,
             }
         } else {
@@ -172,18 +175,15 @@ mod tests {
             retry_after_misses: 4,
             max_retries: 2,
         });
-        st.store(0, header(0), b"hi");
+        st.store(0, header(0), PooledFrame::detached(b"hi".to_vec()));
         // 3 misses: keep; 4th crosses the deadline → retry 1.
         for _ in 0..3 {
             assert!(matches!(st.miss(0), MissVerdict::Keep));
         }
-        let MissVerdict::Retry {
-            attempt, payload, ..
-        } = st.miss(0)
-        else {
+        let MissVerdict::Retry { attempt, frame, .. } = st.miss(0) else {
             panic!("expected retry");
         };
-        assert_eq!((attempt, payload.as_slice()), (1, b"hi".as_slice()));
+        assert_eq!((attempt, frame.as_slice()), (1, b"hi".as_slice()));
         // Backoff doubles: 8 misses to the next deadline → retry 2.
         for _ in 0..7 {
             assert!(matches!(st.miss(0), MissVerdict::Keep));
@@ -215,7 +215,7 @@ mod tests {
             retry_after_misses: 1,
             max_retries: 0,
         });
-        st.store(5, header(5), b"x");
+        st.store(5, header(5), PooledFrame::detached(b"x".to_vec()));
         st.forget(5);
         assert!(matches!(st.miss(5), MissVerdict::Keep));
     }

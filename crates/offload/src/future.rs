@@ -103,9 +103,14 @@ impl<T> Future<T> {
                         backend.metrics().on_poll(false);
                         false
                     }
-                    Ok(Some(bytes)) => {
+                    Ok(Some(frame)) => {
                         Self::complete(backend, self.posted_at);
-                        let decoded = (self.decode)(&bytes).map_err(OffloadError::from);
+                        // Decode straight out of the pooled result frame;
+                        // dropping it returns the buffer to the channel.
+                        let decoded = match crate::target_loop::unframe_result_ref(&frame) {
+                            Ok(bytes) => (self.decode)(bytes).map_err(OffloadError::from),
+                            Err(msg) => Err(OffloadError::Backend(msg)),
+                        };
                         self.state = State::Ready(decoded);
                         true
                     }
@@ -124,13 +129,15 @@ impl<T> Future<T> {
     /// Blocking accessor (Table II `get()`): polls until the result
     /// message arrives, then decodes and returns it.
     pub fn get(mut self) -> Result<T, OffloadError> {
+        let mut backoff = crate::chan::Backoff::new();
         loop {
             if self.test() {
                 break;
             }
-            // The real runtime busy-polls the flag; yield keeps the
-            // simulation's host thread from starving the target thread.
-            std::thread::yield_now();
+            // The real runtime busy-polls the flag; the backoff spins
+            // briefly, then yields, then sleeps, so a long wait stops
+            // starving the target thread (and the host core).
+            backoff.snooze();
         }
         match core::mem::replace(&mut self.state, State::Taken) {
             State::Ready(r) => r,
@@ -175,8 +182,8 @@ impl<T> Future<T> {
             Some(done) => {
                 Self::complete(backend, self.posted_at);
                 let decoded = match done {
-                    Ok(frame) => match crate::target_loop::unframe_result(&frame) {
-                        Ok(bytes) => (self.decode)(&bytes).map_err(OffloadError::from),
+                    Ok(frame) => match crate::target_loop::unframe_result_ref(&frame) {
+                        Ok(bytes) => (self.decode)(bytes).map_err(OffloadError::from),
                         Err(msg) => Err(OffloadError::Backend(msg)),
                     },
                     Err(e) => Err(e),

@@ -11,7 +11,7 @@
 //! [`ChannelCore`]'s completion queue, and the host never polls flags.
 
 use crate::backend::{CommBackend, RawBuffer, Registrar};
-use crate::chan::{engine, ChannelCore, Reservation};
+use crate::chan::{engine, BatchConfig, ChannelCore, Reservation};
 use crate::target_loop::{run_target_loop, TargetChannel};
 use crate::types::{DeviceType, NodeDescriptor, NodeId};
 use crate::OffloadError;
@@ -37,8 +37,10 @@ impl TargetChannel for ChannelEnd {
     fn recv(&self) -> Option<(MsgHeader, Vec<u8>)> {
         self.rx.recv().ok()
     }
-    fn send_result(&self, _reply_slot: u16, seq: u64, payload: &[u8]) {
-        self.chan.deposit(seq, payload.to_vec());
+    fn send_result(&self, _reply_slot: u16, seq: u64, payload: Vec<u8>) {
+        // Owned hand-off: the target's result buffer is deposited as-is
+        // (and adopted into the host-side frame pool), no copy.
+        self.chan.deposit(seq, payload);
     }
 }
 
@@ -78,12 +80,31 @@ impl LocalBackend {
         mem_bytes: u64,
         registrar: impl Fn(&mut RegistryBuilder) + Send + Sync + 'static,
     ) -> Arc<Self> {
+        Self::spawn_inner(n, mem_bytes, BatchConfig::default(), registrar)
+    }
+
+    /// Spawn with small-message batching: consecutive posts to one
+    /// target coalesce into batch envelopes per `batch`'s watermarks.
+    pub fn spawn_batched(
+        n: u16,
+        batch: BatchConfig,
+        registrar: impl Fn(&mut RegistryBuilder) + Send + Sync + 'static,
+    ) -> Arc<Self> {
+        Self::spawn_inner(n, Self::DEFAULT_MEM, batch, registrar)
+    }
+
+    fn spawn_inner(
+        n: u16,
+        mem_bytes: u64,
+        batch: BatchConfig,
+        registrar: impl Fn(&mut RegistryBuilder) + Send + Sync + 'static,
+    ) -> Arc<Self> {
         let registrar: Arc<Registrar> = Arc::new(registrar);
         let host_registry = Arc::new(build_registry(&registrar, HOST_SEED));
         let targets = (1..=n)
             .map(|node| {
                 let (tx, rx) = unbounded();
-                let chan = Arc::new(ChannelCore::unbounded());
+                let chan = Arc::new(ChannelCore::unbounded().with_batching(batch));
                 let mem = Arc::new(VecMemory::new(mem_bytes as usize));
                 // Each target is its own "binary": same registrar,
                 // different seed → different local handler addresses.
@@ -172,11 +193,14 @@ impl CommBackend for LocalBackend {
         target: NodeId,
         _res: &Reservation,
         header: &MsgHeader,
-        payload: &[u8],
+        frame: &[u8],
     ) -> Result<(), OffloadError> {
         let t = self.target(target)?;
-        // A closed channel means the target thread is gone.
-        t.tx.send((*header, payload.to_vec()))
+        // One copy, straight out of the engine's pooled wire frame (the
+        // payload path used to copy twice: once assembling the frame,
+        // once here). A closed channel means the target thread is gone.
+        let payload = frame[ham::wire::HEADER_BYTES..].to_vec();
+        t.tx.send((*header, payload))
             .map_err(|_| OffloadError::Shutdown)
     }
 
@@ -402,6 +426,38 @@ mod tests {
         assert!(o.wait_any::<u16>(&mut []).is_none());
         got.sort_unstable();
         assert_eq!(got, [1, 1, 1, 1, 2, 2, 2, 2]);
+        o.shutdown();
+    }
+
+    #[test]
+    fn batched_offloads_deliver_every_result() {
+        let o = Offload::new(LocalBackend::spawn_batched(1, BatchConfig::up_to(8), |b| {
+            b.register::<axpy_sum>();
+            b.register::<which_node>();
+        }));
+        // 30 posts → batches of 8 plus a partial tail that only an
+        // implicit flush (inside wait_all) puts on the wire.
+        let futures: Vec<_> = (0..30)
+            .map(|_| o.async_(NodeId(1), f2f!(which_node)).unwrap())
+            .collect();
+        let results: Vec<u16> = o
+            .wait_all(futures)
+            .into_iter()
+            .map(|r| r.unwrap())
+            .collect();
+        assert_eq!(results, vec![1; 30]);
+        // sync still works when its single message is staged: get()
+        // flushes before spinning.
+        assert_eq!(o.sync(NodeId(1), f2f!(which_node)).unwrap(), 1);
+        // Explicit flush of an empty accumulator is a no-op.
+        o.flush(NodeId(1)).unwrap();
+        let snap = o.metrics_snapshot();
+        assert!(
+            snap.msgs_sent > snap.frames_sent,
+            "batching must coalesce: {} msgs over {} frames",
+            snap.msgs_sent,
+            snap.frames_sent
+        );
         o.shutdown();
     }
 

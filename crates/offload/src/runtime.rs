@@ -78,7 +78,14 @@ impl Offload {
         let t0 = self.backend.host_clock().now();
         let t1 = self.backend.host_clock().advance(calib::HAM_HOST_OVERHEAD);
         trace::record("ham.host_overhead", 0, t0, t1);
-        let (key, payload) = self.backend.host_registry().encode_message(&msg)?;
+        // Serialise into a recycled buffer from the target channel's
+        // frame pool — steady-state posting allocates nothing.
+        let chan = self.backend.channel(target)?;
+        let mut payload = chan.pool().checkout();
+        let key = self
+            .backend
+            .host_registry()
+            .encode_message_into(&msg, &mut payload)?;
         let seq = engine::post(self.backend.as_ref(), target, key, &payload)?;
         self.backend.metrics().on_post(payload.len() as u64);
         Ok(Future::new(
@@ -100,6 +107,17 @@ impl Offload {
         self.async_(target, msg)?.get()
     }
 
+    /// Put staged (batched) offloads for `target` on the wire now.
+    /// No-op with batching off or nothing staged; blocking waits
+    /// ([`Future::get`], [`Offload::wait_any`]/[`Offload::wait_all`])
+    /// flush implicitly, so this is only needed to bound the latency of
+    /// posts nobody is waiting on yet.
+    pub fn flush(&self, target: NodeId) -> Result<(), OffloadError> {
+        self.check_target(target)?;
+        let _node = trace::node_scope(NodeId::HOST.0);
+        engine::flush(self.backend.as_ref(), target)
+    }
+
     // --- batched synchronisation ------------------------------------------
 
     /// Block until at least one future in `futures` is ready and return
@@ -112,6 +130,7 @@ impl Offload {
     /// not N transport polls — the primitive load balancers used to
     /// fake with round-robin [`Future::test`] loops.
     pub fn wait_any<T>(&self, futures: &mut [Future<T>]) -> Option<usize> {
+        let mut backoff = crate::chan::Backoff::new();
         loop {
             let mut pending = false;
             for (i, f) in futures.iter_mut().enumerate() {
@@ -129,7 +148,7 @@ impl Offload {
                 return None;
             }
             self.sweep(futures);
-            std::thread::yield_now();
+            backoff.snooze();
         }
     }
 
@@ -139,6 +158,7 @@ impl Offload {
     /// in flight.
     pub fn wait_all<T>(&self, futures: Vec<Future<T>>) -> Vec<Result<T, OffloadError>> {
         let mut futures = futures;
+        let mut backoff = crate::chan::Backoff::new();
         loop {
             let mut pending = false;
             for f in futures.iter_mut() {
@@ -150,7 +170,7 @@ impl Offload {
                 break;
             }
             self.sweep(&futures);
-            std::thread::yield_now();
+            backoff.snooze();
         }
         // Everything is settled; get() only decodes/claims.
         futures.into_iter().map(Future::get).collect()

@@ -8,6 +8,7 @@
 //! The loop is transport-agnostic through [`TargetChannel`]; each backend
 //! provides the flag-polling / DMA-fetching implementation.
 
+use crate::chan::batch;
 use aurora_sim_core::trace::{self, OffloadId};
 use ham::wire::{MsgHeader, MsgKind};
 use ham::{ExecContext, HamError, Registry, TargetMemory};
@@ -19,8 +20,9 @@ pub trait TargetChannel {
     fn recv(&self) -> Option<(MsgHeader, Vec<u8>)>;
 
     /// Publish a result payload for the offload that arrived with
-    /// `reply_slot` and sequence number `seq`.
-    fn send_result(&self, reply_slot: u16, seq: u64, payload: &[u8]);
+    /// `reply_slot` and sequence number `seq`. Takes ownership so
+    /// in-process transports deposit the buffer without another copy.
+    fn send_result(&self, reply_slot: u16, seq: u64, payload: Vec<u8>);
 }
 
 /// Frame a handler outcome for the wire: `0x00 ‖ bytes` on success,
@@ -43,13 +45,21 @@ pub fn frame_result(result: Result<Vec<u8>, HamError>) -> Vec<u8> {
     }
 }
 
-/// Undo [`frame_result`]; the error side becomes a backend error string.
-pub fn unframe_result(bytes: &[u8]) -> Result<Vec<u8>, String> {
+/// Undo [`frame_result`] without copying: the success payload is a
+/// sub-slice of `bytes`. The error side becomes a backend error string.
+pub fn unframe_result_ref(bytes: &[u8]) -> Result<&[u8], String> {
     match bytes.split_first() {
-        Some((0, rest)) => Ok(rest.to_vec()),
+        Some((0, rest)) => Ok(rest),
         Some((1, rest)) => Err(String::from_utf8_lossy(rest).into_owned()),
         _ => Err("malformed result frame".into()),
     }
+}
+
+/// Undo [`frame_result`]; the owning variant of
+/// [`unframe_result_ref`], kept for callers that need the bytes
+/// detached from the frame.
+pub fn unframe_result(bytes: &[u8]) -> Result<Vec<u8>, String> {
+    unframe_result_ref(bytes).map(<[u8]>::to_vec)
 }
 
 /// The target process's execution environment: everything kernels may
@@ -120,6 +130,18 @@ pub fn run_target_loop_with_reverse(
     )
 }
 
+/// Execute one offload message and frame its result.
+fn execute_sub(env: &TargetEnv<'_>, header: &MsgHeader, payload: &[u8]) -> Vec<u8> {
+    let mut ctx = ExecContext::new(env.node, env.mem);
+    if let Some(r) = env.reverse {
+        ctx = ctx.with_reverse_transport(env.registry, r);
+    }
+    if let Some(m) = env.meter {
+        ctx = ctx.with_meter(m);
+    }
+    frame_result(env.registry.execute(header.handler_key, payload, &mut ctx))
+}
+
 /// The fully-general message loop over a [`TargetEnv`].
 pub fn run_target_loop_env(env: &TargetEnv<'_>, chan: &dyn TargetChannel) -> u64 {
     let _node = trace::node_scope(env.node);
@@ -149,17 +171,63 @@ pub fn run_target_loop_env(env: &TargetEnv<'_>, chan: &dyn TargetChannel) -> u64
                     continue;
                 }
                 let _of = trace::offload_scope(OffloadId(header.corr));
-                let mut ctx = ExecContext::new(env.node, env.mem);
-                if let Some(r) = env.reverse {
-                    ctx = ctx.with_reverse_transport(env.registry, r);
-                }
-                if let Some(m) = env.meter {
-                    ctx = ctx.with_meter(m);
-                }
-                let result = env.registry.execute(header.handler_key, &payload, &mut ctx);
-                chan.send_result(header.reply_slot, header.seq, &frame_result(result));
+                let result = execute_sub(env, &header, &payload);
+                chan.send_result(header.reply_slot, header.seq, result);
                 watermark = Some(watermark.map_or(header.seq, |w| w.max(header.seq)));
                 served += 1;
+            }
+            MsgKind::Batch => {
+                // The carrier's seq is its *last* member's, so the
+                // watermark comparison deduplicates a re-sent batch
+                // atomically: either the whole envelope was served (and
+                // its combined result still sits in the send slot) or
+                // none of it was.
+                if env.dedup && watermark.is_some_and(|w| header.seq <= w) {
+                    continue;
+                }
+                let subs = match batch::BatchIter::new(&payload) {
+                    Ok(it) => it,
+                    Err(e) => {
+                        chan.send_result(
+                            header.reply_slot,
+                            header.seq,
+                            frame_result(Err(HamError::Wire(e))),
+                        );
+                        continue;
+                    }
+                };
+                // One combined result message answers the whole batch:
+                // count ‖ per-member (seq ‖ len ‖ framed result), in
+                // arrival order.
+                let mut body = Vec::new();
+                batch::begin_result(&mut body, subs.announced());
+                let mut rejected = false;
+                for sub in subs {
+                    match sub {
+                        Ok((sh, sp)) => {
+                            let _of = trace::offload_scope(OffloadId(sh.corr));
+                            let part = execute_sub(env, &sh, sp);
+                            batch::append_result_part(&mut body, sh.seq, &part);
+                            watermark = Some(watermark.map_or(sh.seq, |w| w.max(sh.seq)));
+                            served += 1;
+                        }
+                        Err(e) => {
+                            // Malformed mid-envelope: reject the batch
+                            // wholesale so the host errors every member
+                            // uniformly.
+                            chan.send_result(
+                                header.reply_slot,
+                                header.seq,
+                                frame_result(Err(HamError::Wire(e))),
+                            );
+                            rejected = true;
+                            break;
+                        }
+                    }
+                }
+                if !rejected {
+                    chan.send_result(header.reply_slot, header.seq, frame_result(Ok(body)));
+                }
             }
             MsgKind::Result => {
                 // A result message arriving at a target is a protocol
@@ -193,8 +261,8 @@ mod tests {
         fn recv(&self) -> Option<(MsgHeader, Vec<u8>)> {
             self.inbox.lock().pop_front()
         }
-        fn send_result(&self, reply_slot: u16, seq: u64, payload: &[u8]) {
-            self.outbox.lock().push((reply_slot, seq, payload.to_vec()));
+        fn send_result(&self, reply_slot: u16, seq: u64, payload: Vec<u8>) {
+            self.outbox.lock().push((reply_slot, seq, payload));
         }
     }
 
@@ -305,6 +373,110 @@ mod tests {
         assert_eq!(run_target_loop_env(&env, &chan), 2);
         let out = chan.outbox.lock();
         assert_eq!(out.iter().map(|o| o.1).collect::<Vec<_>>(), vec![0, 1]);
+    }
+
+    #[test]
+    fn batch_envelope_executes_members_in_order_with_one_result() {
+        use ham::wire::HEADER_BYTES;
+        let mut b = RegistryBuilder::new();
+        b.register::<add>();
+        let registry = b.seal(7);
+        let key = registry.key_of::<add>().unwrap();
+        // Envelope of two adds with seqs 10 and 11 (carrier seq = 11).
+        let mut frame = vec![0u8; HEADER_BYTES + batch::COUNT_BYTES];
+        for (seq, a) in [(10u64, 1u64), (11, 2)] {
+            let payload = ham::codec::encode(&f2f!(add, a, 100)).unwrap();
+            let sub = MsgHeader {
+                handler_key: key,
+                payload_len: payload.len() as u32,
+                kind: MsgKind::Offload,
+                reply_slot: 0,
+                corr: seq,
+                seq,
+            };
+            batch::append_sub(&mut frame, &sub, &payload);
+        }
+        let carrier = batch::carrier_header(11, frame.len() - HEADER_BYTES, 5, 10);
+        batch::patch_envelope(&mut frame, &carrier, 2);
+        let chan = QueueChannel {
+            inbox: Mutex::new(VecDeque::from(vec![(
+                carrier,
+                frame[HEADER_BYTES..].to_vec(),
+            )])),
+            outbox: Mutex::new(vec![]),
+        };
+        let mem = VecMemory::new(0);
+        assert_eq!(run_target_loop(1, &registry, &mem, &chan), 2);
+        let out = chan.outbox.lock();
+        assert_eq!(out.len(), 1, "one result message for the whole batch");
+        assert_eq!((out[0].0, out[0].1), (5, 11));
+        let body = unframe_result(&out[0].2).unwrap();
+        let parts: Vec<_> = batch::ResultPartIter::new(&body)
+            .unwrap()
+            .map(|p| p.unwrap())
+            .collect();
+        assert_eq!(parts.len(), 2);
+        for (i, expect) in [(0usize, 101u64), (1, 102)] {
+            let (seq, framed) = parts[i];
+            assert_eq!(seq, 10 + i as u64);
+            let bytes = unframe_result(framed).unwrap();
+            assert_eq!(ham::codec::decode::<u64>(&bytes).unwrap(), expect);
+        }
+    }
+
+    #[test]
+    fn malformed_batch_is_rejected_wholesale() {
+        let registry = RegistryBuilder::new().seal(0);
+        let carrier = batch::carrier_header(3, 4, 0, 0);
+        // Count claims one sub but no bytes follow.
+        let chan = QueueChannel {
+            inbox: Mutex::new(VecDeque::from(vec![(carrier, 1u32.to_le_bytes().to_vec())])),
+            outbox: Mutex::new(vec![]),
+        };
+        let mem = VecMemory::new(0);
+        assert_eq!(run_target_loop(1, &registry, &mem, &chan), 0);
+        let out = chan.outbox.lock();
+        assert_eq!(out.len(), 1);
+        assert!(unframe_result(&out[0].2).is_err(), "error frame");
+    }
+
+    #[test]
+    fn dedup_skips_resent_batches_atomically() {
+        let mut b = RegistryBuilder::new();
+        b.register::<add>();
+        let registry = b.seal(7);
+        let key = registry.key_of::<add>().unwrap();
+        let mut frame = vec![0u8; ham::wire::HEADER_BYTES + batch::COUNT_BYTES];
+        for seq in [0u64, 1] {
+            let payload = ham::codec::encode(&f2f!(add, seq, 1)).unwrap();
+            let sub = MsgHeader {
+                handler_key: key,
+                payload_len: payload.len() as u32,
+                kind: MsgKind::Offload,
+                reply_slot: 0,
+                corr: 0,
+                seq,
+            };
+            batch::append_sub(&mut frame, &sub, &payload);
+        }
+        let carrier = batch::carrier_header(1, frame.len() - ham::wire::HEADER_BYTES, 0, 0);
+        batch::patch_envelope(&mut frame, &carrier, 2);
+        let envelope = (carrier, frame[ham::wire::HEADER_BYTES..].to_vec());
+        let chan = QueueChannel {
+            inbox: Mutex::new(VecDeque::from(vec![envelope.clone(), envelope])),
+            outbox: Mutex::new(vec![]),
+        };
+        let mem = VecMemory::new(0);
+        let env = TargetEnv {
+            node: 1,
+            registry: &registry,
+            mem: &mem,
+            reverse: None,
+            meter: None,
+            dedup: true,
+        };
+        assert_eq!(run_target_loop_env(&env, &chan), 2, "duplicate skipped");
+        assert_eq!(chan.outbox.lock().len(), 1);
     }
 
     #[test]

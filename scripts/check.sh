@@ -14,8 +14,18 @@ cargo test -q
 echo "== examples build =="
 cargo build --release --examples
 
-echo "== pipelined-offloads smoke =="
+echo "== pipelined-offloads smoke (writes BENCH_pipelined.json) =="
 cargo bench -q -p aurora-bench --bench pipelined_offloads -- --smoke
+
+echo "== batching gate: depth-64 batched must beat unbatched =="
+# The bench records the depth-64 comparison in BENCH_pipelined.json and
+# already asserts the bound internally; this re-checks the artifact so a
+# stale or hand-edited file cannot pass the gate.
+grep -q '"batch_faster": true' BENCH_pipelined.json || {
+    echo "FAIL: BENCH_pipelined.json does not show batch_faster=true" >&2
+    cat BENCH_pipelined.json >&2 || true
+    exit 1
+}
 
 echo "== fault matrix (8 seeds x {veo,dma,tcp}, hang = failure) =="
 ./scripts/fault_matrix.sh

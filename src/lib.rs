@@ -43,7 +43,7 @@ pub use veos_sim as veos;
 pub mod fault_scenario;
 
 pub use aurora_sim_core::{FaultEvent, FaultKind, FaultPlan, FaultSite};
-pub use ham_offload::chan::RecoveryPolicy;
+pub use ham_offload::chan::{BatchConfig, RecoveryPolicy};
 pub use ham_offload::{BufferPtr, Future, NodeId, Offload, OffloadError};
 
 use ham_backend_dma::DmaBackend;
@@ -94,6 +94,44 @@ pub fn veo_offload(
         0,
         &targets,
         ProtocolConfig::default(),
+        registrar,
+    ))
+}
+
+/// [`dma_offload`] with small-message batching: consecutive `post()`s to
+/// a target coalesce into one wire frame, up to `max_msgs` per frame.
+/// Deep pipelines pay one DMA transaction and one flag poll per *batch*
+/// instead of per message; single-shot `sync` latency is unchanged.
+pub fn dma_offload_batched(
+    ves: u8,
+    batch: BatchConfig,
+    registrar: impl Fn(&mut ham::RegistryBuilder) + Send + Sync + 'static,
+) -> Offload {
+    let machine = default_machine(ves);
+    let targets: Vec<u8> = (0..ves.max(1).min(machine.ves().len() as u8)).collect();
+    Offload::new(DmaBackend::spawn(
+        machine,
+        0,
+        &targets,
+        ProtocolConfig::default().with_batch(batch),
+        registrar,
+    ))
+}
+
+/// [`veo_offload`] with small-message batching. See
+/// [`dma_offload_batched`].
+pub fn veo_offload_batched(
+    ves: u8,
+    batch: BatchConfig,
+    registrar: impl Fn(&mut ham::RegistryBuilder) + Send + Sync + 'static,
+) -> Offload {
+    let machine = default_machine(ves);
+    let targets: Vec<u8> = (0..ves.max(1).min(machine.ves().len() as u8)).collect();
+    Offload::new(VeoBackend::spawn(
+        machine,
+        0,
+        &targets,
+        ProtocolConfig::default().with_batch(batch),
         registrar,
     ))
 }
@@ -181,6 +219,30 @@ pub fn tcp_offload(
     registrar: impl Fn(&mut ham::RegistryBuilder) + Send + Sync + 'static,
 ) -> Offload {
     Offload::new(ham_backend_tcp::TcpBackend::spawn(targets, registrar))
+}
+
+/// [`tcp_offload`] with small-message batching. See
+/// [`dma_offload_batched`].
+pub fn tcp_offload_batched(
+    targets: u16,
+    batch: BatchConfig,
+    registrar: impl Fn(&mut ham::RegistryBuilder) + Send + Sync + 'static,
+) -> Offload {
+    Offload::new(ham_backend_tcp::TcpBackend::spawn_batched(
+        targets, batch, registrar,
+    ))
+}
+
+/// [`local_offload`] with small-message batching. See
+/// [`dma_offload_batched`].
+pub fn local_offload_batched(
+    targets: u16,
+    batch: BatchConfig,
+    registrar: impl Fn(&mut ham::RegistryBuilder) + Send + Sync + 'static,
+) -> Offload {
+    Offload::new(ham_offload::local::LocalBackend::spawn_batched(
+        targets, batch, registrar,
+    ))
 }
 
 #[cfg(test)]

@@ -166,6 +166,45 @@ fn zero_fault_plan_keeps_backends_bit_identical() {
     assert!(results.windows(2).all(|w| w[0].1 == w[1].1), "{results:?}");
 }
 
+/// Batching is a wire-level optimisation only: a pipelined workload run
+/// with message coalescing enabled must produce bit-identical results to
+/// the batching-off constructors, on every backend.
+#[test]
+fn batching_on_keeps_backends_bit_identical() {
+    use ham_aurora_repro::{
+        dma_offload_batched, local_offload_batched, tcp_offload_batched, veo_offload_batched,
+        BatchConfig,
+    };
+    let reg = aurora_workloads::register_all;
+    let seeds: Vec<u64> = (0..24).collect();
+    let run = |o: Offload| {
+        let t = NodeId(1);
+        let futures: Vec<_> = seeds
+            .iter()
+            .map(|&s| o.async_(t, f2f!(monte_carlo_pi, s, 2_000)).unwrap())
+            .collect();
+        let bits: Vec<u64> = o
+            .wait_all(futures)
+            .into_iter()
+            .map(|r| r.unwrap().to_bits())
+            .collect();
+        o.shutdown();
+        bits
+    };
+    let batch = BatchConfig::up_to(8);
+    let results: Vec<(&str, Vec<u64>)> = vec![
+        ("local", run(local_offload(1, reg))),
+        ("local+batch", run(local_offload_batched(1, batch, reg))),
+        ("tcp", run(tcp_offload(1, reg))),
+        ("tcp+batch", run(tcp_offload_batched(1, batch, reg))),
+        ("veo", run(veo_offload(1, reg))),
+        ("veo+batch", run(veo_offload_batched(1, batch, reg))),
+        ("dma", run(dma_offload(1, reg))),
+        ("dma+batch", run(dma_offload_batched(1, batch, reg))),
+    ];
+    assert!(results.windows(2).all(|w| w[0].1 == w[1].1), "{results:?}");
+}
+
 #[test]
 fn jacobi_iteration_converges_on_every_backend() {
     let (nx, ny) = (16u64, 16u64);

@@ -8,7 +8,7 @@ use ham::f2f;
 use ham::registry::HandlerKey;
 use ham::wire::{MsgHeader, MsgKind};
 use ham_aurora_repro::{dma_offload, veo_offload, NodeId, Offload};
-use ham_offload::chan::{ChannelCore, MissVerdict, RecoveryPolicy, Reserve};
+use ham_offload::chan::{ChannelCore, MissVerdict, PooledFrame, RecoveryPolicy, Reserve};
 use ham_offload::target_loop::{run_target_loop_env, unframe_result, TargetChannel, TargetEnv};
 use ham_offload::OffloadError;
 use proptest::prelude::*;
@@ -27,11 +27,8 @@ impl TargetChannel for ScriptedChannel {
     fn recv(&self) -> Option<(MsgHeader, Vec<u8>)> {
         self.inbox.lock().unwrap().pop_front()
     }
-    fn send_result(&self, reply_slot: u16, seq: u64, payload: &[u8]) {
-        self.outbox
-            .lock()
-            .unwrap()
-            .push((reply_slot, seq, payload.to_vec()));
+    fn send_result(&self, reply_slot: u16, seq: u64, payload: Vec<u8>) {
+        self.outbox.lock().unwrap().push((reply_slot, seq, payload));
     }
 }
 
@@ -139,7 +136,7 @@ proptest! {
             recv_slots: recv,
             send_slots: send,
             msg_bytes: 1 << msg_pow,
-            reverse: false,
+            ..Default::default()
         };
         let machine = AuroraMachine::small(
             1,
@@ -209,9 +206,9 @@ proptest! {
                 for seq in live.clone() {
                     match core.note_miss(seq) {
                         MissVerdict::Keep => {}
-                        MissVerdict::Retry { header, payload, attempt } => {
+                        MissVerdict::Retry { header, frame, attempt } => {
                             prop_assert_eq!(header.seq, seq);
-                            prop_assert_eq!(payload.as_slice(), b"hi".as_slice());
+                            prop_assert_eq!(&frame[ham::wire::HEADER_BYTES..], b"hi".as_slice());
                             retries.push((seq, attempt, sweep));
                         }
                         MissVerdict::TimedOut => {
@@ -239,7 +236,9 @@ proptest! {
                 corr: 0,
                 seq: res.seq,
             };
-            core.note_sent(res.seq, &header, b"hi");
+            let mut wire = header.encode().to_vec();
+            wire.extend_from_slice(b"hi");
+            core.note_sent(res.seq, &header, PooledFrame::detached(wire));
             posted_at_sweep.push((res.seq, sweep));
             live.push(res.seq);
             for _ in 0..*gap {
