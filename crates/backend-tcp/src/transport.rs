@@ -238,7 +238,13 @@ impl TcpBackend {
 
                 // Host-side result reader: deposits completions straight
                 // into the channel core, matched by sequence number.
-                let chan = Arc::new(ChannelCore::unbounded().with_batching(batch));
+                // TCP streams have no slot arrays; the explicit credit
+                // limit keeps scheduler admission bounded anyway.
+                let chan = Arc::new(
+                    ChannelCore::unbounded()
+                        .with_batching(batch)
+                        .with_credit_limit(ham_offload::chan::DEFAULT_PUSH_CREDITS),
+                );
                 let chan2 = Arc::clone(&chan);
                 let metrics2 = Arc::clone(&metrics);
                 let mut msg_rx = msg.try_clone().expect("clone msg stream");

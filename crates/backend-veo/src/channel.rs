@@ -232,8 +232,11 @@ impl VeoBackend {
                 },
                 ctx,
                 chan: {
-                    let c = ChannelCore::bounded(cfg.recv_slots, cfg.send_slots, cfg.msg_bytes)
+                    let mut c = ChannelCore::bounded(cfg.recv_slots, cfg.send_slots, cfg.msg_bytes)
                         .with_batching(cfg.batch);
+                    if cfg.credits > 0 {
+                        c = c.with_credit_limit(cfg.credits);
+                    }
                     match policy {
                         Some(p) => c.with_recovery(p),
                         None => c,

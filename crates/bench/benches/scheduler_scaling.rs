@@ -1,0 +1,157 @@
+//! Scheduler scaling: one deep wave of compute-bound offloads through a
+//! [`TargetPool`], one VE vs. four.
+//!
+//! The pool owns placement (least-loaded, credit-gated), so the
+//! application code is *identical* in both configurations — `submit`
+//! ×64 then `wait_all` — and the measured difference is purely what the
+//! scheduler extracts from the extra engines. The kernel charges a
+//! fixed amount of modeled compute per offload, so with four VEs the
+//! per-offload virtual host time should approach a 4× improvement; the
+//! gate in `scripts/check.sh` requires at least 3× at depth 64 (wire
+//! and host overheads eat the rest).
+//!
+//! Writes the depth-64 comparison to `BENCH_sched.json` at the
+//! workspace root.
+//!
+//! Run with: `cargo bench -p aurora-bench --bench scheduler_scaling`
+//! (`-- --smoke` for the small CI configuration).
+
+use aurora_workloads::kernels::compute_burn;
+use ham::f2f;
+use ham_backend_dma::{DmaBackend, ProtocolConfig};
+use ham_offload::sched::{SchedPolicy, TargetPool};
+use ham_offload::types::NodeId;
+use ham_offload::Offload;
+use veos_sim::{AuroraMachine, MachineConfig};
+
+/// Pipeline depth of the measured wave. The JSON consumers key on this.
+const DEPTH: usize = 64;
+/// Modeled compute per offload — heavy enough that engine parallelism,
+/// not transport latency, dominates the wave.
+const FLOPS: u64 = 4_000_000;
+
+fn spawn(ves: u8) -> Offload {
+    let machine = AuroraMachine::small(
+        ves,
+        MachineConfig {
+            hbm_bytes: 16 << 20,
+            vh_bytes: 32 << 20,
+            ..Default::default()
+        },
+    );
+    let targets: Vec<u8> = (0..ves).collect();
+    Offload::new(DmaBackend::spawn(
+        machine,
+        0,
+        &targets,
+        // Same per-target slot budget in both configurations: the 4-VE
+        // pool wins by having more engines, not deeper rings.
+        ProtocolConfig {
+            recv_slots: DEPTH,
+            send_slots: DEPTH,
+            ..Default::default()
+        },
+        aurora_workloads::register_all,
+    ))
+}
+
+struct Point {
+    /// Virtual host time per offload (µs) for the whole wave.
+    per_offload_us: f64,
+    /// Offloads each pool target served.
+    per_target: Vec<usize>,
+}
+
+/// One depth-`DEPTH` wave of `compute_burn` through the pool.
+fn run_wave(o: &Offload, pool: &TargetPool, ves: u8) -> Point {
+    let t0 = o.backend().host_clock().now();
+    let futures: Vec<_> = (0..DEPTH)
+        .map(|_| pool.submit(f2f!(compute_burn, FLOPS)).expect("submit"))
+        .collect();
+    let mut per_target = vec![0usize; ves as usize + 1];
+    for f in &futures {
+        per_target[f.target().0 as usize] += 1;
+    }
+    for r in pool.wait_all(futures) {
+        let node = r.expect("offload");
+        assert!((1..=ves as u16).contains(&node), "served by a pool target");
+    }
+    let elapsed = o.backend().host_clock().now() - t0;
+    Point {
+        per_offload_us: elapsed.as_us_f64() / DEPTH as f64,
+        per_target: per_target[1..].to_vec(),
+    }
+}
+
+fn measure(ves: u8, warmups: usize) -> Point {
+    let o = spawn(ves);
+    let nodes: Vec<NodeId> = (1..=ves as u16).map(NodeId).collect();
+    let pool = o.pool_with(&nodes, SchedPolicy::LeastLoaded).expect("pool");
+    for _ in 0..warmups {
+        run_wave(&o, &pool, ves);
+    }
+    let p = run_wave(&o, &pool, ves);
+    o.shutdown();
+    p
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let warmups = if smoke { 1 } else { 4 };
+
+    let single = measure(1, warmups);
+    let pooled = measure(4, warmups);
+
+    println!("## Scheduler scaling ({DEPTH}-deep compute_burn wave, DMA protocol)\n");
+    println!(
+        "{:<24} {:>14} {:>24}",
+        "configuration", "us/offload", "placement"
+    );
+    for (label, p) in [("1 VE", &single), ("4-VE LeastLoaded pool", &pooled)] {
+        println!(
+            "{:<24} {:>14.3} {:>24}",
+            label,
+            p.per_offload_us,
+            format!("{:?}", p.per_target)
+        );
+    }
+    let speedup = single.per_offload_us / pooled.per_offload_us;
+    println!("\n4-VE pool speedup over a single target: {speedup:.2}x");
+
+    // Least-loaded placement over idle engines, all submits ahead of any
+    // wait: a perfectly even spread, deterministically.
+    assert_eq!(
+        pooled.per_target,
+        vec![DEPTH / 4; 4],
+        "placement must spread the wave evenly"
+    );
+
+    let pool_faster_3x = speedup >= 3.0;
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"scheduler_scaling\",\n",
+            "  \"protocol\": \"dma\",\n",
+            "  \"policy\": \"least_loaded\",\n",
+            "  \"depth\": {},\n",
+            "  \"flops_per_offload\": {},\n",
+            "  \"us_per_offload_1ve\": {:.3},\n",
+            "  \"us_per_offload_pool4\": {:.3},\n",
+            "  \"pool4_speedup\": {:.3},\n",
+            "  \"pool_faster_3x\": {}\n",
+            "}}\n"
+        ),
+        DEPTH, FLOPS, single.per_offload_us, pooled.per_offload_us, speedup, pool_faster_3x
+    );
+    // CWD differs between `cargo bench` and a direct target/ invocation;
+    // anchor the artifact at the workspace root via the manifest dir.
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sched.json");
+    std::fs::write(path, &json).expect("write BENCH_sched.json");
+    println!("\nwrote BENCH_sched.json:\n{json}");
+
+    assert!(
+        pool_faster_3x,
+        "4-target pool must be >=3x a single target at depth {DEPTH}: {speedup:.2}x"
+    );
+    println!("ok");
+}

@@ -95,6 +95,26 @@ pub fn append_sub(frame: &mut Vec<u8>, header: &MsgHeader, payload: &[u8]) {
     frame.extend_from_slice(payload);
 }
 
+/// Split a little-endian `u32` off the front of wire bytes — fully
+/// bounds-checked: hostile or truncated frames must surface decode
+/// errors, never panic the host or target loop.
+fn read_u32(bytes: &[u8]) -> Option<(u32, &[u8])> {
+    let head = bytes.get(..4)?;
+    let rest = bytes.get(4..)?;
+    let mut arr = [0u8; 4];
+    arr.copy_from_slice(head);
+    Some((u32::from_le_bytes(arr), rest))
+}
+
+/// [`read_u32`] for a little-endian `u64`.
+fn read_u64(bytes: &[u8]) -> Option<(u64, &[u8])> {
+    let head = bytes.get(..8)?;
+    let rest = bytes.get(8..)?;
+    let mut arr = [0u8; 8];
+    arr.copy_from_slice(head);
+    Some((u64::from_le_bytes(arr), rest))
+}
+
 /// Patch the carrier header and count into a finished envelope frame
 /// (laid out as 32 zero bytes ‖ 4 zero bytes ‖ subs by the stager).
 pub fn patch_envelope(frame: &mut [u8], carrier: &MsgHeader, count: u32) {
@@ -114,12 +134,11 @@ pub struct BatchIter<'a> {
 impl<'a> BatchIter<'a> {
     /// Parse the count prefix; `payload` is the carrier's payload.
     pub fn new(payload: &'a [u8]) -> Result<Self, String> {
-        if payload.len() < COUNT_BYTES {
+        let Some((count, rest)) = read_u32(payload) else {
             return Err("batch payload shorter than its count field".into());
-        }
-        let count = u32::from_le_bytes(payload[..COUNT_BYTES].try_into().unwrap());
+        };
         Ok(Self {
-            rest: &payload[COUNT_BYTES..],
+            rest,
             remaining: count,
             poisoned: false,
         })
@@ -147,13 +166,15 @@ impl<'a> Iterator for BatchIter<'a> {
                 return Some(Err(format!("malformed batch sub-header: {e}")));
             }
         };
-        let end = HEADER_BYTES + header.payload_len as usize;
-        if self.rest.len() < end {
+        // payload_len is wire-controlled: checked add + checked slicing,
+        // or the frame is rejected.
+        let end = HEADER_BYTES.checked_add(header.payload_len as usize);
+        let split = end.and_then(|e| Some((self.rest.get(HEADER_BYTES..e)?, self.rest.get(e..)?)));
+        let Some((payload, rest)) = split else {
             self.poisoned = true;
             return Some(Err("batch sub-payload truncated".into()));
-        }
-        let payload = &self.rest[HEADER_BYTES..end];
-        self.rest = &self.rest[end..];
+        };
+        self.rest = rest;
         Some(Ok((header, payload)))
     }
 }
@@ -182,12 +203,11 @@ pub struct ResultPartIter<'a> {
 impl<'a> ResultPartIter<'a> {
     /// Parse the count prefix of a result body.
     pub fn new(body: &'a [u8]) -> Result<Self, String> {
-        if body.len() < COUNT_BYTES {
+        let Some((count, rest)) = read_u32(body) else {
             return Err("batch result shorter than its count field".into());
-        }
-        let count = u32::from_le_bytes(body[..COUNT_BYTES].try_into().unwrap());
+        };
         Ok(Self {
-            rest: &body[COUNT_BYTES..],
+            rest,
             remaining: count,
             poisoned: false,
         })
@@ -202,18 +222,18 @@ impl<'a> Iterator for ResultPartIter<'a> {
             return None;
         }
         self.remaining -= 1;
-        if self.rest.len() < 12 {
+        let Some((seq, (len, after_len))) =
+            read_u64(self.rest).and_then(|(seq, r)| Some((seq, read_u32(r)?)))
+        else {
             self.poisoned = true;
             return Some(Err("batch result part truncated".into()));
-        }
-        let seq = u64::from_le_bytes(self.rest[..8].try_into().unwrap());
-        let len = u32::from_le_bytes(self.rest[8..12].try_into().unwrap()) as usize;
-        if self.rest.len() < 12 + len {
+        };
+        let len = len as usize;
+        let (Some(part), Some(rest)) = (after_len.get(..len), after_len.get(len..)) else {
             self.poisoned = true;
             return Some(Err("batch result bytes truncated".into()));
-        }
-        let part = &self.rest[12..12 + len];
-        self.rest = &self.rest[12 + len..];
+        };
+        self.rest = rest;
         Some(Ok((seq, part)))
     }
 }
@@ -298,6 +318,44 @@ mod tests {
         body.extend_from_slice(&7u64.to_le_bytes());
         body.extend_from_slice(&100u32.to_le_bytes()); // claims 100 bytes
         let mut it = ResultPartIter::new(&body).unwrap();
+        assert!(it.next().unwrap().is_err());
+    }
+
+    #[test]
+    fn hostile_frames_error_instead_of_panicking() {
+        // Sub-header lies about its payload length.
+        let mut frame = vec![0u8; HEADER_BYTES + COUNT_BYTES];
+        let lying = MsgHeader {
+            payload_len: 1_000_000,
+            ..sub(0, b"aa")
+        };
+        frame.extend_from_slice(&lying.encode());
+        frame.extend_from_slice(b"aa");
+        let carrier = carrier_header(0, frame.len() - HEADER_BYTES, 0, 7);
+        patch_envelope(&mut frame, &carrier, 1);
+        let mut it = BatchIter::new(&frame[HEADER_BYTES..]).unwrap();
+        assert!(it.next().unwrap().is_err());
+        assert!(it.next().is_none());
+        // Count field claims more messages than bytes provide.
+        let mut short = vec![0u8; HEADER_BYTES + COUNT_BYTES];
+        append_sub(&mut short, &sub(0, b"aa"), b"aa");
+        let short_carrier = carrier_header(0, short.len() - HEADER_BYTES, 0, 7);
+        patch_envelope(&mut short, &short_carrier, 9);
+        let results: Vec<_> = BatchIter::new(&short[HEADER_BYTES..]).unwrap().collect();
+        assert_eq!(results.len(), 2, "one good sub, then the error");
+        assert!(results[0].is_ok() && results[1].is_err());
+        // Result part whose u32 length would overflow the slice math.
+        let mut body = Vec::new();
+        begin_result(&mut body, 1);
+        body.extend_from_slice(&3u64.to_le_bytes());
+        body.extend_from_slice(&u32::MAX.to_le_bytes());
+        let mut it = ResultPartIter::new(&body).unwrap();
+        assert!(it.next().unwrap().is_err());
+        assert!(it.next().is_none(), "poisoned after the error");
+        // Pure garbage shorter than any field.
+        assert!(BatchIter::new(&[7]).is_err());
+        assert!(ResultPartIter::new(&[]).is_err());
+        let mut it = ResultPartIter::new(&[1, 0, 0, 0, 5]).unwrap();
         assert!(it.next().unwrap().is_err());
     }
 

@@ -19,6 +19,11 @@ pub struct ProtocolConfig {
     /// Small-message batching watermarks (disabled by default, which
     /// keeps the wire traffic byte-identical to the unbatched protocol).
     pub batch: super::batch::BatchConfig,
+    /// Scheduler admission limit per target (in-flight messages a
+    /// [`crate::sched::TargetPool`] tolerates before placing elsewhere).
+    /// `0` (the default) derives it from the slot rings — see
+    /// [`super::ChannelCore::credit_limit`].
+    pub credits: usize,
 }
 
 impl Default for ProtocolConfig {
@@ -29,6 +34,7 @@ impl Default for ProtocolConfig {
             msg_bytes: 4096,
             reverse: false,
             batch: super::batch::BatchConfig::default(),
+            credits: 0,
         }
     }
 }

@@ -11,8 +11,13 @@ use aurora_sim_core::SimTime;
 use ham::registry::HandlerKey;
 use ham::wire::{MsgHeader, MsgKind, HEADER_BYTES};
 use parking_lot::Mutex;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
+
+/// Default credit limit of channels whose slot rings are unbounded
+/// (push transports: in-process channels, TCP streams). Bounded
+/// channels derive their limit from the slot arrays instead.
+pub const DEFAULT_PUSH_CREDITS: usize = 64;
 
 /// A claimed pair of slots plus the sequence number minted for them —
 /// what a backend needs to address its transport writes.
@@ -131,6 +136,11 @@ struct ChanState {
     batches: HashMap<u64, Vec<u64>>,
     /// Recycled member-seq vectors (keeps settling allocation-free).
     seq_pool: Vec<Vec<u64>>,
+    /// Seqs failed *before their frame reached the transport* (staged
+    /// messages at eviction, members of an envelope whose send failed).
+    /// The scheduler distinguishes these — safe to resubmit elsewhere —
+    /// from offloads the target may already have executed.
+    unsent: HashSet<u64>,
 }
 
 /// The host-side state of one target's channel: slot rings, the
@@ -166,6 +176,9 @@ pub struct ChannelCore {
     max_msg_bytes: usize,
     pool: Arc<FramePool>,
     batch: BatchConfig,
+    /// Scheduler admission limit override ([`Self::with_credit_limit`]);
+    /// `None` derives the limit from the slot rings.
+    credits: Option<usize>,
 }
 
 impl ChannelCore {
@@ -182,6 +195,7 @@ impl ChannelCore {
             accum: BatchAccum::new(),
             batches: HashMap::new(),
             seq_pool: Vec::new(),
+            unsent: HashSet::new(),
         }
     }
 
@@ -197,6 +211,7 @@ impl ChannelCore {
             max_msg_bytes,
             pool: FramePool::new(),
             batch: BatchConfig::default(),
+            credits: None,
         }
     }
 
@@ -212,6 +227,7 @@ impl ChannelCore {
             max_msg_bytes: usize::MAX,
             pool: FramePool::new(),
             batch: BatchConfig::default(),
+            credits: None,
         }
     }
 
@@ -251,6 +267,37 @@ impl ChannelCore {
     /// Largest payload the transport's slots can carry.
     pub fn max_msg_bytes(&self) -> usize {
         self.max_msg_bytes
+    }
+
+    /// Override the scheduler's per-target credit limit (builder
+    /// style). Without it, bounded channels allow as many in-flight
+    /// *messages* as their slot rings can carry frames (times the batch
+    /// watermark when batching is on) and unbounded channels default to
+    /// [`DEFAULT_PUSH_CREDITS`].
+    pub fn with_credit_limit(mut self, credits: usize) -> Self {
+        self.credits = Some(credits.max(1));
+        self
+    }
+
+    /// The scheduler's admission limit for this channel: how many
+    /// in-flight messages ([`Self::in_flight`]) a target pool tolerates
+    /// before [`crate::sched::TargetPool::submit`] stops placing work
+    /// here. Derived from the slot rings unless overridden.
+    pub fn credit_limit(&self) -> usize {
+        if let Some(c) = self.credits {
+            return c;
+        }
+        let st = self.state.lock();
+        let base = match (st.recv.capacity(), st.send.capacity()) {
+            (Some(r), Some(s)) => r.min(s),
+            _ => DEFAULT_PUSH_CREDITS,
+        };
+        base * self.batch.max_msgs.max(1)
+    }
+
+    /// Whether the scheduler may place another message here right now.
+    pub fn has_credit(&self) -> bool {
+        self.in_flight() < self.credit_limit()
     }
 
     /// Claim a slot pair and mint a sequence number. Control frames
@@ -422,6 +469,9 @@ impl ChannelCore {
         }
         if let Some(members) = st.batches.remove(&carrier) {
             for m in &members {
+                // The envelope never made it onto the transport, so no
+                // member can have executed — eligible for resubmission.
+                st.unsent.insert(*m);
                 st.completed.push(*m, Err(err.clone()));
             }
             Self::recycle_seqs(&mut st, members);
@@ -583,9 +633,11 @@ impl ChannelCore {
                 self.settle_locked(&mut st, seq, Err(err.clone()));
             }
         }
-        // Staged messages never reached the wire; fail them too.
+        // Staged messages never reached the wire; fail them too —
+        // marked unsent so a scheduler may resubmit them elsewhere.
         let staged = core::mem::take(&mut st.accum.seqs);
         for m in &staged {
+            st.unsent.insert(*m);
             st.completed.push(*m, Err(err.clone()));
             failed += 1;
         }
@@ -602,6 +654,20 @@ impl ChannelCore {
     /// Snapshot of all in-flight offloads, ordered by seq.
     pub fn pending_snapshot(&self) -> Vec<(u64, PendingEntry)> {
         self.state.lock().pending.snapshot()
+    }
+
+    /// [`Self::pending_snapshot`] into a caller-provided scratch vector
+    /// — the allocation-free variant the engine's sweep loop uses.
+    pub fn pending_into(&self, out: &mut Vec<(u64, PendingEntry)>) {
+        self.state.lock().pending.snapshot_into(out);
+    }
+
+    /// Claim (and clear) the unsent marker for a failed seq. `true`
+    /// means the offload's frame never reached the transport — the
+    /// target cannot have executed it, so a scheduler may safely
+    /// resubmit it to a survivor. One-shot, like completions.
+    pub fn take_unsent(&self, seq: u64) -> bool {
+        self.state.lock().unsent.remove(&seq)
     }
 
     /// Number of in-flight *messages*: pending frames count their batch
@@ -1005,6 +1071,77 @@ mod tests {
             Some(Err(OffloadError::Backend(_)))
         ));
         assert!(c.take_completed(2).unwrap().is_ok());
+    }
+
+    // --- credits ----------------------------------------------------------
+
+    #[test]
+    fn credit_limit_derives_from_rings_and_batching() {
+        // Bounded: min(recv, send) frames, one message each.
+        assert_eq!(ChannelCore::bounded(8, 8, 4096).credit_limit(), 8);
+        assert_eq!(ChannelCore::bounded(4, 8, 4096).credit_limit(), 4);
+        // Batching multiplies: each frame can carry max_msgs messages.
+        assert_eq!(batched(8, 8, 8).credit_limit(), 64);
+        // Unbounded rings fall back to the push-transport default.
+        assert_eq!(
+            ChannelCore::unbounded().credit_limit(),
+            DEFAULT_PUSH_CREDITS
+        );
+        // Explicit override wins, floored at 1.
+        assert_eq!(
+            ChannelCore::unbounded().with_credit_limit(3).credit_limit(),
+            3
+        );
+        assert_eq!(
+            ChannelCore::bounded(8, 8, 4096)
+                .with_credit_limit(0)
+                .credit_limit(),
+            1
+        );
+    }
+
+    #[test]
+    fn has_credit_tracks_in_flight() {
+        let c = ChannelCore::bounded(1, 1, 4096);
+        assert!(c.has_credit());
+        let Reserve::Reserved(r) = reserve(&c) else {
+            panic!("reserve failed");
+        };
+        assert!(!c.has_credit(), "one slot, one in flight");
+        c.deposit(r.seq, vec![]);
+        assert!(c.has_credit(), "completion returns the credit");
+    }
+
+    #[test]
+    fn evicted_staged_members_are_unsent_but_wire_members_are_not() {
+        use crate::types::NodeId;
+        let c = batched(2, 2, 2);
+        // Seqs 0-1 flush onto the wire; seq 2 stays staged.
+        for _ in 0..2 {
+            assert!(matches!(stage_one(&c, b"a"), Stage::Staged { .. }));
+        }
+        let FlushPrep::Ready(_f) = c.take_flush() else {
+            panic!("flush refused");
+        };
+        assert!(matches!(stage_one(&c, b"b"), Stage::Staged { .. }));
+        c.evict(OffloadError::TargetLost(NodeId(1)));
+        assert!(!c.take_unsent(0), "reached the wire: may have executed");
+        assert!(!c.take_unsent(1), "reached the wire: may have executed");
+        assert!(c.take_unsent(2), "staged only: safe to resubmit");
+        assert!(!c.take_unsent(2), "unsent markers are one-shot");
+    }
+
+    #[test]
+    fn failed_batch_members_are_unsent() {
+        let c = batched(1, 1, 4);
+        for _ in 0..2 {
+            assert!(matches!(stage_one(&c, b"a"), Stage::Staged { .. }));
+        }
+        let FlushPrep::Ready(f) = c.take_flush() else {
+            panic!("flush refused");
+        };
+        c.fail_batch(f.res.seq, OffloadError::Backend("send failed".into()));
+        assert!(c.take_unsent(0) && c.take_unsent(1));
     }
 
     /// One step of the model interleaving, decoded from a `(kind, i)`

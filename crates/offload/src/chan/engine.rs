@@ -10,6 +10,7 @@
 
 use super::backoff::Backoff;
 use super::core::{ChannelCore, FlushPrep, Reservation, Reserve, Stage};
+use super::pending::PendingEntry;
 use super::pool::PooledFrame;
 use super::recovery::MissVerdict;
 use crate::backend::CommBackend;
@@ -200,9 +201,30 @@ pub fn drain<B: CommBackend + ?Sized>(backend: &B, target: NodeId) -> Result<usi
 /// likewise evicts the whole target (`chan.evict` span): every
 /// in-flight offload fails with the error and future posts are refused.
 pub fn sweep<B: CommBackend + ?Sized>(backend: &B, target: NodeId) -> Result<usize, OffloadError> {
+    use core::cell::RefCell;
+    thread_local! {
+        /// Snapshot scratch, reused across sweeps: blocking waits call
+        /// this every backoff round and must not allocate per round.
+        static SWEEP_SCRATCH: RefCell<Vec<(u64, PendingEntry)>> =
+            const { RefCell::new(Vec::new()) };
+    }
+    SWEEP_SCRATCH.with(|cell| match cell.try_borrow_mut() {
+        Ok(mut scratch) => sweep_with(backend, target, &mut scratch),
+        // Re-entrant sweep (a poll_flags/fetch_frame hook sweeping the
+        // same thread) falls back to a fresh vector.
+        Err(_) => sweep_with(backend, target, &mut Vec::new()),
+    })
+}
+
+fn sweep_with<B: CommBackend + ?Sized>(
+    backend: &B,
+    target: NodeId,
+    scratch: &mut Vec<(u64, PendingEntry)>,
+) -> Result<usize, OffloadError> {
     let chan = backend.channel(target)?;
     let mut completed = 0;
-    for (seq, entry) in chan.pending_snapshot() {
+    chan.pending_into(scratch);
+    for &(seq, entry) in scratch.iter() {
         let ready = backend.poll_flags(target, seq, &entry);
         match ready {
             Ok(None) => match chan.note_miss(seq) {

@@ -46,7 +46,9 @@ pub mod queue;
 pub mod recovery;
 pub mod ring;
 
-pub use self::core::{ChannelCore, FlushFrame, FlushPrep, Reservation, Reserve, Stage};
+pub use self::core::{
+    ChannelCore, FlushFrame, FlushPrep, Reservation, Reserve, Stage, DEFAULT_PUSH_CREDITS,
+};
 pub use backoff::Backoff;
 pub use batch::BatchConfig;
 pub use config::{ProtocolConfig, SLOT_META};

@@ -45,9 +45,18 @@ impl PendingTable {
     /// All in-flight offloads, ordered by sequence number so flag
     /// sweeps visit slots deterministically.
     pub fn snapshot(&self) -> Vec<(u64, PendingEntry)> {
-        let mut v: Vec<_> = self.entries.iter().map(|(s, e)| (*s, *e)).collect();
-        v.sort_unstable_by_key(|(s, _)| *s);
+        let mut v = Vec::new();
+        self.snapshot_into(&mut v);
         v
+    }
+
+    /// [`Self::snapshot`] into a caller-provided scratch vector (cleared
+    /// first, capacity reused) — the engine's flag sweep runs every
+    /// blocking-wait round and must not allocate per round.
+    pub fn snapshot_into(&self, out: &mut Vec<(u64, PendingEntry)>) {
+        out.clear();
+        out.extend(self.entries.iter().map(|(s, e)| (*s, *e)));
+        out.sort_unstable_by_key(|(s, _)| *s);
     }
 
     /// Number of in-flight offloads.

@@ -112,6 +112,15 @@ impl SlotRing {
         }
     }
 
+    /// Number of slots in the array, or `None` for unbounded rings.
+    /// The scheduler derives per-target credit limits from this.
+    pub fn capacity(&self) -> Option<usize> {
+        match &self.mode {
+            Mode::RoundRobin { busy, .. } | Mode::FirstFree { busy } => Some(busy.len()),
+            Mode::Unbounded => None,
+        }
+    }
+
     /// Number of slots currently held (0 for unbounded rings).
     pub fn in_use(&self) -> usize {
         match &self.mode {

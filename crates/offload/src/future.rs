@@ -104,7 +104,7 @@ impl<T> Future<T> {
                         false
                     }
                     Ok(Some(frame)) => {
-                        Self::complete(backend, self.posted_at);
+                        Self::complete(backend, self.target, self.posted_at);
                         // Decode straight out of the pooled result frame;
                         // dropping it returns the buffer to the channel.
                         let decoded = match crate::target_loop::unframe_result_ref(&frame) {
@@ -115,7 +115,7 @@ impl<T> Future<T> {
                         true
                     }
                     Err(e) => {
-                        Self::complete(backend, self.posted_at);
+                        Self::complete(backend, self.target, self.posted_at);
                         self.state = State::Ready(Err(e));
                         true
                     }
@@ -145,12 +145,16 @@ impl<T> Future<T> {
         }
     }
 
-    /// The hit poll: count it, close the latency register. Errors also
-    /// complete the offload — otherwise the inflight gauge would leak.
-    fn complete(backend: &Arc<dyn CommBackend>, posted_at: SimTime) {
+    /// The hit poll: count it, close the latency register (attributed
+    /// to `target` so the scheduler's per-node EWMA stays fed). Errors
+    /// also complete the offload — otherwise the inflight gauge would
+    /// leak.
+    fn complete(backend: &Arc<dyn CommBackend>, target: NodeId, posted_at: SimTime) {
         backend.metrics().on_poll(true);
         let now = backend.host_clock().now();
-        backend.metrics().on_complete(now.saturating_sub(posted_at));
+        backend
+            .metrics()
+            .on_complete_on(target.0, now.saturating_sub(posted_at));
     }
 
     /// Still waiting on the transport?
@@ -180,7 +184,7 @@ impl<T> Future<T> {
         match chan.take_completed(self.slot.0) {
             None => false,
             Some(done) => {
-                Self::complete(backend, self.posted_at);
+                Self::complete(backend, self.target, self.posted_at);
                 let decoded = match done {
                     Ok(frame) => match crate::target_loop::unframe_result_ref(&frame) {
                         Ok(bytes) => (self.decode)(bytes).map_err(OffloadError::from),
@@ -218,6 +222,12 @@ impl<T> Future<T> {
     /// The target this offload ran on.
     pub fn target(&self) -> NodeId {
         self.target
+    }
+
+    /// Channel sequence number of the offload (the scheduler matches it
+    /// against the channel's unsent markers on failure).
+    pub(crate) fn seq(&self) -> u64 {
+        self.slot.0
     }
 
     /// Telemetry correlation id of this offload (0 for ready futures).

@@ -40,6 +40,7 @@ pub mod future;
 pub mod local;
 pub mod runtime;
 pub mod scalar;
+pub mod sched;
 pub mod target_loop;
 pub mod types;
 
@@ -49,6 +50,7 @@ pub use chan::{ChannelCore, ProtocolConfig, SLOT_META};
 pub use future::Future;
 pub use runtime::Offload;
 pub use scalar::Scalar;
+pub use sched::{PoolFuture, SchedPolicy, TargetPool};
 pub use types::{DeviceType, NodeDescriptor, NodeId};
 
 use ham::HamError;

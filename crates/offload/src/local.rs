@@ -104,7 +104,13 @@ impl LocalBackend {
         let targets = (1..=n)
             .map(|node| {
                 let (tx, rx) = unbounded();
-                let chan = Arc::new(ChannelCore::unbounded().with_batching(batch));
+                // In-process channels have no slot arrays; the explicit
+                // credit limit keeps scheduler admission bounded anyway.
+                let chan = Arc::new(
+                    ChannelCore::unbounded()
+                        .with_batching(batch)
+                        .with_credit_limit(crate::chan::DEFAULT_PUSH_CREDITS),
+                );
                 let mem = Arc::new(VecMemory::new(mem_bytes as usize));
                 // Each target is its own "binary": same registrar,
                 // different seed → different local handler addresses.

@@ -8,10 +8,11 @@ use crate::scalar::Scalar;
 use crate::types::{NodeDescriptor, NodeId};
 use crate::OffloadError;
 use aurora_sim_core::{calib, trace, MetricsSnapshot};
+use ham::registry::HandlerKey;
 use ham::{ActiveMessage, HamError};
 use std::sync::Arc;
 
-fn decode_output<M: ActiveMessage>(bytes: &[u8]) -> Result<M::Output, HamError> {
+pub(crate) fn decode_output<M: ActiveMessage>(bytes: &[u8]) -> Result<M::Output, HamError> {
     ham::codec::decode(bytes)
 }
 
@@ -50,7 +51,7 @@ impl Offload {
         self.backend.descriptor(n)
     }
 
-    fn check_target(&self, n: NodeId) -> Result<(), OffloadError> {
+    pub(crate) fn check_target(&self, n: NodeId) -> Result<(), OffloadError> {
         if n.is_host() || n.0 > self.backend.num_targets() {
             return Err(OffloadError::BadNode(n));
         }
@@ -93,6 +94,36 @@ impl Offload {
             target,
             SlotId(seq),
             decode_output::<M>,
+            id,
+            self.backend.host_clock().now(),
+        ))
+    }
+
+    /// Post an *already-encoded* message — the scheduler's resubmission
+    /// path: a pool keeps the encoded payload so a staged offload lost
+    /// to an eviction can be replayed on a survivor without re-encoding
+    /// (or still owning) the original functor value.
+    pub(crate) fn submit_raw<T>(
+        &self,
+        target: NodeId,
+        key: HandlerKey,
+        payload: &[u8],
+        decode: fn(&[u8]) -> Result<T, HamError>,
+    ) -> Result<Future<T>, OffloadError> {
+        self.check_target(target)?;
+        let id = trace::next_offload_id();
+        let _of = trace::offload_scope(id);
+        let _node = trace::node_scope(NodeId::HOST.0);
+        let t0 = self.backend.host_clock().now();
+        let t1 = self.backend.host_clock().advance(calib::HAM_HOST_OVERHEAD);
+        trace::record("ham.host_overhead", 0, t0, t1);
+        let seq = engine::post(self.backend.as_ref(), target, key, payload)?;
+        self.backend.metrics().on_post(payload.len() as u64);
+        Ok(Future::new(
+            Arc::clone(&self.backend),
+            target,
+            SlotId(seq),
+            decode,
             id,
             self.backend.host_clock().now(),
         ))
@@ -158,6 +189,20 @@ impl Offload {
     /// in flight.
     pub fn wait_all<T>(&self, futures: Vec<Future<T>>) -> Vec<Result<T, OffloadError>> {
         let mut futures = futures;
+        let mut out = Vec::with_capacity(futures.len());
+        self.wait_all_into(&mut futures, &mut out);
+        out
+    }
+
+    /// [`Offload::wait_all`] into caller-provided vectors: `futures` is
+    /// drained, results are pushed onto `out` in order. Reusing both
+    /// across iterations keeps a warm post→wait loop allocation-free
+    /// end to end (see `tests/alloc_steady_state.rs`).
+    pub fn wait_all_into<T>(
+        &self,
+        futures: &mut Vec<Future<T>>,
+        out: &mut Vec<Result<T, OffloadError>>,
+    ) {
         let mut backoff = crate::chan::Backoff::new();
         loop {
             let mut pending = false;
@@ -169,24 +214,45 @@ impl Offload {
             if !pending {
                 break;
             }
-            self.sweep(&futures);
+            self.sweep(futures);
             backoff.snooze();
         }
         // Everything is settled; get() only decodes/claims.
-        futures.into_iter().map(Future::get).collect()
+        out.extend(futures.drain(..).map(Future::get));
     }
 
     /// One drain of every distinct channel the pending futures wait on.
+    /// Dedup is by prefix scan — quadratic in *distinct channels* (a
+    /// handful), but allocation-free: this runs every backoff round of
+    /// the blocking waits.
     fn sweep<T>(&self, futures: &[Future<T>]) {
-        let mut seen: Vec<(usize, NodeId)> = Vec::new();
-        for f in futures {
-            if let Some(key) = f.channel_key() {
-                if !seen.contains(&key) {
-                    seen.push(key);
-                    f.drain_channel();
-                }
+        for (i, f) in futures.iter().enumerate() {
+            let Some(key) = f.channel_key() else { continue };
+            let dup = futures[..i].iter().any(|g| g.channel_key() == Some(key));
+            if !dup {
+                f.drain_channel();
             }
         }
+    }
+
+    // --- scheduling -------------------------------------------------------
+
+    /// A load-aware multi-target pool over `targets` with the default
+    /// [`crate::sched::SchedPolicy::LeastLoaded`] policy: `submit`
+    /// places each offload on the healthy target with the most spare
+    /// credits, blocks when every target is at its credit limit, and
+    /// fails staged work over to survivors when a target is evicted.
+    pub fn pool(&self, targets: &[NodeId]) -> Result<crate::sched::TargetPool, OffloadError> {
+        self.pool_with(targets, crate::sched::SchedPolicy::default())
+    }
+
+    /// [`Offload::pool`] with an explicit placement policy.
+    pub fn pool_with(
+        &self,
+        targets: &[NodeId],
+        policy: crate::sched::SchedPolicy,
+    ) -> Result<crate::sched::TargetPool, OffloadError> {
+        crate::sched::TargetPool::new(self.clone(), targets, policy)
     }
 
     // --- explicit buffer management (Table II) ---------------------------

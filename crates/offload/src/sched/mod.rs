@@ -1,0 +1,39 @@
+//! Load-aware multi-target scheduling with credit-based backpressure.
+//!
+//! The paper's FETI case study (Sec. V) hand-rolls target selection on
+//! top of `wait_any`; serving many VEs for real needs placement to be a
+//! runtime concern. A [`TargetPool`] wraps a set of healthy targets and
+//! places each [`TargetPool::submit`] by policy:
+//!
+//! * [`SchedPolicy::LeastLoaded`] (default) — the target with the
+//!   fewest in-flight messages wins; ties break to the lowest node id,
+//!   so placement is a pure function of observable channel state and
+//!   deterministic under the fault harness's fixed seeds.
+//! * [`SchedPolicy::RoundRobin`] — strict rotation over the healthy
+//!   set, skipping targets that are out of credits.
+//! * [`SchedPolicy::WeightedByLatency`] — minimises expected queue
+//!   delay `(in_flight + 1) · EWMA(latency)` using the per-node
+//!   completion-latency estimate [`aurora_sim_core::BackendMetrics`]
+//!   keeps.
+//!
+//! **Credits.** Every channel exposes a credit limit derived from its
+//! slot rings ([`crate::chan::ChannelCore::credit_limit`]): the number
+//! of messages the transport can usefully hold in flight. `submit`
+//! blocks (flushing staged batches, then backing off via
+//! [`crate::chan::Backoff`]) while every healthy target is at its
+//! limit — admission control rather than unbounded queueing.
+//!
+//! **Failover.** A target evicted by the recovery policy (or killed by
+//! fault injection) is drained from the pool. Offloads whose frames
+//! never reached the transport — staged batch members, envelopes whose
+//! send failed — are marked *unsent* by the channel core and are
+//! resubmitted to a survivor transparently. Offloads the lost target
+//! may already have executed surface their original
+//! [`crate::OffloadError`] unchanged: the scheduler must not silently
+//! re-execute work with visible side effects.
+
+mod policy;
+mod pool;
+
+pub use policy::SchedPolicy;
+pub use pool::{PoolFuture, TargetPool};

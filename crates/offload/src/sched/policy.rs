@@ -1,0 +1,21 @@
+//! Placement policies for [`super::TargetPool`].
+
+/// How a pool picks the target for the next submission. All policies
+/// consume only observable channel state (in-flight counts, credit
+/// limits, latency EWMAs) and break ties to the lowest node id, so
+/// placement is deterministic for a deterministic workload.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum SchedPolicy {
+    /// Fewest in-flight messages wins (the default).
+    #[default]
+    LeastLoaded,
+    /// Strict rotation over the healthy targets, skipping any that are
+    /// out of credits.
+    RoundRobin,
+    /// Minimise expected queue delay: `(in_flight + 1) · EWMA(latency)`
+    /// per target, fed from the backend's per-node completion-latency
+    /// estimate. Targets with no completions yet score as if their
+    /// latency were the pool-wide minimum, so cold targets are tried
+    /// early rather than starved.
+    WeightedByLatency,
+}

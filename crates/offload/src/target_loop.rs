@@ -441,6 +441,34 @@ mod tests {
     }
 
     #[test]
+    fn loop_survives_malformed_batch_and_keeps_serving() {
+        let mut b = RegistryBuilder::new();
+        b.register::<add>();
+        let registry = b.seal(7);
+        let key = registry.key_of::<add>().unwrap();
+        // A lying envelope (count = 2, one truncated sub) followed by a
+        // well-formed plain offload: the loop must answer the first with
+        // an error frame and still serve the second.
+        let mut hostile = 2u32.to_le_bytes().to_vec();
+        hostile.extend_from_slice(&[0xAB; 7]);
+        let payload = ham::codec::encode(&f2f!(add, 40, 2)).unwrap();
+        let chan = QueueChannel {
+            inbox: Mutex::new(VecDeque::from(vec![
+                (batch::carrier_header(5, hostile.len(), 1, 0), hostile),
+                (header(MsgKind::Offload, key, payload.len(), 2, 6), payload),
+            ])),
+            outbox: Mutex::new(vec![]),
+        };
+        let mem = VecMemory::new(0);
+        assert_eq!(run_target_loop(1, &registry, &mem, &chan), 1);
+        let out = chan.outbox.lock();
+        assert_eq!(out.len(), 2);
+        assert!(unframe_result(&out[0].2).is_err(), "hostile batch errors");
+        let bytes = unframe_result(&out[1].2).unwrap();
+        assert_eq!(ham::codec::decode::<u64>(&bytes).unwrap(), 42);
+    }
+
+    #[test]
     fn dedup_skips_resent_batches_atomically() {
         let mut b = RegistryBuilder::new();
         b.register::<add>();

@@ -41,9 +41,16 @@ pub struct BackendMetrics {
     batch_occupancy: Mutex<OnlineStats>,
     latency: Mutex<OnlineStats>,
     latency_hist: Mutex<Histogram>,
+    /// Per-target EWMA of completion latency (ns) — feeds the
+    /// scheduler's `WeightedByLatency` policy.
+    node_latency: Mutex<HashMap<u16, f64>>,
     /// `(node, addr) → bytes`, to credit frees against the live gauge.
     allocations: Mutex<HashMap<(u16, u64), u64>>,
 }
+
+/// Smoothing factor of the per-node latency EWMA: each completion moves
+/// the estimate 20% toward the new sample.
+const LATENCY_EWMA_ALPHA: f64 = 0.2;
 
 impl Default for BackendMetrics {
     fn default() -> Self {
@@ -76,6 +83,7 @@ impl BackendMetrics {
             batch_occupancy: Mutex::new(OnlineStats::new()),
             latency: Mutex::new(OnlineStats::new()),
             latency_hist: Mutex::new(Histogram::new()),
+            node_latency: Mutex::new(HashMap::new()),
             allocations: Mutex::new(HashMap::new()),
         }
     }
@@ -132,6 +140,24 @@ impl BackendMetrics {
         self.latency_hist.lock().record(latency);
     }
 
+    /// [`Self::on_complete`] attributed to the target `node` that served
+    /// the offload — also updates the per-node latency EWMA the
+    /// scheduler's latency-weighted policy reads.
+    pub fn on_complete_on(&self, node: u16, latency: SimTime) {
+        self.on_complete(latency);
+        let sample = latency.as_ns_f64();
+        let mut map = self.node_latency.lock();
+        map.entry(node)
+            .and_modify(|e| *e += LATENCY_EWMA_ALPHA * (sample - *e))
+            .or_insert(sample);
+    }
+
+    /// The EWMA completion latency (ns) of offloads served by `node`,
+    /// or `None` before its first completion.
+    pub fn latency_ewma(&self, node: u16) -> Option<f64> {
+        self.node_latency.lock().get(&node).copied()
+    }
+
     /// `put` moved `bytes` host → target.
     pub fn on_put(&self, bytes: u64) {
         self.puts.incr();
@@ -185,6 +211,16 @@ impl BackendMetrics {
             batch_occupancy: self.batch_occupancy.lock().clone(),
             latency: self.latency.lock().clone(),
             latency_hist: self.latency_hist.lock().clone(),
+            node_latency_ewma: {
+                let mut v: Vec<(u16, f64)> = self
+                    .node_latency
+                    .lock()
+                    .iter()
+                    .map(|(n, e)| (*n, *e))
+                    .collect();
+                v.sort_unstable_by_key(|(n, _)| *n);
+                v
+            },
         }
     }
 }
@@ -241,6 +277,9 @@ pub struct MetricsSnapshot {
     pub latency: OnlineStats,
     /// Log₂ histogram of offload latencies.
     pub latency_hist: Histogram,
+    /// Per-target latency EWMA (ns), sorted by node id. Not rendered —
+    /// scheduler food, surfaced here for tests and tooling.
+    pub node_latency_ewma: Vec<(u16, f64)>,
 }
 
 impl MetricsSnapshot {
@@ -374,6 +413,32 @@ mod tests {
         assert_eq!((s.frames_sent, s.msgs_sent), (2, 9));
         assert!((s.batch_occupancy.mean() - 4.5).abs() < 1e-9);
         assert!(s.render().contains("frames (msgs/frame)"));
+    }
+
+    #[test]
+    fn node_latency_ewma_converges_per_target() {
+        let m = BackendMetrics::new();
+        assert_eq!(m.latency_ewma(1), None, "no completions yet");
+        m.on_post(8);
+        m.on_complete_on(1, SimTime::from_us(10));
+        assert!(
+            (m.latency_ewma(1).unwrap() - 10_000.0).abs() < 1e-9,
+            "first sample seeds"
+        );
+        m.on_post(8);
+        m.on_complete_on(1, SimTime::from_us(20));
+        // 10000 + 0.2·(20000 − 10000) = 12000.
+        assert!((m.latency_ewma(1).unwrap() - 12_000.0).abs() < 1e-9);
+        m.on_post(8);
+        m.on_complete_on(2, SimTime::from_us(5));
+        assert!((m.latency_ewma(2).unwrap() - 5_000.0).abs() < 1e-9);
+        let s = m.snapshot();
+        assert_eq!(s.completions, 3, "on_complete_on feeds the totals too");
+        assert_eq!(s.node_latency_ewma.len(), 2);
+        assert_eq!(s.node_latency_ewma[0].0, 1);
+        assert_eq!(s.node_latency_ewma[1].0, 2);
+        // The per-node vector is scheduler food, not report noise.
+        assert!(!s.render().contains("ewma"));
     }
 
     #[test]

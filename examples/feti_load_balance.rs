@@ -3,22 +3,27 @@
 //! domain-decomposition dense-matrix batches between the host CPU and
 //! coprocessors.
 //!
-//! A queue of dense-batch tasks is served greedily: every VE holds one
-//! in-flight offload; free VEs are refilled first; while every VE is
-//! busy the host consumes a task itself; then `wait_any` blocks until
-//! the next VE completion, which drains the whole channel with one flag
-//! sweep and frees that VE's slot for refilling.
+//! Placement is split between the runtime and the application: the
+//! [`TargetPool`] picks the least-loaded VE (`try_pick`), the
+//! application stages that task's matrices into the VE's resident
+//! buffers and pins the kernel there with `submit_to` — an affinity
+//! submission, since the data now lives on that VE. When no VE can take
+//! more work (`try_pick` says every candidate is saturated, or the
+//! chosen VE is out of resident buffers), the host consumes a task
+//! itself instead of blocking; `wait_any` then drains completions and
+//! frees buffer pairs for refilling.
 //!
 //! Run with: `cargo run --example feti_load_balance`
 
 use aurora_workloads::generators::random_matrix;
 use aurora_workloads::kernels::dense_batch;
 use ham::f2f;
-use ham_aurora_repro::{dma_offload, Future, NodeId};
+use ham_aurora_repro::{dma_offload, NodeId, PoolFuture};
 
 const DIM: usize = 8; // small dense blocks, FETI-style
 const PER_BATCH: u64 = 4; // blocks per offloaded batch
 const TASKS: usize = 24;
+const PAIRS_PER_VE: usize = 2; // resident buffer pairs (offloads in flight) per VE
 
 fn host_dense_batch(a: &[f64], b: &[f64], count: u64, dim: usize) -> f64 {
     let mut checksum = 0.0;
@@ -42,6 +47,8 @@ fn main() {
     let offload = dma_offload(ves, |b| {
         aurora_workloads::register_all(b);
     });
+    let nodes: Vec<NodeId> = (1..=ves as u16).map(NodeId).collect();
+    let pool = offload.pool(&nodes).expect("pool");
 
     // Generate all task inputs up front (deterministic).
     let inputs: Vec<(Vec<f64>, Vec<f64>)> = (0..TASKS)
@@ -53,57 +60,63 @@ fn main() {
         })
         .collect();
 
-    // One resident buffer pair per VE.
+    // Resident buffer pairs per VE — the unit of VE concurrency here.
     let elems = (PER_BATCH as usize * DIM * DIM) as u64;
-    let buffers: Vec<_> = (1..=ves as u16)
-        .map(|n| {
-            let node = NodeId(n);
-            (
-                node,
+    let mut free: Vec<Vec<_>> = (0..=ves as usize).map(|_| Vec::new()).collect();
+    for &node in &nodes {
+        for _ in 0..PAIRS_PER_VE {
+            free[node.0 as usize].push((
                 offload.allocate::<f64>(node, elems).expect("alloc a"),
                 offload.allocate::<f64>(node, elems).expect("alloc b"),
-            )
-        })
-        .collect();
+            ));
+        }
+    }
 
     let mut results = [0.0f64; TASKS];
     let mut next_task = 0usize;
     let mut host_done = 0usize;
     let mut ve_done = 0usize;
 
-    // In-flight futures, with parallel task/slot tags (swap_remove keeps
-    // the three vectors in lock-step).
-    let mut futs: Vec<Future<f64>> = Vec::new();
+    // In-flight futures with parallel task/buffer tags (swap_remove
+    // keeps the vectors in lock-step).
+    let mut futs: Vec<PoolFuture<f64>> = Vec::new();
     let mut task_of: Vec<usize> = Vec::new();
-    let mut slot_of: Vec<usize> = Vec::new();
-    let mut free_slots: Vec<usize> = (0..ves as usize).collect();
+    let mut pair_of: Vec<(NodeId, _)> = Vec::new();
 
     while !futs.is_empty() || next_task < TASKS {
-        // Refill every idle VE from the queue.
+        // Refill: the pool names the least-loaded VE; the task's data is
+        // staged there, so the kernel is pinned with submit_to.
         while next_task < TASKS {
-            let Some(slot) = free_slots.pop() else { break };
-            let (node, a_dev, b_dev) = buffers[slot];
-            let (a, b) = &inputs[next_task];
-            offload.put(a, a_dev).expect("put a");
-            offload.put(b, b_dev).expect("put b");
-            let fut = offload
-                .async_(
-                    node,
-                    f2f!(
-                        dense_batch,
-                        a_dev.addr(),
-                        b_dev.addr(),
-                        PER_BATCH,
-                        DIM as u64
-                    ),
-                )
-                .expect("offload batch");
-            futs.push(fut);
-            task_of.push(next_task);
-            slot_of.push(slot);
-            next_task += 1;
+            match pool.try_pick().expect("healthy pool") {
+                Some(node) if !free[node.0 as usize].is_empty() => {
+                    let (a_dev, b_dev) = free[node.0 as usize].pop().expect("free pair");
+                    let (a, b) = &inputs[next_task];
+                    offload.put(a, a_dev).expect("put a");
+                    offload.put(b, b_dev).expect("put b");
+                    let fut = pool
+                        .submit_to(
+                            node,
+                            f2f!(
+                                dense_batch,
+                                a_dev.addr(),
+                                b_dev.addr(),
+                                PER_BATCH,
+                                DIM as u64
+                            ),
+                        )
+                        .expect("offload batch");
+                    futs.push(fut);
+                    task_of.push(next_task);
+                    pair_of.push((node, (a_dev, b_dev)));
+                    next_task += 1;
+                }
+                // try_pick returned None (every VE at its credit limit)
+                // or the least-loaded VE is out of resident buffers —
+                // in either case no VE can take more work right now.
+                _ => break,
+            }
         }
-        // Every VE is busy and work remains: the host takes one task.
+        // Every VE is saturated and work remains: the host takes a task.
         if next_task < TASKS {
             let (a, b) = &inputs[next_task];
             results[next_task] = host_dense_batch(a, b, PER_BATCH, DIM);
@@ -111,10 +124,11 @@ fn main() {
             next_task += 1;
         }
         // Block until the next VE completion, whichever VE it is.
-        if let Some(i) = offload.wait_any(&mut futs) {
+        if let Some(i) = pool.wait_any(&mut futs) {
             let task = task_of.swap_remove(i);
-            free_slots.push(slot_of.swap_remove(i));
-            results[task] = futs.swap_remove(i).get().expect("batch result");
+            let (node, pair) = pair_of.swap_remove(i);
+            free[node.0 as usize].push(pair);
+            results[task] = pool.get(futs.swap_remove(i)).expect("batch result");
             ve_done += 1;
         }
     }
@@ -128,6 +142,7 @@ fn main() {
             results[i]
         );
     }
+    assert_eq!(host_done + ve_done, TASKS);
 
     println!("{TASKS} dense batches: {ve_done} on {ves} VEs, {host_done} on the host");
     println!("virtual time: {}", offload.backend().host_clock().now());

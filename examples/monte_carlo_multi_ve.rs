@@ -1,5 +1,8 @@
 //! Monte-Carlo π across all eight VEs of an A300-8 — remote-style
-//! fan-out with one future per engine (Table II's async API at scale).
+//! fan-out, but with placement owned by the runtime: the estimator
+//! tasks go through a [`TargetPool`], which spreads them over the VEs
+//! by load instead of the application hand-assigning one future per
+//! engine (Table II's async API at scale, plus the scheduler on top).
 //!
 //! Run with: `cargo run --example monte_carlo_multi_ve`
 
@@ -8,7 +11,8 @@ use ham::f2f;
 use ham_aurora_repro::{dma_offload, NodeId};
 
 fn main() {
-    const SAMPLES_PER_VE: u64 = 100_000;
+    const SAMPLES_PER_TASK: u64 = 50_000;
+    const TASKS: usize = 32;
     let ves = 8u8;
 
     let offload = dma_offload(ves, |b| {
@@ -22,37 +26,45 @@ fn main() {
         );
     }
 
-    // Fan out: one independent estimator per VE, distinct seeds.
-    let futures: Vec<_> = (1..=ves as u16)
-        .map(|n| {
-            offload
-                .async_(
-                    NodeId(n),
-                    f2f!(monte_carlo_pi, 0xA300 + n as u64, SAMPLES_PER_VE),
-                )
-                .expect("offload")
+    // The pool owns placement: least-loaded VE wins each submit, and
+    // credit-based admission blocks the loop instead of overfilling any
+    // one channel. The application never names a VE.
+    let nodes: Vec<NodeId> = (1..=ves as u16).map(NodeId).collect();
+    let pool = offload.pool(&nodes).expect("pool");
+    println!("pool: {pool:?}");
+
+    // Fan out: independent estimators with distinct seeds.
+    let futures: Vec<_> = (0..TASKS)
+        .map(|i| {
+            pool.submit(f2f!(monte_carlo_pi, 0xA300 + i as u64, SAMPLES_PER_TASK))
+                .expect("submit")
         })
         .collect();
+    let mut per_ve = vec![0usize; ves as usize + 1];
+    for f in &futures {
+        per_ve[f.target().0 as usize] += 1;
+    }
 
-    // Gather with one call: wait_all drains every channel's completion
-    // queue until all eight futures have settled, then returns results
-    // in submission order.
-    let estimates: Vec<f64> = offload
+    // Gather with one call: wait_all drains every involved channel until
+    // all estimators have settled, then returns results in submission
+    // order.
+    let estimates: Vec<f64> = pool
         .wait_all(futures)
         .into_iter()
         .map(|r| r.expect("pi"))
         .collect();
-    for (i, pi) in estimates.iter().enumerate() {
-        println!("VE{i}: pi ~ {pi:.6}");
+    for (n, count) in per_ve.iter().enumerate().skip(1) {
+        println!("VE{n}: {count} estimator tasks");
     }
     let pi = estimates.iter().sum::<f64>() / estimates.len() as f64;
     let err = (pi - std::f64::consts::PI).abs();
     println!(
         "\ncombined over {} samples: pi ~ {pi:.6} (|error| = {err:.6})",
-        SAMPLES_PER_VE * ves as u64
+        SAMPLES_PER_TASK * TASKS as u64
     );
     println!("virtual time: {}", offload.backend().host_clock().now());
     assert!(err < 0.01);
+    assert_eq!(per_ve.iter().sum::<usize>(), TASKS);
     offload.shutdown();
     println!("ok");
 }

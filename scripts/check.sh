@@ -27,6 +27,16 @@ grep -q '"batch_faster": true' BENCH_pipelined.json || {
     exit 1
 }
 
+echo "== scheduler-scaling smoke (writes BENCH_sched.json) =="
+cargo bench -q -p aurora-bench --bench scheduler_scaling -- --smoke
+
+echo "== scheduler gate: 4-target pool must be >=3x a single target =="
+grep -q '"pool_faster_3x": true' BENCH_sched.json || {
+    echo "FAIL: BENCH_sched.json does not show pool_faster_3x=true" >&2
+    cat BENCH_sched.json >&2 || true
+    exit 1
+}
+
 echo "== fault matrix (8 seeds x {veo,dma,tcp}, hang = failure) =="
 ./scripts/fault_matrix.sh
 

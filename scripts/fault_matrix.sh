@@ -8,15 +8,19 @@
 #
 # The scenarios themselves (tests/fault_scenarios.rs) cover every
 # fault-capable backend {veo, dma, tcp} × 8 fixed seeds, each run twice
-# to assert the seeded failure timeline replays.
+# to assert the seeded failure timeline replays. The pool scenarios
+# (tests/pool_scenarios.rs) add the multi-target scheduler on top:
+# kill 1 of 4 pooled targets mid-wave on each backend and require every
+# offload to complete on a survivor or surface `TargetLost`.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 PER_TEST_TIMEOUT="${PER_TEST_TIMEOUT:-120}"
 
-# Build the test binary up front so the timeout below measures the
+# Build the test binaries up front so the timeout below measures the
 # scenarios, not the compiler.
 cargo test -q --test fault_scenarios --no-run
+cargo test -q --test pool_scenarios --no-run
 
 tests=(
   kill_one_of_two_targets_veo
@@ -31,6 +35,14 @@ tests=(
   zero_plan_is_inert_everywhere
 )
 
+pool_tests=(
+  pool_kill_one_of_four_veo
+  pool_kill_one_of_four_dma
+  pool_kill_one_of_four_tcp
+  staged_batch_offloads_fail_over_to_survivors
+  killing_every_target_empties_the_pool
+)
+
 for t in "${tests[@]}"; do
   echo "-- fault scenario: $t"
   if ! timeout --kill-after=10 "$PER_TEST_TIMEOUT" \
@@ -40,4 +52,13 @@ for t in "${tests[@]}"; do
   fi
 done
 
-echo "Fault matrix passed: ${#tests[@]} scenarios, 3 backends, 8 seeds."
+for t in "${pool_tests[@]}"; do
+  echo "-- pool scenario: $t"
+  if ! timeout --kill-after=10 "$PER_TEST_TIMEOUT" \
+      cargo test -q --test pool_scenarios -- --exact "$t"; then
+    echo "FAULT MATRIX FAILURE: '$t' failed or hung (> ${PER_TEST_TIMEOUT}s)" >&2
+    exit 1
+  fi
+done
+
+echo "Fault matrix passed: ${#tests[@]} channel + ${#pool_tests[@]} pool scenarios, 3 backends, 8 seeds."

@@ -44,6 +44,7 @@ pub mod fault_scenario;
 
 pub use aurora_sim_core::{FaultEvent, FaultKind, FaultPlan, FaultSite};
 pub use ham_offload::chan::{BatchConfig, RecoveryPolicy};
+pub use ham_offload::sched::{PoolFuture, SchedPolicy, TargetPool};
 pub use ham_offload::{BufferPtr, Future, NodeId, Offload, OffloadError};
 
 use ham_backend_dma::DmaBackend;

@@ -7,6 +7,7 @@ use ham_aurora_repro::sim_core::SimTime;
 use ham_offload::chan::{BatchConfig, ChannelCore, FlushPrep, Stage};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
 /// Wraps the system allocator and counts every allocation. Frees are
 /// not counted: the steady-state claim is about *new* heap traffic.
@@ -35,6 +36,10 @@ unsafe impl GlobalAlloc for CountingAlloc {
 
 #[global_allocator]
 static COUNTER: CountingAlloc = CountingAlloc;
+
+/// The counter sees every thread in the test binary, so the measuring
+/// tests must not overlap: each takes this gate for its whole body.
+static GATE: Mutex<()> = Mutex::new(());
 
 const BATCH: usize = 8;
 const KEY: HandlerKey = HandlerKey(3);
@@ -85,6 +90,7 @@ fn cycle(chan: &ChannelCore) {
 
 #[test]
 fn steady_state_batched_cycle_allocates_nothing() {
+    let _gate = GATE.lock().unwrap();
     let chan = ChannelCore::bounded(8, 8, 4096).with_batching(BatchConfig::up_to(BATCH));
     // Warm-up: fills the frame pool, the seq freelist, and the hash
     // tables' capacity.
@@ -101,4 +107,203 @@ fn steady_state_batched_cycle_allocates_nothing() {
         0,
         "steady-state post→complete must not touch the heap"
     );
+}
+
+// --- the same claim, end to end through the public API ------------------
+//
+// `Offload::async_` × N + `Offload::wait_all_into` must be heap-silent
+// once warm. The backend below is a *synchronous* in-thread mock — the
+// target "runs" inside `send_frame` — so the counting allocator sees
+// exactly the host-side runtime: encode, stage, flush, sweep, settle,
+// decode. A threaded backend would pollute the count with its own
+// receiver loop.
+
+mod warm_wait {
+    use super::{ALLOCS, GATE};
+    use ham::wire::{MsgHeader, MsgKind, HEADER_BYTES};
+    use ham::{f2f, ham_kernel, Registry, RegistryBuilder};
+    use ham_aurora_repro::sim_core::{BackendMetrics, Clock};
+    use ham_offload::backend::{CommBackend, RawBuffer};
+    use ham_offload::chan::batch::{append_result_part, begin_result, BatchIter};
+    use ham_offload::chan::{BatchConfig, ChannelCore, Reservation};
+    use ham_offload::types::{DeviceType, NodeDescriptor, NodeId};
+    use ham_offload::{Offload, OffloadError};
+    use std::sync::atomic::Ordering;
+    use std::sync::Arc;
+
+    ham_kernel! {
+        /// Identity probe whose framed answer the mock precomputes.
+        pub fn echo_probe(ctx, x: u64) -> u64 {
+            let _ = ctx;
+            x
+        }
+    }
+
+    /// The value every offload carries; the mock's canned result.
+    const VALUE: u64 = 7;
+    /// Posts per `wait_all` round — below the batch watermark, so the
+    /// frame leaves only when the wait flushes it.
+    const DEPTH: usize = 8;
+
+    struct MockBackend {
+        registry: Arc<Registry>,
+        chan: ChannelCore,
+        clock: Clock,
+        metrics: BackendMetrics,
+        /// `frame_result(Ok(encode(VALUE)))`, framed once at setup.
+        part: Vec<u8>,
+    }
+
+    impl MockBackend {
+        fn new() -> Self {
+            let mut b = RegistryBuilder::new();
+            b.register::<echo_probe>();
+            let mut part = vec![0u8];
+            ham::codec::encode_into(&VALUE, &mut part).unwrap();
+            MockBackend {
+                registry: Arc::new(b.seal(0x4D4F_434B)),
+                chan: ChannelCore::unbounded().with_batching(BatchConfig::up_to(2 * DEPTH)),
+                clock: Clock::new(),
+                metrics: BackendMetrics::new(),
+                part,
+            }
+        }
+
+        fn unsupported<T>() -> Result<T, OffloadError> {
+            Err(OffloadError::Backend(
+                "mock backend: memory verbs unsupported".into(),
+            ))
+        }
+    }
+
+    impl CommBackend for MockBackend {
+        fn num_targets(&self) -> u16 {
+            1
+        }
+
+        fn host_registry(&self) -> &Arc<Registry> {
+            &self.registry
+        }
+
+        fn descriptor(&self, node: NodeId) -> Result<NodeDescriptor, OffloadError> {
+            Ok(NodeDescriptor {
+                node,
+                name: "mock".into(),
+                device_type: DeviceType::Generic,
+                memory_bytes: 0,
+                cores: 1,
+            })
+        }
+
+        fn channel(&self, target: NodeId) -> Result<&ChannelCore, OffloadError> {
+            if target == NodeId(1) {
+                Ok(&self.chan)
+            } else {
+                Err(OffloadError::BadNode(target))
+            }
+        }
+
+        /// The whole "target": answer every message in place, without
+        /// leaving the calling thread or touching the heap — results go
+        /// through the channel's own frame pool.
+        fn send_frame(
+            &self,
+            _target: NodeId,
+            _res: &Reservation,
+            header: &MsgHeader,
+            frame: &[u8],
+        ) -> Result<(), OffloadError> {
+            match header.kind {
+                MsgKind::Batch => {
+                    let subs =
+                        BatchIter::new(&frame[HEADER_BYTES..]).map_err(OffloadError::Backend)?;
+                    let count = subs.announced();
+                    let mut body = self.chan.pool().checkout();
+                    body.push(0);
+                    begin_result(&mut body, count);
+                    for sub in subs {
+                        let (h, _payload) = sub.map_err(OffloadError::Backend)?;
+                        append_result_part(&mut body, h.seq, &self.part);
+                    }
+                    self.chan.deposit_frame(header.seq, body);
+                }
+                MsgKind::Offload => {
+                    let mut body = self.chan.pool().checkout();
+                    body.extend_from_slice(&self.part);
+                    self.chan.deposit_frame(header.seq, body);
+                }
+                MsgKind::Result | MsgKind::Control => {}
+            }
+            Ok(())
+        }
+
+        fn allocate(&self, _node: NodeId, _bytes: u64) -> Result<u64, OffloadError> {
+            Self::unsupported()
+        }
+
+        fn free(&self, _node: NodeId, _addr: u64) -> Result<(), OffloadError> {
+            Self::unsupported()
+        }
+
+        fn put_bytes(&self, _dst: RawBuffer, _data: &[u8]) -> Result<(), OffloadError> {
+            Self::unsupported()
+        }
+
+        fn get_bytes(&self, _src: RawBuffer, _out: &mut [u8]) -> Result<(), OffloadError> {
+            Self::unsupported()
+        }
+
+        fn host_clock(&self) -> &Clock {
+            &self.clock
+        }
+
+        fn metrics(&self) -> &BackendMetrics {
+            &self.metrics
+        }
+
+        fn shutdown(&self) {}
+    }
+
+    /// One warm round: `DEPTH` posts into reused vectors, then
+    /// `wait_all_into` — which flushes the staged batch, sweeps, and
+    /// settles every future.
+    fn round(
+        o: &Offload,
+        futures: &mut Vec<ham_offload::Future<u64>>,
+        out: &mut Vec<Result<u64, OffloadError>>,
+    ) {
+        out.clear();
+        for _ in 0..DEPTH {
+            futures.push(o.async_(NodeId(1), f2f!(echo_probe, VALUE)).unwrap());
+        }
+        o.wait_all_into(futures, out);
+        assert_eq!(out.len(), DEPTH);
+        for r in out.iter() {
+            assert_eq!(*r.as_ref().unwrap(), VALUE);
+        }
+    }
+
+    #[test]
+    fn warm_wait_all_loop_allocates_nothing() {
+        let _gate = GATE.lock().unwrap();
+        let o = Offload::new(Arc::new(MockBackend::new()));
+        let mut futures = Vec::new();
+        let mut out = Vec::new();
+        // Warm-up: frame pool, seq freelist, pending/completed tables,
+        // the sweep scratch thread-local, metric EWMA entries.
+        for _ in 0..16 {
+            round(&o, &mut futures, &mut out);
+        }
+        let before = ALLOCS.load(Ordering::SeqCst);
+        for _ in 0..64 {
+            round(&o, &mut futures, &mut out);
+        }
+        let after = ALLOCS.load(Ordering::SeqCst);
+        assert_eq!(
+            after - before,
+            0,
+            "warm async_ ×{DEPTH} + wait_all must not touch the heap"
+        );
+        assert_eq!(o.in_flight(NodeId(1)).unwrap(), 0);
+    }
 }

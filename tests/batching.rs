@@ -168,3 +168,50 @@ fn total_loss_of_batched_frames_times_out_and_evicts() {
     assert!(matches!(err, OffloadError::TargetLost(NodeId(1))), "{err}");
     o.shutdown();
 }
+
+/// The implicit-flush contract across *channels*: futures in one wait
+/// set may be staged in different targets' accumulators, and a blocking
+/// wait must flush every involved channel — not just the first one —
+/// or the later futures spin on frames that never left the host.
+#[test]
+fn wait_any_flushes_staged_batches_on_every_involved_target() {
+    let o = ham_aurora_repro::local_offload_batched(
+        2,
+        BatchConfig::up_to(16),
+        aurora_workloads::register_all,
+    );
+    // One staged (unflushed — watermark is 16) message per target.
+    let mut futures = vec![
+        o.async_(NodeId(1), f2f!(whoami)).unwrap(),
+        o.async_(NodeId(2), f2f!(whoami)).unwrap(),
+    ];
+    let mut served = Vec::new();
+    while let Some(i) = o.wait_any(&mut futures) {
+        served.push(futures.remove(i).get().unwrap());
+    }
+    served.sort_unstable();
+    assert_eq!(served, vec![1, 2], "both targets' batches were flushed");
+    o.shutdown();
+}
+
+/// Same contract through `wait_all`: staged messages spread over two
+/// accumulators all complete in one blocking wait.
+#[test]
+fn wait_all_flushes_staged_batches_across_targets() {
+    let o = ham_aurora_repro::local_offload_batched(
+        2,
+        BatchConfig::up_to(16),
+        aurora_workloads::register_all,
+    );
+    let futures: Vec<_> = (0..8)
+        .map(|i| o.async_(NodeId(1 + (i % 2)), f2f!(whoami)).unwrap())
+        .collect();
+    let mut nodes: Vec<u16> = o
+        .wait_all(futures)
+        .into_iter()
+        .map(|r| r.unwrap())
+        .collect();
+    nodes.sort_unstable();
+    assert_eq!(nodes, vec![1, 1, 1, 1, 2, 2, 2, 2]);
+    o.shutdown();
+}
