@@ -118,6 +118,10 @@ impl AuroraCore {
                 proc: VeoProc::create(Arc::clone(&machine), ve, host_socket, host_clock.clone()),
             })
             .collect();
+        let metrics = BackendMetrics::new();
+        for node in 1..=ves.len() as u16 {
+            metrics.health().register(node);
+        }
         Self {
             machine,
             host_socket,
@@ -125,7 +129,7 @@ impl AuroraCore {
             host_registry,
             registrar,
             targets,
-            metrics: BackendMetrics::new(),
+            metrics,
         }
     }
 

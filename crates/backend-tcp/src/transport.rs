@@ -219,6 +219,10 @@ impl TcpBackend {
         };
         let host_registry = Arc::new(build(0x7463_7000)); // "tcp"
         let metrics = Arc::new(aurora_sim_core::BackendMetrics::new());
+        for node in 1..=n {
+            metrics.health().register(node);
+        }
+        let clock = Clock::new();
         let targets = (1..=n)
             .map(|node| {
                 let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback listener");
@@ -247,6 +251,7 @@ impl TcpBackend {
                 );
                 let chan2 = Arc::clone(&chan);
                 let metrics2 = Arc::clone(&metrics);
+                let clock2 = clock.clone();
                 let mut msg_rx = msg.try_clone().expect("clone msg stream");
                 let reader = std::thread::Builder::new()
                     .name(format!("tcp-host-reader-{node}"))
@@ -270,6 +275,12 @@ impl TcpBackend {
                                 .is_some()
                         {
                             metrics2.on_evict();
+                            metrics2.health().record(
+                                node,
+                                aurora_sim_core::HealthEventKind::Eviction,
+                                0,
+                                clock2.now().as_ps(),
+                            );
                         }
                     })
                     .expect("spawn reader");
@@ -288,7 +299,7 @@ impl TcpBackend {
         Arc::new(Self {
             host_registry,
             targets,
-            clock: Clock::new(),
+            clock,
             metrics,
             plan,
         })

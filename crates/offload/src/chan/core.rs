@@ -93,6 +93,9 @@ pub struct FlushFrame {
     pub frame: PooledFrame,
     /// Number of coalesced messages.
     pub msgs: usize,
+    /// When the first member was staged — the flush-latency metric
+    /// measures from here to the envelope reaching the transport.
+    pub posted_at: SimTime,
 }
 
 /// The staged-but-unflushed envelope of one channel. `frame` is laid
@@ -302,8 +305,16 @@ impl ChannelCore {
 
     /// Claim a slot pair and mint a sequence number. Control frames
     /// (`control = true`) may be posted into a shut-down channel — that
-    /// is how shutdown itself is delivered.
-    pub fn try_reserve(&self, control: bool, offload: u64, posted_at: SimTime) -> Reserve {
+    /// is how shutdown itself is delivered. `bytes` is the wire size the
+    /// message will occupy (header + payload), fed into
+    /// [`Self::bytes_in_flight`].
+    pub fn try_reserve(
+        &self,
+        control: bool,
+        offload: u64,
+        posted_at: SimTime,
+        bytes: u64,
+    ) -> Reserve {
         let mut st = self.state.lock();
         if st.shutdown && !control {
             return Reserve::Shutdown;
@@ -331,6 +342,7 @@ impl ChannelCore {
                 send_slot,
                 offload,
                 posted_at,
+                bytes,
             },
         );
         Reserve::Reserved(Reservation {
@@ -440,6 +452,7 @@ impl ChannelCore {
                 send_slot,
                 offload: first_offload,
                 posted_at: first_posted,
+                bytes: frame.len() as u64,
             },
         );
         st.batches.insert(carrier_seq, seqs);
@@ -453,6 +466,7 @@ impl ChannelCore {
             header,
             frame,
             msgs,
+            posted_at: first_posted,
         })
     }
 
@@ -678,6 +692,16 @@ impl ChannelCore {
         st.pending.len() + extra + st.accum.seqs.len()
     }
 
+    /// Wire bytes currently committed to this target: every pending
+    /// frame plus the staged (unflushed) accumulator. The scheduler's
+    /// `WeightedByLatency` policy adds this to its load term so a
+    /// target holding a few dense batches does not look idler than one
+    /// holding many small probes.
+    pub fn bytes_in_flight(&self) -> u64 {
+        let st = self.state.lock();
+        st.pending.bytes() + st.accum.frame.as_ref().map_or(0, |f| f.len() as u64)
+    }
+
     /// Finish an offload whose entry was already removed with
     /// [`Self::take_pending`]: free its slots and park the result for
     /// its future (fanned out to members for a batch carrier).
@@ -734,7 +758,7 @@ mod tests {
     use proptest::prelude::*;
 
     fn reserve(c: &ChannelCore) -> Reserve {
-        c.try_reserve(false, 0, SimTime::ZERO)
+        c.try_reserve(false, 0, SimTime::ZERO, 0)
     }
 
     #[test]
@@ -785,7 +809,7 @@ mod tests {
         assert!(c.begin_shutdown(), "second caller sees it already down");
         assert!(matches!(reserve(&c), Reserve::Shutdown));
         assert!(matches!(
-            c.try_reserve(true, 0, SimTime::ZERO),
+            c.try_reserve(true, 0, SimTime::ZERO, 0),
             Reserve::Reserved(_)
         ));
     }
@@ -821,7 +845,7 @@ mod tests {
             Reserve::Lost(OffloadError::TargetLost(_))
         ));
         assert!(matches!(
-            c.try_reserve(true, 0, SimTime::ZERO),
+            c.try_reserve(true, 0, SimTime::ZERO, 0),
             Reserve::Lost(_)
         ));
         assert_eq!(c.eviction(), Some(lost));

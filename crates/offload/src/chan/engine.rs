@@ -94,8 +94,9 @@ fn post_inner<B: CommBackend + ?Sized>(
     let control = matches!(kind, MsgKind::Control);
     let offload = trace::current_offload();
     let mut backoff = Backoff::new();
+    let wire_bytes = (HEADER_BYTES + payload.len()) as u64;
     let res = loop {
-        match chan.try_reserve(control, offload, backend.host_clock().now()) {
+        match chan.try_reserve(control, offload, backend.host_clock().now(), wire_bytes) {
             Reserve::Reserved(r) => break r,
             Reserve::Shutdown => return Err(OffloadError::Shutdown),
             Reserve::Lost(e) => return Err(e),
@@ -158,13 +159,12 @@ pub fn flush<B: CommBackend + ?Sized>(backend: &B, target: NodeId) -> Result<(),
                     chan.fail_batch(f.res.seq, e.clone());
                     return Err(e);
                 }
+                let now = backend.host_clock().now();
                 backend.metrics().on_frame(f.msgs as u64);
-                trace::record(
-                    "chan.batch_flush",
-                    f.msgs as u64,
-                    t0,
-                    backend.host_clock().now(),
-                );
+                // Flush latency: first member staged → envelope on the
+                // transport, in virtual time.
+                backend.metrics().on_flush(now.saturating_sub(f.posted_at));
+                trace::record("chan.batch_flush", f.msgs as u64, t0, now);
                 chan.note_sent(f.res.seq, &f.header, f.frame);
                 return Ok(());
             }
@@ -244,15 +244,22 @@ fn sweep_with<B: CommBackend + ?Sized>(
                     };
                     backend.metrics().on_resend();
                     if let Err(e) = backend.send_frame(target, &res, &header, &frame) {
-                        completed += evict(backend, chan, e);
+                        completed += evict(backend, target, chan, e);
                         break;
                     }
-                    trace::record(
-                        "chan.retry",
-                        (frame.len() - HEADER_BYTES) as u64,
-                        t0,
-                        backend.host_clock().now(),
+                    let now = backend.host_clock().now();
+                    // Retry delay: post → this re-send, the backoff
+                    // distribution of the recovery policy.
+                    backend
+                        .metrics()
+                        .on_retry_delay(now.saturating_sub(entry.posted_at));
+                    backend.metrics().health().record(
+                        target.0,
+                        aurora_sim_core::HealthEventKind::Retry,
+                        entry.offload,
+                        now.as_ps(),
                     );
+                    trace::record("chan.retry", (frame.len() - HEADER_BYTES) as u64, t0, now);
                 }
                 MissVerdict::TimedOut => {
                     let Some(entry) = chan.take_pending(seq) else {
@@ -262,6 +269,12 @@ fn sweep_with<B: CommBackend + ?Sized>(
                     let now = backend.host_clock().now();
                     trace::record("chan.timeout", 0, now, now);
                     backend.metrics().on_timeout();
+                    backend.metrics().health().record(
+                        target.0,
+                        aurora_sim_core::HealthEventKind::Timeout,
+                        entry.offload,
+                        now.as_ps(),
+                    );
                     chan.finish(seq, &entry, Err(OffloadError::Timeout));
                     completed += 1;
                     // A frame lost beyond its retry budget leaves a
@@ -271,7 +284,7 @@ fn sweep_with<B: CommBackend + ?Sized>(
                     // is unreachable from here on — evict it so the
                     // remaining in-flight offloads fail immediately
                     // instead of timing out one by one.
-                    completed += evict(backend, chan, OffloadError::TargetLost(target));
+                    completed += evict(backend, target, chan, OffloadError::TargetLost(target));
                     break;
                 }
             },
@@ -292,7 +305,7 @@ fn sweep_with<B: CommBackend + ?Sized>(
                 // A dead transport fails every in-flight offload at
                 // once: eviction parks the error for each future and
                 // frees the slots so posting paths stop blocking.
-                completed += evict(backend, chan, e);
+                completed += evict(backend, target, chan, e);
                 break;
             }
         }
@@ -300,16 +313,28 @@ fn sweep_with<B: CommBackend + ?Sized>(
     Ok(completed)
 }
 
-/// Evict the target behind `chan`: fail every in-flight offload with
-/// `err`, latch the channel so future posts are refused, and record the
-/// `chan.evict` span. Idempotent; returns how many offloads it failed.
-pub fn evict<B: CommBackend + ?Sized>(backend: &B, chan: &ChannelCore, err: OffloadError) -> usize {
+/// Evict `target` behind `chan`: fail every in-flight offload with
+/// `err`, latch the channel so future posts are refused, record the
+/// `chan.evict` span and the health `Eviction` event. Idempotent;
+/// returns how many offloads it failed.
+pub fn evict<B: CommBackend + ?Sized>(
+    backend: &B,
+    target: NodeId,
+    chan: &ChannelCore,
+    err: OffloadError,
+) -> usize {
     let Some(failed) = chan.evict(err) else {
         return 0;
     };
     let now = backend.host_clock().now();
     trace::record("chan.evict", failed as u64, now, now);
     backend.metrics().on_evict();
+    backend.metrics().health().record(
+        target.0,
+        aurora_sim_core::HealthEventKind::Eviction,
+        trace::current_offload(),
+        now.as_ps(),
+    );
     failed
 }
 

@@ -17,12 +17,19 @@ pub struct PendingEntry {
     pub offload: u64,
     /// Virtual post time, for the completion-latency metric.
     pub posted_at: SimTime,
+    /// Wire bytes the offload occupies (header + payload; the whole
+    /// frame for a batch carrier) — feeds the channel's bytes-in-flight
+    /// gauge the scheduler's weighted policy reads.
+    pub bytes: u64,
 }
 
 /// The in-flight table of one channel (seq → [`PendingEntry`]).
 #[derive(Debug, Default)]
 pub struct PendingTable {
     entries: HashMap<u64, PendingEntry>,
+    /// Running total of the entries' `bytes`, maintained on
+    /// insert/remove so reading it is O(1) and allocation-free.
+    bytes: u64,
 }
 
 impl PendingTable {
@@ -33,13 +40,25 @@ impl PendingTable {
 
     /// Record an in-flight offload.
     pub fn insert(&mut self, seq: u64, entry: PendingEntry) {
-        self.entries.insert(seq, entry);
+        self.bytes += entry.bytes;
+        if let Some(old) = self.entries.insert(seq, entry) {
+            self.bytes -= old.bytes;
+        }
     }
 
     /// Remove and return an in-flight offload (idempotent: the second
     /// caller racing on the same completion gets `None`).
     pub fn remove(&mut self, seq: u64) -> Option<PendingEntry> {
-        self.entries.remove(&seq)
+        let removed = self.entries.remove(&seq);
+        if let Some(e) = &removed {
+            self.bytes -= e.bytes;
+        }
+        removed
+    }
+
+    /// Total wire bytes of every in-flight entry.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
     }
 
     /// All in-flight offloads, ordered by sequence number so flag

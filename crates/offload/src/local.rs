@@ -133,12 +133,16 @@ impl LocalBackend {
                 }
             })
             .collect();
+        let metrics = BackendMetrics::new();
+        for node in 1..=n {
+            metrics.health().register(node);
+        }
         Arc::new(Self {
             host_registry,
             targets,
             clock: Clock::new(),
             mem_bytes,
-            metrics: BackendMetrics::new(),
+            metrics,
         })
     }
 

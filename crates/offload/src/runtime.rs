@@ -406,7 +406,14 @@ impl Offload {
     /// targets are unaffected. Errors on backends without a kill
     /// mechanism (e.g. the in-process local backend).
     pub fn kill_target(&self, target: NodeId) -> Result<(), OffloadError> {
-        self.backend.kill_target(target)
+        self.backend.kill_target(target)?;
+        self.backend.metrics().health().record(
+            target.0,
+            aurora_sim_core::HealthEventKind::FaultInjected,
+            0,
+            self.backend.host_clock().now().as_ps(),
+        );
+        Ok(())
     }
 
     // --- lifecycle -------------------------------------------------------

@@ -12,9 +12,13 @@
 //! * [`SchedPolicy::RoundRobin`] — strict rotation over the healthy
 //!   set, skipping targets that are out of credits.
 //! * [`SchedPolicy::WeightedByLatency`] — minimises expected queue
-//!   delay `(in_flight + 1) · EWMA(latency)` using the per-node
-//!   completion-latency estimate [`aurora_sim_core::BackendMetrics`]
-//!   keeps.
+//!   delay `(in_flight + 1 + bytes_in_flight/4096) · EWMA(latency)`
+//!   using the per-target completion-latency register
+//!   [`aurora_sim_core::BackendMetrics`] keeps (the same histogram-backed
+//!   register the exposition surface reports, so the scheduler and the
+//!   metrics endpoint can never disagree) plus the channel's
+//!   bytes-in-flight gauge, which folds large staged frames in as
+//!   equivalent queued messages.
 //!
 //! **Credits.** Every channel exposes a credit limit derived from its
 //! slot rings ([`crate::chan::ChannelCore::credit_limit`]): the number
@@ -32,8 +36,15 @@
 //! [`crate::OffloadError`] unchanged: the scheduler must not silently
 //! re-execute work with visible side effects.
 
+//!
+//! **Observability.** [`TargetPool::metrics_snapshot`] scopes the
+//! backend's metric registers to the pool's targets and
+//! [`TargetPool::health_report`] aggregates per-target health-registry
+//! state, channel occupancy, credit utilization and the latency
+//! register with the structured health event log.
+
 mod policy;
 mod pool;
 
 pub use policy::SchedPolicy;
-pub use pool::{PoolFuture, TargetPool};
+pub use pool::{HealthReport, PoolFuture, PoolMetricsSnapshot, TargetHealth, TargetPool};

@@ -6,9 +6,19 @@ use crate::future::Future;
 use crate::runtime::{decode_output, Offload};
 use crate::types::NodeId;
 use crate::OffloadError;
+use aurora_sim_core::{
+    HealthEvent, HealthEventKind, MetricsSnapshot, NodeMetricsSnapshot, SimTime, TargetState,
+};
 use ham::registry::HandlerKey;
 use ham::{ActiveMessage, HamError};
 use parking_lot::Mutex;
+
+/// One queued message's worth of wire bytes: the divisor that converts
+/// the channel's bytes-in-flight gauge into "equivalent queued
+/// messages" for [`SchedPolicy::WeightedByLatency`]. A target holding
+/// few large frames queues as much service time as one holding many
+/// small ones.
+const WEIGHT_BYTES_PER_MSG: f64 = 4096.0;
 
 fn pool_empty() -> OffloadError {
     OffloadError::Backend("target pool: no healthy targets remain".into())
@@ -32,7 +42,93 @@ struct PoolState {
 pub struct TargetPool {
     offload: Offload,
     policy: SchedPolicy,
+    /// Every target the pool was built over (sorted, deduped), kept
+    /// even after eviction so reports cover lost targets too.
+    targets: Vec<NodeId>,
     state: Mutex<PoolState>,
+}
+
+/// Per-target operational state as seen by a [`TargetPool`]: health
+/// registry verdict, channel occupancy, and the latency register.
+/// Produced by [`TargetPool::health_report`].
+#[derive(Clone, Debug)]
+pub struct TargetHealth {
+    /// The target node.
+    pub node: NodeId,
+    /// Health-registry state (healthy / degraded / evicted).
+    pub state: TargetState,
+    /// Offloads currently in flight on the target's channel.
+    pub in_flight: usize,
+    /// Wire bytes in flight (pending frames + staged batch).
+    pub bytes_in_flight: u64,
+    /// The channel's credit limit.
+    pub credit_limit: usize,
+    /// `in_flight / credit_limit` in `[0, 1]` (0 for a zero limit).
+    pub credit_utilization: f64,
+    /// Completions recorded on this target.
+    pub completions: u64,
+    /// EWMA completion latency in nanoseconds (NaN before the first
+    /// completion).
+    pub latency_ewma_ns: f64,
+    /// Median completion latency (histogram bucket floor).
+    pub latency_p50: Option<SimTime>,
+    /// 99th-percentile completion latency (histogram bucket floor).
+    pub latency_p99: Option<SimTime>,
+}
+
+/// Aggregated health view of a pool: one [`TargetHealth`] per
+/// configured target (evicted ones included) plus the backend's
+/// structured health event log.
+#[derive(Clone, Debug)]
+pub struct HealthReport {
+    /// Per-target state, sorted by node id.
+    pub targets: Vec<TargetHealth>,
+    /// The backend's health event log (oldest first, ring-bounded).
+    pub events: Vec<HealthEvent>,
+}
+
+impl HealthReport {
+    /// Text rendering: one line per target, then the event count.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for t in &self.targets {
+            let ewma = if t.latency_ewma_ns.is_nan() {
+                "-".to_string()
+            } else {
+                format!("{:.1}ns", t.latency_ewma_ns)
+            };
+            let fmt = |t: Option<SimTime>| t.map_or("-".to_string(), |t| t.to_string());
+            out.push_str(&format!(
+                "node {}  {}  in-flight {}/{} ({:.0}%)  bytes {}  completions {}  ewma {}  p50 {}  p99 {}\n",
+                t.node.0,
+                t.state.name(),
+                t.in_flight,
+                t.credit_limit,
+                t.credit_utilization * 100.0,
+                t.bytes_in_flight,
+                t.completions,
+                ewma,
+                fmt(t.latency_p50),
+                fmt(t.latency_p99),
+            ));
+        }
+        out.push_str(&format!("events: {}\n", self.events.len()));
+        out
+    }
+}
+
+/// A [`MetricsSnapshot`] scoped to one pool: the backend-wide registers
+/// plus the per-target breakdown restricted to the pool's targets.
+/// Produced by [`TargetPool::metrics_snapshot`].
+#[derive(Clone, Debug)]
+pub struct PoolMetricsSnapshot {
+    /// The backend-wide register snapshot (aggregate histograms,
+    /// counters, gauges).
+    pub backend: MetricsSnapshot,
+    /// Per-target registers for the pool's targets, sorted by node id.
+    /// Their histogram buckets and completion counts sum to the
+    /// aggregate when the pool covers every target the backend serves.
+    pub targets: Vec<NodeMetricsSnapshot>,
 }
 
 /// Handle to an offload placed by a [`TargetPool`]. Unlike a plain
@@ -106,11 +202,79 @@ impl TargetPool {
         }
         healthy.sort_unstable();
         healthy.dedup();
+        // Seed the health registry so reports cover targets that never
+        // see an event (a target absent from the registry would read as
+        // "unknown" rather than healthy-but-idle).
+        let health = offload.backend().metrics().health().clone();
+        for &t in &healthy {
+            health.register(t.0);
+        }
         Ok(Self {
             offload,
             policy,
+            targets: healthy.clone(),
             state: Mutex::new(PoolState { healthy, cursor: 0 }),
         })
+    }
+
+    /// Every target the pool was built over, including evicted ones.
+    pub fn targets(&self) -> &[NodeId] {
+        &self.targets
+    }
+
+    /// Snapshot the backend's metric registers scoped to this pool:
+    /// the aggregate plus a per-target breakdown covering all
+    /// configured targets (evicted ones keep their final registers).
+    pub fn metrics_snapshot(&self) -> PoolMetricsSnapshot {
+        let backend = self.offload.backend().metrics().snapshot();
+        let targets = backend
+            .per_node
+            .iter()
+            .filter(|n| self.targets.iter().any(|t| t.0 == n.node))
+            .cloned()
+            .collect();
+        PoolMetricsSnapshot { backend, targets }
+    }
+
+    /// Aggregate per-target health: registry state, channel occupancy,
+    /// credit utilization, and the latency register, plus the backend's
+    /// structured event log. Covers every configured target, evicted
+    /// ones included.
+    pub fn health_report(&self) -> HealthReport {
+        let backend = self.offload.backend();
+        let health = backend.metrics().health();
+        let snap = backend.metrics().snapshot();
+        let targets = self
+            .targets
+            .iter()
+            .map(|&t| {
+                let (in_flight, bytes_in_flight, credit_limit) = backend
+                    .channel(t)
+                    .map(|c| (c.in_flight(), c.bytes_in_flight(), c.credit_limit()))
+                    .unwrap_or((0, 0, 0));
+                let per_node = snap.per_node.iter().find(|n| n.node == t.0);
+                TargetHealth {
+                    node: t,
+                    state: health.state(t.0).unwrap_or(TargetState::Healthy),
+                    in_flight,
+                    bytes_in_flight,
+                    credit_limit,
+                    credit_utilization: if credit_limit == 0 {
+                        0.0
+                    } else {
+                        in_flight as f64 / credit_limit as f64
+                    },
+                    completions: per_node.map_or(0, |n| n.completions),
+                    latency_ewma_ns: per_node.map_or(f64::NAN, |n| n.ewma_ns),
+                    latency_p50: per_node.and_then(|n| n.latency_hist.percentile(50.0)),
+                    latency_p99: per_node.and_then(|n| n.latency_hist.percentile(99.0)),
+                }
+            })
+            .collect();
+        HealthReport {
+            targets,
+            events: health.events(),
+        }
     }
 
     /// The placement policy this pool runs.
@@ -246,7 +410,14 @@ impl TargetPool {
                         continue;
                     }
                     let ewma = metrics.latency_ewma(t.0).unwrap_or(min_ewma);
-                    let score = (load as f64 + 1.0) * ewma;
+                    // Expected queue delay: queued messages (plus the
+                    // candidate itself) scaled by the per-message
+                    // latency estimate, with bytes in flight folded in
+                    // as equivalent queued messages so a target digesting
+                    // large frames is not mistaken for an idle one.
+                    let queued =
+                        load as f64 + 1.0 + chan.bytes_in_flight() as f64 / WEIGHT_BYTES_PER_MSG;
+                    let score = queued * ewma;
                     if best.is_none_or(|(b, _)| score < b) {
                         best = Some((score, t));
                     }
@@ -372,6 +543,16 @@ impl TargetPool {
                 .submit_raw(target, fut.key, &fut.payload, fut.decode)
             {
                 Ok(inner) => {
+                    // Record the failover in the health log with the
+                    // *new* attempt's correlation id, so the event links
+                    // to the span tree of the resubmission that landed.
+                    let backend = self.offload.backend();
+                    backend.metrics().health().record(
+                        target.0,
+                        HealthEventKind::Failover,
+                        inner.offload_id().0,
+                        backend.host_clock().now().as_ps(),
+                    );
                     fut.target = target;
                     fut.inner = Some(inner);
                     fut.resubmits += 1;
@@ -581,7 +762,7 @@ mod tests {
         let load = |n: u16| {
             b.channel(NodeId(n))
                 .unwrap()
-                .try_reserve(false, 0, SimTime::ZERO)
+                .try_reserve(false, 0, SimTime::ZERO, 0)
         };
         load(1);
         load(1);

@@ -30,14 +30,17 @@ pub mod metrics;
 pub mod model;
 pub mod resource;
 pub mod rng;
+pub mod slo;
 pub mod stats;
 pub mod time;
 pub mod trace;
 
+pub use aurora_telemetry::{HealthEvent, HealthEventKind, HealthRegistry, TargetState};
 pub use clock::Clock;
 pub use fault::{FaultEvent, FaultKind, FaultPlan, FaultSite};
-pub use metrics::{BackendMetrics, MetricsSnapshot};
+pub use metrics::{BackendMetrics, MetricsSnapshot, NodeMetricsSnapshot};
 pub use model::{LinkModel, SegmentedModel, TransferCost};
 pub use resource::Timeline;
+pub use slo::{SloReport, SloSpec};
 pub use stats::{Histogram, OnlineStats, Sampler};
 pub use time::SimTime;

@@ -5,15 +5,90 @@
 //! allocate/free), so all four backends are measured identically and for
 //! free — counters are single relaxed atomics (see
 //! [`aurora_telemetry::metrics`]) and stay on even when no trace session
-//! is recording. [`BackendMetrics::snapshot`] returns a plain-data
-//! [`MetricsSnapshot`] with derived statistics (offload latency
-//! mean/stddev and a log₂ histogram, payload size distribution).
+//! is recording. The latency registers are always-on lock-free log₂
+//! histograms ([`aurora_telemetry::AtomicHistogram`]): offload
+//! completion latency (aggregate and per target), batch flush latency,
+//! and retry/backoff delay, all in virtual time. Each backend also owns
+//! a [`HealthRegistry`] its targets register with.
+//!
+//! [`BackendMetrics::snapshot`] returns a plain-data [`MetricsSnapshot`]
+//! with derived statistics, renderable as text ([`MetricsSnapshot::render`]),
+//! Prometheus exposition text ([`MetricsSnapshot::to_prometheus_text`]) or
+//! JSON ([`MetricsSnapshot::to_json`]).
 
 use crate::stats::{Histogram, OnlineStats};
 use crate::time::SimTime;
-use aurora_telemetry::{Counter, Gauge};
+use aurora_telemetry::{AtomicHistogram, Counter, Gauge, HealthRegistry};
 use parking_lot::Mutex;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Targets that get their own completion-latency register. Node ids at
+/// or past the cap share the last register — harmless for this
+/// simulation (at most 8 VEs + the host) and it keeps the hot path a
+/// bounds-checked array index instead of a map lookup.
+pub const MAX_TRACKED_NODES: usize = 64;
+
+/// Smoothing factor of the per-node latency EWMA: each completion moves
+/// the estimate 20% toward the new sample.
+const LATENCY_EWMA_ALPHA: f64 = 0.2;
+
+/// Sentinel bit pattern for "no EWMA sample yet". The pattern is a NaN,
+/// which an EWMA of finite samples can never produce.
+const EWMA_UNSET: u64 = u64::MAX;
+
+/// Per-target completion-latency register: log₂ histogram, EWMA and
+/// completion count, all lock-free and preallocated so the warm
+/// completion path never touches the heap.
+#[derive(Debug)]
+struct NodeRegister {
+    hist: AtomicHistogram,
+    /// `f64` bits of the EWMA in ns; [`EWMA_UNSET`] before the first
+    /// sample.
+    ewma_bits: AtomicU64,
+    completions: Counter,
+}
+
+impl NodeRegister {
+    const fn new() -> Self {
+        NodeRegister {
+            hist: AtomicHistogram::new(),
+            ewma_bits: AtomicU64::new(EWMA_UNSET),
+            completions: Counter::new(),
+        }
+    }
+
+    #[inline]
+    fn record(&self, latency: SimTime) {
+        self.hist.record_ps(latency.as_ps());
+        self.completions.incr();
+        let sample = latency.as_ns_f64();
+        let mut cur = self.ewma_bits.load(Ordering::Relaxed);
+        loop {
+            let next = if cur == EWMA_UNSET {
+                sample // first sample seeds the estimate
+            } else {
+                let e = f64::from_bits(cur);
+                e + LATENCY_EWMA_ALPHA * (sample - e)
+            };
+            match self.ewma_bits.compare_exchange_weak(
+                cur,
+                next.to_bits(),
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    fn ewma(&self) -> Option<f64> {
+        let bits = self.ewma_bits.load(Ordering::Relaxed);
+        (bits != EWMA_UNSET).then(|| f64::from_bits(bits))
+    }
+}
 
 /// Live metric registers of one backend instance.
 #[derive(Debug)]
@@ -40,17 +115,23 @@ pub struct BackendMetrics {
     payload: Mutex<OnlineStats>,
     batch_occupancy: Mutex<OnlineStats>,
     latency: Mutex<OnlineStats>,
-    latency_hist: Mutex<Histogram>,
-    /// Per-target EWMA of completion latency (ns) — feeds the
-    /// scheduler's `WeightedByLatency` policy.
-    node_latency: Mutex<HashMap<u16, f64>>,
+    /// Aggregate offload completion latency (post → result, virtual
+    /// time).
+    latency_hist: AtomicHistogram,
+    /// Batch flush latency: first stage → frame handed to the
+    /// transport.
+    flush_hist: AtomicHistogram,
+    /// Post → recovery-policy re-send delay, one sample per re-sent
+    /// frame.
+    retry_hist: AtomicHistogram,
+    /// Per-target completion-latency registers — the single source of
+    /// truth the scheduler's `WeightedByLatency` policy reads.
+    nodes: Vec<NodeRegister>,
+    /// Per-target health state + structured event log.
+    health: Arc<HealthRegistry>,
     /// `(node, addr) → bytes`, to credit frees against the live gauge.
     allocations: Mutex<HashMap<(u16, u64), u64>>,
 }
-
-/// Smoothing factor of the per-node latency EWMA: each completion moves
-/// the estimate 20% toward the new sample.
-const LATENCY_EWMA_ALPHA: f64 = 0.2;
 
 impl Default for BackendMetrics {
     fn default() -> Self {
@@ -82,10 +163,27 @@ impl BackendMetrics {
             payload: Mutex::new(OnlineStats::new()),
             batch_occupancy: Mutex::new(OnlineStats::new()),
             latency: Mutex::new(OnlineStats::new()),
-            latency_hist: Mutex::new(Histogram::new()),
-            node_latency: Mutex::new(HashMap::new()),
+            latency_hist: AtomicHistogram::new(),
+            flush_hist: AtomicHistogram::new(),
+            retry_hist: AtomicHistogram::new(),
+            nodes: (0..MAX_TRACKED_NODES)
+                .map(|_| NodeRegister::new())
+                .collect(),
+            health: Arc::new(HealthRegistry::new()),
             allocations: Mutex::new(HashMap::new()),
         }
+    }
+
+    #[inline]
+    fn node_register(&self, node: u16) -> &NodeRegister {
+        &self.nodes[(node as usize).min(MAX_TRACKED_NODES - 1)]
+    }
+
+    /// The backend's health registry: per-target state and the
+    /// structured event log. Backends register their targets here at
+    /// spawn; fault paths record events.
+    pub fn health(&self) -> &Arc<HealthRegistry> {
+        &self.health
     }
 
     /// An offload message of `payload_bytes` was posted.
@@ -132,30 +230,40 @@ impl BackendMetrics {
         self.evictions.incr();
     }
 
+    /// A batch (or single-message frame) was flushed `delay` of virtual
+    /// time after its first member was staged.
+    pub fn on_flush(&self, delay: SimTime) {
+        self.flush_hist.record_ps(delay.as_ps());
+    }
+
+    /// A recovery re-send fired `delay` of virtual time after the
+    /// offload was posted (the retry/backoff delay distribution).
+    pub fn on_retry_delay(&self, delay: SimTime) {
+        self.retry_hist.record_ps(delay.as_ps());
+    }
+
     /// An offload completed after `latency` of virtual time post→result.
     pub fn on_complete(&self, latency: SimTime) {
         self.completions.incr();
         self.inflight.add(-1);
         self.latency.lock().record_time(latency);
-        self.latency_hist.lock().record(latency);
+        self.latency_hist.record_ps(latency.as_ps());
     }
 
     /// [`Self::on_complete`] attributed to the target `node` that served
-    /// the offload — also updates the per-node latency EWMA the
-    /// scheduler's latency-weighted policy reads.
+    /// the offload — also feeds the per-target register (histogram +
+    /// EWMA) the scheduler's latency-weighted policy reads.
     pub fn on_complete_on(&self, node: u16, latency: SimTime) {
         self.on_complete(latency);
-        let sample = latency.as_ns_f64();
-        let mut map = self.node_latency.lock();
-        map.entry(node)
-            .and_modify(|e| *e += LATENCY_EWMA_ALPHA * (sample - *e))
-            .or_insert(sample);
+        self.node_register(node).record(latency);
     }
 
     /// The EWMA completion latency (ns) of offloads served by `node`,
-    /// or `None` before its first completion.
+    /// or `None` before its first completion. Derived from the same
+    /// per-target register as [`MetricsSnapshot::per_node`], and
+    /// lock-free.
     pub fn latency_ewma(&self, node: u16) -> Option<f64> {
-        self.node_latency.lock().get(&node).copied()
+        self.node_register(node).ewma()
     }
 
     /// `put` moved `bytes` host → target.
@@ -187,6 +295,18 @@ impl BackendMetrics {
 
     /// Copy the registers into a plain-data snapshot.
     pub fn snapshot(&self) -> MetricsSnapshot {
+        let per_node: Vec<NodeMetricsSnapshot> = self
+            .nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.completions.get() > 0)
+            .map(|(n, r)| NodeMetricsSnapshot {
+                node: n as u16,
+                completions: r.completions.get(),
+                ewma_ns: r.ewma().unwrap_or(0.0),
+                latency_hist: Histogram::from_buckets(r.hist.snapshot()),
+            })
+            .collect();
         MetricsSnapshot {
             posts: self.posts.get(),
             frames_sent: self.frames.get(),
@@ -210,19 +330,26 @@ impl BackendMetrics {
             payload_bytes: self.payload.lock().clone(),
             batch_occupancy: self.batch_occupancy.lock().clone(),
             latency: self.latency.lock().clone(),
-            latency_hist: self.latency_hist.lock().clone(),
-            node_latency_ewma: {
-                let mut v: Vec<(u16, f64)> = self
-                    .node_latency
-                    .lock()
-                    .iter()
-                    .map(|(n, e)| (*n, *e))
-                    .collect();
-                v.sort_unstable_by_key(|(n, _)| *n);
-                v
-            },
+            latency_hist: Histogram::from_buckets(self.latency_hist.snapshot()),
+            flush_hist: Histogram::from_buckets(self.flush_hist.snapshot()),
+            retry_hist: Histogram::from_buckets(self.retry_hist.snapshot()),
+            node_latency_ewma: per_node.iter().map(|n| (n.node, n.ewma_ns)).collect(),
+            per_node,
         }
     }
+}
+
+/// One target's slice of a [`MetricsSnapshot`].
+#[derive(Clone, Debug)]
+pub struct NodeMetricsSnapshot {
+    /// The target node.
+    pub node: u16,
+    /// Offloads this target completed.
+    pub completions: u64,
+    /// EWMA completion latency (ns).
+    pub ewma_ns: f64,
+    /// Log₂ histogram of this target's completion latencies.
+    pub latency_hist: Histogram,
 }
 
 /// Point-in-time copy of a backend's metrics.
@@ -275,11 +402,62 @@ pub struct MetricsSnapshot {
     pub batch_occupancy: OnlineStats,
     /// Offload latency distribution (recorded in nanoseconds).
     pub latency: OnlineStats,
-    /// Log₂ histogram of offload latencies.
+    /// Log₂ histogram of offload completion latencies (ps buckets).
     pub latency_hist: Histogram,
+    /// Log₂ histogram of batch flush latencies (first stage → send).
+    pub flush_hist: Histogram,
+    /// Log₂ histogram of retry/backoff delays (post → re-send).
+    pub retry_hist: Histogram,
+    /// Per-target registers, sorted by node id (only targets with at
+    /// least one completion appear).
+    pub per_node: Vec<NodeMetricsSnapshot>,
     /// Per-target latency EWMA (ns), sorted by node id. Not rendered —
     /// scheduler food, surfaced here for tests and tooling.
     pub node_latency_ewma: Vec<(u16, f64)>,
+}
+
+/// Append one Prometheus counter sample (with its `# TYPE` line).
+fn prom_counter(out: &mut String, name: &str, v: u64) {
+    out.push_str(&format!("# TYPE {name} counter\n{name} {v}\n"));
+}
+
+/// Append one Prometheus gauge sample (with its `# TYPE` line).
+fn prom_gauge(out: &mut String, name: &str, v: i64) {
+    out.push_str(&format!("# TYPE {name} gauge\n{name} {v}\n"));
+}
+
+/// Append a log₂ histogram as cumulative `_bucket` samples. Bucket `i`
+/// covers `[2^i, 2^(i+1))` ps, so its `le` bound is `2^(i+1)` ps;
+/// buckets past the last non-empty one collapse into `+Inf`.
+fn prom_hist(out: &mut String, name: &str, h: &Histogram) {
+    out.push_str(&format!("# TYPE {name} histogram\n"));
+    if let Some(last) = h.buckets().iter().rposition(|&c| c > 0) {
+        let mut cum = 0u64;
+        for (i, &c) in h.buckets().iter().enumerate().take(last + 1) {
+            cum += c;
+            let le = 1u128 << (i + 1);
+            out.push_str(&format!("{name}_bucket{{le=\"{le}\"}} {cum}\n"));
+        }
+    }
+    let n = h.count();
+    out.push_str(&format!(
+        "{name}_bucket{{le=\"+Inf\"}} {n}\n{name}_count {n}\n"
+    ));
+}
+
+/// Append a histogram as a JSON array of `[bucket_floor_ps, count]`
+/// pairs (non-empty buckets only).
+fn json_hist(out: &mut String, h: &Histogram) {
+    out.push('[');
+    let mut first = true;
+    for (floor, count) in h.nonzero() {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(&format!("[{},{}]", floor.as_ps(), count));
+    }
+    out.push(']');
 }
 
 impl MetricsSnapshot {
@@ -343,6 +521,148 @@ impl MetricsSnapshot {
                 line(&format!("  latency ≥ {floor}"), count.to_string());
             }
         }
+        out
+    }
+
+    /// Prometheus text exposition (version 0.0.4) of every register.
+    ///
+    /// Counters end in `_total`, latency histograms are cumulative
+    /// `_bucket` series with `le` bounds in **picoseconds** (powers of
+    /// two — the registers are log₂), per-target series carry a
+    /// `node="N"` label. The format is pinned by
+    /// `tests/exposition_golden.rs`; extend it, don't reshape it.
+    pub fn to_prometheus_text(&self) -> String {
+        let mut out = String::new();
+        prom_counter(&mut out, "aurora_posts_total", self.posts);
+        prom_counter(&mut out, "aurora_frames_sent_total", self.frames_sent);
+        prom_counter(&mut out, "aurora_msgs_sent_total", self.msgs_sent);
+        prom_counter(&mut out, "aurora_polls_total", self.polls);
+        prom_counter(&mut out, "aurora_poll_misses_total", self.retries);
+        prom_counter(&mut out, "aurora_resends_total", self.resends);
+        prom_counter(&mut out, "aurora_timeouts_total", self.timeouts);
+        prom_counter(&mut out, "aurora_evictions_total", self.evictions);
+        prom_counter(&mut out, "aurora_completions_total", self.completions);
+        prom_counter(&mut out, "aurora_puts_total", self.puts);
+        prom_counter(&mut out, "aurora_gets_total", self.gets);
+        prom_counter(&mut out, "aurora_bytes_put_total", self.bytes_put);
+        prom_counter(&mut out, "aurora_bytes_get_total", self.bytes_get);
+        prom_counter(&mut out, "aurora_allocs_total", self.allocs);
+        prom_counter(&mut out, "aurora_frees_total", self.frees);
+        prom_gauge(&mut out, "aurora_inflight", self.inflight);
+        prom_gauge(&mut out, "aurora_inflight_peak", self.inflight_peak);
+        prom_gauge(&mut out, "aurora_alloc_bytes_live", self.alloc_bytes_live);
+        prom_gauge(&mut out, "aurora_alloc_bytes_peak", self.alloc_bytes_peak);
+        prom_hist(&mut out, "aurora_completion_latency_ps", &self.latency_hist);
+        prom_hist(&mut out, "aurora_flush_latency_ps", &self.flush_hist);
+        prom_hist(&mut out, "aurora_retry_delay_ps", &self.retry_hist);
+        if !self.per_node.is_empty() {
+            out.push_str("# TYPE aurora_target_completions_total counter\n");
+            for n in &self.per_node {
+                out.push_str(&format!(
+                    "aurora_target_completions_total{{node=\"{}\"}} {}\n",
+                    n.node, n.completions
+                ));
+            }
+            out.push_str("# TYPE aurora_target_latency_ewma_ns gauge\n");
+            for n in &self.per_node {
+                out.push_str(&format!(
+                    "aurora_target_latency_ewma_ns{{node=\"{}\"}} {:.3}\n",
+                    n.node, n.ewma_ns
+                ));
+            }
+            for (name, p) in [
+                ("aurora_target_latency_p50_ps", 50.0),
+                ("aurora_target_latency_p99_ps", 99.0),
+            ] {
+                out.push_str(&format!("# TYPE {name} gauge\n"));
+                for n in &self.per_node {
+                    let v = n.latency_hist.percentile(p).map_or(0, |t| t.as_ps());
+                    out.push_str(&format!("{name}{{node=\"{}\"}} {v}\n", n.node));
+                }
+            }
+        }
+        out
+    }
+
+    /// JSON exposition of every register. Histograms are arrays of
+    /// `[bucket_floor_ps, count]` pairs; floats are fixed to three
+    /// decimals so the output is byte-stable for golden tests.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"counters\": {");
+        for (i, (name, v)) in [
+            ("posts", self.posts),
+            ("frames_sent", self.frames_sent),
+            ("msgs_sent", self.msgs_sent),
+            ("polls", self.polls),
+            ("poll_misses", self.retries),
+            ("resends", self.resends),
+            ("timeouts", self.timeouts),
+            ("evictions", self.evictions),
+            ("completions", self.completions),
+            ("puts", self.puts),
+            ("gets", self.gets),
+            ("bytes_put", self.bytes_put),
+            ("bytes_get", self.bytes_get),
+            ("allocs", self.allocs),
+            ("frees", self.frees),
+        ]
+        .iter()
+        .enumerate()
+        {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{name}\": {v}"));
+        }
+        out.push_str("},\n  \"gauges\": {");
+        for (i, (name, v)) in [
+            ("inflight", self.inflight),
+            ("inflight_peak", self.inflight_peak),
+            ("alloc_bytes_live", self.alloc_bytes_live),
+            ("alloc_bytes_peak", self.alloc_bytes_peak),
+        ]
+        .iter()
+        .enumerate()
+        {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{name}\": {v}"));
+        }
+        let (mean, min, max) = if self.latency.count() == 0 {
+            (0.0, 0.0, 0.0)
+        } else {
+            (self.latency.mean(), self.latency.min(), self.latency.max())
+        };
+        out.push_str(&format!(
+            "}},\n  \"latency_ns\": {{\"count\": {}, \"mean\": {:.3}, \"min\": {:.3}, \"max\": {:.3}}},\n",
+            self.latency.count(),
+            mean,
+            min,
+            max
+        ));
+        out.push_str("  \"completion_latency_ps\": ");
+        json_hist(&mut out, &self.latency_hist);
+        out.push_str(",\n  \"flush_latency_ps\": ");
+        json_hist(&mut out, &self.flush_hist);
+        out.push_str(",\n  \"retry_delay_ps\": ");
+        json_hist(&mut out, &self.retry_hist);
+        out.push_str(",\n  \"targets\": [");
+        for (i, n) in self.per_node.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{\"node\": {}, \"completions\": {}, \"ewma_ns\": {:.3}, \"latency_ps\": ",
+                n.node, n.completions, n.ewma_ns
+            ));
+            json_hist(&mut out, &n.latency_hist);
+            out.push('}');
+        }
+        if !self.per_node.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("]\n}\n");
         out
     }
 }
@@ -442,16 +762,82 @@ mod tests {
     }
 
     #[test]
-    fn render_mentions_key_registers() {
+    fn per_node_registers_sum_to_aggregate() {
+        let m = BackendMetrics::new();
+        for (node, us) in [(1, 10), (1, 20), (2, 5), (2, 40)] {
+            m.on_post(8);
+            m.on_complete_on(node, SimTime::from_us(us));
+        }
+        let s = m.snapshot();
+        assert_eq!(s.per_node.len(), 2);
+        let summed: u64 = s.per_node.iter().map(|n| n.completions).sum();
+        assert_eq!(summed, s.completions);
+        let mut merged = Histogram::new();
+        for n in &s.per_node {
+            merged.merge(&n.latency_hist);
+        }
+        assert_eq!(merged.buckets(), s.latency_hist.buckets());
+        // Per-node percentiles come from the same buckets: node 1's
+        // median lands in the 10 µs sample's bucket.
+        let b10 = 63 - SimTime::from_us(10).as_ps().leading_zeros();
+        assert_eq!(
+            s.per_node[0].latency_hist.percentile(50.0),
+            Some(SimTime::from_ps(1u64 << b10))
+        );
+    }
+
+    #[test]
+    fn flush_and_retry_histograms_record() {
+        let m = BackendMetrics::new();
+        m.on_flush(SimTime::from_ns(100));
+        m.on_flush(SimTime::from_us(3));
+        m.on_retry_delay(SimTime::from_us(50));
+        let s = m.snapshot();
+        assert_eq!(s.flush_hist.count(), 2);
+        assert_eq!(s.retry_hist.count(), 1);
+    }
+
+    #[test]
+    fn prometheus_text_is_parseable_shape() {
         let m = BackendMetrics::new();
         m.on_post(64);
-        m.on_complete(SimTime::from_us(6));
-        let text = m.snapshot().render();
-        assert!(text.contains("posts"));
-        assert!(text.contains("offload latency"));
-        assert!(
-            text.contains("6.000 us") || text.contains("mean 6.000"),
-            "{text}"
+        m.on_complete_on(1, SimTime::from_us(6));
+        let text = m.snapshot().to_prometheus_text();
+        assert!(text.contains("# TYPE aurora_posts_total counter"));
+        assert!(text.contains("aurora_posts_total 1"));
+        assert!(text.contains("aurora_completion_latency_ps_bucket{le=\"+Inf\"} 1"));
+        assert!(text.contains("aurora_target_completions_total{node=\"1\"} 1"));
+        assert!(text.contains("aurora_target_latency_ewma_ns{node=\"1\"} 6000.000"));
+        // Every sample line is "name[{labels}] value".
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            assert_eq!(line.split_whitespace().count(), 2, "bad line: {line}");
+        }
+    }
+
+    #[test]
+    fn json_is_valid_and_carries_registers() {
+        let m = BackendMetrics::new();
+        m.on_post(64);
+        m.on_complete_on(1, SimTime::from_us(6));
+        let doc = m.snapshot().to_json();
+        let v = aurora_telemetry::json::parse(&doc).expect("valid json");
+        assert_eq!(
+            v.get("counters").unwrap().get("posts").unwrap().as_u64(),
+            Some(1)
         );
+        let targets = v.get("targets").unwrap().as_array().unwrap();
+        assert_eq!(targets[0].get("node").unwrap().as_u64(), Some(1));
+        assert_eq!(targets[0].get("ewma_ns").unwrap().as_f64(), Some(6000.0));
+    }
+
+    #[test]
+    fn health_registry_is_per_backend() {
+        use aurora_telemetry::{HealthEventKind, TargetState};
+        let a = BackendMetrics::new();
+        let b = BackendMetrics::new();
+        a.health().register(1);
+        a.health().record(1, HealthEventKind::Eviction, 0, 0);
+        assert_eq!(a.health().state(1), Some(TargetState::Evicted));
+        assert_eq!(b.health().state(1), None, "registries are independent");
     }
 }

@@ -200,9 +200,50 @@ impl Histogram {
         self.count += 1;
     }
 
+    /// A histogram from a plain bucket array (e.g. an
+    /// `AtomicHistogram` snapshot).
+    pub fn from_buckets(buckets: [u64; 64]) -> Self {
+        Self {
+            count: buckets.iter().sum(),
+            buckets: buckets.to_vec(),
+        }
+    }
+
     /// Number of samples.
     pub fn count(&self) -> u64 {
         self.count
+    }
+
+    /// The raw buckets (`buckets[i]` counts `[2^i, 2^(i+1))` ps).
+    pub fn buckets(&self) -> &[u64] {
+        &self.buckets
+    }
+
+    /// Nearest-rank percentile `p` in [0, 100], resolved to the
+    /// *floor* of the bucket the rank lands in (log₂ resolution).
+    /// `None` if empty.
+    pub fn percentile(&self, p: f64) -> Option<SimTime> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((p / 100.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Some(SimTime::from_ps(1u64 << i));
+            }
+        }
+        // p > 100 lands past the last sample; report the top bucket.
+        self.nonzero().last().map(|(floor, _)| floor)
+    }
+
+    /// Add another histogram's counts into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (b, o) in self.buckets.iter_mut().zip(&other.buckets) {
+            *b += o;
+        }
+        self.count += other.count;
     }
 
     /// Iterate non-empty buckets as `(bucket_floor, count)`.
@@ -293,6 +334,40 @@ mod tests {
         assert!(buckets.contains(&(SimTime::from_ps(1), 2))); // 0 and 1
         assert!(buckets.contains(&(SimTime::from_ps(2), 1))); // 3
         assert!(buckets.contains(&(SimTime::from_ps(1024), 1)));
+    }
+
+    #[test]
+    fn histogram_percentiles_are_bucket_floors() {
+        let mut h = Histogram::new();
+        // 90 samples in bucket 10 (1024 ps), 10 in bucket 20.
+        for _ in 0..90 {
+            h.record(SimTime::from_ps(1500));
+        }
+        for _ in 0..10 {
+            h.record(SimTime::from_ps(1 << 20));
+        }
+        assert_eq!(h.percentile(50.0), Some(SimTime::from_ps(1 << 10)));
+        assert_eq!(h.percentile(90.0), Some(SimTime::from_ps(1 << 10)));
+        assert_eq!(h.percentile(99.0), Some(SimTime::from_ps(1 << 20)));
+        assert_eq!(h.percentile(100.0), Some(SimTime::from_ps(1 << 20)));
+        assert_eq!(Histogram::new().percentile(50.0), None);
+    }
+
+    #[test]
+    fn histogram_from_buckets_and_merge() {
+        let mut buckets = [0u64; 64];
+        buckets[3] = 5;
+        buckets[63] = 1;
+        let h = Histogram::from_buckets(buckets);
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.buckets()[3], 5);
+
+        let mut a = Histogram::new();
+        a.record(SimTime::from_ps(8));
+        a.merge(&h);
+        assert_eq!(a.count(), 7);
+        assert_eq!(a.buckets()[3], 6);
+        assert_eq!(a.buckets()[63], 1);
     }
 
     #[test]

@@ -1,0 +1,262 @@
+//! Per-target health aggregation and the structured event log.
+//!
+//! Every backend owns a [`HealthRegistry`]; each target registers at
+//! spawn and the runtime records lifecycle events (fault injected,
+//! retry, timeout, eviction, failover, reconnect) as they happen. The
+//! registry derives a coarse [`TargetState`] per target from those
+//! events and keeps a bounded ring of [`HealthEvent`]s for the SLO
+//! evaluator and the health report.
+//!
+//! Events carry a *correlation id* (`corr`): the offload id the event
+//! belongs to, the same id that rides the wire header's `corr` field
+//! and tags flight-recorder spans — so an eviction in the event log can
+//! be lined up with the spans of the offload that triggered it.
+//!
+//! Times are raw `u64` picoseconds of virtual time, like everything
+//! else in this crate. Recording takes one short mutex (the event log
+//! is not on the warm offload completion path — only fault-handling
+//! paths record events, and those already hold the channel lock).
+
+use parking_lot::Mutex;
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Upper bound on retained events; older events are dropped (counted by
+/// [`HealthRegistry::dropped`]) so a long soak cannot grow without
+/// bound.
+pub const MAX_HEALTH_EVENTS: usize = 4096;
+
+/// Coarse per-target health, derived from the event stream.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TargetState {
+    /// Registered, no trouble observed since the last reconnect.
+    Healthy,
+    /// Saw a fault or retried a frame but is still serving.
+    Degraded,
+    /// Removed from service; pending work was failed over or failed.
+    Evicted,
+}
+
+impl TargetState {
+    /// Stable lower-case name, used by the exposition surfaces.
+    pub fn name(self) -> &'static str {
+        match self {
+            TargetState::Healthy => "healthy",
+            TargetState::Degraded => "degraded",
+            TargetState::Evicted => "evicted",
+        }
+    }
+}
+
+/// What happened to a target.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum HealthEventKind {
+    /// A fault was deliberately injected (e.g. `kill_target`).
+    FaultInjected,
+    /// The recovery policy re-sent a frame.
+    Retry,
+    /// An offload exhausted its retries.
+    Timeout,
+    /// The target was evicted; its pending entries were failed.
+    Eviction,
+    /// The scheduler re-submitted unsent work to a survivor.
+    Failover,
+    /// The target came back into service.
+    Reconnect,
+}
+
+impl HealthEventKind {
+    /// Stable lower-case name, used by the exposition surfaces.
+    pub fn name(self) -> &'static str {
+        match self {
+            HealthEventKind::FaultInjected => "fault_injected",
+            HealthEventKind::Retry => "retry",
+            HealthEventKind::Timeout => "timeout",
+            HealthEventKind::Eviction => "eviction",
+            HealthEventKind::Failover => "failover",
+            HealthEventKind::Reconnect => "reconnect",
+        }
+    }
+}
+
+/// One entry in the structured event log.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HealthEvent {
+    /// Position in the registry's total event stream (0-based, counts
+    /// dropped events too) — a stable ordering key.
+    pub ordinal: u64,
+    /// The target the event concerns.
+    pub node: u16,
+    /// What happened.
+    pub kind: HealthEventKind,
+    /// Offload correlation id (0 when the event is not tied to one
+    /// offload, e.g. an injected kill). Matches the flight recorder's
+    /// `OffloadId` and the wire header's `corr` field.
+    pub corr: u64,
+    /// Virtual time of the event, raw picoseconds.
+    pub at_ps: u64,
+}
+
+/// Aggregates per-target state and the bounded event log.
+///
+/// One registry per backend (handed out by `BackendMetrics::health()`
+/// in `sim-core`), not process-global: tests and multi-backend
+/// processes each see only their own targets.
+#[derive(Debug, Default)]
+pub struct HealthRegistry {
+    // BTreeMap so iteration order — and therefore every report — is
+    // sorted by node id, independent of registration order.
+    states: Mutex<BTreeMap<u16, TargetState>>,
+    events: Mutex<VecDeque<HealthEvent>>,
+    ordinal: AtomicU64,
+    dropped: AtomicU64,
+}
+
+impl HealthRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register `node` as [`TargetState::Healthy`]. Idempotent; called
+    /// by every backend at spawn for each of its targets.
+    pub fn register(&self, node: u16) {
+        self.states
+            .lock()
+            .entry(node)
+            .or_insert(TargetState::Healthy);
+    }
+
+    /// Record an event and update the target's derived state.
+    ///
+    /// `Retry`/`Timeout`/`FaultInjected` degrade a healthy target,
+    /// `Eviction` evicts it, `Reconnect` restores it to healthy;
+    /// `Failover` describes the *survivor* receiving work and does not
+    /// change its state.
+    pub fn record(&self, node: u16, kind: HealthEventKind, corr: u64, at_ps: u64) {
+        {
+            let mut states = self.states.lock();
+            let state = states.entry(node).or_insert(TargetState::Healthy);
+            match kind {
+                HealthEventKind::FaultInjected
+                | HealthEventKind::Retry
+                | HealthEventKind::Timeout => {
+                    if *state == TargetState::Healthy {
+                        *state = TargetState::Degraded;
+                    }
+                }
+                HealthEventKind::Eviction => *state = TargetState::Evicted,
+                HealthEventKind::Reconnect => *state = TargetState::Healthy,
+                HealthEventKind::Failover => {}
+            }
+        }
+        let ordinal = self.ordinal.fetch_add(1, Ordering::Relaxed);
+        let mut events = self.events.lock();
+        if events.len() == MAX_HEALTH_EVENTS {
+            events.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        events.push_back(HealthEvent {
+            ordinal,
+            node,
+            kind,
+            corr,
+            at_ps,
+        });
+    }
+
+    /// Current state of `node`, if registered (or mentioned by an
+    /// event).
+    pub fn state(&self, node: u16) -> Option<TargetState> {
+        self.states.lock().get(&node).copied()
+    }
+
+    /// Every known target and its state, sorted by node id.
+    pub fn states(&self) -> Vec<(u16, TargetState)> {
+        self.states.lock().iter().map(|(&n, &s)| (n, s)).collect()
+    }
+
+    /// The retained event log, oldest first.
+    pub fn events(&self) -> Vec<HealthEvent> {
+        self.events.lock().iter().copied().collect()
+    }
+
+    /// Retained events concerning `node`, oldest first.
+    pub fn events_for(&self, node: u16) -> Vec<HealthEvent> {
+        self.events
+            .lock()
+            .iter()
+            .filter(|e| e.node == node)
+            .copied()
+            .collect()
+    }
+
+    /// Events discarded because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_then_degrade_evict_reconnect() {
+        let r = HealthRegistry::new();
+        r.register(1);
+        r.register(2);
+        assert_eq!(r.state(1), Some(TargetState::Healthy));
+
+        r.record(1, HealthEventKind::Retry, 7, 100);
+        assert_eq!(r.state(1), Some(TargetState::Degraded));
+        r.record(1, HealthEventKind::Eviction, 7, 200);
+        assert_eq!(r.state(1), Some(TargetState::Evicted));
+        // Once evicted, a retry does not un-evict.
+        r.record(1, HealthEventKind::Retry, 8, 250);
+        assert_eq!(r.state(1), Some(TargetState::Evicted));
+        r.record(1, HealthEventKind::Reconnect, 0, 300);
+        assert_eq!(r.state(1), Some(TargetState::Healthy));
+        // Node 2 was never touched.
+        assert_eq!(r.state(2), Some(TargetState::Healthy));
+
+        let evs = r.events();
+        assert_eq!(evs.len(), 4);
+        assert_eq!(evs[0].kind, HealthEventKind::Retry);
+        assert_eq!(evs[0].corr, 7);
+        assert!(evs.windows(2).all(|w| w[0].ordinal < w[1].ordinal));
+        assert_eq!(r.events_for(2), vec![]);
+    }
+
+    #[test]
+    fn failover_event_leaves_survivor_state_alone() {
+        let r = HealthRegistry::new();
+        r.register(2);
+        r.record(2, HealthEventKind::Failover, 9, 500);
+        assert_eq!(r.state(2), Some(TargetState::Healthy));
+        assert_eq!(r.events_for(2).len(), 1);
+    }
+
+    #[test]
+    fn event_ring_is_bounded() {
+        let r = HealthRegistry::new();
+        for i in 0..(MAX_HEALTH_EVENTS as u64 + 10) {
+            r.record(1, HealthEventKind::Retry, i, i);
+        }
+        let evs = r.events();
+        assert_eq!(evs.len(), MAX_HEALTH_EVENTS);
+        assert_eq!(r.dropped(), 10);
+        // Oldest retained event is the 11th ever recorded.
+        assert_eq!(evs[0].ordinal, 10);
+    }
+
+    #[test]
+    fn states_sorted_by_node() {
+        let r = HealthRegistry::new();
+        r.register(3);
+        r.register(1);
+        r.register(2);
+        let nodes: Vec<u16> = r.states().iter().map(|&(n, _)| n).collect();
+        assert_eq!(nodes, vec![1, 2, 3]);
+    }
+}

@@ -31,11 +31,13 @@
 #![deny(unsafe_code)]
 
 pub mod export;
+pub mod health;
 pub mod json;
 pub mod metrics;
 
 pub use export::Trace;
-pub use metrics::{Counter, Gauge};
+pub use health::{HealthEvent, HealthEventKind, HealthRegistry, TargetState};
+pub use metrics::{AtomicHistogram, Counter, Gauge};
 
 use parking_lot::Mutex;
 use std::cell::Cell;

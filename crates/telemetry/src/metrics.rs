@@ -76,6 +76,69 @@ impl Gauge {
     }
 }
 
+/// Number of log₂ buckets in an [`AtomicHistogram`] — one per bit of a
+/// `u64`, so any picosecond value lands somewhere.
+pub const HISTOGRAM_BUCKETS: usize = 64;
+
+/// Lock-free log₂ histogram of `u64` samples (picoseconds by
+/// convention).
+///
+/// Bucket `i` counts samples whose highest set bit is `i` (sample 0
+/// shares bucket 0), matching `sim-core`'s `Histogram` so snapshots of
+/// the two are interchangeable. Recording is one relaxed RMW on one
+/// bucket plus one on the total — always on, safe from any thread, and
+/// allocation-free, which is what lets the warm offload completion path
+/// keep its zero-heap guarantee.
+#[derive(Debug)]
+pub struct AtomicHistogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: Counter,
+}
+
+impl Default for AtomicHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl AtomicHistogram {
+    /// An empty histogram.
+    pub const fn new() -> Self {
+        #[allow(clippy::declare_interior_mutable_const)]
+        const ZERO: AtomicU64 = AtomicU64::new(0);
+        AtomicHistogram {
+            buckets: [ZERO; HISTOGRAM_BUCKETS],
+            count: Counter::new(),
+        }
+    }
+
+    /// Record one sample (raw picoseconds).
+    #[inline]
+    pub fn record_ps(&self, ps: u64) {
+        let idx = if ps == 0 {
+            0
+        } else {
+            63 - ps.leading_zeros() as usize
+        };
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.incr();
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count.get()
+    }
+
+    /// A plain copy of the buckets (index = log₂ of the sample).
+    pub fn snapshot(&self) -> [u64; HISTOGRAM_BUCKETS] {
+        let mut out = [0u64; HISTOGRAM_BUCKETS];
+        for (o, b) in out.iter_mut().zip(&self.buckets) {
+            *o = b.load(Ordering::Relaxed);
+        }
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -105,5 +168,23 @@ mod tests {
         g.add(-4);
         assert_eq!(g.get(), 0);
         assert_eq!(g.peak(), 4);
+    }
+
+    #[test]
+    fn histogram_buckets_by_log2() {
+        let h = AtomicHistogram::new();
+        h.record_ps(0); // bucket 0
+        h.record_ps(1); // bucket 0
+        h.record_ps(2); // bucket 1
+        h.record_ps(3); // bucket 1
+        h.record_ps(1024); // bucket 10
+        h.record_ps(u64::MAX); // bucket 63
+        let snap = h.snapshot();
+        assert_eq!(snap[0], 2);
+        assert_eq!(snap[1], 2);
+        assert_eq!(snap[10], 1);
+        assert_eq!(snap[63], 1);
+        assert_eq!(h.count(), 6);
+        assert_eq!(snap.iter().sum::<u64>(), h.count());
     }
 }

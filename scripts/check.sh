@@ -37,8 +37,21 @@ grep -q '"pool_faster_3x": true' BENCH_sched.json || {
     exit 1
 }
 
+echo "== telemetry-overhead smoke (writes BENCH_telemetry.json) =="
+cargo bench -q -p aurora-bench --bench telemetry_overhead -- --smoke
+
+echo "== telemetry gate: always-on histogram path must cost <5% of an offload =="
+grep -q '"hist_overhead_lt_5pct": true' BENCH_telemetry.json || {
+    echo "FAIL: BENCH_telemetry.json does not show hist_overhead_lt_5pct=true" >&2
+    cat BENCH_telemetry.json >&2 || true
+    exit 1
+}
+
 echo "== fault matrix (8 seeds x {veo,dma,tcp}, hang = failure) =="
 ./scripts/fault_matrix.sh
+
+echo "== soak gate (scaled down: all backends x 4 seeds, SLO-checked) =="
+./scripts/soak.sh
 
 echo "== clippy (warnings are errors) =="
 cargo clippy --workspace --all-targets -- -D warnings

@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# The scaled-down soak gate: every backend x 4 seeds, 10^4 pooled
+# offloads each (12 x 10^4 >= the 10^5 the full example drives in one
+# go), under a rolling kill and the SLO spec. Each run sits under a
+# hard wall-clock timeout: a soak bug's natural failure mode is a hang
+# (a wave that never collects), which would otherwise stall CI until
+# the job dies. The example exits nonzero on any SLO violation.
+#
+# Full-size run (no arguments, ~10^5 offloads in one process):
+#   cargo run --release --example soak
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+PER_RUN_TIMEOUT="${PER_RUN_TIMEOUT:-300}"
+OFFLOADS="${OFFLOADS:-10000}"
+SEEDS=(1 2 3 4)
+
+# Build up front so the timeout measures the soak, not the compiler.
+cargo build -q --release --example soak
+
+for backend in veo dma tcp; do
+  for seed in "${SEEDS[@]}"; do
+    echo "-- soak: $backend seed $seed ($OFFLOADS offloads)"
+    if ! timeout --kill-after=10 "$PER_RUN_TIMEOUT" \
+        cargo run -q --release --example soak -- \
+        --offloads "$OFFLOADS" --backends "$backend" --seeds "$seed"; then
+      echo "SOAK FAILURE: $backend seed $seed violated its SLO or hung (> ${PER_RUN_TIMEOUT}s)" >&2
+      exit 1
+    fi
+  done
+done
+
+echo "Soak gate passed: 3 backends x ${#SEEDS[@]} seeds x $OFFLOADS offloads, all SLOs held."

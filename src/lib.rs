@@ -43,8 +43,14 @@ pub use veos_sim as veos;
 pub mod fault_scenario;
 
 pub use aurora_sim_core::{FaultEvent, FaultKind, FaultPlan, FaultSite};
+pub use aurora_sim_core::{
+    HealthEvent, HealthEventKind, HealthRegistry, MetricsSnapshot, NodeMetricsSnapshot, SloReport,
+    SloSpec, TargetState,
+};
 pub use ham_offload::chan::{BatchConfig, RecoveryPolicy};
-pub use ham_offload::sched::{PoolFuture, SchedPolicy, TargetPool};
+pub use ham_offload::sched::{
+    HealthReport, PoolFuture, PoolMetricsSnapshot, SchedPolicy, TargetHealth, TargetPool,
+};
 pub use ham_offload::{BufferPtr, Future, NodeId, Offload, OffloadError};
 
 use ham_backend_dma::DmaBackend;

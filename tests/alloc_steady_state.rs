@@ -15,21 +15,50 @@ struct CountingAlloc;
 
 static ALLOCS: AtomicU64 = AtomicU64::new(0);
 
+std::thread_local! {
+    /// Counting is scoped to the measuring thread: the libtest main
+    /// thread blocks on a channel while a test runs, and the *first*
+    /// time it actually parks (i.e. whenever a test is slow enough,
+    /// which depends on machine load) it lazily allocates its parker —
+    /// a process-wide counter turns that into a flaky failure. Every
+    /// measured path here runs synchronously on the test's own thread,
+    /// so a per-thread window loses no coverage. `const`-initialised:
+    /// accessing it never allocates, even inside the allocator.
+    static IN_WINDOW: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+fn bump() {
+    if IN_WINDOW.try_with(std::cell::Cell::get).unwrap_or(false) {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Run `f` with this thread's allocations counted; returns `f()`'s
+/// value and how many heap allocations it performed.
+fn counted<R>(f: impl FnOnce() -> R) -> (R, u64) {
+    IN_WINDOW.with(|w| w.set(true));
+    let before = ALLOCS.load(Ordering::SeqCst);
+    let r = f();
+    let after = ALLOCS.load(Ordering::SeqCst);
+    IN_WINDOW.with(|w| w.set(false));
+    (r, after - before)
+}
+
 #[allow(unsafe_code)]
 unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        bump();
         System.alloc(layout)
     }
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
         System.dealloc(ptr, layout)
     }
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        bump();
         System.realloc(ptr, layout, new_size)
     }
     unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
-        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        bump();
         System.alloc_zeroed(layout)
     }
 }
@@ -37,9 +66,15 @@ unsafe impl GlobalAlloc for CountingAlloc {
 #[global_allocator]
 static COUNTER: CountingAlloc = CountingAlloc;
 
-/// The counter sees every thread in the test binary, so the measuring
-/// tests must not overlap: each takes this gate for its whole body.
+/// The measuring tests must not overlap: each takes this gate for its
+/// whole body. One failing test must not poison the others' gate, so
+/// acquisition shrugs off poisoning.
 static GATE: Mutex<()> = Mutex::new(());
+
+fn gate() -> std::sync::MutexGuard<'static, ()> {
+    GATE.lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
 
 const BATCH: usize = 8;
 const KEY: HandlerKey = HandlerKey(3);
@@ -90,22 +125,58 @@ fn cycle(chan: &ChannelCore) {
 
 #[test]
 fn steady_state_batched_cycle_allocates_nothing() {
-    let _gate = GATE.lock().unwrap();
+    let _gate = gate();
     let chan = ChannelCore::bounded(8, 8, 4096).with_batching(BatchConfig::up_to(BATCH));
     // Warm-up: fills the frame pool, the seq freelist, and the hash
     // tables' capacity.
     for _ in 0..32 {
         cycle(&chan);
     }
-    let before = ALLOCS.load(Ordering::SeqCst);
-    for _ in 0..64 {
-        cycle(&chan);
-    }
-    let after = ALLOCS.load(Ordering::SeqCst);
+    let ((), allocs) = counted(|| {
+        for _ in 0..64 {
+            cycle(&chan);
+        }
+    });
     assert_eq!(
-        after - before,
-        0,
+        allocs, 0,
         "steady-state post→complete must not touch the heap"
+    );
+}
+
+/// The always-on observability layer must be free to keep on: recording
+/// a completion (aggregate histogram + per-target register + EWMA),
+/// a flush latency, a retry delay, and reading the EWMA back are all
+/// atomic operations on preallocated registers — zero heap traffic.
+/// The health event ring is bounded, so once it has wrapped, recording
+/// events reuses its capacity and is heap-silent too.
+#[test]
+fn warm_metrics_and_health_recording_allocates_nothing() {
+    use ham_aurora_repro::sim_core::{BackendMetrics, HealthEventKind};
+
+    let _gate = gate();
+    let m = BackendMetrics::new();
+    let record = |i: u64| {
+        m.on_post(64);
+        m.on_complete_on((i % 4) as u16 + 1, SimTime::from_us(5 + i % 7));
+        m.on_flush(SimTime::from_us(2));
+        m.on_retry_delay(SimTime::from_us(40));
+        assert!(m.latency_ewma((i % 4) as u16 + 1).is_some());
+        m.health()
+            .record((i % 4) as u16 + 1, HealthEventKind::Retry, i, i);
+    };
+    // Warm-up: seed every per-target register and wrap the event ring
+    // past its bound so push/pop reuses its capacity.
+    for i in 0..5000 {
+        record(i);
+    }
+    let ((), allocs) = counted(|| {
+        for i in 0..1024 {
+            record(i);
+        }
+    });
+    assert_eq!(
+        allocs, 0,
+        "warm metric/health recording must not touch the heap"
     );
 }
 
@@ -119,7 +190,6 @@ fn steady_state_batched_cycle_allocates_nothing() {
 // receiver loop.
 
 mod warm_wait {
-    use super::{ALLOCS, GATE};
     use ham::wire::{MsgHeader, MsgKind, HEADER_BYTES};
     use ham::{f2f, ham_kernel, Registry, RegistryBuilder};
     use ham_aurora_repro::sim_core::{BackendMetrics, Clock};
@@ -128,7 +198,6 @@ mod warm_wait {
     use ham_offload::chan::{BatchConfig, ChannelCore, Reservation};
     use ham_offload::types::{DeviceType, NodeDescriptor, NodeId};
     use ham_offload::{Offload, OffloadError};
-    use std::sync::atomic::Ordering;
     use std::sync::Arc;
 
     ham_kernel! {
@@ -285,7 +354,7 @@ mod warm_wait {
 
     #[test]
     fn warm_wait_all_loop_allocates_nothing() {
-        let _gate = GATE.lock().unwrap();
+        let _gate = super::gate();
         let o = Offload::new(Arc::new(MockBackend::new()));
         let mut futures = Vec::new();
         let mut out = Vec::new();
@@ -294,14 +363,13 @@ mod warm_wait {
         for _ in 0..16 {
             round(&o, &mut futures, &mut out);
         }
-        let before = ALLOCS.load(Ordering::SeqCst);
-        for _ in 0..64 {
-            round(&o, &mut futures, &mut out);
-        }
-        let after = ALLOCS.load(Ordering::SeqCst);
+        let ((), allocs) = super::counted(|| {
+            for _ in 0..64 {
+                round(&o, &mut futures, &mut out);
+            }
+        });
         assert_eq!(
-            after - before,
-            0,
+            allocs, 0,
             "warm async_ ×{DEPTH} + wait_all must not touch the heap"
         );
         assert_eq!(o.in_flight(NodeId(1)).unwrap(), 0);

@@ -224,7 +224,7 @@ proptest! {
 
         // Post one offload per gap entry, `gap` empty sweeps apart.
         for gap in &gaps {
-            let res = match core.try_reserve(false, 0, SimTime::ZERO) {
+            let res = match core.try_reserve(false, 0, SimTime::ZERO, 0) {
                 Reserve::Reserved(res) => res,
                 other => panic!("reserve refused: {other:?}"),
             };
