@@ -54,6 +54,10 @@ impl ham::message::ComputeMeter for VeComputeMeter {
             .advance(aurora_sim_core::calib::ve_compute_time(flops));
         aurora_sim_core::trace::record("ve.compute", flops, t0, t1);
     }
+
+    fn cost_ps(&self, flops: u64) -> u64 {
+        aurora_sim_core::calib::ve_compute_time(flops).as_ps()
+    }
 }
 
 /// [`TargetMemory`] over a VE process: kernels read/write VE memory by

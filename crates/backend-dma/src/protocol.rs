@@ -37,8 +37,10 @@ use ham::registry::HandlerKey;
 use ham::wire::{MsgHeader, MsgKind, HEADER_BYTES};
 use ham::Registry;
 use ham_offload::backend::{CommBackend, RawBuffer};
+use ham_offload::chan::pool::{FramePool, PooledFrame};
 use ham_offload::chan::{engine, ChannelCore, PendingEntry, RecoveryPolicy, Reservation};
-use ham_offload::target_loop::TargetChannel;
+use ham_offload::device::{DeviceConfig, DeviceRuntime};
+use ham_offload::target_loop::{Polled, TargetChannel};
 use ham_offload::types::{NodeDescriptor, NodeId};
 use ham_offload::OffloadError;
 use parking_lot::Mutex;
@@ -204,6 +206,7 @@ impl DmaBackend {
             let node_id = node;
             let cfg2 = cfg;
             let ve_plan = Arc::clone(&plan);
+            let lane_stats = Arc::clone(core.metrics().lane_stats());
             type VeInit = (Vehva, Arc<aurora_mem::ShmSegment>);
             let init_state: Arc<Mutex<Option<VeInit>>> = Arc::new(Mutex::new(None));
             let init_state2 = Arc::clone(&init_state);
@@ -263,7 +266,13 @@ impl DmaBackend {
                             seq: parking_lot::Mutex::new(0),
                         }
                     });
-                    let ret = ham_offload::target_loop::run_target_loop_env(
+                    let runtime = DeviceRuntime::new(
+                        DeviceConfig::new()
+                            .with_lanes(cfg2.lanes)
+                            .with_clock(ve.proc.clock().clone())
+                            .with_stats(Arc::clone(&lane_stats)),
+                    );
+                    let ret = runtime.run(
                         &ham_offload::target_loop::TargetEnv {
                             node: node_id,
                             registry: &registry,
@@ -603,26 +612,28 @@ impl VeSideChannel {
     }
 }
 
-impl TargetChannel for VeSideChannel {
-    fn recv(&self) -> Option<(MsgHeader, Vec<u8>)> {
-        let i = (self.next.get() % self.cfg.recv_slots as u64) as usize;
+impl VeSideChannel {
+    fn check_killed(&self) {
+        if self.plan.killed(self.node) {
+            // Injected VE process death: die like a crash, not a
+            // shutdown — the panic clears the VEO context's
+            // liveness flag and the host evicts the channel.
+            panic!("fault injection: VE process {} killed", self.node);
+        }
+    }
+
+    /// Consume the published message in recv slot `i` whose flag carried
+    /// landing time `ts`: pay the LHM word, DMA-fetch the message into a
+    /// pooled body, release the slot. `None` means the process died
+    /// mid-transfer.
+    fn consume(
+        &self,
+        i: usize,
+        ts: SimTime,
+        pool: &Arc<FramePool>,
+    ) -> Option<(MsgHeader, PooledFrame)> {
         let flag = self.recv_flag(i);
         let clock = self.ve_proc.clock().clone();
-        // Zero-cost peeks until the host publishes (arrival-driven
-        // polling; see DESIGN.md).
-        let ts = loop {
-            if self.plan.killed(self.node) {
-                // Injected VE process death: die like a crash, not a
-                // shutdown — the panic clears the VEO context's
-                // liveness flag and the host evicts the channel.
-                panic!("fault injection: VE process {} killed", self.node);
-            }
-            match self.lhm_shm.peek_word(self.atb(), flag) {
-                Ok(0) => std::thread::yield_now(),
-                Ok(ts) => break SimTime::from_ps(ts),
-                Err(_) => return None,
-            }
-        };
         // The successful poll: one charged LHM word after the flag's
         // landing time.
         clock.join(ts);
@@ -641,7 +652,8 @@ impl TargetChannel for VeSideChannel {
         if header.payload_len as usize > self.cfg.msg_bytes {
             return None;
         }
-        let mut payload = vec![0u8; header.payload_len as usize];
+        let mut payload = pool.checkout();
+        payload.resize(header.payload_len as usize, 0);
         let small = payload.len().min(SMALL_FETCH);
         hbm.read(stage + HEADER_BYTES as u64, &mut payload[..small])
             .ok()?;
@@ -664,6 +676,45 @@ impl TargetChannel for VeSideChannel {
         self.lhm_shm.shm(&clock, self.atb(), flag, 0).ok()?;
         self.next.set(self.next.get() + 1);
         Some((header, payload))
+    }
+}
+
+impl TargetChannel for VeSideChannel {
+    fn recv(&self, pool: &Arc<FramePool>) -> Option<(MsgHeader, PooledFrame)> {
+        let i = (self.next.get() % self.cfg.recv_slots as u64) as usize;
+        let flag = self.recv_flag(i);
+        // Zero-cost peeks until the host publishes (arrival-driven
+        // polling; see DESIGN.md).
+        let ts = loop {
+            self.check_killed();
+            match self.lhm_shm.peek_word(self.atb(), flag) {
+                Ok(0) => std::thread::yield_now(),
+                Ok(ts) => break SimTime::from_ps(ts),
+                Err(_) => return None,
+            }
+        };
+        self.consume(i, ts, pool)
+    }
+
+    fn try_recv(&self, pool: &Arc<FramePool>) -> Polled {
+        self.check_killed();
+        let i = (self.next.get() % self.cfg.recv_slots as u64) as usize;
+        // One free peek: slot rotation means an unset flag here implies
+        // nothing further has been published yet. A flag whose landing
+        // time is still ahead of the device clock has not arrived *in
+        // virtual time* either — consuming it would stall the clock on
+        // the join instead of overlapping the arrival with the work
+        // already drained, so it waits for a later window (or for the
+        // blocking recv, where the device is genuinely idle).
+        match self.lhm_shm.peek_word(self.atb(), self.recv_flag(i)) {
+            Ok(0) => Polled::Empty,
+            Ok(ts) if ts > self.ve_proc.clock().now().as_ps() => Polled::Empty,
+            Ok(ts) => match self.consume(i, SimTime::from_ps(ts), pool) {
+                Some((h, p)) => Polled::Msg(h, p),
+                None => Polled::Closed,
+            },
+            Err(_) => Polled::Closed,
+        }
     }
 
     fn send_result(&self, reply_slot: u16, seq: u64, payload: Vec<u8>) {

@@ -27,7 +27,7 @@ use ham::message::ReverseTransport;
 use ham::registry::HandlerKey;
 use ham::wire::{MsgHeader, MsgKind, HEADER_BYTES};
 use ham::{ExecContext, HamError, Registry};
-use ham_offload::target_loop::{frame_result, unframe_result};
+use ham_offload::target_loop::{frame_result, unframe_result_ref};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -271,6 +271,14 @@ impl ReverseTransport for VeReverseTransport {
         // Clear the response flag for the next call.
         self.lhm_shm.shm(&clock, atb, resp_flag, 0).map_err(err)?;
 
-        unframe_result(&frame).map_err(HamError::Wire)
+        // Borrow to classify, then reuse the fetched buffer as the
+        // result (shift out the frame tag) instead of copying the body.
+        match unframe_result_ref(&frame) {
+            Ok(_) => {
+                frame.drain(..1);
+                Ok(frame)
+            }
+            Err(e) => Err(HamError::Wire(e)),
+        }
     }
 }

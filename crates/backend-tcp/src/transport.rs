@@ -14,8 +14,9 @@ use ham::registry::HandlerKey;
 use ham::wire::{MsgHeader, MsgKind, HEADER_BYTES};
 use ham::{Registry, RegistryBuilder, TargetMemory};
 use ham_offload::backend::{CommBackend, RawBuffer, Registrar};
+use ham_offload::chan::pool::{FramePool, PooledFrame};
 use ham_offload::chan::{engine, BatchConfig, ChannelCore, Reservation};
-use ham_offload::target_loop::{run_target_loop, TargetChannel};
+use ham_offload::target_loop::{run_target_loop, Polled, TargetChannel};
 use ham_offload::types::{DeviceType, NodeDescriptor, NodeId};
 use ham_offload::OffloadError;
 use parking_lot::Mutex;
@@ -47,20 +48,27 @@ pub struct TcpBackend {
     plan: Arc<FaultPlan>,
 }
 
-/// The target-process side of one TCP channel.
+/// The target-process side of one TCP channel. A dedicated reader
+/// thread decodes socket frames into `rx`, so the device runtime's
+/// non-blocking window drain is a plain channel poll — the stream
+/// itself can never be half-read by a `try_recv`.
 struct TcpSideChannel {
-    rx: Mutex<TcpStream>,
+    rx: crossbeam::channel::Receiver<(MsgHeader, Vec<u8>)>,
     tx: Mutex<TcpStream>,
 }
 
 impl TargetChannel for TcpSideChannel {
-    fn recv(&self) -> Option<(MsgHeader, Vec<u8>)> {
-        let body = read_frame(&mut *self.rx.lock()).ok()??;
-        let header = MsgHeader::decode(&body).ok()?;
-        if body.len() != header.wire_len() {
-            return None;
+    fn recv(&self, pool: &Arc<FramePool>) -> Option<(MsgHeader, PooledFrame)> {
+        self.rx.recv().ok().map(|(h, p)| (h, pool.adopt(p)))
+    }
+
+    fn try_recv(&self, pool: &Arc<FramePool>) -> Polled {
+        use crossbeam::channel::TryRecvError;
+        match self.rx.try_recv() {
+            Ok((h, p)) => Polled::Msg(h, pool.adopt(p)),
+            Err(TryRecvError::Empty) => Polled::Empty,
+            Err(TryRecvError::Disconnected) => Polled::Closed,
         }
-        Some((header, body[HEADER_BYTES..].to_vec()))
     }
 
     fn send_result(&self, reply_slot: u16, seq: u64, payload: Vec<u8>) {
@@ -146,12 +154,36 @@ fn target_main(node: u16, listener: TcpListener, mem_bytes: u64, registry: Regis
         })
         .expect("spawn ctrl thread");
 
-    // The HAM message loop over the message socket.
+    // The HAM message loop over the message socket. A reader thread
+    // decodes socket frames into a queue so the device runtime can poll
+    // without blocking; it exits when the host closes the socket.
+    let mut reader_rx = msg_stream.try_clone().expect("clone msg stream");
+    let (frame_tx, frame_rx) = crossbeam::channel::unbounded();
+    let reader_thread = std::thread::Builder::new()
+        .name(format!("tcp-target-{node}-reader"))
+        .spawn(move || {
+            while let Ok(Some(body)) = read_frame(&mut reader_rx) {
+                let Ok(header) = MsgHeader::decode(&body) else {
+                    break;
+                };
+                if body.len() != header.wire_len() {
+                    break;
+                }
+                if frame_tx
+                    .send((header, body[HEADER_BYTES..].to_vec()))
+                    .is_err()
+                {
+                    break;
+                }
+            }
+        })
+        .expect("spawn reader thread");
     let chan = TcpSideChannel {
-        rx: Mutex::new(msg_stream.try_clone().expect("clone msg stream")),
+        rx: frame_rx,
         tx: Mutex::new(msg_stream),
     };
     let served = run_target_loop(node, &registry, &*mem, &chan);
+    let _ = reader_thread.join();
     let _ = ctrl_thread.join();
     served
 }

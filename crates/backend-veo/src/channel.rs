@@ -33,8 +33,10 @@ use ham::registry::HandlerKey;
 use ham::wire::{MsgHeader, MsgKind, HEADER_BYTES};
 use ham::Registry;
 use ham_offload::backend::{CommBackend, RawBuffer};
+use ham_offload::chan::pool::{FramePool, PooledFrame};
 use ham_offload::chan::{engine, ChannelCore, PendingEntry, RecoveryPolicy, Reservation};
-use ham_offload::target_loop::TargetChannel;
+use ham_offload::device::{DeviceConfig, DeviceRuntime};
+use ham_offload::target_loop::{Polled, TargetChannel};
 use ham_offload::types::{NodeDescriptor, NodeId};
 use ham_offload::OffloadError;
 use parking_lot::Mutex;
@@ -155,6 +157,7 @@ impl VeoBackend {
             let init_cfg2 = Arc::clone(&init_cfg);
             let cfg2 = cfg;
             let ve_plan = Arc::clone(&plan);
+            let lane_stats = Arc::clone(core.metrics().lane_stats());
             let lib = KernelLibrary::new()
                 .with("ham_comm_init", move |_ve, args| {
                     let recv = Slots {
@@ -186,7 +189,13 @@ impl VeoBackend {
                         node: node_id,
                         plan: Arc::clone(&ve_plan),
                     };
-                    ham_offload::target_loop::run_target_loop_env(
+                    let runtime = DeviceRuntime::new(
+                        DeviceConfig::new()
+                            .with_lanes(cfg2.lanes)
+                            .with_clock(ve.proc.clock().clone())
+                            .with_stats(Arc::clone(&lane_stats)),
+                    );
+                    runtime.run(
                         &ham_offload::target_loop::TargetEnv {
                             node: node_id,
                             registry: &registry,
@@ -501,24 +510,11 @@ struct VeSideChannel {
     plan: Arc<FaultPlan>,
 }
 
-impl TargetChannel for VeSideChannel {
-    fn recv(&self) -> Option<(MsgHeader, Vec<u8>)> {
-        let i = (self.next.get() % self.recv.count as u64) as usize;
-        let flag_addr = self.recv.flag(i);
-        // Poll (real, zero virtual cost) until the host publishes.
-        loop {
-            if self.plan.killed(self.node) {
-                // Injected VE process death: die like a crash, not a
-                // shutdown — the panic clears the VEO context's
-                // liveness flag and the host evicts the channel.
-                panic!("fault injection: VE process {} killed", self.node);
-            }
-            match self.proc.load_flag(flag_addr) {
-                Ok(0) => std::thread::yield_now(),
-                Ok(_seq_plus_one) => break,
-                Err(_) => return None,
-            }
-        }
+impl VeSideChannel {
+    /// Consume the published message in recv slot `i`: join its landing
+    /// time, charge one local read, copy it into a pooled body, release
+    /// the slot. `None` means the process died mid-read.
+    fn consume(&self, i: usize, pool: &Arc<FramePool>) -> Option<(MsgHeader, PooledFrame)> {
         // Arrival-driven virtual cost: join the flag's landing time and
         // charge one local read.
         let mut ts = [0u8; 8];
@@ -533,14 +529,73 @@ impl TargetChannel for VeSideChannel {
         if header.payload_len as usize > self.cfg.msg_bytes {
             return None; // corrupt header: stop the loop loudly.
         }
-        let mut payload = vec![0u8; header.payload_len as usize];
+        let mut payload = pool.checkout();
+        payload.resize(header.payload_len as usize, 0);
         self.proc
-            .read(self.recv.msg(i).offset(HEADER_BYTES as u64), &mut payload)
+            .read(
+                self.recv.msg(i).offset(HEADER_BYTES as u64),
+                &mut payload[..],
+            )
             .ok()?;
         // Release the slot for host reuse.
-        self.proc.store_flag(flag_addr, 0).ok()?;
+        self.proc.store_flag(self.recv.flag(i), 0).ok()?;
         self.next.set(self.next.get() + 1);
         Some((header, payload))
+    }
+
+    fn check_killed(&self) {
+        if self.plan.killed(self.node) {
+            // Injected VE process death: die like a crash, not a
+            // shutdown — the panic clears the VEO context's
+            // liveness flag and the host evicts the channel.
+            panic!("fault injection: VE process {} killed", self.node);
+        }
+    }
+}
+
+impl TargetChannel for VeSideChannel {
+    fn recv(&self, pool: &Arc<FramePool>) -> Option<(MsgHeader, PooledFrame)> {
+        let i = (self.next.get() % self.recv.count as u64) as usize;
+        let flag_addr = self.recv.flag(i);
+        // Poll (real, zero virtual cost) until the host publishes.
+        loop {
+            self.check_killed();
+            match self.proc.load_flag(flag_addr) {
+                Ok(0) => std::thread::yield_now(),
+                Ok(_seq_plus_one) => break,
+                Err(_) => return None,
+            }
+        }
+        self.consume(i, pool)
+    }
+
+    fn try_recv(&self, pool: &Arc<FramePool>) -> Polled {
+        self.check_killed();
+        let i = (self.next.get() % self.recv.count as u64) as usize;
+        // One free peek: the host publishes slots in rotation order, so
+        // an unset flag here means nothing further has arrived yet. A
+        // message whose landing time is still ahead of the device clock
+        // has not arrived *in virtual time* — consuming it would stall
+        // the clock on the join instead of overlapping the arrival with
+        // already-drained work, so it waits for a later window (or for
+        // the blocking recv, where the device is genuinely idle).
+        match self.proc.load_flag(self.recv.flag(i)) {
+            Ok(0) => Polled::Empty,
+            Ok(_seq_plus_one) => {
+                let mut ts = [0u8; 8];
+                if self.proc.read(self.recv.ts(i), &mut ts).is_err() {
+                    return Polled::Closed;
+                }
+                if u64::from_le_bytes(ts) > self.proc.clock().now().as_ps() {
+                    return Polled::Empty;
+                }
+                match self.consume(i, pool) {
+                    Some((h, p)) => Polled::Msg(h, p),
+                    None => Polled::Closed,
+                }
+            }
+            Err(_) => Polled::Closed,
+        }
     }
 
     fn send_result(&self, reply_slot: u16, seq: u64, payload: Vec<u8>) {

@@ -1,0 +1,166 @@
+//! Device-runtime lane scaling: one 64-member batch carrier on a single
+//! VE, executed by 1/2/4/8 worker lanes.
+//!
+//! The host-side program is *identical* in every configuration — post
+//! ×64 to one target, `wait_all` — and the batch envelope delivers all
+//! members to the device in one carrier message, so the measured
+//! difference is purely what the per-core lanes extract from the member
+//! set. Members charge a fixed amount of modeled compute, so per-member
+//! virtual host time should approach a lanes-fold improvement; the gate
+//! in `scripts/check.sh` requires at least 2× at 8 lanes over the
+//! serial (1-lane) engine (carrier transport, in-order publication and
+//! the tail of the last wavefront eat the rest).
+//!
+//! Writes the comparison to `BENCH_lanes.json` at the workspace root.
+//!
+//! Run with: `cargo bench -p aurora-bench --bench device_lanes`
+//! (`-- --smoke` for the small CI configuration).
+
+use aurora_workloads::kernels::compute_burn;
+use ham::f2f;
+use ham_backend_dma::{DmaBackend, ProtocolConfig};
+use ham_offload::chan::BatchConfig;
+use ham_offload::types::NodeId;
+use ham_offload::Offload;
+use veos_sim::{AuroraMachine, MachineConfig};
+
+/// Members in the measured carrier. The JSON consumers key on this.
+const DEPTH: usize = 64;
+/// Modeled compute per member — heavy enough that lane parallelism,
+/// not carrier transport, dominates the wave.
+const FLOPS: u64 = 4_000_000;
+
+fn spawn(lanes: usize) -> Offload {
+    let machine = AuroraMachine::small(
+        1,
+        MachineConfig {
+            hbm_bytes: 16 << 20,
+            vh_bytes: 32 << 20,
+            ..Default::default()
+        },
+    );
+    Offload::new(DmaBackend::spawn(
+        machine,
+        0,
+        &[0],
+        // Same ring depth and batch window in every configuration: the
+        // 8-lane engine wins by executing members concurrently in
+        // virtual time, not by moving bytes differently.
+        ProtocolConfig {
+            recv_slots: DEPTH,
+            send_slots: DEPTH,
+            lanes,
+            ..Default::default()
+        }
+        .with_batch(BatchConfig::up_to(DEPTH)),
+        aurora_workloads::register_all,
+    ))
+}
+
+/// One `DEPTH`-member batched wave of `compute_burn`; returns virtual
+/// host µs per member.
+fn run_wave(o: &Offload) -> f64 {
+    let t0 = o.backend().host_clock().now();
+    let futures: Vec<_> = (0..DEPTH)
+        .map(|_| {
+            o.async_(NodeId(1), f2f!(compute_burn, FLOPS))
+                .expect("post")
+        })
+        .collect();
+    for r in o.wait_all(futures) {
+        assert_eq!(r.expect("offload"), 1, "served by the single VE");
+    }
+    let elapsed = o.backend().host_clock().now() - t0;
+    elapsed.as_us_f64() / DEPTH as f64
+}
+
+fn measure(lanes: usize, warmups: usize) -> (f64, u64) {
+    let o = spawn(lanes);
+    for _ in 0..warmups {
+        run_wave(&o);
+    }
+    let per_member_us = run_wave(&o);
+    let snap = o.metrics_snapshot();
+    let busy: Vec<u16> = snap
+        .lanes
+        .iter()
+        .filter(|l| l.tasks > 0)
+        .map(|l| l.lane)
+        .collect();
+    assert!(
+        busy.len() <= lanes,
+        "a {lanes}-lane engine reported lanes {busy:?}"
+    );
+    let steals = snap.steals;
+    o.shutdown();
+    (per_member_us, steals)
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let warmups = if smoke { 1 } else { 4 };
+
+    let configs = [1usize, 2, 4, 8];
+    let points: Vec<(usize, f64, u64)> = configs
+        .iter()
+        .map(|&lanes| {
+            let (us, steals) = measure(lanes, warmups);
+            (lanes, us, steals)
+        })
+        .collect();
+
+    println!("## Device-runtime lane scaling ({DEPTH}-member batch carrier, DMA protocol)\n");
+    println!(
+        "{:<12} {:>14} {:>10} {:>10}",
+        "lanes", "us/member", "speedup", "steals"
+    );
+    let serial = points[0].1;
+    for (lanes, us, steals) in &points {
+        println!(
+            "{:<12} {:>14.3} {:>9.2}x {:>10}",
+            lanes,
+            us,
+            serial / us,
+            steals
+        );
+    }
+
+    let lanes8 = points.last().expect("8-lane point").1;
+    let speedup = serial / lanes8;
+    println!("\n8-lane speedup over the serial engine: {speedup:.2}x");
+
+    let lanes8_faster_2x = speedup >= 2.0;
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"device_lanes\",\n",
+            "  \"protocol\": \"dma\",\n",
+            "  \"depth\": {},\n",
+            "  \"flops_per_member\": {},\n",
+            "  \"us_per_member\": {{{}}},\n",
+            "  \"lanes8_speedup\": {:.3},\n",
+            "  \"lanes8_faster_2x\": {}\n",
+            "}}\n"
+        ),
+        DEPTH,
+        FLOPS,
+        points
+            .iter()
+            .map(|(l, us, _)| format!("\"{l}\": {us:.3}"))
+            .collect::<Vec<_>>()
+            .join(", "),
+        speedup,
+        lanes8_faster_2x
+    );
+    // CWD differs between `cargo bench` and a direct target/ invocation;
+    // anchor the artifact at the workspace root via the manifest dir.
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_lanes.json");
+    std::fs::write(path, &json).expect("write BENCH_lanes.json");
+    println!("\nwrote BENCH_lanes.json:\n{json}");
+
+    assert!(
+        lanes8_faster_2x,
+        "8 lanes must be >=2x the serial engine at depth {DEPTH}: {speedup:.2}x"
+    );
+    println!("ok");
+}

@@ -45,10 +45,14 @@ fn spawn(ves: u8) -> Offload {
         0,
         &targets,
         // Same per-target slot budget in both configurations: the 4-VE
-        // pool wins by having more engines, not deeper rings.
+        // pool wins by having more engines, not deeper rings. The device
+        // engine is pinned serial (`lanes: 1`) so this bench isolates
+        // the multi-VE axis — intra-VE core parallelism has its own
+        // bench (`device_lanes`) and its own gate.
         ProtocolConfig {
             recv_slots: DEPTH,
             send_slots: DEPTH,
+            lanes: 1,
             ..Default::default()
         },
         aurora_workloads::register_all,

@@ -179,6 +179,64 @@ impl<'a> Iterator for BatchIter<'a> {
     }
 }
 
+/// Parse a batch envelope payload into `(sub_header, payload_range)`
+/// pairs whose ranges index into `payload` — the borrow-free
+/// counterpart of [`BatchIter`] for runtimes that schedule members out
+/// of line and need offsets rather than slices.
+///
+/// Returns the well-formed prefix plus the wire error that stopped
+/// parsing, if any; a top-level `Err` means even the count field was
+/// missing. Error strings match [`BatchIter`]'s so hostile envelopes
+/// produce identical error frames whichever parser a runtime uses.
+#[allow(clippy::type_complexity)]
+pub fn member_ranges(
+    payload: &[u8],
+) -> Result<(Vec<(MsgHeader, core::ops::Range<usize>)>, Option<String>), String> {
+    let Some((count, _)) = read_u32(payload) else {
+        return Err("batch payload shorter than its count field".into());
+    };
+    let mut pos = COUNT_BYTES;
+    let mut out = Vec::with_capacity(count as usize);
+    for _ in 0..count {
+        let rest = &payload[pos..];
+        let header = match MsgHeader::decode(rest) {
+            Ok(h) => h,
+            Err(e) => return Ok((out, Some(format!("malformed batch sub-header: {e}")))),
+        };
+        let end = HEADER_BYTES.checked_add(header.payload_len as usize);
+        let valid = end.and_then(|e| {
+            rest.get(HEADER_BYTES..e)?;
+            Some(e)
+        });
+        let Some(end) = valid else {
+            return Ok((out, Some("batch sub-payload truncated".into())));
+        };
+        out.push((header, pos + HEADER_BYTES..pos + end));
+        pos += end;
+    }
+    Ok((out, None))
+}
+
+/// Truncate a *staged* envelope frame (32 zeroed header bytes ‖ 4 zeroed
+/// count bytes ‖ subs) down to its first `keep` sub-messages, dropping
+/// the tail — the splitting half of staged-member migration. Staged
+/// frames are host-built, so a malformed walk is a logic error.
+pub fn truncate_members(frame: &mut Vec<u8>, keep: usize) -> Result<(), String> {
+    let mut pos = HEADER_BYTES + COUNT_BYTES;
+    for i in 0..keep {
+        let rest = frame
+            .get(pos..)
+            .ok_or_else(|| format!("staged envelope ends before member {i}"))?;
+        let h = MsgHeader::decode(rest).map_err(|e| format!("staged member {i}: {e}"))?;
+        pos += HEADER_BYTES + h.payload_len as usize;
+    }
+    if pos > frame.len() {
+        return Err(format!("staged envelope ends inside member {}", keep - 1));
+    }
+    frame.truncate(pos);
+    Ok(())
+}
+
 /// Start a batch *result* body: the count prefix.
 pub fn begin_result(out: &mut Vec<u8>, count: u32) {
     out.extend_from_slice(&count.to_le_bytes());
@@ -357,6 +415,69 @@ mod tests {
         assert!(ResultPartIter::new(&[]).is_err());
         let mut it = ResultPartIter::new(&[1, 0, 0, 0, 5]).unwrap();
         assert!(it.next().unwrap().is_err());
+    }
+
+    #[test]
+    fn member_ranges_mirror_batch_iter() {
+        let mut frame = vec![0u8; HEADER_BYTES + COUNT_BYTES];
+        append_sub(&mut frame, &sub(0, b"aa"), b"aa");
+        append_sub(&mut frame, &sub(1, b"bbbb"), b"bbbb");
+        let carrier = carrier_header(1, frame.len() - HEADER_BYTES, 3, 7);
+        patch_envelope(&mut frame, &carrier, 2);
+        let payload = &frame[HEADER_BYTES..];
+        let (members, err) = member_ranges(payload).unwrap();
+        assert!(err.is_none());
+        let via_iter: Vec<_> = BatchIter::new(payload)
+            .unwrap()
+            .map(|r| r.unwrap())
+            .collect();
+        assert_eq!(members.len(), via_iter.len());
+        for ((h, range), (ih, ip)) in members.iter().zip(&via_iter) {
+            assert_eq!(h, ih);
+            assert_eq!(&payload[range.clone()], *ip);
+        }
+        // Hostile: count claims more than the bytes provide → valid
+        // prefix plus the same error string BatchIter produces.
+        let mut short = vec![0u8; HEADER_BYTES + COUNT_BYTES];
+        append_sub(&mut short, &sub(0, b"aa"), b"aa");
+        let short_carrier = carrier_header(0, short.len() - HEADER_BYTES, 0, 7);
+        patch_envelope(&mut short, &short_carrier, 9);
+        let (prefix, err) = member_ranges(&short[HEADER_BYTES..]).unwrap();
+        assert_eq!(prefix.len(), 1);
+        let iter_err = BatchIter::new(&short[HEADER_BYTES..])
+            .unwrap()
+            .find_map(|r| r.err())
+            .unwrap();
+        assert_eq!(err.unwrap(), iter_err);
+        // No count field at all.
+        assert!(member_ranges(&[1, 0]).is_err());
+    }
+
+    #[test]
+    fn truncate_members_splits_staged_envelopes() {
+        let mut frame = vec![0u8; HEADER_BYTES + COUNT_BYTES];
+        let payloads: [&[u8]; 3] = [b"aa", b"bbbb", b"c"];
+        for (seq, p) in payloads.iter().enumerate() {
+            append_sub(&mut frame, &sub(seq as u64, p), p);
+        }
+        let mut head = frame.clone();
+        truncate_members(&mut head, 2).unwrap();
+        // The kept prefix still parses as exactly two members once
+        // patched into a real envelope.
+        let carrier = carrier_header(1, head.len() - HEADER_BYTES, 0, 0);
+        patch_envelope(&mut head, &carrier, 2);
+        let subs: Vec<_> = BatchIter::new(&head[HEADER_BYTES..])
+            .unwrap()
+            .map(|r| r.unwrap())
+            .collect();
+        assert_eq!(subs.len(), 2);
+        assert_eq!(subs[1].1, b"bbbb");
+        // keep == 0 leaves just the placeholder prefix.
+        let mut empty = frame.clone();
+        truncate_members(&mut empty, 0).unwrap();
+        assert_eq!(empty.len(), HEADER_BYTES + COUNT_BYTES);
+        // Walking past the staged content is a logic error, not a panic.
+        assert!(truncate_members(&mut frame.clone(), 9).is_err());
     }
 
     #[test]

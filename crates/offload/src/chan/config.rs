@@ -24,6 +24,11 @@ pub struct ProtocolConfig {
     /// `0` (the default) derives it from the slot rings — see
     /// [`super::ChannelCore::credit_limit`].
     pub credits: usize,
+    /// Device-side worker lanes (simulated VE cores) the target's
+    /// [`crate::device::DeviceRuntime`] schedules across. Defaults to
+    /// [`crate::device::DEFAULT_LANES`] (the SX-Aurora core count);
+    /// `1` reproduces the pre-lane serial execution timeline.
+    pub lanes: usize,
 }
 
 impl Default for ProtocolConfig {
@@ -35,6 +40,7 @@ impl Default for ProtocolConfig {
             reverse: false,
             batch: super::batch::BatchConfig::default(),
             credits: 0,
+            lanes: crate::device::DEFAULT_LANES,
         }
     }
 }

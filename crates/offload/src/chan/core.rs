@@ -684,6 +684,40 @@ impl ChannelCore {
         self.state.lock().unsent.remove(&seq)
     }
 
+    /// Number of staged-but-unflushed messages in the batch accumulator.
+    pub fn staged_len(&self) -> usize {
+        self.state.lock().accum.seqs.len()
+    }
+
+    /// Reclaim the last `n` staged members from the batch accumulator.
+    /// They are provably unsent — no slot was claimed and no frame
+    /// reached the transport — so a scheduler may migrate them to
+    /// another target. Each reclaimed seq is marked unsent and failed
+    /// with [`OffloadError::Migrated`]; the earlier members stay staged
+    /// in a correctly re-enveloped frame. Returns how many were taken.
+    pub fn take_staged_tail(&self, n: usize) -> usize {
+        let mut st = self.state.lock();
+        if n == 0 || st.accum.seqs.is_empty() {
+            return 0;
+        }
+        let keep = st.accum.seqs.len().saturating_sub(n);
+        let tail = st.accum.seqs.split_off(keep);
+        if keep == 0 {
+            st.accum.frame = None;
+        } else if let Some(frame) = st.accum.frame.as_mut() {
+            // The accumulator only ever holds envelopes this channel
+            // built, so re-walking the kept prefix cannot fail.
+            batch::truncate_members(frame, keep).expect("staged envelope is well-formed");
+        }
+        for m in &tail {
+            st.unsent.insert(*m);
+            st.completed.push(*m, Err(OffloadError::Migrated));
+        }
+        let taken = tail.len();
+        Self::recycle_seqs(&mut st, tail);
+        taken
+    }
+
     /// Number of in-flight *messages*: pending frames count their batch
     /// members, plus whatever is staged awaiting flush.
     pub fn in_flight(&self) -> usize {
@@ -852,6 +886,56 @@ mod tests {
         // Late deposits for retired seqs are dropped.
         c.deposit(r1.seq, b"late".to_vec());
         assert!(c.take_completed(r1.seq).is_none());
+    }
+
+    #[test]
+    fn staged_tail_migrates_out_of_the_accumulator() {
+        let c = ChannelCore::unbounded().with_batching(BatchConfig::up_to(8));
+        let mut seqs = Vec::new();
+        for i in 0..5 {
+            let Stage::Staged { seq, flush } = c.stage(HandlerKey(7), b"pay", i, SimTime::ZERO)
+            else {
+                panic!("stage refused");
+            };
+            assert!(!flush);
+            seqs.push(seq);
+        }
+        assert_eq!(c.staged_len(), 5);
+        assert_eq!(c.take_staged_tail(2), 2);
+        assert_eq!(c.staged_len(), 3);
+        for &m in &seqs[3..] {
+            assert!(matches!(
+                c.take_completed(m),
+                Some(Err(OffloadError::Migrated))
+            ));
+            assert!(c.take_unsent(m), "migrated members are provably unsent");
+        }
+        // The kept prefix still flushes as a correctly re-enveloped
+        // batch: the carrier covers exactly the remaining members.
+        let FlushPrep::Ready(f) = c.take_flush() else {
+            panic!("flush refused");
+        };
+        assert_eq!(f.msgs, 3);
+        assert_eq!(f.res.seq, seqs[2], "carrier seq is the last kept member");
+        let (members, err) = batch::member_ranges(&f.frame[HEADER_BYTES..]).unwrap();
+        assert!(err.is_none(), "re-enveloped frame parses cleanly");
+        let got: Vec<u64> = members.iter().map(|(h, _)| h.seq).collect();
+        assert_eq!(got, seqs[..3]);
+    }
+
+    #[test]
+    fn taking_the_whole_staged_tail_clears_the_accumulator() {
+        let c = ChannelCore::unbounded().with_batching(BatchConfig::up_to(8));
+        for i in 0..3 {
+            let Stage::Staged { .. } = c.stage(HandlerKey(7), b"x", i, SimTime::ZERO) else {
+                panic!("stage refused");
+            };
+        }
+        assert_eq!(c.take_staged_tail(99), 3, "capped at what is staged");
+        assert_eq!(c.staged_len(), 0);
+        assert_eq!(c.in_flight(), 0, "no leaked accumulator entries");
+        assert!(matches!(c.take_flush(), FlushPrep::Empty));
+        assert_eq!(c.take_staged_tail(1), 0, "nothing left to reclaim");
     }
 
     #[test]

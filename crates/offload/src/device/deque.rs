@@ -1,0 +1,164 @@
+//! A lock-free fixed-capacity work deque for the device runtime's
+//! per-core lanes.
+//!
+//! One lane owns each deque: the owner pushes work-item indices at the
+//! back, and any lane — owner or thief — takes from the front with a
+//! CAS-claimed cursor. (The vendored crossbeam carries only `channel`,
+//! so the steal structure lives here; unlike a Chase-Lev deque it is
+//! written entirely in safe code: slots are `AtomicU64`s storing
+//! `index + 1`, with `0` meaning empty, so no uninitialised memory is
+//! ever read.)
+//!
+//! Inside [`super::DeviceRuntime`] the deques are driven from a single
+//! thread — the virtual-time lane schedule is what's concurrent, not
+//! the host OS threads — but the structure stays safe under real
+//! cross-thread stealing, which the tests below exercise.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// A bounded single-producer multi-consumer work queue of `u64` items.
+#[derive(Debug)]
+pub struct StealDeque {
+    /// Ring of `item + 1` values; `0` marks an empty slot.
+    slots: Vec<AtomicU64>,
+    /// Next front position to take from (CAS-claimed by takers).
+    head: AtomicUsize,
+    /// Next back position to push at (owner-only).
+    tail: AtomicUsize,
+}
+
+impl StealDeque {
+    /// An empty deque holding at most `cap` items.
+    pub fn with_capacity(cap: usize) -> Self {
+        StealDeque {
+            slots: (0..cap.max(1)).map(|_| AtomicU64::new(0)).collect(),
+            head: AtomicUsize::new(0),
+            tail: AtomicUsize::new(0),
+        }
+    }
+
+    /// Maximum number of items the deque can hold.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Items currently queued (approximate under concurrent takes).
+    pub fn len(&self) -> usize {
+        let t = self.tail.load(Ordering::Acquire);
+        let h = self.head.load(Ordering::Acquire);
+        t.saturating_sub(h)
+    }
+
+    /// Whether the deque is (approximately) empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Owner-only: queue `item` at the back. Returns `Err(item)` when
+    /// the ring is full (or the slot to reuse is still being drained by
+    /// a slow taker — conservatively treated as full so no item is ever
+    /// overwritten).
+    pub fn push(&self, item: u64) -> Result<(), u64> {
+        let t = self.tail.load(Ordering::Relaxed);
+        if t - self.head.load(Ordering::Acquire) >= self.slots.len() {
+            return Err(item);
+        }
+        let slot = &self.slots[t % self.slots.len()];
+        if slot.load(Ordering::Acquire) != 0 {
+            return Err(item);
+        }
+        slot.store(item + 1, Ordering::Release);
+        self.tail.store(t + 1, Ordering::Release);
+        Ok(())
+    }
+
+    /// Take the front item — the owner's pop and the thief's steal are
+    /// the same operation; what differs is who calls it.
+    pub fn take(&self) -> Option<u64> {
+        loop {
+            let h = self.head.load(Ordering::Acquire);
+            let t = self.tail.load(Ordering::Acquire);
+            if h >= t {
+                return None;
+            }
+            if self
+                .head
+                .compare_exchange_weak(h, h + 1, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                // The CAS gave this taker exclusive claim to position
+                // `h`; the value was published before `tail` moved past
+                // it, so the swap observes it immediately.
+                let slot = &self.slots[h % self.slots.len()];
+                loop {
+                    let v = slot.swap(0, Ordering::AcqRel);
+                    if v != 0 {
+                        return Some(v - 1);
+                    }
+                    std::hint::spin_loop();
+                }
+            }
+        }
+    }
+
+    /// Owner-only, and only when empty: rewind the cursors so ring
+    /// positions are reused from the start of the next window.
+    pub fn reset(&self) {
+        debug_assert!(self.is_empty());
+        self.head.store(0, Ordering::Relaxed);
+        self.tail.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_single_thread() {
+        let d = StealDeque::with_capacity(4);
+        assert!(d.is_empty());
+        for i in 0..4 {
+            d.push(i).unwrap();
+        }
+        assert_eq!(d.push(9), Err(9), "full");
+        assert_eq!(d.len(), 4);
+        for i in 0..4 {
+            assert_eq!(d.take(), Some(i));
+        }
+        assert_eq!(d.take(), None);
+        // Ring reuse across reset.
+        d.reset();
+        for round in 0..3 {
+            d.push(round * 10).unwrap();
+            assert_eq!(d.take(), Some(round * 10));
+        }
+    }
+
+    #[test]
+    fn concurrent_steals_neither_lose_nor_duplicate() {
+        const N: u64 = 10_000;
+        let d = Arc::new(StealDeque::with_capacity(N as usize));
+        for i in 0..N {
+            d.push(i).unwrap();
+        }
+        // All items are in before the thieves start, so a `None` take
+        // means the deque is drained for good.
+        let taken: Vec<std::thread::JoinHandle<Vec<u64>>> = (0..4)
+            .map(|_| {
+                let d = Arc::clone(&d);
+                std::thread::spawn(move || {
+                    let mut got = Vec::new();
+                    while let Some(v) = d.take() {
+                        got.push(v);
+                    }
+                    got
+                })
+            })
+            .collect();
+        let mut all: Vec<u64> = taken.into_iter().flat_map(|h| h.join().unwrap()).collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..N).collect::<Vec<_>>());
+    }
+}

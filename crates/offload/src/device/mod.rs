@@ -1,0 +1,744 @@
+//! The shared target-side engine: one [`DeviceRuntime`] behind every
+//! backend's `ham_main()`.
+//!
+//! The serial loop in [`crate::target_loop`] executed every message —
+//! and every batch member — one after another, while the paper's VE is
+//! an 8-core vector processor. This runtime models those cores as
+//! **worker lanes**: each lane is a virtual-time cursor, work items
+//! (batch members and independently pipelined offloads) are dealt
+//! round-robin onto per-lane [`deque::StealDeque`]s, and an idle lane
+//! steals from the most-loaded peer. Execution still happens on the
+//! device-loop thread in a fixed order — the deterministic greedy
+//! schedule below — so same-seed replays stay bit-identical; the
+//! *parallelism* shows up on the virtual timeline the benches measure.
+//!
+//! ## The window
+//!
+//! Each cycle blocks for one message, then drains whatever the host has
+//! already made available (bounded by [`DeviceConfig::window`]) into a
+//! scheduling window. Everything in the window is independent in-flight
+//! work by construction — the host only pipelines offloads that have no
+//! ordering constraint between them — so its members may share the lane
+//! schedule. All results of a window are published before the runtime
+//! blocks again, so the host never waits on a result the device is
+//! sitting on.
+//!
+//! ## In-order publication
+//!
+//! Result frames are published in **arrival order**, each one after
+//! joining the device clock to that carrier's completion barrier (the
+//! max finish time of its members across lanes). Arrival-order
+//! publication is what keeps the dedup watermark and the recovery
+//! protocol's "result still in the send slot" replay reasoning sound:
+//! the watermark advances exactly as it would under the serial loop,
+//! and a carrier's combined result exists before any later seq is
+//! acknowledged. A batch carrier publishes one combined frame only
+//! after *all* its members finished (per-carrier completion barrier),
+//! so a re-sent carrier still dedups atomically.
+
+pub mod deque;
+
+use crate::chan::batch;
+use crate::chan::pool::{FramePool, PooledFrame};
+use crate::target_loop::{frame_result, Polled, TargetChannel, TargetEnv};
+use aurora_sim_core::trace::{self, OffloadId};
+use aurora_sim_core::{Clock, LaneStats, SimTime};
+use deque::StealDeque;
+use ham::message::ComputeMeter;
+use ham::wire::{MsgHeader, MsgKind};
+use ham::{ExecContext, HamError};
+use std::ops::Range;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// The paper's VE core count — the default worker-lane count.
+pub const DEFAULT_LANES: usize = 8;
+
+/// Default cap on messages drained into one scheduling window.
+pub const DEFAULT_WINDOW: usize = 64;
+
+/// Initial per-lane deque capacity; grown when a window outsizes it.
+const LANE_DEQUE_CAP: usize = 64;
+
+/// Configuration of one target's device runtime.
+#[derive(Clone)]
+pub struct DeviceConfig {
+    /// Worker lanes (simulated VE cores). `0` is clamped to `1`; `1`
+    /// reproduces the serial loop's timeline exactly.
+    pub lanes: usize,
+    /// Most messages one window drains before scheduling (`0` → default).
+    pub window: usize,
+    /// The device's virtual clock, joined to each carrier's completion
+    /// barrier at publication. `None` (clock-less transports: local,
+    /// TCP) publishes immediately — their kernels carry no meter, so
+    /// every barrier is at the window base anyway.
+    pub clock: Option<Clock>,
+    /// Lane occupancy / steal registers to report into, usually
+    /// [`aurora_sim_core::BackendMetrics::lane_stats`].
+    pub stats: Option<Arc<LaneStats>>,
+}
+
+impl Default for DeviceConfig {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl DeviceConfig {
+    /// The default runtime: [`DEFAULT_LANES`] lanes, no clock, no stats.
+    pub fn new() -> Self {
+        Self {
+            lanes: DEFAULT_LANES,
+            window: DEFAULT_WINDOW,
+            clock: None,
+            stats: None,
+        }
+    }
+
+    /// Builder: set the lane count.
+    pub fn with_lanes(mut self, lanes: usize) -> Self {
+        self.lanes = lanes;
+        self
+    }
+
+    /// Builder: attach the device clock.
+    pub fn with_clock(mut self, clock: Clock) -> Self {
+        self.clock = Some(clock);
+        self
+    }
+
+    /// Builder: attach lane registers.
+    pub fn with_stats(mut self, stats: Arc<LaneStats>) -> Self {
+        self.stats = Some(stats);
+        self
+    }
+}
+
+/// [`ComputeMeter`] shim placed in front of the backend's real meter
+/// while a member executes on a lane: instead of advancing the device
+/// clock, charged flops are priced via [`ComputeMeter::cost_ps`] and
+/// accumulated against the lane's virtual cursor. Compute spans are
+/// recorded at lane-local times, so a trace shows members overlapping.
+struct LaneMeter<'a> {
+    inner: Option<&'a dyn ComputeMeter>,
+    /// Lane-local virtual start of the member now executing (ps).
+    base_ps: AtomicU64,
+    /// Cost accumulated by the member now executing (ps).
+    charged_ps: AtomicU64,
+}
+
+impl<'a> LaneMeter<'a> {
+    fn new(inner: Option<&'a dyn ComputeMeter>) -> Self {
+        Self {
+            inner,
+            base_ps: AtomicU64::new(0),
+            charged_ps: AtomicU64::new(0),
+        }
+    }
+
+    /// Arm the shim for one member starting at lane time `base_ps`.
+    fn begin(&self, base_ps: u64) {
+        self.base_ps.store(base_ps, Ordering::Relaxed);
+        self.charged_ps.store(0, Ordering::Relaxed);
+    }
+
+    /// Total cost the armed member charged.
+    fn charged(&self) -> u64 {
+        self.charged_ps.load(Ordering::Relaxed)
+    }
+}
+
+impl ComputeMeter for LaneMeter<'_> {
+    fn charge_flops(&self, flops: u64) {
+        let Some(inner) = self.inner else { return };
+        let d = inner.cost_ps(flops);
+        let t0 = self.base_ps.load(Ordering::Relaxed) + self.charged_ps.load(Ordering::Relaxed);
+        trace::record(
+            "ve.compute",
+            flops,
+            SimTime::from_ps(t0),
+            SimTime::from_ps(t0 + d),
+        );
+        self.charged_ps.fetch_add(d, Ordering::Relaxed);
+    }
+
+    fn cost_ps(&self, flops: u64) -> u64 {
+        self.inner.map_or(0, |m| m.cost_ps(flops))
+    }
+}
+
+/// One schedulable unit: a plain offload, or one member of a batch.
+struct Item {
+    /// Window index of the message owning the payload bytes.
+    msg: usize,
+    /// Index of the owning carrier in the window's carrier list.
+    carrier: usize,
+    header: MsgHeader,
+    /// Byte range of the member payload inside its message body.
+    payload: Range<usize>,
+}
+
+/// One received message and its publication plan.
+struct Carrier {
+    header: MsgHeader,
+    /// This carrier's slice of the window's flat item list.
+    items: Range<usize>,
+    /// Dedup duplicate: publish nothing (the original result still sits
+    /// in — or is on its way to — the send slot).
+    skip: bool,
+    /// Wire error: publish an error frame. The well-formed member
+    /// prefix still executes first, mirroring the serial loop.
+    reject: Option<String>,
+    batch: bool,
+    /// Watermark contribution once published (max executed member seq).
+    wm: Option<u64>,
+    /// Completion barrier: max virtual finish time of the members (ps).
+    finish_ps: u64,
+}
+
+/// Execute one member with the lane meter shim in place of the
+/// backend's clock-advancing meter.
+fn execute_member(
+    env: &TargetEnv<'_>,
+    meter: &LaneMeter<'_>,
+    header: &MsgHeader,
+    payload: &[u8],
+) -> Vec<u8> {
+    let mut ctx = ExecContext::new(env.node, env.mem);
+    if let Some(r) = env.reverse {
+        ctx = ctx.with_reverse_transport(env.registry, r);
+    }
+    if env.meter.is_some() {
+        ctx = ctx.with_meter(meter);
+    }
+    frame_result(env.registry.execute(header.handler_key, payload, &mut ctx))
+}
+
+/// The shared target-side engine. Owns the lane scheduler and the
+/// device-side frame pool that recv bodies recycle through.
+pub struct DeviceRuntime {
+    cfg: DeviceConfig,
+    pool: Arc<FramePool>,
+}
+
+impl DeviceRuntime {
+    /// A runtime with the given configuration.
+    pub fn new(cfg: DeviceConfig) -> Self {
+        Self {
+            cfg,
+            pool: FramePool::new(),
+        }
+    }
+
+    /// Run the message loop for one target until a `Control` message or
+    /// channel shutdown. Returns the number of offloads served (batch
+    /// members count individually).
+    pub fn run(&self, env: &TargetEnv<'_>, chan: &dyn TargetChannel) -> u64 {
+        let _node = trace::node_scope(env.node);
+        let lanes = self.cfg.lanes.max(1);
+        let window_cap = if self.cfg.window == 0 {
+            DEFAULT_WINDOW
+        } else {
+            self.cfg.window
+        };
+        let mut served: u64 = 0;
+        let mut watermark: Option<u64> = None;
+        // Lane cursors persist across windows and only move forward.
+        let mut avail = vec![0u64; lanes];
+        let mut deques: Vec<StealDeque> = (0..lanes)
+            .map(|_| StealDeque::with_capacity(LANE_DEQUE_CAP))
+            .collect();
+        // Window scratch, reused so the warm cycle allocates little
+        // beyond the result buffers themselves.
+        let mut window: Vec<(MsgHeader, PooledFrame)> = Vec::new();
+        let mut items: Vec<Item> = Vec::new();
+        let mut carriers: Vec<Carrier> = Vec::new();
+        let mut parts: Vec<Vec<u8>> = Vec::new();
+        let mut executed = vec![0u64; lanes];
+        let meter = LaneMeter::new(env.meter);
+
+        loop {
+            // ---- Drain: one blocking recv, then whatever is ready ----
+            window.clear();
+            let mark = trace::mark();
+            let Some((h, p)) = chan.recv(&self.pool) else {
+                break;
+            };
+            if h.corr != 0 {
+                trace::retag_since(&mark, OffloadId(h.corr));
+            }
+            let mut closed = false;
+            let mut saw_control = h.kind == MsgKind::Control;
+            window.push((h, p));
+            while !saw_control && window.len() < window_cap {
+                let mark = trace::mark();
+                match chan.try_recv(&self.pool) {
+                    Polled::Msg(h, p) => {
+                        if h.corr != 0 {
+                            trace::retag_since(&mark, OffloadId(h.corr));
+                        }
+                        saw_control = h.kind == MsgKind::Control;
+                        window.push((h, p));
+                    }
+                    Polled::Empty => break,
+                    Polled::Closed => {
+                        closed = true;
+                        break;
+                    }
+                }
+            }
+
+            // ---- Parse: carriers, members, dedup, hostile frames ----
+            items.clear();
+            carriers.clear();
+            let mut halt = closed;
+            // Skip decisions run against the watermark as it *will*
+            // stand when each carrier publishes — identical to the
+            // serial loop's per-message interleaving.
+            let mut wm_window = watermark;
+            for (mi, (h, payload)) in window.iter().enumerate() {
+                let start = items.len();
+                match h.kind {
+                    MsgKind::Control => {
+                        halt = true;
+                        break;
+                    }
+                    MsgKind::Result => {
+                        // A result message arriving at a target is a
+                        // protocol violation; surface it loudly.
+                        panic!("target {} received a Result message", env.node);
+                    }
+                    MsgKind::Offload => {
+                        let skip = env.dedup && wm_window.is_some_and(|w| h.seq <= w);
+                        if !skip {
+                            items.push(Item {
+                                msg: mi,
+                                carrier: carriers.len(),
+                                header: *h,
+                                payload: 0..payload.len(),
+                            });
+                            wm_window = Some(wm_window.map_or(h.seq, |w| w.max(h.seq)));
+                        }
+                        carriers.push(Carrier {
+                            header: *h,
+                            items: start..items.len(),
+                            skip,
+                            reject: None,
+                            batch: false,
+                            wm: (!skip).then_some(h.seq),
+                            finish_ps: 0,
+                        });
+                    }
+                    MsgKind::Batch => {
+                        // The carrier's seq is its last member's, so the
+                        // watermark dedups a re-sent batch atomically.
+                        let skip = env.dedup && wm_window.is_some_and(|w| h.seq <= w);
+                        let (reject, wm) = if skip {
+                            (None, None)
+                        } else {
+                            match batch::member_ranges(payload) {
+                                Err(e) => (Some(e), None),
+                                Ok((members, err)) => {
+                                    let mut wm = None;
+                                    for (sh, range) in members {
+                                        items.push(Item {
+                                            msg: mi,
+                                            carrier: carriers.len(),
+                                            header: sh,
+                                            payload: range,
+                                        });
+                                        wm = Some(wm.map_or(sh.seq, |w: u64| w.max(sh.seq)));
+                                    }
+                                    if let Some(w) = wm {
+                                        wm_window = Some(wm_window.map_or(w, |c| c.max(w)));
+                                    }
+                                    (err, wm)
+                                }
+                            }
+                        };
+                        carriers.push(Carrier {
+                            header: *h,
+                            items: start..items.len(),
+                            skip,
+                            reject,
+                            batch: true,
+                            wm,
+                            finish_ps: 0,
+                        });
+                    }
+                }
+            }
+
+            // ---- Schedule: greedy deterministic lane simulation ----
+            if !items.is_empty() {
+                let need = items.len().div_ceil(lanes);
+                if deques[0].capacity() < need {
+                    deques = (0..lanes)
+                        .map(|_| StealDeque::with_capacity(need.next_power_of_two()))
+                        .collect();
+                }
+                for d in &deques {
+                    d.reset();
+                }
+                for k in 0..items.len() {
+                    let mut lane = k % lanes;
+                    let mut pending = k as u64;
+                    for _ in 0..lanes {
+                        match deques[lane].push(pending) {
+                            Ok(()) => break,
+                            Err(v) => {
+                                pending = v;
+                                lane = (lane + 1) % lanes;
+                            }
+                        }
+                    }
+                }
+                let base = self.cfg.clock.as_ref().map_or(0, |c| c.now().as_ps());
+                for a in &mut avail {
+                    *a = (*a).max(base);
+                }
+                executed.iter_mut().for_each(|e| *e = 0);
+                parts.clear();
+                parts.resize(items.len(), Vec::new());
+                let mut remaining = items.len();
+                while remaining > 0 {
+                    // Next lane to run: earliest virtual cursor; ties
+                    // rotate by work done this window, then lane id.
+                    let lane = (0..lanes)
+                        .min_by_key(|&l| (avail[l], executed[l], l))
+                        .expect("at least one lane");
+                    // Own deque first, else steal from the most loaded
+                    // peer (ties to the lowest lane id).
+                    let (idx, stolen) = match deques[lane].take() {
+                        Some(i) => (i as usize, false),
+                        None => {
+                            let victim = (0..lanes)
+                                .filter(|&v| v != lane && !deques[v].is_empty())
+                                .max_by_key(|&v| (deques[v].len(), std::cmp::Reverse(v)))
+                                .expect("remaining > 0 implies queued work");
+                            match deques[victim].take() {
+                                Some(i) => (i as usize, true),
+                                None => continue,
+                            }
+                        }
+                    };
+                    let item = &items[idx];
+                    // Execute now, in real time; the member's compute
+                    // cost lands on this lane's virtual cursor.
+                    meter.begin(avail[lane]);
+                    let part = {
+                        let _of = trace::offload_scope(OffloadId(item.header.corr));
+                        let body = &window[item.msg].1[item.payload.clone()];
+                        execute_member(env, &meter, &item.header, body)
+                    };
+                    let d = meter.charged();
+                    avail[lane] += d;
+                    executed[lane] += 1;
+                    if let Some(stats) = &self.cfg.stats {
+                        stats.on_task(lane, d);
+                        if stolen {
+                            stats.on_steal();
+                        }
+                    }
+                    let c = &mut carriers[item.carrier];
+                    c.finish_ps = c.finish_ps.max(avail[lane]);
+                    parts[idx] = part;
+                    remaining -= 1;
+                }
+            }
+
+            // ---- Publish: arrival order, barrier-joined ----
+            for c in &carriers {
+                if c.skip {
+                    continue;
+                }
+                // The publication's transport spans (result DMA, flag
+                // store, target overhead) belong to the offload being
+                // answered, same as under the serial loop.
+                let _of =
+                    (c.header.corr != 0).then(|| trace::offload_scope(OffloadId(c.header.corr)));
+                let join_barrier = |c: &Carrier| {
+                    if let Some(clock) = &self.cfg.clock {
+                        clock.join(SimTime::from_ps(c.finish_ps));
+                    }
+                };
+                if let Some(e) = &c.reject {
+                    // Hostile envelope: any well-formed prefix executed
+                    // (and counts), but the host errors every member
+                    // uniformly via one error frame.
+                    served += c.items.len() as u64;
+                    if !c.items.is_empty() {
+                        join_barrier(c);
+                    }
+                    chan.send_result(
+                        c.header.reply_slot,
+                        c.header.seq,
+                        frame_result(Err(HamError::Wire(e.clone()))),
+                    );
+                } else if !c.batch {
+                    join_barrier(c);
+                    chan.send_result(
+                        c.header.reply_slot,
+                        c.header.seq,
+                        std::mem::take(&mut parts[c.items.start]),
+                    );
+                    served += 1;
+                } else {
+                    // One combined result answers the whole batch:
+                    // count ‖ per-member (seq ‖ len ‖ framed result),
+                    // in member order.
+                    let mut body = Vec::new();
+                    batch::begin_result(&mut body, c.items.len() as u32);
+                    for idx in c.items.clone() {
+                        batch::append_result_part(&mut body, items[idx].header.seq, &parts[idx]);
+                    }
+                    join_barrier(c);
+                    chan.send_result(c.header.reply_slot, c.header.seq, frame_result(Ok(body)));
+                    served += c.items.len() as u64;
+                }
+                if let Some(w) = c.wm {
+                    watermark = Some(watermark.map_or(w, |cur| cur.max(w)));
+                }
+            }
+
+            if halt {
+                break;
+            }
+        }
+        served
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ham::message::VecMemory;
+    use ham::registry::HandlerKey;
+    use ham::{f2f, ham_kernel, Registry, RegistryBuilder};
+    use parking_lot::Mutex;
+    use std::collections::VecDeque;
+
+    ham_kernel! {
+        pub fn burn(ctx, flops: u64) -> u64 { ctx.charge_flops(flops); flops }
+    }
+
+    /// 1 ps per flop; `charge_flops` is never called directly because
+    /// the runtime always interposes its lane shim.
+    struct PsPerFlop;
+    impl ComputeMeter for PsPerFlop {
+        fn charge_flops(&self, _flops: u64) {
+            panic!("the device runtime must interpose the lane meter");
+        }
+        fn cost_ps(&self, flops: u64) -> u64 {
+            flops
+        }
+    }
+
+    /// What a channel's `send_result` recorded: (reply slot, seq, payload).
+    type Outbox = Vec<(u16, u64, Vec<u8>)>;
+
+    /// Queue-backed channel: `try_recv` drains eagerly, `Closed` once
+    /// empty, so every queued message lands in a single window.
+    struct QueueChannel {
+        inbox: Mutex<VecDeque<(MsgHeader, Vec<u8>)>>,
+        outbox: Mutex<Outbox>,
+    }
+
+    impl QueueChannel {
+        fn new(msgs: Vec<(MsgHeader, Vec<u8>)>) -> Self {
+            Self {
+                inbox: Mutex::new(VecDeque::from(msgs)),
+                outbox: Mutex::new(vec![]),
+            }
+        }
+    }
+
+    impl TargetChannel for QueueChannel {
+        fn recv(&self, pool: &Arc<FramePool>) -> Option<(MsgHeader, PooledFrame)> {
+            self.inbox
+                .lock()
+                .pop_front()
+                .map(|(h, p)| (h, pool.adopt(p)))
+        }
+        fn try_recv(&self, pool: &Arc<FramePool>) -> Polled {
+            match self.inbox.lock().pop_front() {
+                Some((h, p)) => Polled::Msg(h, pool.adopt(p)),
+                None => Polled::Closed,
+            }
+        }
+        fn send_result(&self, reply_slot: u16, seq: u64, payload: Vec<u8>) {
+            self.outbox.lock().push((reply_slot, seq, payload));
+        }
+    }
+
+    fn registry() -> Registry {
+        let mut b = RegistryBuilder::new();
+        b.register::<burn>();
+        b.seal(7)
+    }
+
+    fn offload(key: HandlerKey, payload: &[u8], slot: u16, seq: u64) -> (MsgHeader, Vec<u8>) {
+        (
+            MsgHeader {
+                handler_key: key,
+                payload_len: payload.len() as u32,
+                kind: MsgKind::Offload,
+                reply_slot: slot,
+                corr: seq + 1,
+                seq,
+            },
+            payload.to_vec(),
+        )
+    }
+
+    fn run_with(
+        lanes: usize,
+        clock: &Clock,
+        stats: Option<Arc<LaneStats>>,
+        msgs: Vec<(MsgHeader, Vec<u8>)>,
+    ) -> (u64, SimTime, Outbox) {
+        let reg = registry();
+        let mem = VecMemory::new(0);
+        let meter = PsPerFlop;
+        let env = TargetEnv {
+            node: 1,
+            registry: &reg,
+            mem: &mem,
+            reverse: None,
+            meter: Some(&meter),
+            dedup: false,
+        };
+        let mut cfg = DeviceConfig::new()
+            .with_lanes(lanes)
+            .with_clock(clock.clone());
+        cfg.stats = stats;
+        let chan = QueueChannel::new(msgs);
+        let served = DeviceRuntime::new(cfg).run(&env, &chan);
+        let out = std::mem::take(&mut *chan.outbox.lock());
+        (served, clock.now(), out)
+    }
+
+    fn burn_msgs(costs: &[u64]) -> Vec<(MsgHeader, Vec<u8>)> {
+        let reg = registry();
+        let key = reg.key_of::<burn>().unwrap();
+        costs
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| {
+                let payload = ham::codec::encode(&f2f!(burn, c)).unwrap();
+                offload(key, &payload, i as u16, i as u64)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn lanes_shrink_the_window_makespan() {
+        // Eight equal members: serial = 8d, 4 lanes = 2d, 8 lanes = d.
+        for (lanes, expect_ps) in [(1usize, 8_000u64), (4, 2_000), (8, 1_000)] {
+            let clock = Clock::new();
+            let (served, now, out) = run_with(lanes, &clock, None, burn_msgs(&[1_000; 8]));
+            assert_eq!(served, 8);
+            assert_eq!(out.len(), 8);
+            assert_eq!(now.as_ps(), expect_ps, "lanes = {lanes}");
+        }
+    }
+
+    #[test]
+    fn single_offload_timing_is_lane_invariant() {
+        // A lone message must cost exactly its compute time whatever
+        // the lane count — the Fig. 9 calibration contract.
+        for lanes in [1usize, 8] {
+            let clock = Clock::new();
+            let (_, now, _) = run_with(lanes, &clock, None, burn_msgs(&[4_321]));
+            assert_eq!(now.as_ps(), 4_321);
+        }
+    }
+
+    #[test]
+    fn results_publish_in_arrival_order() {
+        // Wildly unequal costs: item 0 finishes last on the lanes, yet
+        // publication order is arrival order.
+        let clock = Clock::new();
+        let (_, now, out) = run_with(4, &clock, None, burn_msgs(&[9_000, 10, 10, 10]));
+        let seqs: Vec<u64> = out.iter().map(|o| o.1).collect();
+        assert_eq!(seqs, vec![0, 1, 2, 3]);
+        assert_eq!(now.as_ps(), 9_000, "makespan is the long pole");
+    }
+
+    #[test]
+    fn idle_lanes_steal_and_are_counted() {
+        let stats = Arc::new(LaneStats::new());
+        let clock = Clock::new();
+        // Round-robin deal on two lanes: lane 0 holds {0: 8000, 2: 10,
+        // 4: 10}, lane 1 holds {1: 10, 3: 10, 5: 10}. Lane 1 drains its
+        // own queue while lane 0 chews the long item, then steals the
+        // rest.
+        let (served, now, _) = run_with(
+            2,
+            &clock,
+            Some(Arc::clone(&stats)),
+            burn_msgs(&[8_000, 10, 10, 10, 10, 10]),
+        );
+        assert_eq!(served, 6);
+        assert_eq!(stats.steals(), 2, "items 2 and 4 migrate to lane 1");
+        assert_eq!(stats.tasks(0), 1);
+        assert_eq!(stats.tasks(1), 5);
+        assert_eq!(now.as_ps(), 8_000, "steals hide behind the long pole");
+    }
+
+    #[test]
+    fn batch_barrier_waits_for_the_slowest_member() {
+        use ham::wire::HEADER_BYTES;
+        let reg = registry();
+        let key = reg.key_of::<burn>().unwrap();
+        let mut frame = vec![0u8; HEADER_BYTES + batch::COUNT_BYTES];
+        for (seq, cost) in [(0u64, 5_000u64), (1, 100)] {
+            let payload = ham::codec::encode(&f2f!(burn, cost)).unwrap();
+            let sub = MsgHeader {
+                handler_key: key,
+                payload_len: payload.len() as u32,
+                kind: MsgKind::Offload,
+                reply_slot: 0,
+                corr: seq + 1,
+                seq,
+            };
+            batch::append_sub(&mut frame, &sub, &payload);
+        }
+        let carrier = batch::carrier_header(1, frame.len() - HEADER_BYTES, 2, 9);
+        batch::patch_envelope(&mut frame, &carrier, 2);
+        let clock = Clock::new();
+        let (served, now, out) = run_with(
+            8,
+            &clock,
+            None,
+            vec![(carrier, frame[HEADER_BYTES..].to_vec())],
+        );
+        assert_eq!(served, 2);
+        assert_eq!(out.len(), 1, "one combined result for the batch");
+        assert_eq!((out[0].0, out[0].1), (2, 1));
+        // Barrier: published at the slow member's finish, not the sum.
+        assert_eq!(now.as_ps(), 5_000);
+        let body = crate::target_loop::unframe_result(&out[0].2).unwrap();
+        let parts: Vec<_> = batch::ResultPartIter::new(&body)
+            .unwrap()
+            .map(|p| p.unwrap())
+            .collect();
+        assert_eq!(parts.len(), 2, "both members answered in member order");
+        assert_eq!(parts[0].0, 0);
+        assert_eq!(parts[1].0, 1);
+    }
+
+    #[test]
+    fn same_input_schedules_identically() {
+        let costs = [700u64, 20, 333, 4_000, 1, 52, 1_000, 9];
+        let run = || {
+            let stats = Arc::new(LaneStats::new());
+            let clock = Clock::new();
+            let (served, now, out) =
+                run_with(4, &clock, Some(Arc::clone(&stats)), burn_msgs(&costs));
+            let lanes: Vec<u64> = (0..4).map(|l| stats.tasks(l)).collect();
+            (served, now, out, lanes, stats.steals())
+        };
+        assert_eq!(run(), run(), "bit-identical replay");
+    }
+}

@@ -36,6 +36,7 @@
 pub mod backend;
 pub mod buffer;
 pub mod chan;
+pub mod device;
 pub mod future;
 pub mod local;
 pub mod runtime;
@@ -74,6 +75,11 @@ pub enum OffloadError {
     /// The target died (process crash, link failure, peer disconnect);
     /// its channel is evicted, failing in-flight and future offloads.
     TargetLost(NodeId),
+    /// The offload was pulled out of a slow target's staged accumulator
+    /// before ever reaching the wire, so it can be resubmitted to an
+    /// idle peer. Internal to the scheduler's rebalance path — the pool
+    /// reposts these; user code only sees it if it bypasses the pool.
+    Migrated,
 }
 
 impl From<HamError> for OffloadError {
@@ -94,6 +100,12 @@ impl core::fmt::Display for OffloadError {
                 write!(f, "offload timed out: completion flag never arrived")
             }
             OffloadError::TargetLost(n) => write!(f, "target {} lost", n.0),
+            OffloadError::Migrated => {
+                write!(
+                    f,
+                    "offload migrated off its target before reaching the wire"
+                )
+            }
         }
     }
 }

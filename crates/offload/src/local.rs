@@ -11,8 +11,9 @@
 //! [`ChannelCore`]'s completion queue, and the host never polls flags.
 
 use crate::backend::{CommBackend, RawBuffer, Registrar};
+use crate::chan::pool::{FramePool, PooledFrame};
 use crate::chan::{engine, BatchConfig, ChannelCore, Reservation};
-use crate::target_loop::{run_target_loop, TargetChannel};
+use crate::target_loop::{run_target_loop, Polled, TargetChannel};
 use crate::types::{DeviceType, NodeDescriptor, NodeId};
 use crate::OffloadError;
 use aurora_mem::RangeAllocator;
@@ -34,8 +35,16 @@ struct ChannelEnd {
 }
 
 impl TargetChannel for ChannelEnd {
-    fn recv(&self) -> Option<(MsgHeader, Vec<u8>)> {
-        self.rx.recv().ok()
+    fn recv(&self, pool: &Arc<FramePool>) -> Option<(MsgHeader, PooledFrame)> {
+        self.rx.recv().ok().map(|(h, p)| (h, pool.adopt(p)))
+    }
+    fn try_recv(&self, pool: &Arc<FramePool>) -> Polled {
+        use crossbeam::channel::TryRecvError;
+        match self.rx.try_recv() {
+            Ok((h, p)) => Polled::Msg(h, pool.adopt(p)),
+            Err(TryRecvError::Empty) => Polled::Empty,
+            Err(TryRecvError::Disconnected) => Polled::Closed,
+        }
     }
     fn send_result(&self, _reply_slot: u16, seq: u64, payload: Vec<u8>) {
         // Owned hand-off: the target's result buffer is deposited as-is

@@ -598,24 +598,97 @@ impl TargetPool {
                     .backend()
                     .channel(target)
                     .is_ok_and(|c| c.take_unsent(seq));
-                if unsent && !fut.pinned {
-                    self.drop_target(target);
-                    match self.repost(fut) {
-                        // Pending again, now on a survivor.
-                        Ok(()) => false,
-                        Err(_) => {
-                            // No survivors: surface the *original*
-                            // error, not the repost bookkeeping one.
-                            fut.done = Some(Err(e));
-                            true
+                if !unsent {
+                    fut.done = Some(Err(e));
+                    return true;
+                }
+                let migrated = matches!(e, OffloadError::Migrated);
+                if fut.pinned {
+                    if migrated {
+                        // A rebalance reclaimed this member from its
+                        // pinned target's accumulator; the target is
+                        // alive, so the message goes straight back.
+                        match self
+                            .offload
+                            .submit_raw(target, fut.key, &fut.payload, fut.decode)
+                        {
+                            Ok(inner) => {
+                                fut.inner = Some(inner);
+                                fut.resubmits += 1;
+                                return false;
+                            }
+                            Err(e2) => {
+                                fut.done = Some(Err(e2));
+                                return true;
+                            }
                         }
                     }
-                } else {
                     fut.done = Some(Err(e));
-                    true
+                    return true;
+                }
+                if !migrated {
+                    // The frame never reached a *lost* target — drain
+                    // it from the pool. A migration donor is merely
+                    // slow and stays in.
+                    self.drop_target(target);
+                }
+                match self.repost(fut) {
+                    // Pending again, now on a survivor.
+                    Ok(()) => false,
+                    Err(_) => {
+                        // No survivors: surface the *original* error,
+                        // not the repost bookkeeping one.
+                        fut.done = Some(Err(e));
+                        true
+                    }
                 }
             }
         }
+    }
+
+    /// Migrate staged-but-unflushed batch members off slow targets onto
+    /// idle peers. A *donor* is a healthy target holding staged members
+    /// behind frames already on the wire (`in_flight() != staged_len()`
+    /// — a purely-staged target just needs a flush, not a migration);
+    /// migration runs only while some healthy peer is completely idle
+    /// with spare credit, so the reclaimed members land somewhere that
+    /// serves them now. Half the donor's staged tail (rounded up) is
+    /// reclaimed via [`crate::chan::ChannelCore::take_staged_tail`] —
+    /// provably unsent, so the failover replay is exact — and each
+    /// member's [`PoolFuture`] resubmits itself on its next settle.
+    /// Runs automatically inside [`TargetPool::wait_any`] /
+    /// [`TargetPool::wait_all`] rounds; returns how many members were
+    /// reclaimed.
+    pub fn rebalance(&self) -> usize {
+        let backend = self.offload.backend();
+        let healthy = {
+            let mut st = self.state.lock();
+            self.prune(&mut st);
+            if st.healthy.len() < 2 {
+                return 0;
+            }
+            st.healthy.clone()
+        };
+        let idle = healthy.iter().any(|&t| {
+            backend
+                .channel(t)
+                .is_ok_and(|c| c.in_flight() == 0 && c.has_credit())
+        });
+        if !idle {
+            return 0;
+        }
+        let mut moved = 0;
+        for &t in &healthy {
+            let Ok(chan) = backend.channel(t) else {
+                continue;
+            };
+            let staged = chan.staged_len();
+            if staged == 0 || chan.in_flight() == staged {
+                continue;
+            }
+            moved += chan.take_staged_tail(staged.div_ceil(2));
+        }
+        moved
     }
 
     /// One flag sweep per distinct channel the pending futures wait on
@@ -654,6 +727,7 @@ impl TargetPool {
             if !pending {
                 return None;
             }
+            self.rebalance();
             self.drain_pending(futures);
             backoff.snooze();
         }
@@ -674,6 +748,7 @@ impl TargetPool {
             if !pending {
                 break;
             }
+            self.rebalance();
             self.drain_pending(&futures);
             backoff.snooze();
         }
@@ -802,6 +877,48 @@ mod tests {
         // scores with the pool minimum — equal latency, equal load →
         // still deterministic lowest-id.
         assert_eq!(p.try_pick().unwrap(), Some(NodeId(1)));
+    }
+
+    #[test]
+    fn rebalance_migrates_staged_members_off_a_slow_target() {
+        use crate::chan::BatchConfig;
+        use aurora_sim_core::SimTime;
+        let o = Offload::new(LocalBackend::spawn_batched(
+            3,
+            BatchConfig::up_to(64),
+            |b| {
+                b.register::<pool_probe>();
+            },
+        ));
+        let nodes: Vec<NodeId> = (1..=3).map(NodeId).collect();
+        let p = o.pool_with(&nodes, SchedPolicy::RoundRobin).unwrap();
+        // A synthetic wire frame that never completes makes target 1
+        // *slow*: anything staged behind it would wait forever.
+        let b = o.backend();
+        b.channel(NodeId(1))
+            .unwrap()
+            .try_reserve(false, 0, SimTime::ZERO, 0);
+        // Round-robin staging: one member on target 1 (behind the stuck
+        // frame), one on target 2; target 3 stays idle.
+        let futs = vec![
+            p.submit(f2f!(pool_probe, 10)).unwrap(),
+            p.submit(f2f!(pool_probe, 20)).unwrap(),
+        ];
+        assert_eq!(futs[0].target(), NodeId(1));
+        let c1 = b.channel(NodeId(1)).unwrap();
+        assert_eq!(c1.staged_len(), 1);
+        // Target 1 qualifies as donor (staged work behind a wire
+        // frame), target 3 as the idle recipient.
+        assert_eq!(p.rebalance(), 1);
+        assert_eq!(c1.staged_len(), 0);
+        assert_eq!(p.rebalance(), 0, "nothing staged behind wire frames now");
+        // Both offloads complete; the migrated member lands on a peer
+        // and the donor is *not* evicted from the pool.
+        for r in p.wait_all(futs) {
+            let v = r.unwrap();
+            assert_ne!(v % 1000, 1, "no result can come from stuck target 1");
+        }
+        assert_eq!(p.healthy(), nodes, "a slow donor stays in the pool");
     }
 
     #[test]

@@ -1,23 +1,47 @@
-//! The target-side runtime: HAM-Offload's message-processing loop.
+//! The target-side runtime surface: channel trait, result framing, and
+//! the environment handed to kernels.
 //!
-//! After initialisation, an offload target sits in this loop: receive the
-//! next active message, translate its handler key, execute, send the
-//! result message back (paper §III-C/D: on the SX-Aurora this loop *is*
-//! `ham_main()` running inside the VE process).
-//!
-//! The loop is transport-agnostic through [`TargetChannel`]; each backend
-//! provides the flag-polling / DMA-fetching implementation.
+//! After initialisation, an offload target sits in a message loop:
+//! receive the next active message, translate its handler key, execute,
+//! send the result message back (paper §III-C/D: on the SX-Aurora this
+//! loop *is* `ham_main()` running inside the VE process). The loop
+//! itself — per-core worker lanes, staged-work stealing, watermark
+//! bookkeeping — lives in [`crate::device::DeviceRuntime`]; every
+//! backend runs that one engine. This module keeps the
+//! transport-facing pieces: [`TargetChannel`], [`TargetEnv`], and the
+//! `frame_result` wire helpers.
 
-use crate::chan::batch;
-use aurora_sim_core::trace::{self, OffloadId};
-use ham::wire::{MsgHeader, MsgKind};
-use ham::{ExecContext, HamError, Registry, TargetMemory};
+use crate::chan::pool::{FramePool, PooledFrame};
+use crate::device::{DeviceConfig, DeviceRuntime};
+use ham::wire::MsgHeader;
+use ham::{HamError, Registry, TargetMemory};
+use std::sync::Arc;
+
+/// Outcome of a non-blocking poll on a [`TargetChannel`].
+pub enum Polled {
+    /// A message was ready.
+    Msg(MsgHeader, PooledFrame),
+    /// Nothing ready right now; more may arrive later.
+    Empty,
+    /// The channel has shut down; nothing will ever arrive again.
+    Closed,
+}
 
 /// Target-side view of one backend channel.
+///
+/// Bodies are returned as [`PooledFrame`]s checked out of the device
+/// runtime's [`FramePool`], so the warm receive path recycles buffers
+/// instead of allocating one per message.
 pub trait TargetChannel {
     /// Receive the next message (blocking; backends poll flags inside).
     /// `None` means the channel is shut down.
-    fn recv(&self) -> Option<(MsgHeader, Vec<u8>)>;
+    fn recv(&self, pool: &Arc<FramePool>) -> Option<(MsgHeader, PooledFrame)>;
+
+    /// Poll for a ready message without blocking — the device runtime
+    /// uses this to drain already-delivered messages into one
+    /// scheduling window. Must not wait for the host: if no complete
+    /// message is available *right now*, return [`Polled::Empty`].
+    fn try_recv(&self, pool: &Arc<FramePool>) -> Polled;
 
     /// Publish a result payload for the offload that arrived with
     /// `reply_slot` and sequence number `seq`. Takes ownership so
@@ -87,7 +111,8 @@ pub struct TargetEnv<'a> {
 }
 
 /// Run the message loop for one target until a `Control` message or
-/// channel shutdown. Returns the number of offloads served.
+/// channel shutdown, on a default-configured [`DeviceRuntime`].
+/// Returns the number of offloads served.
 pub fn run_target_loop(
     node: u16,
     registry: &Registry,
@@ -130,120 +155,20 @@ pub fn run_target_loop_with_reverse(
     )
 }
 
-/// Execute one offload message and frame its result.
-fn execute_sub(env: &TargetEnv<'_>, header: &MsgHeader, payload: &[u8]) -> Vec<u8> {
-    let mut ctx = ExecContext::new(env.node, env.mem);
-    if let Some(r) = env.reverse {
-        ctx = ctx.with_reverse_transport(env.registry, r);
-    }
-    if let Some(m) = env.meter {
-        ctx = ctx.with_meter(m);
-    }
-    frame_result(env.registry.execute(header.handler_key, payload, &mut ctx))
-}
-
-/// The fully-general message loop over a [`TargetEnv`].
+/// The fully-general message loop over a [`TargetEnv`]: a
+/// default-configured [`DeviceRuntime`] ([`crate::device::DEFAULT_LANES`]
+/// lanes, no clock, no lane registers).
 pub fn run_target_loop_env(env: &TargetEnv<'_>, chan: &dyn TargetChannel) -> u64 {
-    let _node = trace::node_scope(env.node);
-    let mut served = 0;
-    // Highest offload seq served so far (dedup watermark).
-    let mut watermark: Option<u64> = None;
-    loop {
-        // Transport work inside `recv` (flag polls, DMA fetches) runs
-        // before the header — and with it the correlation id — is known.
-        // Mark here and retag afterwards so those spans join the
-        // offload's tree.
-        let mark = trace::mark();
-        let Some((header, payload)) = chan.recv() else {
-            break;
-        };
-        if header.corr != 0 {
-            trace::retag_since(&mark, OffloadId(header.corr));
-        }
-        match header.kind {
-            MsgKind::Control => break,
-            MsgKind::Offload => {
-                if env.dedup && watermark.is_some_and(|w| header.seq <= w) {
-                    // Recovery re-send of an offload already served: the
-                    // result is still in (or on its way to) the send
-                    // slot. Executing again would double side effects
-                    // and clobber the result flag.
-                    continue;
-                }
-                let _of = trace::offload_scope(OffloadId(header.corr));
-                let result = execute_sub(env, &header, &payload);
-                chan.send_result(header.reply_slot, header.seq, result);
-                watermark = Some(watermark.map_or(header.seq, |w| w.max(header.seq)));
-                served += 1;
-            }
-            MsgKind::Batch => {
-                // The carrier's seq is its *last* member's, so the
-                // watermark comparison deduplicates a re-sent batch
-                // atomically: either the whole envelope was served (and
-                // its combined result still sits in the send slot) or
-                // none of it was.
-                if env.dedup && watermark.is_some_and(|w| header.seq <= w) {
-                    continue;
-                }
-                let subs = match batch::BatchIter::new(&payload) {
-                    Ok(it) => it,
-                    Err(e) => {
-                        chan.send_result(
-                            header.reply_slot,
-                            header.seq,
-                            frame_result(Err(HamError::Wire(e))),
-                        );
-                        continue;
-                    }
-                };
-                // One combined result message answers the whole batch:
-                // count ‖ per-member (seq ‖ len ‖ framed result), in
-                // arrival order.
-                let mut body = Vec::new();
-                batch::begin_result(&mut body, subs.announced());
-                let mut rejected = false;
-                for sub in subs {
-                    match sub {
-                        Ok((sh, sp)) => {
-                            let _of = trace::offload_scope(OffloadId(sh.corr));
-                            let part = execute_sub(env, &sh, sp);
-                            batch::append_result_part(&mut body, sh.seq, &part);
-                            watermark = Some(watermark.map_or(sh.seq, |w| w.max(sh.seq)));
-                            served += 1;
-                        }
-                        Err(e) => {
-                            // Malformed mid-envelope: reject the batch
-                            // wholesale so the host errors every member
-                            // uniformly.
-                            chan.send_result(
-                                header.reply_slot,
-                                header.seq,
-                                frame_result(Err(HamError::Wire(e))),
-                            );
-                            rejected = true;
-                            break;
-                        }
-                    }
-                }
-                if !rejected {
-                    chan.send_result(header.reply_slot, header.seq, frame_result(Ok(body)));
-                }
-            }
-            MsgKind::Result => {
-                // A result message arriving at a target is a protocol
-                // violation; surface it loudly in the simulation.
-                panic!("target {} received a Result message", env.node);
-            }
-        }
-    }
-    served
+    DeviceRuntime::new(DeviceConfig::new()).run(env, chan)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::chan::batch;
     use ham::message::VecMemory;
     use ham::registry::HandlerKey;
+    use ham::wire::MsgKind;
     use ham::{f2f, ham_kernel, RegistryBuilder};
     use parking_lot::Mutex;
     use std::collections::VecDeque;
@@ -258,8 +183,17 @@ mod tests {
     }
 
     impl TargetChannel for QueueChannel {
-        fn recv(&self) -> Option<(MsgHeader, Vec<u8>)> {
-            self.inbox.lock().pop_front()
+        fn recv(&self, pool: &Arc<FramePool>) -> Option<(MsgHeader, PooledFrame)> {
+            self.inbox
+                .lock()
+                .pop_front()
+                .map(|(h, p)| (h, pool.adopt(p)))
+        }
+        fn try_recv(&self, pool: &Arc<FramePool>) -> Polled {
+            match self.inbox.lock().pop_front() {
+                Some((h, p)) => Polled::Msg(h, pool.adopt(p)),
+                None => Polled::Closed,
+            }
         }
         fn send_result(&self, reply_slot: u16, seq: u64, payload: Vec<u8>) {
             self.outbox.lock().push((reply_slot, seq, payload));

@@ -38,7 +38,9 @@ pub mod trace;
 pub use aurora_telemetry::{HealthEvent, HealthEventKind, HealthRegistry, TargetState};
 pub use clock::Clock;
 pub use fault::{FaultEvent, FaultKind, FaultPlan, FaultSite};
-pub use metrics::{BackendMetrics, MetricsSnapshot, NodeMetricsSnapshot};
+pub use metrics::{
+    BackendMetrics, LaneMetricsSnapshot, LaneStats, MetricsSnapshot, NodeMetricsSnapshot,
+};
 pub use model::{LinkModel, SegmentedModel, TransferCost};
 pub use resource::Timeline;
 pub use slo::{SloReport, SloSpec};

@@ -30,6 +30,11 @@ use std::sync::Arc;
 /// bounds-checked array index instead of a map lookup.
 pub const MAX_TRACKED_NODES: usize = 64;
 
+/// Device worker lanes that get their own occupancy register. Lane ids
+/// at or past the cap share the last register (the VE has 8 cores, so
+/// this never triggers in practice).
+pub const MAX_TRACKED_LANES: usize = 16;
+
 /// Smoothing factor of the per-node latency EWMA: each completion moves
 /// the estimate 20% toward the new sample.
 const LATENCY_EWMA_ALPHA: f64 = 0.2;
@@ -90,6 +95,78 @@ impl NodeRegister {
     }
 }
 
+/// Per-lane occupancy registers of the device runtimes behind one
+/// backend: work items executed and virtual busy time per lane, plus
+/// the cross-lane steal count. Shared with the target side via `Arc`
+/// (the same pattern as the health registry) because device loops run
+/// on their own threads.
+#[derive(Debug)]
+pub struct LaneStats {
+    tasks: Vec<Counter>,
+    busy_ps: Vec<Counter>,
+    steals: Counter,
+}
+
+impl Default for LaneStats {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LaneStats {
+    /// Zeroed lane registers.
+    pub fn new() -> Self {
+        LaneStats {
+            tasks: (0..MAX_TRACKED_LANES).map(|_| Counter::new()).collect(),
+            busy_ps: (0..MAX_TRACKED_LANES).map(|_| Counter::new()).collect(),
+            steals: Counter::new(),
+        }
+    }
+
+    #[inline]
+    fn idx(lane: usize) -> usize {
+        lane.min(MAX_TRACKED_LANES - 1)
+    }
+
+    /// `lane` executed one work item of `busy_ps` virtual compute.
+    #[inline]
+    pub fn on_task(&self, lane: usize, busy_ps: u64) {
+        let i = Self::idx(lane);
+        self.tasks[i].incr();
+        self.busy_ps[i].add(busy_ps);
+    }
+
+    /// An idle lane took a work item from another lane's deque.
+    #[inline]
+    pub fn on_steal(&self) {
+        self.steals.incr();
+    }
+
+    /// Total cross-lane steals.
+    pub fn steals(&self) -> u64 {
+        self.steals.get()
+    }
+
+    /// Work items executed by `lane`.
+    pub fn tasks(&self, lane: usize) -> u64 {
+        self.tasks[Self::idx(lane)].get()
+    }
+
+    /// Per-lane `(tasks, busy_ps)`, trimmed to the last active lane.
+    pub fn per_lane(&self) -> Vec<(u64, u64)> {
+        let mut v: Vec<(u64, u64)> = self
+            .tasks
+            .iter()
+            .zip(&self.busy_ps)
+            .map(|(t, b)| (t.get(), b.get()))
+            .collect();
+        while v.last() == Some(&(0, 0)) {
+            v.pop();
+        }
+        v
+    }
+}
+
 /// Live metric registers of one backend instance.
 #[derive(Debug)]
 pub struct BackendMetrics {
@@ -129,6 +206,9 @@ pub struct BackendMetrics {
     nodes: Vec<NodeRegister>,
     /// Per-target health state + structured event log.
     health: Arc<HealthRegistry>,
+    /// Device-lane occupancy + steal registers, shared with the
+    /// target-side runtimes.
+    lanes: Arc<LaneStats>,
     /// `(node, addr) → bytes`, to credit frees against the live gauge.
     allocations: Mutex<HashMap<(u16, u64), u64>>,
 }
@@ -170,6 +250,7 @@ impl BackendMetrics {
                 .map(|_| NodeRegister::new())
                 .collect(),
             health: Arc::new(HealthRegistry::new()),
+            lanes: Arc::new(LaneStats::new()),
             allocations: Mutex::new(HashMap::new()),
         }
     }
@@ -184,6 +265,12 @@ impl BackendMetrics {
     /// spawn; fault paths record events.
     pub fn health(&self) -> &Arc<HealthRegistry> {
         &self.health
+    }
+
+    /// The backend's device-lane registers. Backends hand a clone to
+    /// each target's `DeviceRuntime` at spawn.
+    pub fn lane_stats(&self) -> &Arc<LaneStats> {
+        &self.lanes
     }
 
     /// An offload message of `payload_bytes` was posted.
@@ -335,8 +422,31 @@ impl BackendMetrics {
             retry_hist: Histogram::from_buckets(self.retry_hist.snapshot()),
             node_latency_ewma: per_node.iter().map(|n| (n.node, n.ewma_ns)).collect(),
             per_node,
+            lanes: self
+                .lanes
+                .per_lane()
+                .into_iter()
+                .enumerate()
+                .map(|(i, (tasks, busy_ps))| LaneMetricsSnapshot {
+                    lane: i as u16,
+                    tasks,
+                    busy_ps,
+                })
+                .collect(),
+            steals: self.lanes.steals(),
         }
     }
+}
+
+/// One device lane's slice of a [`MetricsSnapshot`].
+#[derive(Clone, Debug)]
+pub struct LaneMetricsSnapshot {
+    /// The lane index (0-based simulated VE core).
+    pub lane: u16,
+    /// Work items this lane executed.
+    pub tasks: u64,
+    /// Virtual compute time this lane accumulated (ps).
+    pub busy_ps: u64,
 }
 
 /// One target's slice of a [`MetricsSnapshot`].
@@ -414,6 +524,11 @@ pub struct MetricsSnapshot {
     /// Per-target latency EWMA (ns), sorted by node id. Not rendered —
     /// scheduler food, surfaced here for tests and tooling.
     pub node_latency_ewma: Vec<(u16, f64)>,
+    /// Per-lane occupancy registers, trimmed to the last active lane
+    /// (empty when no device runtime recorded lane work).
+    pub lanes: Vec<LaneMetricsSnapshot>,
+    /// Work items an idle lane took from another lane's deque.
+    pub steals: u64,
 }
 
 /// Append one Prometheus counter sample (with its `# TYPE` line).
@@ -548,6 +663,7 @@ impl MetricsSnapshot {
         prom_counter(&mut out, "aurora_bytes_get_total", self.bytes_get);
         prom_counter(&mut out, "aurora_allocs_total", self.allocs);
         prom_counter(&mut out, "aurora_frees_total", self.frees);
+        prom_counter(&mut out, "aurora_lane_steals_total", self.steals);
         prom_gauge(&mut out, "aurora_inflight", self.inflight);
         prom_gauge(&mut out, "aurora_inflight_peak", self.inflight_peak);
         prom_gauge(&mut out, "aurora_alloc_bytes_live", self.alloc_bytes_live);
@@ -555,6 +671,22 @@ impl MetricsSnapshot {
         prom_hist(&mut out, "aurora_completion_latency_ps", &self.latency_hist);
         prom_hist(&mut out, "aurora_flush_latency_ps", &self.flush_hist);
         prom_hist(&mut out, "aurora_retry_delay_ps", &self.retry_hist);
+        if !self.lanes.is_empty() {
+            out.push_str("# TYPE aurora_lane_tasks_total counter\n");
+            for l in &self.lanes {
+                out.push_str(&format!(
+                    "aurora_lane_tasks_total{{lane=\"{}\"}} {}\n",
+                    l.lane, l.tasks
+                ));
+            }
+            out.push_str("# TYPE aurora_lane_busy_ps_total counter\n");
+            for l in &self.lanes {
+                out.push_str(&format!(
+                    "aurora_lane_busy_ps_total{{lane=\"{}\"}} {}\n",
+                    l.lane, l.busy_ps
+                ));
+            }
+        }
         if !self.per_node.is_empty() {
             out.push_str("# TYPE aurora_target_completions_total counter\n");
             for n in &self.per_node {
@@ -605,6 +737,7 @@ impl MetricsSnapshot {
             ("bytes_get", self.bytes_get),
             ("allocs", self.allocs),
             ("frees", self.frees),
+            ("lane_steals", self.steals),
         ]
         .iter()
         .enumerate()
@@ -647,6 +780,14 @@ impl MetricsSnapshot {
         json_hist(&mut out, &self.flush_hist);
         out.push_str(",\n  \"retry_delay_ps\": ");
         json_hist(&mut out, &self.retry_hist);
+        out.push_str(",\n  \"lanes\": [");
+        for (i, l) in self.lanes.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("[{},{},{}]", l.lane, l.tasks, l.busy_ps));
+        }
+        out.push(']');
         out.push_str(",\n  \"targets\": [");
         for (i, n) in self.per_node.iter().enumerate() {
             if i > 0 {
@@ -828,6 +969,41 @@ mod tests {
         let targets = v.get("targets").unwrap().as_array().unwrap();
         assert_eq!(targets[0].get("node").unwrap().as_u64(), Some(1));
         assert_eq!(targets[0].get("ewma_ns").unwrap().as_f64(), Some(6000.0));
+    }
+
+    #[test]
+    fn lane_registers_accumulate_and_trim() {
+        let m = BackendMetrics::new();
+        let s = m.snapshot();
+        assert!(s.lanes.is_empty(), "no lane work → no lane rows");
+        assert_eq!(s.steals, 0);
+        let lanes = m.lane_stats();
+        lanes.on_task(0, 100);
+        lanes.on_task(2, 50);
+        lanes.on_task(2, 50);
+        lanes.on_steal();
+        let s = m.snapshot();
+        assert_eq!(s.lanes.len(), 3, "trimmed past lane 2");
+        assert_eq!((s.lanes[0].tasks, s.lanes[0].busy_ps), (1, 100));
+        assert_eq!((s.lanes[1].tasks, s.lanes[1].busy_ps), (0, 0));
+        assert_eq!((s.lanes[2].tasks, s.lanes[2].busy_ps), (2, 100));
+        assert_eq!(s.steals, 1);
+        let text = s.to_prometheus_text();
+        assert!(text.contains("aurora_lane_steals_total 1"));
+        assert!(text.contains("aurora_lane_tasks_total{lane=\"2\"} 2"));
+        assert!(text.contains("aurora_lane_busy_ps_total{lane=\"0\"} 100"));
+        let v = aurora_telemetry::json::parse(&s.to_json()).expect("valid json");
+        assert_eq!(
+            v.get("counters")
+                .unwrap()
+                .get("lane_steals")
+                .unwrap()
+                .as_u64(),
+            Some(1)
+        );
+        // Out-of-range lanes fold into the last register, never panic.
+        lanes.on_task(MAX_TRACKED_LANES + 5, 1);
+        assert_eq!(lanes.tasks(MAX_TRACKED_LANES - 1), 1);
     }
 
     #[test]

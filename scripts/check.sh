@@ -37,6 +37,16 @@ grep -q '"pool_faster_3x": true' BENCH_sched.json || {
     exit 1
 }
 
+echo "== device-lanes smoke (writes BENCH_lanes.json) =="
+cargo bench -q -p aurora-bench --bench device_lanes -- --smoke
+
+echo "== lane gate: 8 worker lanes must be >=2x the serial engine =="
+grep -q '"lanes8_faster_2x": true' BENCH_lanes.json || {
+    echo "FAIL: BENCH_lanes.json does not show lanes8_faster_2x=true" >&2
+    cat BENCH_lanes.json >&2 || true
+    exit 1
+}
+
 echo "== telemetry-overhead smoke (writes BENCH_telemetry.json) =="
 cargo bench -q -p aurora-bench --bench telemetry_overhead -- --smoke
 

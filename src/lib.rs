@@ -170,6 +170,29 @@ pub fn dma_offload_with_faults(
     ))
 }
 
+/// [`dma_offload_with_faults`] with small-message batching — the
+/// combination the device runtime's fault tests need: batch carriers
+/// engage the worker lanes while the plan injects kills.
+pub fn dma_offload_batched_with_faults(
+    ves: u8,
+    batch: BatchConfig,
+    plan: Arc<FaultPlan>,
+    policy: Option<RecoveryPolicy>,
+    registrar: impl Fn(&mut ham::RegistryBuilder) + Send + Sync + 'static,
+) -> Offload {
+    let machine = default_machine(ves);
+    let targets: Vec<u8> = (0..ves.max(1).min(machine.ves().len() as u8)).collect();
+    Offload::new(DmaBackend::spawn_with_faults(
+        machine,
+        0,
+        &targets,
+        ProtocolConfig::default().with_batch(batch),
+        plan,
+        policy,
+        registrar,
+    ))
+}
+
 /// [`veo_offload`] under a deterministic [`FaultPlan`] and an optional
 /// retry/timeout [`RecoveryPolicy`]. See [`dma_offload_with_faults`].
 pub fn veo_offload_with_faults(

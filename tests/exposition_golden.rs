@@ -61,6 +61,13 @@ fn build() -> BackendMetrics {
     m.on_alloc(1, 0x1000, 1 << 20);
     m.on_alloc(1, 0x2000, 1 << 10);
     m.on_free(1, 0x2000);
+    // Device-runtime lane registers: two lanes served work, one task
+    // was stolen from a neighbour's deque.
+    let lanes = m.lane_stats();
+    lanes.on_task(0, 1_000);
+    lanes.on_task(0, 500);
+    lanes.on_task(1, 2_000);
+    lanes.on_steal();
     m
 }
 

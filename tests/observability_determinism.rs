@@ -10,9 +10,11 @@
 //! counter and event timestamps can shift with wall-clock-raced polls,
 //! so neither is part of the determinism contract.
 
-use aurora_workloads::kernels::whoami;
+use aurora_workloads::kernels::{compute_burn, whoami};
 use ham::f2f;
-use ham_aurora_repro::{dma_offload_with_faults, FaultPlan, NodeId};
+use ham_aurora_repro::{
+    dma_offload_batched, dma_offload_with_faults, BatchConfig, FaultPlan, NodeId,
+};
 
 struct Observed {
     aggregate: Vec<u64>,
@@ -93,4 +95,72 @@ fn histograms_and_event_log_replay_bit_identically() {
         "events: {:?}",
         a.events
     );
+}
+
+/// The lane scheduler must replay too. All offloads go to *one* target
+/// and arrive at the device as a single carrier message, so the whole
+/// member set is lane-scheduled in one window and published behind one
+/// completion barrier — per-lane placement, the steal count and the
+/// completion timeline are a pure function of the envelope. (With two
+/// targets the host's wait loop can settle one target's members a
+/// sweep round before the other's, a wall-clock race that shifts the
+/// host-clock join each latency is measured against.)
+#[test]
+fn lane_schedule_and_steals_replay_bit_identically() {
+    struct LaneObserved {
+        buckets: Vec<u64>,
+        lanes: Vec<(u16, u64, u64)>,
+        steals: u64,
+        events: Vec<(u16, &'static str)>,
+    }
+
+    fn run() -> LaneObserved {
+        let o = dma_offload_batched(1, BatchConfig::up_to(32), aurora_workloads::register_all);
+        // Twenty-four members: more work items than the eight default
+        // lanes. The first two members are an order of magnitude
+        // heavier, so the light members queued behind them on the same
+        // lanes must be stolen by idle peers.
+        let futs: Vec<_> = (0..24u16)
+            .map(|i| {
+                let flops = if i < 2 { 5_000_000u64 } else { 200_000 };
+                o.async_(NodeId(1), f2f!(compute_burn, flops)).unwrap()
+            })
+            .collect();
+        for r in o.wait_all(futs) {
+            r.unwrap();
+        }
+        let snap = o.metrics_snapshot();
+        let observed = LaneObserved {
+            buckets: snap.latency_hist.buckets().to_vec(),
+            lanes: snap
+                .lanes
+                .iter()
+                .map(|l| (l.lane, l.tasks, l.busy_ps))
+                .collect(),
+            steals: snap.steals,
+            events: o
+                .backend()
+                .metrics()
+                .health()
+                .events()
+                .iter()
+                .map(|e| (e.node, e.kind.name()))
+                .collect(),
+        };
+        o.shutdown();
+        observed
+    }
+
+    let a = run();
+    let b = run();
+    assert_eq!(a.buckets, b.buckets, "completion timeline must replay");
+    assert_eq!(a.lanes, b.lanes, "per-lane placement must replay");
+    assert_eq!(a.steals, b.steals, "steal count must replay");
+    assert_eq!(a.events, b.events, "health event sequence must replay");
+
+    // And the scenario exercised the runtime: every member executed on
+    // a lane, the work spread beyond one lane, and something stole.
+    assert_eq!(a.lanes.iter().map(|(_, t, _)| t).sum::<u64>(), 24);
+    assert!(a.lanes.len() > 1, "lanes: {:?}", a.lanes);
+    assert!(a.steals > 0, "a 24-member carrier on 8 lanes must steal");
 }

@@ -14,11 +14,13 @@
 //! whose envelope failed to send) verifiably never reached the wire,
 //! so the pool resubmits them to survivors and *all* offloads complete.
 
+use aurora_workloads::kernels::compute_burn;
 use ham::f2f;
 use ham_aurora_repro::fault_scenario::{probe_expected, scenario_probe, BackendKind};
 use ham_aurora_repro::{
-    dma_offload_with_faults, tcp_offload_with_faults, veo_offload_with_faults, BatchConfig,
-    FaultPlan, NodeId, Offload, OffloadError,
+    dma_offload_batched, dma_offload_batched_with_faults, dma_offload_with_faults,
+    tcp_offload_with_faults, veo_offload_with_faults, BatchConfig, FaultPlan, NodeId, Offload,
+    OffloadError,
 };
 use ham_offload::sched::{PoolFuture, SchedPolicy, TargetPool};
 use std::sync::Arc;
@@ -318,6 +320,191 @@ fn staged_batch_offloads_fail_over_to_survivors() {
         );
         let healthy: Vec<u16> = pool.healthy().iter().map(|n| n.0).collect();
         assert!(!healthy.contains(&victim.0), "{label}");
+        for &n in &nodes {
+            assert_eq!(o.in_flight(n).unwrap_or(0), 0, "{label}: leak on t{}", n.0);
+        }
+        o.shutdown();
+    }
+}
+
+/// Work stealing under a kill: batch carriers engage the device
+/// runtime's worker lanes (an uneven member mix forces idle lanes to
+/// steal), a target dies with its members still staged, and the pool
+/// fails them over — every offload completes, the lanes recorded
+/// steals, and nothing leaks.
+#[test]
+fn lanes_steal_while_a_target_dies() {
+    const DEPTH: usize = 48; // 12 members per target: > 8 lanes each
+    for seed in [3u64, 13, 42] {
+        let plan = FaultPlan::builder(seed).build();
+        let o = dma_offload_batched_with_faults(
+            TARGETS as u8,
+            BatchConfig::up_to(64),
+            plan,
+            None,
+            aurora_workloads::register_all,
+        );
+        let nodes: Vec<NodeId> = (1..=TARGETS).map(NodeId).collect();
+        let pool = o.pool_with(&nodes, SchedPolicy::RoundRobin).expect("pool");
+        let victim = NodeId(1 + (seed % TARGETS as u64) as u16);
+        let label = format!("dma lanes seed {seed}");
+
+        // Round-robin staging puts one heavy member at the head of each
+        // target's envelope; the light members queued behind it on the
+        // same lane must be stolen by idle peers.
+        let mut futs = Vec::new();
+        for i in 0..DEPTH {
+            let flops = if i < TARGETS as usize {
+                5_000_000u64
+            } else {
+                200_000
+            };
+            futs.push(pool.submit(f2f!(compute_burn, flops)).expect("submit"));
+        }
+        let placements: Vec<u16> = futs.iter().map(|f| f.target().0).collect();
+        let staged_on_victim = placements.iter().filter(|&&p| p == victim.0).count();
+        assert_eq!(staged_on_victim, DEPTH / TARGETS as usize, "{label}");
+        o.kill_target(victim).expect("kill_target");
+
+        // The victim's envelope either fails in `send_frame` (members
+        // verifiably unsent → they fail over and complete elsewhere) or
+        // lands in the dead process's memory (members lost) — the shm
+        // write can race the kill either way, but the accounting must
+        // close: every member resolves, and only victim-placed ones may
+        // be lost.
+        let mut resubmitted = 0;
+        let mut lost = 0;
+        let mut idx: Vec<usize> = (0..DEPTH).collect();
+        while !futs.is_empty() {
+            let i = pool.wait_any(&mut futs).expect("futures pending");
+            let placed = placements[idx.swap_remove(i)];
+            let f = futs.swap_remove(i);
+            if f.resubmits() > 0 {
+                resubmitted += 1;
+            }
+            let t = f.target().0;
+            match pool.get(f) {
+                Ok(v) => {
+                    assert_eq!(v, t, "{label}: compute_burn reports its node");
+                    assert_ne!(t, victim.0, "{label}: completed on the dead target");
+                }
+                Err(OffloadError::TargetLost(n)) => {
+                    assert_eq!(n, victim, "{label}: lost to the wrong target");
+                    assert_eq!(placed, victim.0, "{label}: survivor member lost");
+                    lost += 1;
+                }
+                Err(e) => panic!("{label}: unexpected error: {e}"),
+            }
+        }
+        assert_eq!(
+            resubmitted + lost,
+            DEPTH / TARGETS as usize,
+            "{label}: the victim's staged members fail over or fail loudly"
+        );
+        let snap = o.metrics_snapshot();
+        assert!(
+            snap.steals > 0,
+            "{label}: heavy-headed 12-member carriers on 8 lanes must steal"
+        );
+        assert_eq!(
+            snap.lanes.iter().map(|l| l.tasks).sum::<u64>(),
+            (DEPTH - lost) as u64,
+            "{label}: every completed member executed on a lane"
+        );
+        for &n in &nodes {
+            assert_eq!(o.in_flight(n).unwrap_or(0), 0, "{label}: leak on t{}", n.0);
+        }
+        o.shutdown();
+    }
+}
+
+/// Staged-member migration: a *healthy but slow* target (its slot rings
+/// pinned full, so its accumulator cannot flush) holds staged members
+/// while peers sit idle. `TargetPool::rebalance` reclaims them —
+/// provably unsent — and the pool replays them elsewhere. The donor is
+/// never evicted, every offload completes, and no pending entry leaks,
+/// across the full seed set.
+#[test]
+fn staged_members_migrate_off_a_slow_target() {
+    for seed in SEEDS {
+        let reg = |b: &mut ham::RegistryBuilder| {
+            b.register::<scenario_probe>();
+        };
+        let o = dma_offload_batched(TARGETS as u8, BatchConfig::up_to(64), reg);
+        let nodes: Vec<NodeId> = (1..=TARGETS).map(NodeId).collect();
+        let pool = o.pool_with(&nodes, SchedPolicy::RoundRobin).expect("pool");
+        let donor = NodeId(1 + (seed % TARGETS as u64) as u16);
+        let label = format!("dma migration seed {seed}");
+
+        // Pin the donor's slot rings full with reservations that never
+        // complete: its staged envelope cannot flush until they free —
+        // the deterministic stand-in for a target digesting slow work.
+        let donor_chan = o.backend().channel(donor).expect("donor channel");
+        let stuck: Vec<u64> = (0..8)
+            .map(
+                |_| match donor_chan.try_reserve(false, 0, aurora_sim_core::SimTime::ZERO, 0) {
+                    ham_offload::chan::Reserve::Reserved(r) => r.seq,
+                    other => panic!("{label}: pin reservation refused: {other:?}"),
+                },
+            )
+            .collect();
+
+        // One round-robin wave: WAVE/TARGETS members staged per target.
+        let mut xs = Vec::new();
+        let mut futs = Vec::new();
+        let mut donor_futs = Vec::new();
+        let mut donor_xs = Vec::new();
+        for i in 0..WAVE {
+            let x = seed * 1000 + i as u64;
+            let f = pool.submit(f2f!(scenario_probe, x)).expect("submit");
+            if f.target() == donor {
+                donor_xs.push(x);
+                donor_futs.push(f);
+            } else {
+                xs.push(x);
+                futs.push(f);
+            }
+        }
+        let staged = WAVE / TARGETS as usize;
+        assert_eq!(donor_futs.len(), staged, "{label}: placement skew");
+        assert_eq!(donor_chan.staged_len(), staged, "{label}");
+
+        // Drain the peers first so they go idle — migration needs a
+        // recipient that will serve the reclaimed members *now*. (A
+        // wait round may already migrate some donor members itself.)
+        for (x, r) in xs.iter().zip(pool.wait_all(futs)) {
+            r.unwrap_or_else(|e| panic!("{label}: peer offload x={x} lost: {e}"));
+        }
+
+        // Rebalance until the donor's accumulator is empty: each call
+        // reclaims half the staged tail (rounded up), so this converges
+        // in a few steps and the donor is never touched by a flush.
+        while donor_chan.staged_len() > 0 {
+            let m = pool.rebalance();
+            assert!(m > 0, "{label}: rebalance stalled with work staged");
+        }
+
+        // Free the pinned slots (the donor recovers) and collect the
+        // migrated members: each failed over exactly once and completed
+        // with a correct result wherever it landed.
+        for s in stuck {
+            donor_chan.cancel(s);
+        }
+        while !donor_futs.is_empty() {
+            let i = pool.wait_any(&mut donor_futs).expect("futures pending");
+            let x = donor_xs.swap_remove(i);
+            let f = donor_futs.swap_remove(i);
+            assert!(f.resubmits() > 0, "{label}: member x={x} was not migrated");
+            let t = f.target().0;
+            let v = pool
+                .get(f)
+                .unwrap_or_else(|e| panic!("{label}: migrated x={x} lost: {e}"));
+            assert_eq!(v, probe_expected(x, t), "{label}: value/target mismatch");
+        }
+
+        // The donor was slow, not dead: still pooled, nothing leaked.
+        let healthy: Vec<u16> = pool.healthy().iter().map(|n| n.0).collect();
+        assert_eq!(healthy, (1..=TARGETS).collect::<Vec<_>>(), "{label}");
         for &n in &nodes {
             assert_eq!(o.in_flight(n).unwrap_or(0), 0, "{label}: leak on t{}", n.0);
         }

@@ -8,12 +8,15 @@ use ham::f2f;
 use ham::registry::HandlerKey;
 use ham::wire::{MsgHeader, MsgKind};
 use ham_aurora_repro::{dma_offload, veo_offload, NodeId, Offload};
+use ham_offload::chan::pool::FramePool;
 use ham_offload::chan::{ChannelCore, MissVerdict, PooledFrame, RecoveryPolicy, Reserve};
-use ham_offload::target_loop::{run_target_loop_env, unframe_result, TargetChannel, TargetEnv};
+use ham_offload::target_loop::{
+    run_target_loop_env, unframe_result, Polled, TargetChannel, TargetEnv,
+};
 use ham_offload::OffloadError;
 use proptest::prelude::*;
 use std::collections::VecDeque;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 /// In-memory [`TargetChannel`]: scripted inbox, recorded outbox. The
 /// dedup property feeds it a frame stream with recovery-style duplicate
@@ -24,8 +27,15 @@ struct ScriptedChannel {
 }
 
 impl TargetChannel for ScriptedChannel {
-    fn recv(&self) -> Option<(MsgHeader, Vec<u8>)> {
-        self.inbox.lock().unwrap().pop_front()
+    fn recv(&self, pool: &Arc<FramePool>) -> Option<(MsgHeader, PooledFrame)> {
+        let (h, p) = self.inbox.lock().unwrap().pop_front()?;
+        Some((h, pool.adopt(p)))
+    }
+    fn try_recv(&self, pool: &Arc<FramePool>) -> Polled {
+        match self.inbox.lock().unwrap().pop_front() {
+            Some((h, p)) => Polled::Msg(h, pool.adopt(p)),
+            None => Polled::Empty,
+        }
     }
     fn send_result(&self, reply_slot: u16, seq: u64, payload: Vec<u8>) {
         self.outbox.lock().unwrap().push((reply_slot, seq, payload));
