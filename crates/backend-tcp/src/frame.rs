@@ -61,6 +61,12 @@ pub enum ControlOp {
         /// Length to read.
         len: u64,
     },
+    /// Health probe; response: the echoed `echo` value. The host's
+    /// probe loop uses the round trip itself as the liveness signal.
+    Ping {
+        /// Opaque value the target echoes back.
+        echo: u64,
+    },
 }
 
 impl ControlOp {
@@ -85,6 +91,10 @@ impl ControlOp {
                 out.push(4);
                 out.extend_from_slice(&addr.to_le_bytes());
                 out.extend_from_slice(&len.to_le_bytes());
+            }
+            ControlOp::Ping { echo } => {
+                out.push(5);
+                out.extend_from_slice(&echo.to_le_bytes());
             }
         }
         out
@@ -115,9 +125,77 @@ impl ControlOp {
                 addr: take_u64(rest)?,
                 len: take_u64(rest.get(8..).ok_or_else(|| "truncated get".to_string())?)?,
             }),
+            Some((5, rest)) => Ok(ControlOp::Ping {
+                echo: take_u64(rest)?,
+            }),
             Some((op, _)) => Err(format!("unknown control op {op}")),
             None => Err("empty control frame".into()),
         }
+    }
+}
+
+/// The target's discovery/resume handshake, written as the first frame
+/// on a freshly-accepted message connection. Announces the target's
+/// capabilities (the host sizes its `TargetPool` entry from them) and —
+/// the resume half — the device-side dedup watermark, so the host can
+/// replay exactly the provably-unexecuted in-flight frames.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Announce {
+    /// The target's node id.
+    pub node: u16,
+    /// Device worker lanes (simulated VE cores).
+    pub lanes: u32,
+    /// Scheduler credit limit the target asks the host to respect.
+    pub credit_limit: u32,
+    /// Target memory size in bytes.
+    pub mem_bytes: u64,
+    /// Max executed seq from previous sessions (`None` on a fresh
+    /// target: nothing executed yet).
+    pub watermark: Option<u64>,
+}
+
+impl Announce {
+    /// Encode into a frame body:
+    /// `node ‖ lanes ‖ credit_limit ‖ mem_bytes ‖ wm_present ‖ wm`.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(27);
+        out.extend_from_slice(&self.node.to_le_bytes());
+        out.extend_from_slice(&self.lanes.to_le_bytes());
+        out.extend_from_slice(&self.credit_limit.to_le_bytes());
+        out.extend_from_slice(&self.mem_bytes.to_le_bytes());
+        match self.watermark {
+            Some(w) => {
+                out.push(1);
+                out.extend_from_slice(&w.to_le_bytes());
+            }
+            None => out.push(0),
+        }
+        out
+    }
+
+    /// Decode from a frame body.
+    pub fn decode(body: &[u8]) -> Result<Announce, String> {
+        let err = || "truncated announce frame".to_string();
+        let node = u16::from_le_bytes(body.get(..2).ok_or_else(err)?.try_into().expect("2"));
+        let lanes = u32::from_le_bytes(body.get(2..6).ok_or_else(err)?.try_into().expect("4"));
+        let credit_limit =
+            u32::from_le_bytes(body.get(6..10).ok_or_else(err)?.try_into().expect("4"));
+        let mem_bytes =
+            u64::from_le_bytes(body.get(10..18).ok_or_else(err)?.try_into().expect("8"));
+        let watermark = match body.get(18).ok_or_else(err)? {
+            0 => None,
+            1 => Some(u64::from_le_bytes(
+                body.get(19..27).ok_or_else(err)?.try_into().expect("8"),
+            )),
+            b => return Err(format!("bad announce watermark tag {b}")),
+        };
+        Ok(Announce {
+            node,
+            lanes,
+            credit_limit,
+            mem_bytes,
+            watermark,
+        })
     }
 }
 
@@ -164,6 +242,7 @@ mod tests {
                 data: vec![1, 2, 3],
             },
             ControlOp::Get { addr: 256, len: 16 },
+            ControlOp::Ping { echo: 0xfeed },
         ] {
             let enc = op.encode();
             assert_eq!(ControlOp::decode(&enc).unwrap(), op);
@@ -176,5 +255,38 @@ mod tests {
         assert!(ControlOp::decode(&[9, 0, 0]).is_err());
         assert!(ControlOp::decode(&[1, 0]).is_err());
         assert!(ControlOp::decode(&[4, 0, 0, 0, 0, 0, 0, 0, 0]).is_err());
+        assert!(ControlOp::decode(&[5, 1, 2]).is_err(), "truncated ping");
+    }
+
+    #[test]
+    fn announce_round_trips_with_and_without_watermark() {
+        for wm in [None, Some(0u64), Some(u64::MAX)] {
+            let a = Announce {
+                node: 3,
+                lanes: 8,
+                credit_limit: 64,
+                mem_bytes: 1 << 20,
+                watermark: wm,
+            };
+            assert_eq!(Announce::decode(&a.encode()).unwrap(), a);
+        }
+    }
+
+    #[test]
+    fn malformed_announce_rejected() {
+        let good = Announce {
+            node: 1,
+            lanes: 8,
+            credit_limit: 64,
+            mem_bytes: 4096,
+            watermark: Some(7),
+        }
+        .encode();
+        assert!(Announce::decode(&good[..good.len() - 1]).is_err());
+        assert!(Announce::decode(&good[..10]).is_err());
+        assert!(Announce::decode(&[]).is_err());
+        let mut bad_tag = good.clone();
+        bad_tag[18] = 9;
+        assert!(Announce::decode(&bad_tag).is_err());
     }
 }

@@ -21,7 +21,28 @@
 //! * **message socket** (host→target posts, target→host results):
 //!   `u32 len ‖ 32-byte MsgHeader ‖ payload`;
 //! * **control socket** (synchronous RPC): `u32 len ‖ op u8 ‖ body` with
-//!   ops alloc/free/put/get, each answered by one response frame.
+//!   ops alloc/free/put/get/ping, each answered by one response frame.
+//!
+//! Each connection starts with a 1-byte hello tag: `'M'` (message),
+//! `'C'` (control), or — cluster lifecycle only — `'Q'` (quit, unparks
+//! a target waiting in `accept`).
+//!
+//! ## Cluster lifecycle
+//!
+//! [`TcpBackend::spawn_cluster`] upgrades the point-to-point transport
+//! to a multi-host cluster story. On every freshly-accepted message
+//! connection the target writes an [`frame::Announce`] frame first:
+//! its capabilities (worker lanes, credit limit, memory) and the
+//! device-side dedup **watermark** (max executed seq, monotonic across
+//! sessions). A disconnect *degrades* the host-side channel — posts
+//! park, in-flight work stays pending — while a per-target link
+//! supervisor reconnects with bounded backoff under the
+//! `RecoveryPolicy` budget. On reconnect, the re-announced watermark
+//! splits the in-flight set: frames **above** it provably never
+//! executed and are replayed (exactly-once preserved); frames **at or
+//! below** it may have executed with the result lost, so they fail
+//! with `TargetLost` rather than risk double execution. Only an
+//! exhausted reconnect budget turns the degradation into an eviction.
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
@@ -29,7 +50,8 @@
 pub mod frame;
 pub mod transport;
 
-pub use transport::TcpBackend;
+pub use frame::Announce;
+pub use transport::{TargetSpec, TcpBackend};
 
 /// Estimated cost model of running this backend's message exchange on
 /// the SX-Aurora, where the VE has no network stack and every socket

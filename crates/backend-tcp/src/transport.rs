@@ -5,38 +5,89 @@
 //! [`ChannelCore`](ham_offload::chan::ChannelCore) completion queue
 //! (matched by sequence number), so the backend keeps the default no-op
 //! `poll_flags`/`fetch_frame` verbs.
+//!
+//! Two lifecycles exist. The point-to-point constructors
+//! ([`TcpBackend::spawn`] family) pin the historical semantics: one
+//! connection per target, and a disconnect is a permanent eviction.
+//! [`TcpBackend::spawn_cluster`] grows this into the cluster story:
+//! targets announce capabilities and their dedup watermark on every
+//! accepted connection ([`Announce`]), a disconnect only *degrades* the
+//! channel, and a per-target link supervisor re-establishes the
+//! connection under the [`RecoveryPolicy`]'s bounded budget, replaying
+//! exactly the provably-unexecuted in-flight frames on resume.
 
-use crate::frame::{read_frame, write_frame, ControlOp};
+use crate::frame::{read_frame, write_frame, Announce, ControlOp};
 use aurora_mem::RangeAllocator;
-use aurora_sim_core::{Clock, FaultPlan};
+use aurora_sim_core::{Clock, FaultPlan, HealthEventKind};
 use ham::message::VecMemory;
 use ham::registry::HandlerKey;
 use ham::wire::{MsgHeader, MsgKind, HEADER_BYTES};
 use ham::{Registry, RegistryBuilder, TargetMemory};
 use ham_offload::backend::{CommBackend, RawBuffer, Registrar};
 use ham_offload::chan::pool::{FramePool, PooledFrame};
-use ham_offload::chan::{engine, BatchConfig, ChannelCore, Reservation};
-use ham_offload::target_loop::{run_target_loop, Polled, TargetChannel};
+use ham_offload::chan::{engine, BatchConfig, ChannelCore, RecoveryPolicy, Reservation};
+use ham_offload::device::{DeviceConfig, DeviceRuntime, HaltReason};
+use ham_offload::target_loop::{run_target_loop, Polled, TargetChannel, TargetEnv};
 use ham_offload::types::{DeviceType, NodeDescriptor, NodeId};
 use ham_offload::OffloadError;
 use parking_lot::Mutex;
 use std::io::{Read, Write};
 use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 fn io_err(e: std::io::Error) -> OffloadError {
     OffloadError::Backend(format!("tcp: {e}"))
 }
 
-struct TcpTarget {
+/// Capabilities one cluster target announces at spawn (and re-announces
+/// on every accepted connection).
+#[derive(Clone, Copy, Debug)]
+pub struct TargetSpec {
+    /// Device worker lanes (simulated VE cores).
+    pub lanes: u32,
+    /// Scheduler credit limit the host's `TargetPool` respects for this
+    /// target.
+    pub credit_limit: u32,
+    /// Target memory size in bytes.
+    pub mem_bytes: u64,
+}
+
+impl Default for TargetSpec {
+    fn default() -> Self {
+        Self {
+            lanes: ham_offload::device::DEFAULT_LANES as u32,
+            credit_limit: ham_offload::chan::DEFAULT_PUSH_CREDITS as u32,
+            mem_bytes: TcpBackend::DEFAULT_MEM,
+        }
+    }
+}
+
+/// Host-side state of one target's connection, shared between the
+/// backend (writers) and the link supervisor thread (reader +
+/// reconnector). On reconnect the supervisor swaps fresh sockets in
+/// under the locks, so writers never observe a torn handoff.
+struct Link {
+    node: u16,
     addr: std::net::SocketAddr,
     msg_tx: Mutex<TcpStream>,
     ctrl: Mutex<TcpStream>,
     chan: Arc<ChannelCore>,
+    /// Orderly shutdown in progress: the supervisor must not reconnect.
+    stop: AtomicBool,
+    /// Test hook: while set, reconnect attempts fail deterministically
+    /// without touching the network (a simulated network blackout).
+    blackout: AtomicBool,
+}
+
+struct TcpTarget {
+    link: Arc<Link>,
     reader: Mutex<Option<JoinHandle<()>>>,
     server: Mutex<Option<JoinHandle<u64>>>,
     mem_bytes: u64,
+    lanes: u32,
 }
 
 /// The TCP/IP communication backend.
@@ -46,6 +97,9 @@ pub struct TcpBackend {
     clock: Clock,
     metrics: Arc<aurora_sim_core::BackendMetrics>,
     plan: Arc<FaultPlan>,
+    /// Cluster lifecycle ([`TcpBackend::spawn_cluster`]): disconnects
+    /// degrade + reconnect instead of evicting.
+    cluster: bool,
 }
 
 /// The target-process side of one TCP channel. A dedicated reader
@@ -86,6 +140,83 @@ impl TargetChannel for TcpSideChannel {
     }
 }
 
+/// Serve control RPCs over one connection until EOF/error. Shared by
+/// the point-to-point target and every cluster session.
+fn serve_ctrl(mut stream: TcpStream, mem: &VecMemory, alloc: &Mutex<RangeAllocator>) {
+    let respond = |stream: &mut TcpStream, ok: bool, body: &[u8]| {
+        let mut frame = Vec::with_capacity(body.len() + 1);
+        frame.push(u8::from(!ok));
+        frame.extend_from_slice(body);
+        write_frame(stream, &frame)
+    };
+    while let Ok(Some(body)) = read_frame(&mut stream) {
+        let result: Result<Vec<u8>, String> = match ControlOp::decode(&body) {
+            Err(e) => Err(e),
+            Ok(ControlOp::Alloc { bytes }) => alloc
+                .lock()
+                .alloc(bytes, 8)
+                .map(|a| a.to_le_bytes().to_vec())
+                .map_err(|e| e.to_string()),
+            Ok(ControlOp::Free { addr }) => alloc
+                .lock()
+                .free(addr)
+                .map(|_| Vec::new())
+                .map_err(|e| e.to_string()),
+            Ok(ControlOp::Put { addr, data }) => mem
+                .mem_write(addr, &data)
+                .map(|_| Vec::new())
+                .map_err(|e| e.to_string()),
+            Ok(ControlOp::Get { addr, len }) => {
+                let mut out = vec![0u8; len as usize];
+                mem.mem_read(addr, &mut out)
+                    .map(|_| out)
+                    .map_err(|e| e.to_string())
+            }
+            Ok(ControlOp::Ping { echo }) => Ok(echo.to_le_bytes().to_vec()),
+        };
+        let done = match result {
+            Ok(body) => respond(&mut stream, true, &body),
+            Err(msg) => respond(&mut stream, false, msg.as_bytes()),
+        };
+        if done.is_err() {
+            break;
+        }
+    }
+}
+
+/// Spawn a reader thread that decodes socket frames into a queue so
+/// the device runtime can poll without blocking; it exits when the
+/// peer closes the socket.
+fn spawn_frame_reader(
+    name: String,
+    mut stream: TcpStream,
+) -> (
+    crossbeam::channel::Receiver<(MsgHeader, Vec<u8>)>,
+    JoinHandle<()>,
+) {
+    let (frame_tx, frame_rx) = crossbeam::channel::unbounded();
+    let handle = std::thread::Builder::new()
+        .name(name)
+        .spawn(move || {
+            while let Ok(Some(body)) = read_frame(&mut stream) {
+                let Ok(header) = MsgHeader::decode(&body) else {
+                    break;
+                };
+                if body.len() != header.wire_len() {
+                    break;
+                }
+                if frame_tx
+                    .send((header, body[HEADER_BYTES..].to_vec()))
+                    .is_err()
+                {
+                    break;
+                }
+            }
+        })
+        .expect("spawn reader thread");
+    (frame_rx, handle)
+}
+
 /// The target "process": serves the control RPC and the message loop.
 fn target_main(node: u16, listener: TcpListener, mem_bytes: u64, registry: Registry) -> u64 {
     // Accept the two connections; a 1-byte hello tags each.
@@ -103,81 +234,23 @@ fn target_main(node: u16, listener: TcpListener, mem_bytes: u64, registry: Regis
         }
     }
     let msg_stream = msg_stream.expect("message socket");
-    let mut ctrl_stream = ctrl_stream.expect("control socket");
+    let ctrl_stream = ctrl_stream.expect("control socket");
 
     let mem = Arc::new(VecMemory::new(mem_bytes as usize));
-    let alloc = Mutex::new(RangeAllocator::new(mem_bytes));
+    let alloc = Arc::new(Mutex::new(RangeAllocator::new(mem_bytes)));
 
     // Control RPC loop on its own thread.
     let mem2 = Arc::clone(&mem);
+    let alloc2 = Arc::clone(&alloc);
     let ctrl_thread = std::thread::Builder::new()
         .name(format!("tcp-target-{node}-ctrl"))
-        .spawn(move || {
-            let respond = |stream: &mut TcpStream, ok: bool, body: &[u8]| {
-                let mut frame = Vec::with_capacity(body.len() + 1);
-                frame.push(u8::from(!ok));
-                frame.extend_from_slice(body);
-                write_frame(stream, &frame)
-            };
-            while let Ok(Some(body)) = read_frame(&mut ctrl_stream) {
-                let result: Result<Vec<u8>, String> = match ControlOp::decode(&body) {
-                    Err(e) => Err(e),
-                    Ok(ControlOp::Alloc { bytes }) => alloc
-                        .lock()
-                        .alloc(bytes, 8)
-                        .map(|a| a.to_le_bytes().to_vec())
-                        .map_err(|e| e.to_string()),
-                    Ok(ControlOp::Free { addr }) => alloc
-                        .lock()
-                        .free(addr)
-                        .map(|_| Vec::new())
-                        .map_err(|e| e.to_string()),
-                    Ok(ControlOp::Put { addr, data }) => mem2
-                        .mem_write(addr, &data)
-                        .map(|_| Vec::new())
-                        .map_err(|e| e.to_string()),
-                    Ok(ControlOp::Get { addr, len }) => {
-                        let mut out = vec![0u8; len as usize];
-                        mem2.mem_read(addr, &mut out)
-                            .map(|_| out)
-                            .map_err(|e| e.to_string())
-                    }
-                };
-                let done = match result {
-                    Ok(body) => respond(&mut ctrl_stream, true, &body),
-                    Err(msg) => respond(&mut ctrl_stream, false, msg.as_bytes()),
-                };
-                if done.is_err() {
-                    break;
-                }
-            }
-        })
+        .spawn(move || serve_ctrl(ctrl_stream, &mem2, &alloc2))
         .expect("spawn ctrl thread");
 
-    // The HAM message loop over the message socket. A reader thread
-    // decodes socket frames into a queue so the device runtime can poll
-    // without blocking; it exits when the host closes the socket.
-    let mut reader_rx = msg_stream.try_clone().expect("clone msg stream");
-    let (frame_tx, frame_rx) = crossbeam::channel::unbounded();
-    let reader_thread = std::thread::Builder::new()
-        .name(format!("tcp-target-{node}-reader"))
-        .spawn(move || {
-            while let Ok(Some(body)) = read_frame(&mut reader_rx) {
-                let Ok(header) = MsgHeader::decode(&body) else {
-                    break;
-                };
-                if body.len() != header.wire_len() {
-                    break;
-                }
-                if frame_tx
-                    .send((header, body[HEADER_BYTES..].to_vec()))
-                    .is_err()
-                {
-                    break;
-                }
-            }
-        })
-        .expect("spawn reader thread");
+    // The HAM message loop over the message socket.
+    let reader_rx = msg_stream.try_clone().expect("clone msg stream");
+    let (frame_rx, reader_thread) =
+        spawn_frame_reader(format!("tcp-target-{node}-reader"), reader_rx);
     let chan = TcpSideChannel {
         rx: frame_rx,
         tx: Mutex::new(msg_stream),
@@ -186,6 +259,232 @@ fn target_main(node: u16, listener: TcpListener, mem_bytes: u64, registry: Regis
     let _ = reader_thread.join();
     let _ = ctrl_thread.join();
     served
+}
+
+/// The cluster target "process": memory, allocator, and the dedup
+/// watermark live *outside* the accept loop, so they survive
+/// disconnects. Each accepted connection pair starts a new device
+/// session that first announces capabilities + watermark on the message
+/// socket, then serves frames until the link drops
+/// ([`HaltReason::Closed`] — loop back to accept) or a `Control` frame
+/// arrives ([`HaltReason::Control`] — exit). A `'Q'` hello terminates a
+/// target parked in `accept`.
+fn cluster_target_main(
+    node: u16,
+    listener: TcpListener,
+    spec: TargetSpec,
+    registry: Registry,
+) -> u64 {
+    let mem = Arc::new(VecMemory::new(spec.mem_bytes as usize));
+    let alloc = Arc::new(Mutex::new(RangeAllocator::new(spec.mem_bytes)));
+    let runtime = DeviceRuntime::new(DeviceConfig::new().with_lanes(spec.lanes as usize));
+    let mut watermark: Option<u64> = None;
+    let mut served_total: u64 = 0;
+    loop {
+        let mut msg_stream: Option<TcpStream> = None;
+        let mut ctrl_stream: Option<TcpStream> = None;
+        while msg_stream.is_none() || ctrl_stream.is_none() {
+            let Ok((mut s, _)) = listener.accept() else {
+                return served_total;
+            };
+            s.set_nodelay(true).ok();
+            let mut tag = [0u8; 1];
+            if s.read_exact(&mut tag).is_err() {
+                continue;
+            }
+            match tag[0] {
+                b'M' => msg_stream = Some(s),
+                b'C' => ctrl_stream = Some(s),
+                b'Q' => return served_total,
+                // A half-open leftover from a torn-down connection
+                // attempt: drop it and keep accepting.
+                _ => continue,
+            }
+        }
+        let mut msg_stream = msg_stream.expect("message socket");
+        let ctrl_stream = ctrl_stream.expect("control socket");
+
+        // Discovery/resume handshake: first frame on the fresh message
+        // connection. A write failure means the host vanished between
+        // connect and announce — go back to accepting.
+        let announce = Announce {
+            node,
+            lanes: spec.lanes,
+            credit_limit: spec.credit_limit,
+            mem_bytes: spec.mem_bytes,
+            watermark,
+        };
+        if write_frame(&mut msg_stream, &announce.encode()).is_err() {
+            continue;
+        }
+
+        let mem2 = Arc::clone(&mem);
+        let alloc2 = Arc::clone(&alloc);
+        let ctrl_thread = std::thread::Builder::new()
+            .name(format!("tcp-target-{node}-ctrl"))
+            .spawn(move || serve_ctrl(ctrl_stream, &mem2, &alloc2))
+            .expect("spawn ctrl thread");
+        let reader_rx = msg_stream.try_clone().expect("clone msg stream");
+        let (frame_rx, reader_thread) =
+            spawn_frame_reader(format!("tcp-target-{node}-reader"), reader_rx);
+        let chan = TcpSideChannel {
+            rx: frame_rx,
+            tx: Mutex::new(msg_stream),
+        };
+        let env = TargetEnv {
+            node,
+            registry: &registry,
+            mem: &*mem,
+            reverse: None,
+            meter: None,
+            // Push transport: many host threads post, seqs may reach the
+            // wire out of order, so watermark dedup must stay off. The
+            // resume handshake does not need it — the host only replays
+            // frames *above* the announced watermark, which were
+            // provably never executed.
+            dedup: false,
+        };
+        let end = runtime.run_session(&env, &chan, watermark);
+        watermark = end.watermark;
+        served_total += end.served;
+        // Drop the session's write half so the reader threads unblock.
+        let _ = chan.tx.lock().shutdown(std::net::Shutdown::Both);
+        let _ = reader_thread.join();
+        let _ = ctrl_thread.join();
+        if end.reason == HaltReason::Control {
+            return served_total;
+        }
+    }
+}
+
+/// Host side of the connection handshake: open tagged message + control
+/// sockets, then read the target's [`Announce`] off the message socket.
+/// (The target writes the announce only once *both* sockets are
+/// accepted, so the control socket must connect before the read.)
+fn connect_pair(addr: std::net::SocketAddr) -> std::io::Result<(TcpStream, TcpStream, Announce)> {
+    let mut msg = TcpStream::connect(addr)?;
+    msg.set_nodelay(true).ok();
+    msg.write_all(b"M")?;
+    let mut ctrl = TcpStream::connect(addr)?;
+    ctrl.set_nodelay(true).ok();
+    ctrl.write_all(b"C")?;
+    let body = read_frame(&mut msg)?.ok_or_else(|| {
+        std::io::Error::new(std::io::ErrorKind::UnexpectedEof, "no announce frame")
+    })?;
+    let announce = Announce::decode(&body)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+    Ok((msg, ctrl, announce))
+}
+
+/// Per-target link supervisor (cluster lifecycle). Deposits result
+/// frames into the channel core; on EOF it degrades the channel (posts
+/// park, nothing is evicted), then drives bounded-backoff reconnect
+/// attempts. A successful reconnect swaps fresh sockets in under the
+/// [`Link`] locks, resumes the channel against the re-announced
+/// watermark, and replays the provably-unexecuted frames. Only an
+/// exhausted budget evicts.
+fn run_link(
+    link: &Link,
+    mut msg_rx: TcpStream,
+    metrics: &aurora_sim_core::BackendMetrics,
+    clock: &Clock,
+    budget: u32,
+) {
+    let node = link.node;
+    let lost = || OffloadError::TargetLost(NodeId(node));
+    'session: loop {
+        // ---- Deposit: pump result frames until the link drops ----
+        while let Ok(Some(body)) = read_frame(&mut msg_rx) {
+            if let Ok(header) = MsgHeader::decode(&body) {
+                if header.kind == MsgKind::Result && body.len() == header.wire_len() {
+                    link.chan.deposit(header.seq, body[HEADER_BYTES..].to_vec());
+                }
+            }
+        }
+        if link.stop.load(Ordering::SeqCst)
+            || link.chan.is_shutdown()
+            || link.chan.eviction().is_some()
+        {
+            return;
+        }
+        // ---- Degrade: park posts, keep every pending entry alive ----
+        // (`send_frame` may have degraded first on a write error; the
+        // Disconnect event is recorded once, by whoever won.)
+        if link.chan.degrade(lost()).is_some() {
+            metrics
+                .health()
+                .record(node, HealthEventKind::Disconnect, 0, clock.now().as_ps());
+        }
+        // ---- Reconnect: bounded backoff under the policy budget ----
+        let mut backoff = Duration::from_micros(500);
+        for _ in 0..budget {
+            if link.stop.load(Ordering::SeqCst) {
+                return;
+            }
+            metrics.on_reconnect_attempt();
+            let attempt = if link.blackout.load(Ordering::SeqCst) {
+                Err(std::io::Error::new(
+                    std::io::ErrorKind::ConnectionRefused,
+                    "reconnect blackout",
+                ))
+            } else {
+                connect_pair(link.addr)
+            };
+            if let Ok((msg, ctrl, announce)) = attempt {
+                if link.stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                let Ok(rx) = msg.try_clone() else {
+                    continue;
+                };
+                *link.msg_tx.lock() = msg;
+                *link.ctrl.lock() = ctrl;
+                // Resume: replay what the watermark proves unexecuted,
+                // fail the possibly-executed rest with `TargetLost`.
+                let mut replay_ok = true;
+                if let Some(report) = link.chan.resume(announce.watermark, lost()) {
+                    let mut tx = link.msg_tx.lock();
+                    let mut replayed = 0u64;
+                    for f in &report.replay {
+                        if write_frame(&mut *tx, &f.frame).is_err() {
+                            replay_ok = false;
+                            break;
+                        }
+                        replayed += 1;
+                    }
+                    metrics.on_replay(replayed);
+                }
+                metrics.on_reconnect();
+                metrics
+                    .health()
+                    .record(node, HealthEventKind::Reconnect, 0, clock.now().as_ps());
+                if replay_ok {
+                    msg_rx = rx;
+                    continue 'session;
+                }
+                // The fresh connection died mid-replay: degrade again
+                // and keep burning this disconnect's budget.
+                if link.chan.degrade(lost()).is_some() {
+                    metrics.health().record(
+                        node,
+                        HealthEventKind::Disconnect,
+                        0,
+                        clock.now().as_ps(),
+                    );
+                }
+            }
+            std::thread::sleep(backoff);
+            backoff = (backoff * 2).min(Duration::from_millis(20));
+        }
+        // ---- Budget exhausted: the disconnect becomes an eviction ----
+        if link.chan.evict(lost()).is_some() {
+            metrics.on_evict();
+            metrics
+                .health()
+                .record(node, HealthEventKind::Eviction, 0, clock.now().as_ps());
+        }
+        return;
+    }
 }
 
 impl TcpBackend {
@@ -318,13 +617,19 @@ impl TcpBackend {
                     .expect("spawn reader");
 
                 TcpTarget {
-                    addr,
-                    msg_tx: Mutex::new(msg),
-                    ctrl: Mutex::new(ctrl),
-                    chan,
+                    link: Arc::new(Link {
+                        node,
+                        addr,
+                        msg_tx: Mutex::new(msg),
+                        ctrl: Mutex::new(ctrl),
+                        chan,
+                        stop: AtomicBool::new(false),
+                        blackout: AtomicBool::new(false),
+                    }),
                     reader: Mutex::new(Some(reader)),
                     server: Mutex::new(Some(server)),
                     mem_bytes,
+                    lanes: 1,
                 }
             })
             .collect();
@@ -334,7 +639,137 @@ impl TcpBackend {
             clock,
             metrics,
             plan,
+            cluster: false,
         })
+    }
+
+    /// Spawn a multi-host cluster of targets described by `specs`
+    /// (target `i` gets node id `i + 1`). Unlike the point-to-point
+    /// constructors, a disconnect here *degrades* the target instead of
+    /// evicting it: a per-target link supervisor re-establishes the
+    /// connection with bounded backoff (at most `policy.max_retries`
+    /// attempts per disconnect), re-reads the target's [`Announce`], and
+    /// replays exactly the in-flight frames the announced watermark
+    /// proves unexecuted. Only when the reconnect budget is exhausted is
+    /// the target evicted.
+    ///
+    /// The `policy`'s retry budget drives reconnects; its miss-based
+    /// retry half is coerced to [`RecoveryPolicy::replay_only`] because
+    /// spurious re-sends on a live TCP stream would double-execute
+    /// (the push transport runs without device-side dedup).
+    pub fn spawn_cluster(
+        specs: &[TargetSpec],
+        policy: RecoveryPolicy,
+        plan: Arc<FaultPlan>,
+        registrar: impl Fn(&mut RegistryBuilder) + Send + Sync + 'static,
+    ) -> Arc<Self> {
+        Self::spawn_cluster_batched(specs, policy, BatchConfig::default(), plan, registrar)
+    }
+
+    /// [`TcpBackend::spawn_cluster`] with small-message batching.
+    pub fn spawn_cluster_batched(
+        specs: &[TargetSpec],
+        policy: RecoveryPolicy,
+        batch: BatchConfig,
+        plan: Arc<FaultPlan>,
+        registrar: impl Fn(&mut RegistryBuilder) + Send + Sync + 'static,
+    ) -> Arc<Self> {
+        let registrar: Arc<Registrar> = Arc::new(registrar);
+        let build = |seed: u64| {
+            let mut b = RegistryBuilder::new();
+            registrar(&mut b);
+            b.seal(seed)
+        };
+        let host_registry = Arc::new(build(0x7463_7000)); // "tcp"
+        let metrics = Arc::new(aurora_sim_core::BackendMetrics::new());
+        for node in 1..=specs.len() as u16 {
+            metrics.health().register(node);
+        }
+        let clock = Clock::new();
+        let budget = policy.max_retries.max(1);
+        let targets = specs
+            .iter()
+            .enumerate()
+            .map(|(i, spec)| {
+                let node = (i + 1) as u16;
+                let spec = *spec;
+                let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback listener");
+                let addr = listener.local_addr().expect("local addr");
+                let registry = build(0x7463_7000 + node as u64);
+                let server = std::thread::Builder::new()
+                    .name(format!("tcp-target-{node}"))
+                    .spawn(move || cluster_target_main(node, listener, spec, registry))
+                    .expect("spawn tcp target");
+
+                let (msg, ctrl, announce) = connect_pair(addr).expect("cluster handshake");
+                let msg_rx = msg.try_clone().expect("clone msg stream");
+                // The announced credit limit bounds scheduler admission
+                // for this host; the replay-only recovery policy keeps
+                // sent frames around for the resume handshake.
+                let chan = Arc::new(
+                    ChannelCore::unbounded()
+                        .with_batching(batch)
+                        .with_credit_limit(announce.credit_limit as usize)
+                        .with_recovery(RecoveryPolicy::replay_only(budget)),
+                );
+                let link = Arc::new(Link {
+                    node,
+                    addr,
+                    msg_tx: Mutex::new(msg),
+                    ctrl: Mutex::new(ctrl),
+                    chan,
+                    stop: AtomicBool::new(false),
+                    blackout: AtomicBool::new(false),
+                });
+                let link2 = Arc::clone(&link);
+                let metrics2 = Arc::clone(&metrics);
+                let clock2 = clock.clone();
+                let reader = std::thread::Builder::new()
+                    .name(format!("tcp-link-{node}"))
+                    .spawn(move || run_link(&link2, msg_rx, &metrics2, &clock2, budget))
+                    .expect("spawn link supervisor");
+                TcpTarget {
+                    link,
+                    reader: Mutex::new(Some(reader)),
+                    server: Mutex::new(Some(server)),
+                    mem_bytes: announce.mem_bytes,
+                    lanes: announce.lanes,
+                }
+            })
+            .collect();
+        Arc::new(Self {
+            host_registry,
+            targets,
+            clock,
+            metrics,
+            plan,
+            cluster: true,
+        })
+    }
+
+    /// Test/ops hook: while `on`, reconnect attempts for `node` fail
+    /// deterministically without touching the network, as if the target
+    /// host were unreachable. Lets tests hold a target in `Degraded`
+    /// and observe the budgeted `Degraded → Evicted` transition.
+    pub fn block_reconnect(&self, node: NodeId, on: bool) -> Result<(), OffloadError> {
+        self.target(node)?.link.blackout.store(on, Ordering::SeqCst);
+        Ok(())
+    }
+
+    /// Health probe: a `Ping` round trip over the control socket. On
+    /// success records a [`HealthEventKind::Probe`] observation for the
+    /// node. Failures surface as errors (a degraded link already
+    /// recorded its `Disconnect`).
+    pub fn probe(&self, node: NodeId) -> Result<(), OffloadError> {
+        let echo = 0x70_69_6e_67_u64 ^ u64::from(node.0); // "ping"
+        let resp = self.control(node, ControlOp::Ping { echo })?;
+        if resp.get(..8) != Some(&echo.to_le_bytes()[..]) {
+            return Err(OffloadError::Backend("bad ping echo".into()));
+        }
+        self.metrics
+            .health()
+            .record(node.0, HealthEventKind::Probe, 0, self.clock.now().as_ps());
+        Ok(())
     }
 
     fn target(&self, node: NodeId) -> Result<&TcpTarget, OffloadError> {
@@ -349,10 +784,18 @@ impl TcpBackend {
     /// Synchronous control RPC.
     fn control(&self, node: NodeId, op: ControlOp) -> Result<Vec<u8>, OffloadError> {
         let t = self.target(node)?;
-        if t.chan.is_shutdown() {
+        if t.link.chan.is_shutdown() {
             return Err(OffloadError::Shutdown);
         }
-        let mut stream = t.ctrl.lock();
+        if self.cluster && t.link.chan.is_degraded() {
+            // The control socket is down too; fail fast instead of
+            // writing into a dead stream while the supervisor reconnects.
+            return Err(OffloadError::Backend(format!(
+                "tcp: node {} link degraded, reconnecting",
+                node.0
+            )));
+        }
+        let mut stream = t.link.ctrl.lock();
         write_frame(&mut *stream, &op.encode()).map_err(io_err)?;
         let resp = read_frame(&mut *stream)
             .map_err(io_err)?
@@ -387,15 +830,15 @@ impl CommBackend for TcpBackend {
         let t = self.target(node)?;
         Ok(NodeDescriptor {
             node,
-            name: format!("tcp target {} @ {}", node.0, t.addr),
+            name: format!("tcp target {} @ {}", node.0, t.link.addr),
             device_type: DeviceType::Generic,
             memory_bytes: t.mem_bytes,
-            cores: 1,
+            cores: t.lanes.max(1),
         })
     }
 
     fn channel(&self, target: NodeId) -> Result<&ChannelCore, OffloadError> {
-        Ok(&self.target(target)?.chan)
+        Ok(&self.target(target)?.link.chan)
     }
 
     fn send_frame(
@@ -406,7 +849,34 @@ impl CommBackend for TcpBackend {
         frame: &[u8],
     ) -> Result<(), OffloadError> {
         let t = self.target(target)?;
-        write_frame(&mut *t.msg_tx.lock(), frame).map_err(io_err)
+        match write_frame(&mut *t.link.msg_tx.lock(), frame) {
+            Ok(()) => Ok(()),
+            Err(e) if self.cluster && t.link.chan.eviction().is_none() => {
+                // The socket died under this post. Degrade (the link
+                // supervisor also sees EOF; first one records the
+                // Disconnect) and report success: the engine then stores
+                // the frame in the replay buffer, and the resume
+                // handshake replays it iff the watermark proves it never
+                // executed — a partially-flushed frame that *did* reach
+                // the target lands at or below the watermark and fails
+                // with `TargetLost` instead of double-executing.
+                let _ = e;
+                if t.link
+                    .chan
+                    .degrade(OffloadError::TargetLost(target))
+                    .is_some()
+                {
+                    self.metrics.health().record(
+                        target.0,
+                        HealthEventKind::Disconnect,
+                        0,
+                        self.clock.now().as_ps(),
+                    );
+                }
+                Ok(())
+            }
+            Err(e) => Err(io_err(e)),
+        }
     }
 
     fn allocate(&self, node: NodeId, bytes: u64) -> Result<u64, OffloadError> {
@@ -461,8 +931,8 @@ impl CommBackend for TcpBackend {
     fn kill_target(&self, target: NodeId) -> Result<(), OffloadError> {
         let t = self.target(target)?;
         self.plan.disconnect(target.0, self.clock.now());
-        let _ = t.msg_tx.lock().shutdown(std::net::Shutdown::Both);
-        let _ = t.ctrl.lock().shutdown(std::net::Shutdown::Both);
+        let _ = t.link.msg_tx.lock().shutdown(std::net::Shutdown::Both);
+        let _ = t.link.ctrl.lock().shutdown(std::net::Shutdown::Both);
         Ok(())
     }
 
@@ -472,28 +942,45 @@ impl CommBackend for TcpBackend {
                 Ok(t) => t,
                 Err(_) => continue,
             };
-            if t.chan.begin_shutdown() {
+            // Stop the link supervisor from reconnecting past this point.
+            t.link.stop.store(true, Ordering::SeqCst);
+            if t.link.chan.begin_shutdown() {
                 continue;
             }
-            // Staged batch members must reach the wire before the
-            // terminator (the shutdown gate lets an accumulated batch
-            // drain); errors mean the peer is already gone.
-            let _ = engine::flush(self, NodeId(node));
-            // Terminate the message loop with a Control frame, written
-            // directly (no reservation: a terminating target sends no
-            // result back).
-            let header = MsgHeader {
-                handler_key: HandlerKey(0),
-                payload_len: 0,
-                kind: MsgKind::Control,
-                reply_slot: 0,
-                corr: 0,
-                seq: u64::MAX,
-            };
-            let _ = write_frame(&mut *t.msg_tx.lock(), &header.encode());
+            if self.cluster && t.link.chan.is_degraded() {
+                // Shutting down mid-reconnect: there is no live link to
+                // drain staged work into, so fail what's left instead of
+                // spinning on a parked flush.
+                let _ = t.link.chan.evict(OffloadError::Shutdown);
+            } else {
+                // Staged batch members must reach the wire before the
+                // terminator (the shutdown gate lets an accumulated batch
+                // drain); errors mean the peer is already gone.
+                let _ = engine::flush(self, NodeId(node));
+                // Terminate the message loop with a Control frame, written
+                // directly (no reservation: a terminating target sends no
+                // result back).
+                let header = MsgHeader {
+                    handler_key: HandlerKey(0),
+                    payload_len: 0,
+                    kind: MsgKind::Control,
+                    reply_slot: 0,
+                    corr: 0,
+                    seq: u64::MAX,
+                };
+                let _ = write_frame(&mut *t.link.msg_tx.lock(), &header.encode());
+            }
             // Close the sockets so the ctrl loop and reader unblock.
-            let _ = t.msg_tx.lock().shutdown(std::net::Shutdown::Both);
-            let _ = t.ctrl.lock().shutdown(std::net::Shutdown::Both);
+            let _ = t.link.msg_tx.lock().shutdown(std::net::Shutdown::Both);
+            let _ = t.link.ctrl.lock().shutdown(std::net::Shutdown::Both);
+            if self.cluster {
+                // A cluster target that lost its session parks in
+                // `accept`; a 'Q' hello tells it to exit instead of
+                // waiting for a connection that will never come.
+                if let Ok(mut s) = TcpStream::connect(t.link.addr) {
+                    let _ = s.write_all(b"Q");
+                }
+            }
             if let Some(h) = t.server.lock().take() {
                 let _ = h.join();
             }

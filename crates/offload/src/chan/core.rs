@@ -98,6 +98,37 @@ pub struct FlushFrame {
     pub posted_at: SimTime,
 }
 
+/// One in-flight frame the transport must re-send after a session
+/// resume: its wire image survived in the replay buffer and the
+/// device-side watermark proves the target never executed it.
+#[derive(Debug)]
+pub struct ReplayFrame {
+    /// Wire seq — unchanged; the pending entry stays keyed by it and
+    /// the eventual result deposits under it as usual.
+    pub seq: u64,
+    /// The wire header as originally sent.
+    pub header: MsgHeader,
+    /// Full wire bytes (header ‖ payload), cloned from the replay
+    /// buffer (replays are cold).
+    pub frame: Vec<u8>,
+    /// Which send attempt this is (1 = first replay).
+    pub attempt: u32,
+}
+
+/// Outcome of [`ChannelCore::resume`]: which in-flight frames the
+/// transport must re-send, and how many offloads were conservatively
+/// failed because the target may already have executed them.
+#[derive(Debug)]
+pub struct ResumeReport {
+    /// Frames to re-send in seq order; their offloads stay pending and
+    /// complete through the normal deposit path.
+    pub replay: Vec<ReplayFrame>,
+    /// Offloads failed as possibly-executed (their seq is at or below
+    /// the device watermark, or no wire image was stored). Batch
+    /// carriers count every member.
+    pub lost: usize,
+}
+
 /// The staged-but-unflushed envelope of one channel. `frame` is laid
 /// out as `[32 zero bytes][4 zero bytes][subs…]` and patched into a
 /// finished envelope at flush time.
@@ -130,6 +161,11 @@ struct ChanState {
     /// `Some(why)` once the target was evicted: every in-flight offload
     /// was failed and new reservations are refused with this error.
     evicted: Option<OffloadError>,
+    /// `Some(why)` while the transport is disconnected but a resume is
+    /// still possible: in-flight offloads stay pending, new reservations
+    /// park with [`Reserve::Full`] until [`ChannelCore::resume`] or
+    /// [`ChannelCore::evict`] settles the session.
+    degraded: Option<OffloadError>,
     /// Armed timeout/retry policy plus stored frames (fault-tolerant
     /// channels only; `None` keeps the historical always-wait behavior).
     recovery: Option<RecoveryState>,
@@ -194,6 +230,7 @@ impl ChannelCore {
             seq: 0,
             shutdown: false,
             evicted: None,
+            degraded: None,
             recovery: None,
             accum: BatchAccum::new(),
             batches: HashMap::new(),
@@ -324,6 +361,13 @@ impl ChannelCore {
         if let Some(err) = &st.evicted {
             return Reserve::Lost(err.clone());
         }
+        // A degraded channel holds new work back without failing it:
+        // the engine's backoff loop retries `Full` until the transport
+        // resumes (posts proceed) or gives up and evicts (posts fail).
+        // Control frames slip through — shutdown must stay deliverable.
+        if st.degraded.is_some() && !control {
+            return Reserve::Full;
+        }
         let Some(recv_slot) = st.recv.acquire() else {
             return Reserve::Full;
         };
@@ -424,6 +468,11 @@ impl ChannelCore {
             // Eviction clears the accumulator, so an evicted channel
             // always lands here.
             return FlushPrep::Empty;
+        }
+        // Degraded: the envelope stays staged until the session resumes
+        // (it flushes then) or the channel is evicted (it fails then).
+        if st.degraded.is_some() {
+            return FlushPrep::Full;
         }
         let Some(recv_slot) = st.recv.acquire() else {
             return FlushPrep::Full;
@@ -634,6 +683,7 @@ impl ChannelCore {
             return None;
         }
         st.evicted = Some(err.clone());
+        st.degraded = None;
         if let Some(r) = st.recovery.as_mut() {
             r.clear();
         }
@@ -663,6 +713,84 @@ impl ChannelCore {
     /// Why the target was evicted, if it was.
     pub fn eviction(&self) -> Option<OffloadError> {
         self.state.lock().evicted.clone()
+    }
+
+    /// Mark the transport disconnected *without* failing anything:
+    /// in-flight offloads stay pending (their wire images remain in the
+    /// replay buffer), new posts park on [`Reserve::Full`] until the
+    /// session settles, and staged messages keep accumulating. The
+    /// session settles through [`Self::resume`] (reconnected) or
+    /// [`Self::evict`] (reconnect budget exhausted). Returns the number
+    /// of in-flight messages at the moment of degradation; `None` if
+    /// already degraded or evicted (the first caller owns the
+    /// transition).
+    pub fn degrade(&self, err: OffloadError) -> Option<usize> {
+        let mut st = self.state.lock();
+        if st.evicted.is_some() || st.degraded.is_some() {
+            return None;
+        }
+        st.degraded = Some(err);
+        let extra: usize = st.batches.values().map(|m| m.len() - 1).sum();
+        Some(st.pending.len() + extra + st.accum.seqs.len())
+    }
+
+    /// Why the channel is degraded, if it is.
+    pub fn degradation(&self) -> Option<OffloadError> {
+        self.state.lock().degraded.clone()
+    }
+
+    /// True while the channel is disconnected-but-resumable.
+    pub fn is_degraded(&self) -> bool {
+        self.state.lock().degraded.is_some()
+    }
+
+    /// Settle a degraded session against the device-side dedup
+    /// `watermark` announced on reconnect (`None` = the target executed
+    /// nothing yet). Exactly-once split, sound because the device
+    /// watermark is the *max* executed seq and only ever advances:
+    ///
+    /// * `seq > watermark` with a stored wire image — provably never
+    ///   executed: stays pending and is returned for replay;
+    /// * anything else — possibly executed (or not replayable): failed
+    ///   with `err`, batch members fanned out, slots released.
+    ///
+    /// Returns `None` if the channel was not degraded (racing eviction
+    /// or a double resume). The staged accumulator is untouched — it
+    /// never reached the wire and flushes normally after resume.
+    pub fn resume(&self, watermark: Option<u64>, err: OffloadError) -> Option<ResumeReport> {
+        let mut st = self.state.lock();
+        st.degraded.take()?;
+        let seqs: Vec<u64> = st.pending.snapshot().into_iter().map(|(s, _)| s).collect();
+        let mut replay = Vec::new();
+        let mut lost = 0;
+        for seq in seqs {
+            let provably_unexecuted = watermark.is_none_or(|w| seq > w);
+            let stored = if provably_unexecuted {
+                st.recovery.as_mut().and_then(|r| r.note_replay(seq))
+            } else {
+                None
+            };
+            match stored {
+                Some((header, frame, attempt)) => replay.push(ReplayFrame {
+                    seq,
+                    header,
+                    frame,
+                    attempt,
+                }),
+                None => {
+                    if let Some(e) = st.pending.remove(seq) {
+                        st.recv.release(e.recv_slot);
+                        st.send.release(e.send_slot);
+                        if let Some(r) = st.recovery.as_mut() {
+                            r.forget(seq);
+                        }
+                        lost += st.batches.get(&seq).map_or(1, Vec::len);
+                        self.settle_locked(&mut st, seq, Err(err.clone()));
+                    }
+                }
+            }
+        }
+        Some(ResumeReport { replay, lost })
     }
 
     /// Snapshot of all in-flight offloads, ordered by seq.
@@ -1001,6 +1129,177 @@ mod tests {
         for _ in 0..10 {
             assert!(matches!(c.note_miss(99), MissVerdict::Keep));
         }
+    }
+
+    // --- degrade / resume -------------------------------------------------
+
+    fn offload_header(seq: u64) -> MsgHeader {
+        MsgHeader {
+            handler_key: HandlerKey(1),
+            payload_len: 1,
+            kind: MsgKind::Offload,
+            reply_slot: 0,
+            corr: 0,
+            seq,
+        }
+    }
+
+    fn degradable() -> ChannelCore {
+        ChannelCore::unbounded().with_recovery(RecoveryPolicy::replay_only(3))
+    }
+
+    #[test]
+    fn degrade_parks_posts_and_keeps_pending_alive() {
+        use crate::types::NodeId;
+        let c = degradable();
+        let Reserve::Reserved(r) = reserve(&c) else {
+            panic!("reserve failed");
+        };
+        c.note_sent(
+            r.seq,
+            &offload_header(r.seq),
+            PooledFrame::detached(b"wire".to_vec()),
+        );
+        let lost = OffloadError::TargetLost(NodeId(3));
+        assert_eq!(c.degrade(lost.clone()), Some(1));
+        assert_eq!(c.degrade(lost.clone()), None, "first caller owns it");
+        assert!(c.is_degraded());
+        assert_eq!(c.degradation(), Some(lost));
+        assert!(c.eviction().is_none(), "degraded is not evicted");
+        // New posts park; control frames still pass (shutdown delivery).
+        assert!(matches!(reserve(&c), Reserve::Full));
+        assert!(matches!(
+            c.try_reserve(true, 0, SimTime::ZERO, 0),
+            Reserve::Reserved(_)
+        ));
+        // The in-flight offload was not failed.
+        assert_eq!(c.in_flight(), 2, "pending survives degradation");
+        assert!(c.take_completed(r.seq).is_none());
+    }
+
+    #[test]
+    fn resume_replays_above_watermark_and_fails_at_or_below() {
+        use crate::types::NodeId;
+        let c = degradable();
+        let mut seqs = Vec::new();
+        for i in 0..4u64 {
+            let Reserve::Reserved(r) = reserve(&c) else {
+                panic!("reserve failed");
+            };
+            c.note_sent(
+                r.seq,
+                &offload_header(r.seq),
+                PooledFrame::detached(vec![i as u8]),
+            );
+            seqs.push(r.seq);
+        }
+        let lost = OffloadError::TargetLost(NodeId(3));
+        assert!(c.degrade(lost.clone()).is_some());
+        // Device executed seqs 0 and 1 (watermark 1): they are
+        // possibly-executed → TargetLost; 2 and 3 replay.
+        let rep = c.resume(Some(1), lost.clone()).unwrap();
+        assert_eq!(rep.lost, 2);
+        assert_eq!(
+            rep.replay.iter().map(|f| f.seq).collect::<Vec<_>>(),
+            vec![2, 3],
+            "replay set is exactly the provably-unexecuted seqs, in order"
+        );
+        assert_eq!(rep.replay[0].frame, vec![2u8]);
+        assert_eq!(rep.replay[0].attempt, 1);
+        assert!(!c.is_degraded());
+        for &s in &seqs[..2] {
+            assert_eq!(c.take_completed(s).unwrap().unwrap_err(), lost.clone());
+        }
+        // Replayed offloads stay pending and complete via deposit.
+        assert_eq!(c.in_flight(), 2);
+        c.deposit(2, b"ok".to_vec());
+        assert_eq!(c.take_completed(2).unwrap().unwrap().as_slice(), b"ok");
+        // Posts flow again after resume.
+        assert!(matches!(reserve(&c), Reserve::Reserved(_)));
+        // Double resume is a no-op.
+        assert!(c.resume(None, lost).is_none());
+    }
+
+    #[test]
+    fn double_disconnect_replays_again_with_bumped_attempt() {
+        use crate::types::NodeId;
+        let c = degradable();
+        let Reserve::Reserved(r) = reserve(&c) else {
+            panic!("reserve failed");
+        };
+        c.note_sent(
+            r.seq,
+            &offload_header(r.seq),
+            PooledFrame::detached(b"w".to_vec()),
+        );
+        let lost = OffloadError::TargetLost(NodeId(3));
+        assert!(c.degrade(lost.clone()).is_some());
+        let rep = c.resume(None, lost.clone()).unwrap();
+        assert_eq!((rep.replay.len(), rep.replay[0].attempt), (1, 1));
+        // The link drops again before the replay's result arrives: the
+        // frame is still above the watermark, so it replays again.
+        assert!(c.degrade(lost.clone()).is_some());
+        let rep = c.resume(None, lost.clone()).unwrap();
+        assert_eq!((rep.replay.len(), rep.replay[0].attempt), (1, 2));
+        // But if the watermark has swallowed it, it is lost instead.
+        assert!(c.degrade(lost.clone()).is_some());
+        let rep = c.resume(Some(r.seq), lost.clone()).unwrap();
+        assert_eq!((rep.replay.len(), rep.lost), (0, 1));
+        assert_eq!(c.take_completed(r.seq).unwrap().unwrap_err(), lost);
+        assert_eq!(c.in_flight(), 0, "no leaked pending entries");
+    }
+
+    #[test]
+    fn resume_without_replay_buffer_fails_everything_in_flight() {
+        use crate::types::NodeId;
+        // No recovery armed: nothing stored, so nothing is replayable.
+        let c = ChannelCore::unbounded();
+        let Reserve::Reserved(r) = reserve(&c) else {
+            panic!("reserve failed");
+        };
+        let lost = OffloadError::TargetLost(NodeId(3));
+        assert!(c.degrade(lost.clone()).is_some());
+        let rep = c.resume(None, lost.clone()).unwrap();
+        assert_eq!((rep.replay.len(), rep.lost), (0, 1));
+        assert_eq!(c.take_completed(r.seq).unwrap().unwrap_err(), lost);
+    }
+
+    #[test]
+    fn evict_wins_over_degrade_and_clears_it() {
+        use crate::types::NodeId;
+        let c = degradable();
+        let Reserve::Reserved(r) = reserve(&c) else {
+            panic!("reserve failed");
+        };
+        let lost = OffloadError::TargetLost(NodeId(3));
+        assert!(c.degrade(lost.clone()).is_some());
+        // Reconnect budget exhausted: the channel is evicted for good.
+        assert_eq!(c.evict(lost.clone()), Some(1));
+        assert!(!c.is_degraded(), "eviction clears the degraded latch");
+        assert!(c.resume(None, lost.clone()).is_none(), "too late to resume");
+        assert_eq!(c.take_completed(r.seq).unwrap().unwrap_err(), lost.clone());
+        assert!(c.degrade(lost).is_none(), "evicted channels cannot degrade");
+    }
+
+    #[test]
+    fn degraded_channel_keeps_staging_and_flushes_after_resume() {
+        use crate::types::NodeId;
+        let c = ChannelCore::unbounded()
+            .with_batching(BatchConfig::up_to(8))
+            .with_recovery(RecoveryPolicy::replay_only(3));
+        let lost = OffloadError::TargetLost(NodeId(3));
+        assert!(matches!(stage_one(&c, b"a"), Stage::Staged { .. }));
+        assert!(c.degrade(lost.clone()).is_some());
+        // Staging keeps working while degraded (no slots claimed)...
+        assert!(matches!(stage_one(&c, b"b"), Stage::Staged { .. }));
+        // ...but the envelope cannot flush until the session settles.
+        assert!(matches!(c.take_flush(), FlushPrep::Full));
+        let rep = c.resume(None, lost).unwrap();
+        assert_eq!((rep.replay.len(), rep.lost), (0, 0));
+        let FlushPrep::Ready(f) = c.take_flush() else {
+            panic!("flush refused after resume");
+        };
+        assert_eq!(f.msgs, 2, "staged members survived the disconnect");
     }
 
     // --- batching ---------------------------------------------------------

@@ -47,7 +47,8 @@ pub mod recovery;
 pub mod ring;
 
 pub use self::core::{
-    ChannelCore, FlushFrame, FlushPrep, Reservation, Reserve, Stage, DEFAULT_PUSH_CREDITS,
+    ChannelCore, FlushFrame, FlushPrep, ReplayFrame, Reservation, Reserve, ResumeReport, Stage,
+    DEFAULT_PUSH_CREDITS,
 };
 pub use backoff::Backoff;
 pub use batch::BatchConfig;

@@ -49,6 +49,29 @@ impl Default for RecoveryPolicy {
     }
 }
 
+impl RecoveryPolicy {
+    /// A policy that stores frames for connection-resume replay but
+    /// never re-sends on sweep misses. Push transports (TCP) need this:
+    /// their completions arrive by deposit, so a cold sweep says nothing
+    /// about frame loss — and their targets run without the dedup
+    /// watermark, so a spurious re-send would double-execute.
+    /// `max_retries` bounds the *reconnect* budget instead: how many
+    /// re-establishment attempts the transport makes before the channel
+    /// is evicted.
+    pub fn replay_only(max_retries: u32) -> Self {
+        RecoveryPolicy {
+            retry_after_misses: u32::MAX,
+            max_retries,
+        }
+    }
+
+    /// Whether sweep misses may ever trigger a re-send (false for
+    /// [`RecoveryPolicy::replay_only`] policies).
+    pub fn retries_on_miss(&self) -> bool {
+        self.retry_after_misses != u32::MAX
+    }
+}
+
 /// A re-sendable copy of one posted frame plus its deadline counters.
 #[derive(Debug)]
 pub struct StoredFrame {
@@ -117,6 +140,28 @@ impl RecoveryState {
         self.frames.remove(&seq);
     }
 
+    /// The stored frame for `seq`, if any (resume replay reads the wire
+    /// bytes back out without consuming them).
+    pub fn stored(&self, seq: u64) -> Option<&StoredFrame> {
+        self.frames.get(&seq)
+    }
+
+    /// The armed policy.
+    pub fn policy(&self) -> RecoveryPolicy {
+        self.policy
+    }
+
+    /// Claim a stored frame for connection-resume replay: bumps the
+    /// attempt counter, resets the miss clock, and hands back a cloned
+    /// wire image. The frame stays stored — a second disconnect can
+    /// replay it again.
+    pub fn note_replay(&mut self, seq: u64) -> Option<(MsgHeader, Vec<u8>, u32)> {
+        let f = self.frames.get_mut(&seq)?;
+        f.retries += 1;
+        f.misses = 0;
+        Some((f.header, f.frame.to_vec(), f.retries))
+    }
+
     /// Drop every stored frame (target evicted).
     pub fn clear(&mut self) {
         self.frames.clear();
@@ -124,6 +169,12 @@ impl RecoveryState {
 
     /// Count one fruitless sweep against `seq` and apply the deadline.
     pub fn miss(&mut self, seq: u64) -> MissVerdict {
+        if !self.policy.retries_on_miss() {
+            // Replay-only: frames are stored for resume, not re-sent on
+            // deadline — a miss carries no information on a push
+            // transport.
+            return MissVerdict::Keep;
+        }
         let Some(f) = self.frames.get_mut(&seq) else {
             // Control frames and anything posted before arming are not
             // retryable; they never time out either.
@@ -207,6 +258,19 @@ mod tests {
         for _ in 0..100 {
             assert!(matches!(st.miss(9), MissVerdict::Keep));
         }
+    }
+
+    #[test]
+    fn replay_only_policies_never_retry_on_misses() {
+        let mut st = RecoveryState::new(RecoveryPolicy::replay_only(2));
+        st.store(0, header(0), PooledFrame::detached(b"hi".to_vec()));
+        for _ in 0..10_000 {
+            assert!(matches!(st.miss(0), MissVerdict::Keep));
+        }
+        // The frame is still stored, available for resume replay.
+        assert_eq!(st.stored(0).unwrap().frame.as_slice(), b"hi");
+        assert!(!RecoveryPolicy::replay_only(2).retries_on_miss());
+        assert!(RecoveryPolicy::default().retries_on_miss());
     }
 
     #[test]

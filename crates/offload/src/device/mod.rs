@@ -196,6 +196,31 @@ struct Carrier {
     finish_ps: u64,
 }
 
+/// Why one [`DeviceRuntime::run_session`] call returned.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum HaltReason {
+    /// A `Control` frame arrived: orderly shutdown, do not resume.
+    Control,
+    /// The transport closed under the loop (disconnect). The session is
+    /// resumable: keep the memory and the watermark, re-accept, and run
+    /// another session with the carried watermark.
+    Closed,
+}
+
+/// Where one session of the message loop ended.
+#[derive(Clone, Copy, Debug)]
+pub struct SessionEnd {
+    /// Offloads served this session (batch members individually).
+    pub served: u64,
+    /// The dedup watermark as it stands after this session: the max
+    /// executed seq, monotonic across resumed sessions. Announced to
+    /// the host on reconnect so it replays only provably-unexecuted
+    /// frames.
+    pub watermark: Option<u64>,
+    /// Why the loop stopped.
+    pub reason: HaltReason,
+}
+
 /// Execute one member with the lane meter shim in place of the
 /// backend's clock-advancing meter.
 fn execute_member(
@@ -234,6 +259,21 @@ impl DeviceRuntime {
     /// channel shutdown. Returns the number of offloads served (batch
     /// members count individually).
     pub fn run(&self, env: &TargetEnv<'_>, chan: &dyn TargetChannel) -> u64 {
+        self.run_session(env, chan, None).served
+    }
+
+    /// Run one *session* of the message loop, seeding the dedup
+    /// watermark from a previous session on the same target. Reports
+    /// how the session ended so a reconnecting transport can tell an
+    /// orderly `Control` shutdown ([`HaltReason::Control`]) from a
+    /// dropped connection ([`HaltReason::Closed`]) and carry the
+    /// watermark into the resume handshake.
+    pub fn run_session(
+        &self,
+        env: &TargetEnv<'_>,
+        chan: &dyn TargetChannel,
+        initial_watermark: Option<u64>,
+    ) -> SessionEnd {
         let _node = trace::node_scope(env.node);
         let lanes = self.cfg.lanes.max(1);
         let window_cap = if self.cfg.window == 0 {
@@ -242,7 +282,8 @@ impl DeviceRuntime {
             self.cfg.window
         };
         let mut served: u64 = 0;
-        let mut watermark: Option<u64> = None;
+        let mut watermark: Option<u64> = initial_watermark;
+        let mut reason = HaltReason::Closed;
         // Lane cursors persist across windows and only move forward.
         let mut avail = vec![0u64; lanes];
         let mut deques: Vec<StealDeque> = (0..lanes)
@@ -301,6 +342,7 @@ impl DeviceRuntime {
                 match h.kind {
                     MsgKind::Control => {
                         halt = true;
+                        reason = HaltReason::Control;
                         break;
                     }
                     MsgKind::Result => {
@@ -505,7 +547,11 @@ impl DeviceRuntime {
                 break;
             }
         }
-        served
+        SessionEnd {
+            served,
+            watermark,
+            reason,
+        }
     }
 }
 
@@ -726,6 +772,56 @@ mod tests {
         assert_eq!(parts.len(), 2, "both members answered in member order");
         assert_eq!(parts[0].0, 0);
         assert_eq!(parts[1].0, 1);
+    }
+
+    #[test]
+    fn sessions_carry_the_watermark_and_report_why_they_ended() {
+        let reg = registry();
+        let mem = VecMemory::new(0);
+        let env = TargetEnv {
+            node: 1,
+            registry: &reg,
+            mem: &mem,
+            reverse: None,
+            meter: None,
+            dedup: true,
+        };
+        let rt = DeviceRuntime::new(DeviceConfig::new());
+        // Session 1: serves seqs 0-2, then the link drops (Closed).
+        let mut msgs = burn_msgs(&[1, 1, 1, 1]);
+        let fresh = msgs.pop().unwrap();
+        let replayed = msgs[2].clone();
+        let chan = QueueChannel::new(msgs);
+        let end = rt.run_session(&env, &chan, None);
+        assert_eq!(
+            (end.served, end.watermark, end.reason),
+            (3, Some(2), HaltReason::Closed)
+        );
+        // Session 2 resumes with the carried watermark: a replayed
+        // seq ≤ 2 is deduplicated, a fresh seq executes, and the
+        // Control frame ends the session for good.
+        let ctrl = (
+            MsgHeader {
+                handler_key: HandlerKey(0),
+                payload_len: 0,
+                kind: MsgKind::Control,
+                reply_slot: 0,
+                corr: 0,
+                seq: u64::MAX,
+            },
+            vec![],
+        );
+        let chan = QueueChannel::new(vec![replayed, fresh, ctrl]);
+        let end = rt.run_session(&env, &chan, end.watermark);
+        assert_eq!(
+            (end.served, end.watermark, end.reason),
+            (1, Some(3), HaltReason::Control)
+        );
+        assert_eq!(
+            chan.outbox.lock().len(),
+            1,
+            "the duplicate publishes nothing"
+        );
     }
 
     #[test]

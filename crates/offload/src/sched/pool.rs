@@ -364,6 +364,12 @@ impl TargetPool {
                     let Ok(chan) = backend.channel(t) else {
                         continue;
                     };
+                    // A degraded target stays pooled (its link is
+                    // reconnecting and it may heal) but takes no new
+                    // placements while down.
+                    if chan.is_degraded() {
+                        continue;
+                    }
                     if !respect_credit || chan.has_credit() {
                         st.cursor = (idx + 1) % n;
                         return Some(t);
@@ -377,6 +383,9 @@ impl TargetPool {
                     let Ok(chan) = backend.channel(t) else {
                         continue;
                     };
+                    if chan.is_degraded() {
+                        continue;
+                    }
                     let load = chan.in_flight();
                     if respect_credit && load >= chan.credit_limit() {
                         continue;
@@ -405,6 +414,9 @@ impl TargetPool {
                     let Ok(chan) = backend.channel(t) else {
                         continue;
                     };
+                    if chan.is_degraded() {
+                        continue;
+                    }
                     let load = chan.in_flight();
                     if respect_credit && load >= chan.credit_limit() {
                         continue;
@@ -436,7 +448,13 @@ impl TargetPool {
             st.healthy.clone()
         };
         for t in targets {
-            let _ = engine::drain(self.offload.backend().as_ref(), t);
+            let backend = self.offload.backend().as_ref();
+            // A degraded target's flush parks until its link heals;
+            // don't let it stall draining of the healthy targets.
+            if backend.channel(t).is_ok_and(|c| c.is_degraded()) {
+                continue;
+            }
+            let _ = engine::drain(backend, t);
         }
     }
 

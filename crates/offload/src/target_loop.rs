@@ -162,6 +162,20 @@ pub fn run_target_loop_env(env: &TargetEnv<'_>, chan: &dyn TargetChannel) -> u64
     DeviceRuntime::new(DeviceConfig::new()).run(env, chan)
 }
 
+/// One *session* of the message loop on a default-configured
+/// [`DeviceRuntime`], seeding the dedup watermark from a previous
+/// session. Reconnecting transports run this in a loop: a
+/// [`crate::device::HaltReason::Closed`] end means the link dropped and
+/// the session may resume with the returned watermark; `Control` means
+/// an orderly shutdown.
+pub fn run_target_session(
+    env: &TargetEnv<'_>,
+    chan: &dyn TargetChannel,
+    watermark: Option<u64>,
+) -> crate::device::SessionEnd {
+    DeviceRuntime::new(DeviceConfig::new()).run_session(env, chan, watermark)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -178,6 +178,9 @@ pub struct BackendMetrics {
     resends: Counter,
     timeouts: Counter,
     evictions: Counter,
+    reconnect_attempts: Counter,
+    reconnects: Counter,
+    replayed: Counter,
     completions: Counter,
     puts: Counter,
     gets: Counter,
@@ -231,6 +234,9 @@ impl BackendMetrics {
             resends: Counter::new(),
             timeouts: Counter::new(),
             evictions: Counter::new(),
+            reconnect_attempts: Counter::new(),
+            reconnects: Counter::new(),
+            replayed: Counter::new(),
             completions: Counter::new(),
             puts: Counter::new(),
             gets: Counter::new(),
@@ -315,6 +321,23 @@ impl BackendMetrics {
     /// and refuses new posts.
     pub fn on_evict(&self) {
         self.evictions.incr();
+    }
+
+    /// The transport tried to re-establish a dropped connection (one
+    /// count per attempt, successful or not).
+    pub fn on_reconnect_attempt(&self) {
+        self.reconnect_attempts.incr();
+    }
+
+    /// A dropped connection was re-established and its session resumed.
+    pub fn on_reconnect(&self) {
+        self.reconnects.incr();
+    }
+
+    /// A session resume replayed `frames` provably-unexecuted in-flight
+    /// frames onto the fresh connection.
+    pub fn on_replay(&self, frames: u64) {
+        self.replayed.add(frames);
     }
 
     /// A batch (or single-message frame) was flushed `delay` of virtual
@@ -403,6 +426,9 @@ impl BackendMetrics {
             resends: self.resends.get(),
             timeouts: self.timeouts.get(),
             evictions: self.evictions.get(),
+            reconnect_attempts: self.reconnect_attempts.get(),
+            reconnects: self.reconnects.get(),
+            replayed_frames: self.replayed.get(),
             completions: self.completions.get(),
             puts: self.puts.get(),
             gets: self.gets.get(),
@@ -483,6 +509,12 @@ pub struct MetricsSnapshot {
     pub timeouts: u64,
     /// Targets evicted after transport death.
     pub evictions: u64,
+    /// Connection re-establishment attempts (successful or not).
+    pub reconnect_attempts: u64,
+    /// Dropped connections re-established with their session resumed.
+    pub reconnects: u64,
+    /// In-flight frames replayed onto a fresh connection at resume.
+    pub replayed_frames: u64,
     /// Offloads whose result was consumed.
     pub completions: u64,
     /// `put` operations.
@@ -598,6 +630,15 @@ impl MetricsSnapshot {
                 format!("{}/{}/{}", self.resends, self.timeouts, self.evictions),
             );
         }
+        if self.reconnect_attempts + self.reconnects + self.replayed_frames > 0 {
+            line(
+                "reconnect (attempt/ok/replayed)",
+                format!(
+                    "{}/{}/{}",
+                    self.reconnect_attempts, self.reconnects, self.replayed_frames
+                ),
+            );
+        }
         line("completions", self.completions.to_string());
         line(
             "inflight (now/peak)",
@@ -656,6 +697,17 @@ impl MetricsSnapshot {
         prom_counter(&mut out, "aurora_resends_total", self.resends);
         prom_counter(&mut out, "aurora_timeouts_total", self.timeouts);
         prom_counter(&mut out, "aurora_evictions_total", self.evictions);
+        prom_counter(
+            &mut out,
+            "aurora_reconnect_attempts_total",
+            self.reconnect_attempts,
+        );
+        prom_counter(&mut out, "aurora_reconnects_total", self.reconnects);
+        prom_counter(
+            &mut out,
+            "aurora_replayed_frames_total",
+            self.replayed_frames,
+        );
         prom_counter(&mut out, "aurora_completions_total", self.completions);
         prom_counter(&mut out, "aurora_puts_total", self.puts);
         prom_counter(&mut out, "aurora_gets_total", self.gets);
@@ -730,6 +782,9 @@ impl MetricsSnapshot {
             ("resends", self.resends),
             ("timeouts", self.timeouts),
             ("evictions", self.evictions),
+            ("reconnect_attempts", self.reconnect_attempts),
+            ("reconnects", self.reconnects),
+            ("replayed_frames", self.replayed_frames),
             ("completions", self.completions),
             ("puts", self.puts),
             ("gets", self.gets),

@@ -63,6 +63,11 @@ pub enum HealthEventKind {
     Failover,
     /// The target came back into service.
     Reconnect,
+    /// The transport link dropped; the target is degraded but its
+    /// session may still resume (reconnect budget permitting).
+    Disconnect,
+    /// A health probe (ping) answered; no state change.
+    Probe,
 }
 
 impl HealthEventKind {
@@ -75,6 +80,8 @@ impl HealthEventKind {
             HealthEventKind::Eviction => "eviction",
             HealthEventKind::Failover => "failover",
             HealthEventKind::Reconnect => "reconnect",
+            HealthEventKind::Disconnect => "disconnect",
+            HealthEventKind::Probe => "probe",
         }
     }
 }
@@ -140,14 +147,15 @@ impl HealthRegistry {
             match kind {
                 HealthEventKind::FaultInjected
                 | HealthEventKind::Retry
-                | HealthEventKind::Timeout => {
+                | HealthEventKind::Timeout
+                | HealthEventKind::Disconnect => {
                     if *state == TargetState::Healthy {
                         *state = TargetState::Degraded;
                     }
                 }
                 HealthEventKind::Eviction => *state = TargetState::Evicted,
                 HealthEventKind::Reconnect => *state = TargetState::Healthy,
-                HealthEventKind::Failover => {}
+                HealthEventKind::Failover | HealthEventKind::Probe => {}
             }
         }
         let ordinal = self.ordinal.fetch_add(1, Ordering::Relaxed);
@@ -235,6 +243,23 @@ mod tests {
         r.record(2, HealthEventKind::Failover, 9, 500);
         assert_eq!(r.state(2), Some(TargetState::Healthy));
         assert_eq!(r.events_for(2).len(), 1);
+    }
+
+    #[test]
+    fn disconnect_degrades_and_probe_is_neutral() {
+        let r = HealthRegistry::new();
+        r.register(4);
+        r.record(4, HealthEventKind::Probe, 0, 50);
+        assert_eq!(r.state(4), Some(TargetState::Healthy));
+        r.record(4, HealthEventKind::Disconnect, 0, 100);
+        assert_eq!(r.state(4), Some(TargetState::Degraded));
+        // A probe does not heal a degraded target; a reconnect does.
+        r.record(4, HealthEventKind::Probe, 0, 150);
+        assert_eq!(r.state(4), Some(TargetState::Degraded));
+        r.record(4, HealthEventKind::Reconnect, 0, 200);
+        assert_eq!(r.state(4), Some(TargetState::Healthy));
+        assert_eq!(HealthEventKind::Disconnect.name(), "disconnect");
+        assert_eq!(HealthEventKind::Probe.name(), "probe");
     }
 
     #[test]

@@ -18,8 +18,9 @@ use ham::f2f;
 use ham_aurora_repro::fault_scenario::{probe_expected, scenario_probe, BackendKind};
 use ham_aurora_repro::sim_core::SimTime;
 use ham_aurora_repro::{
-    dma_offload_with_faults, tcp_offload_batched, veo_offload_with_faults, BatchConfig, FaultPlan,
-    NodeId, Offload, OffloadError, PoolFuture, RecoveryPolicy, SchedPolicy, SloSpec,
+    dma_offload_with_faults, tcp_offload_batched, tcp_offload_cluster, veo_offload_with_faults,
+    BatchConfig, FaultPlan, NodeId, Offload, OffloadError, PoolFuture, RecoveryPolicy, SchedPolicy,
+    SloSpec, TargetSpec,
 };
 
 /// Targets per pool; one is killed mid-run, so survivors keep serving.
@@ -205,6 +206,97 @@ fn soak_run(kind: BackendKind, seed: u64, offloads: usize) -> (RunStats, usize) 
     (stats, violations)
 }
 
+/// TCP disconnect/reconnect churn: a cluster pool where the victim is
+/// repeatedly killed mid-wave and *reconnects* instead of being lost —
+/// the session-resume path under sustained load. Gated by the same
+/// [`SloSpec`] (plus: reconnects must actually be recorded, and every
+/// churn wave must drain without leaking pending entries).
+fn tcp_churn_run(seed: u64, offloads: usize) -> (RunStats, usize) {
+    let spec = SloSpec::default();
+    let specs = vec![
+        TargetSpec {
+            credit_limit: 64,
+            ..TargetSpec::default()
+        };
+        TARGETS as usize
+    ];
+    let o = tcp_offload_cluster(
+        &specs,
+        RecoveryPolicy::replay_only(64),
+        FaultPlan::builder(seed).build(),
+        |b| {
+            b.register::<scenario_probe>();
+        },
+    );
+    let nodes: Vec<NodeId> = (1..=TARGETS).map(NodeId).collect();
+    let pool = o.pool_with(&nodes, SchedPolicy::RoundRobin).expect("pool");
+
+    let wave_size = TARGETS as usize * PER_TARGET_PER_WAVE;
+    let waves = offloads.div_ceil(wave_size).max(4);
+    // Churn: a rotating victim dies every few waves and its link
+    // supervisor brings it back; no wave may strand work.
+    let churn_every = (waves / 4).max(1);
+
+    let mut stats = RunStats {
+        ok: 0,
+        lost: 0,
+        refused: 0,
+        failed: 0,
+    };
+    let mut posted = 0usize;
+    for wave in 0..waves {
+        let mut futs: Vec<PoolFuture<u64>> = Vec::new();
+        for i in 0..wave_size.min(offloads.saturating_sub(posted)).max(1) {
+            let x = (wave * wave_size + i) as u64;
+            match pool.submit(f2f!(scenario_probe, x)) {
+                Ok(f) => futs.push(f),
+                Err(_) => stats.refused += 1,
+            }
+            posted += 1;
+        }
+        if wave % churn_every == churn_every - 1 {
+            let victim = NodeId(1 + ((seed + wave as u64) % TARGETS as u64) as u16);
+            let _ = o.kill_target(victim);
+        }
+        for r in pool.wait_all(futs) {
+            match r {
+                Ok(_) => stats.ok += 1,
+                Err(OffloadError::TargetLost(_)) => stats.lost += 1,
+                Err(_) => stats.failed += 1,
+            }
+        }
+    }
+
+    let leaked: usize = nodes.iter().map(|&n| o.in_flight(n).unwrap_or(0)).sum();
+    let snap = o.metrics_snapshot();
+    let events = o.backend().metrics().health().events();
+    let mut report = spec.evaluate(&snap, &events, leaked);
+    if snap.reconnects == 0 {
+        report
+            .violations
+            .push("churn phase recorded no reconnects".into());
+    }
+
+    println!(
+        "## tcp-churn seed {seed}: {posted} offloads ({} ok, {} lost, {} refused, {} failed), \
+         {} reconnects / {} attempts, {} replayed frames",
+        stats.ok,
+        stats.lost,
+        stats.refused,
+        stats.failed,
+        snap.reconnects,
+        snap.reconnect_attempts,
+        snap.replayed_frames,
+    );
+    print!("{}", pool.health_report().render());
+    print!("{}", report.render());
+    println!();
+
+    let violations = report.violations.len();
+    o.shutdown();
+    (stats, violations)
+}
+
 fn main() {
     // A killed VE process exits by panicking with "fault injection:
     // VE process N killed" when reaped at shutdown — that panic is the
@@ -226,6 +318,14 @@ fn main() {
     for &kind in &cfg.backends {
         for &seed in &cfg.seeds {
             let (stats, violations) = soak_run(kind, seed, cfg.offloads);
+            total += stats.ok + stats.lost + stats.refused + stats.failed;
+            total_violations += violations;
+        }
+    }
+    // The cluster-TCP churn phase rides along whenever TCP is soaked.
+    if cfg.backends.contains(&BackendKind::Tcp) {
+        for &seed in &cfg.seeds {
+            let (stats, violations) = tcp_churn_run(seed, cfg.offloads / 4);
             total += stats.ok + stats.lost + stats.refused + stats.failed;
             total_violations += violations;
         }

@@ -11,7 +11,12 @@
 # to assert the seeded failure timeline replays. The pool scenarios
 # (tests/pool_scenarios.rs) add the multi-target scheduler on top:
 # kill 1 of 4 pooled targets mid-wave on each backend and require every
-# offload to complete on a survivor or surface `TargetLost`.
+# offload to complete on a survivor or surface `TargetLost`. The
+# reconnect scenarios (tests/reconnect_scenarios.rs) exercise the
+# cluster-TCP session-resume path: mid-batch disconnects, double
+# disconnects, blackouts that exhaust (or nearly exhaust) the reconnect
+# budget, and the discovery handshake, asserting exactly-once-or-lost
+# outcomes and zero leaked pending entries throughout.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -21,6 +26,7 @@ PER_TEST_TIMEOUT="${PER_TEST_TIMEOUT:-120}"
 # scenarios, not the compiler.
 cargo test -q --test fault_scenarios --no-run
 cargo test -q --test pool_scenarios --no-run
+cargo test -q --test reconnect_scenarios --no-run
 
 tests=(
   kill_one_of_two_targets_veo
@@ -52,6 +58,16 @@ for t in "${tests[@]}"; do
   fi
 done
 
+reconnect_tests=(
+  mid_batch_disconnect_matrix
+  disconnect_during_staged_accumulator_matrix
+  double_disconnect_matrix
+  reconnect_after_timeout_matrix
+  replayed_timelines_are_deterministic
+  eviction_waits_for_the_reconnect_budget
+  discovery_announces_per_host_capabilities
+)
+
 for t in "${pool_tests[@]}"; do
   echo "-- pool scenario: $t"
   if ! timeout --kill-after=10 "$PER_TEST_TIMEOUT" \
@@ -61,4 +77,13 @@ for t in "${pool_tests[@]}"; do
   fi
 done
 
-echo "Fault matrix passed: ${#tests[@]} channel + ${#pool_tests[@]} pool scenarios, 3 backends, 8 seeds."
+for t in "${reconnect_tests[@]}"; do
+  echo "-- reconnect scenario: $t"
+  if ! timeout --kill-after=10 "$PER_TEST_TIMEOUT" \
+      cargo test -q --test reconnect_scenarios -- --exact "$t"; then
+    echo "FAULT MATRIX FAILURE: '$t' failed or hung (> ${PER_TEST_TIMEOUT}s)" >&2
+    exit 1
+  fi
+done
+
+echo "Fault matrix passed: ${#tests[@]} channel + ${#pool_tests[@]} pool + ${#reconnect_tests[@]} reconnect scenarios, 3 backends, 8 seeds."

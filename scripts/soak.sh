@@ -6,6 +6,11 @@
 # (a wave that never collects), which would otherwise stall CI until
 # the job dies. The example exits nonzero on any SLO violation.
 #
+# The tcp runs additionally drive the disconnect/reconnect churn phase
+# (examples/soak.rs `tcp_churn_run`): a cluster pool whose links are
+# killed on a rolling schedule, gated on the same SloSpec plus the
+# requirement that at least one session resume actually happened.
+#
 # Full-size run (no arguments, ~10^5 offloads in one process):
 #   cargo run --release --example soak
 set -euo pipefail

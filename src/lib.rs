@@ -47,6 +47,7 @@ pub use aurora_sim_core::{
     HealthEvent, HealthEventKind, HealthRegistry, MetricsSnapshot, NodeMetricsSnapshot, SloReport,
     SloSpec, TargetState,
 };
+pub use ham_backend_tcp::{Announce, TargetSpec};
 pub use ham_offload::chan::{BatchConfig, RecoveryPolicy};
 pub use ham_offload::sched::{
     HealthReport, PoolFuture, PoolMetricsSnapshot, SchedPolicy, TargetHealth, TargetPool,
@@ -216,9 +217,12 @@ pub fn veo_offload_with_faults(
 
 /// [`tcp_offload`] under a deterministic [`FaultPlan`].
 ///
-/// TCP is a push transport, so there is no polling-based recovery
-/// policy: peer death is detected by the reader thread's EOF, which
-/// evicts the channel with [`OffloadError::TargetLost`].
+/// This keeps the *point-to-point* lifecycle: TCP is a push transport
+/// with no polling-based retry, so peer death is detected by the reader
+/// thread's EOF and **permanently evicts** the channel with
+/// [`OffloadError::TargetLost`]. For the cluster lifecycle — where a
+/// disconnect degrades the target and a bounded-backoff reconnect
+/// resumes the session — use [`tcp_offload_cluster`].
 pub fn tcp_offload_with_faults(
     targets: u16,
     plan: Arc<FaultPlan>,
@@ -229,6 +233,29 @@ pub fn tcp_offload_with_faults(
         ham_backend_tcp::TcpBackend::DEFAULT_MEM,
         plan,
         registrar,
+    ))
+}
+
+/// An [`Offload`] runtime over a **TCP cluster** of targets described by
+/// `specs` (target `i` gets node id `i + 1`), with session resume on
+/// reconnect.
+///
+/// Each target announces its capabilities (worker lanes, credit limit,
+/// memory) and its dedup watermark on every accepted connection. A
+/// disconnect *degrades* the target instead of evicting it; a
+/// per-target link supervisor reconnects with bounded backoff (at most
+/// `policy.max_retries` attempts per disconnect) and replays exactly
+/// the in-flight frames the re-announced watermark proves unexecuted.
+/// Work the watermark cannot clear fails with
+/// [`OffloadError::TargetLost`] rather than risking double execution.
+pub fn tcp_offload_cluster(
+    specs: &[TargetSpec],
+    policy: RecoveryPolicy,
+    plan: Arc<FaultPlan>,
+    registrar: impl Fn(&mut ham::RegistryBuilder) + Send + Sync + 'static,
+) -> Offload {
+    Offload::new(ham_backend_tcp::TcpBackend::spawn_cluster(
+        specs, policy, plan, registrar,
     ))
 }
 

@@ -56,6 +56,12 @@ fn build() -> BackendMetrics {
     m.on_retry_delay(SimTime::from_us(40));
     m.on_timeout();
     m.on_evict();
+    // Cluster-TCP link supervisor: two reconnect attempts, one of
+    // which healed the link and replayed five in-flight frames.
+    m.on_reconnect_attempt();
+    m.on_reconnect_attempt();
+    m.on_reconnect();
+    m.on_replay(5);
     m.on_put(4096);
     m.on_get(512);
     m.on_alloc(1, 0x1000, 1 << 20);

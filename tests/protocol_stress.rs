@@ -378,4 +378,129 @@ proptest! {
         }
         o.shutdown();
     }
+
+    /// Resume-handshake idempotence: for arbitrary in-flight sets,
+    /// device execution subsets, and repeated disconnect/resume cycles,
+    /// the watermark split is exact — the replay set is precisely the
+    /// provably-unexecuted seqs (no executed frame is ever replayed =
+    /// no duplicate execution), everything at or below the watermark
+    /// fails conservatively with `TargetLost`, and every offload ends
+    /// with exactly one terminal outcome (no lost frame, no leak).
+    #[test]
+    fn prop_resume_handshake_idempotent(
+        n in 1usize..20,
+        exec_bits in proptest::collection::vec(any::<u64>(), 3..4),
+        result_bits in proptest::collection::vec(any::<u64>(), 3..4),
+    ) {
+        use std::collections::BTreeMap;
+
+        let core = ChannelCore::unbounded()
+            .with_recovery(RecoveryPolicy::replay_only(8));
+        let lost_err = OffloadError::TargetLost(NodeId(9));
+        let offload_header = |seq: u64, len: usize| MsgHeader {
+            handler_key: HandlerKey(1),
+            payload_len: len as u32,
+            kind: MsgKind::Offload,
+            reply_slot: 0,
+            corr: 0,
+            seq,
+        };
+
+        // Post n offloads onto the wire (reserve + replay-buffer store).
+        let mut live: Vec<u64> = Vec::new();
+        for _ in 0..n {
+            let Reserve::Reserved(r) =
+                core.try_reserve(false, 0, SimTime::ZERO, 8)
+            else {
+                panic!("unbounded reserve refused");
+            };
+            let frame = vec![r.seq as u8];
+            core.note_sent(
+                r.seq,
+                &offload_header(r.seq, frame.len()),
+                PooledFrame::detached(frame),
+            );
+            live.push(r.seq);
+        }
+
+        #[derive(Debug, PartialEq)]
+        enum Terminal { Completed, Lost }
+        let mut terminal: BTreeMap<u64, Terminal> = BTreeMap::new();
+        let mut executed: Vec<u64> = Vec::new();
+        let mut wm: Option<u64> = None;
+
+        for cycle in 0..exec_bits.len() {
+            // The device executes an arbitrary subset of what's on the
+            // wire; its watermark is the max executed seq (monotonic
+            // across sessions). A subset of those results reach the
+            // host before the link dies.
+            for &seq in &live {
+                if exec_bits[cycle] >> (seq % 64) & 1 == 1 {
+                    prop_assert!(
+                        !executed.contains(&seq),
+                        "model error: seq {} executed twice", seq
+                    );
+                    executed.push(seq);
+                    wm = Some(wm.map_or(seq, |w| w.max(seq)));
+                    if result_bits[cycle] >> (seq % 64) & 1 == 1 {
+                        core.deposit(seq, vec![seq as u8]);
+                        let done = core.take_completed(seq).unwrap().unwrap();
+                        prop_assert_eq!(done.as_slice(), &[seq as u8][..]);
+                        prop_assert_eq!(
+                            terminal.insert(seq, Terminal::Completed), None,
+                            "double completion"
+                        );
+                    }
+                }
+            }
+            live.retain(|s| terminal.get(s) != Some(&Terminal::Completed));
+
+            // Disconnect → resume against the announced watermark.
+            let expected_replay: Vec<u64> = live
+                .iter()
+                .copied()
+                .filter(|&s| wm.is_none() || s > wm.unwrap())
+                .collect();
+            let expected_lost: Vec<u64> = live
+                .iter()
+                .copied()
+                .filter(|&s| wm.is_some_and(|w| s <= w))
+                .collect();
+            prop_assert!(core.degrade(lost_err.clone()).is_some());
+            let rep = core.resume(wm, lost_err.clone()).unwrap();
+            let replayed: Vec<u64> = rep.replay.iter().map(|f| f.seq).collect();
+            prop_assert_eq!(&replayed, &expected_replay,
+                "replay set must be exactly the seqs above the watermark");
+            prop_assert_eq!(rep.lost, expected_lost.len());
+            // The heart of exactly-once: nothing the device executed is
+            // ever replayed.
+            for s in &replayed {
+                prop_assert!(!executed.contains(s),
+                    "seq {} replayed after execution", s);
+            }
+            // Replayed wire images are the original bytes, attempts bump.
+            for f in &rep.replay {
+                prop_assert_eq!(&f.frame, &vec![f.seq as u8]);
+                prop_assert!(f.attempt >= 1);
+            }
+            for s in expected_lost {
+                let out = core.take_completed(s).unwrap();
+                prop_assert_eq!(out.unwrap_err(), lost_err.clone());
+                prop_assert_eq!(
+                    terminal.insert(s, Terminal::Lost), None,
+                    "double terminal outcome"
+                );
+            }
+            live = expected_replay;
+        }
+
+        // The final session serves everything still in flight.
+        for seq in live {
+            core.deposit(seq, vec![seq as u8]);
+            prop_assert!(core.take_completed(seq).unwrap().is_ok());
+            prop_assert_eq!(terminal.insert(seq, Terminal::Completed), None);
+        }
+        prop_assert_eq!(terminal.len(), n, "every offload has one outcome");
+        prop_assert_eq!(core.in_flight(), 0, "nothing leaks");
+    }
 }
