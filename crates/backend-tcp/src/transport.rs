@@ -933,6 +933,28 @@ impl CommBackend for TcpBackend {
         self.plan.disconnect(target.0, self.clock.now());
         let _ = t.link.msg_tx.lock().shutdown(std::net::Shutdown::Both);
         let _ = t.link.ctrl.lock().shutdown(std::net::Shutdown::Both);
+        if !self.cluster {
+            // Latch the eviction before returning rather than leaving
+            // it to the reader thread's EOF handling: otherwise a
+            // caller can observe every in-flight future failed (via
+            // send-side errors) while `eviction()` is still unset for a
+            // scheduling beat — `TargetPool::prune` would briefly keep
+            // the dead target. `evict` is idempotent, so whichever of
+            // this call and the reader loses the race becomes a no-op.
+            if t.link
+                .chan
+                .evict(OffloadError::TargetLost(target))
+                .is_some()
+            {
+                self.metrics.on_evict();
+                self.metrics.health().record(
+                    target.0,
+                    aurora_sim_core::HealthEventKind::Eviction,
+                    0,
+                    self.clock.now().as_ps(),
+                );
+            }
+        }
         Ok(())
     }
 

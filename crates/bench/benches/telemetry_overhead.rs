@@ -1,6 +1,6 @@
 //! Wall-clock cost of the always-on telemetry on the hot path.
 //!
-//! Two layers are measured:
+//! Three layers are measured:
 //!
 //! * the flight recorder — every costed hardware operation calls
 //!   `trace::record`; with no session active that must stay a single
@@ -9,7 +9,10 @@
 //!   aggregate log₂ histogram *and* its target's register (histogram +
 //!   EWMA CAS loop), unconditionally. The acceptance bar is that this
 //!   always-on histogram path costs <5% of the warm offload cycle it
-//!   rides on.
+//!   rides on;
+//! * the adaptive batching controller — every flush feeds the tick
+//!   window and every sweep checks the staged-age SLO; arming the
+//!   self-tuning dataplane must also stay <5% of the offload cycle.
 //!
 //! Writes `BENCH_telemetry.json` at the workspace root; the gate in
 //! `scripts/check.sh` checks `hist_overhead_lt_5pct` there.
@@ -21,6 +24,7 @@ use aurora_sim_core::{trace, BackendMetrics, SimTime};
 use aurora_workloads::kernels::whoami;
 use ham::f2f;
 use ham_backend_dma::{DmaBackend, ProtocolConfig};
+use ham_offload::chan::{BatchConfig, ChannelCore};
 use ham_offload::types::NodeId;
 use ham_offload::Offload;
 use std::hint::black_box;
@@ -69,6 +73,18 @@ fn main() {
         black_box(m.latency_ewma((i % 4) as u16 + 1));
     });
 
+    // --- adaptive controller (per-flush tick + per-sweep SLO check) -----
+    // What arming the self-tuning dataplane adds to the hot path: the
+    // flush accounting (and, every tick window, a histogram snapshot,
+    // window delta, p99 walk and one decision) plus the sweep-side
+    // staged-age check.
+    let chan =
+        ChannelCore::bounded(64, 64, 4096).with_batching(BatchConfig::adaptive_up_to(64, 200));
+    let ctrl = ns_per_op(n, |i| {
+        black_box(chan.adaptive_tick(black_box(32 + (i % 8) as usize), || m.flush_hist_buckets()));
+        black_box(chan.slo_flush_due(SimTime::from_us(i)));
+    });
+
     // --- the offload cycle the histogram path rides on ------------------
     let o = Offload::new(DmaBackend::spawn(
         AuroraMachine::small(
@@ -94,6 +110,8 @@ fn main() {
 
     let overhead_pct = 100.0 * hist / cycle;
     let lt_5pct = overhead_pct < 5.0;
+    let ctrl_pct = 100.0 * ctrl / cycle;
+    let ctrl_lt_5pct = ctrl_pct < 5.0;
 
     println!("## Telemetry overhead (wall clock, best of 3)\n");
     println!("{:<44} {:>10}", "path", "ns/op");
@@ -103,8 +121,13 @@ fn main() {
         "{:<44} {:>10.2}",
         "metric record (post+complete+ewma)", hist
     );
+    println!(
+        "{:<44} {:>10.2}",
+        "adaptive tick + SLO check (per flush)", ctrl
+    );
     println!("{:<44} {:>10.2}", "warm sync offload cycle (DMA)", cycle);
     println!("\nalways-on histogram path: {overhead_pct:.2}% of the warm offload cycle (bar: <5%)");
+    println!("adaptive controller path: {ctrl_pct:.2}% of the warm offload cycle (bar: <5%)");
 
     let json = format!(
         concat!(
@@ -113,12 +136,15 @@ fn main() {
             "  \"ns_record_disabled\": {:.2},\n",
             "  \"ns_record_enabled\": {:.2},\n",
             "  \"ns_hist_record\": {:.2},\n",
+            "  \"ns_ctrl_tick\": {:.2},\n",
             "  \"ns_offload_cycle\": {:.2},\n",
             "  \"hist_overhead_pct\": {:.3},\n",
-            "  \"hist_overhead_lt_5pct\": {}\n",
+            "  \"hist_overhead_lt_5pct\": {},\n",
+            "  \"ctrl_overhead_pct\": {:.3},\n",
+            "  \"ctrl_overhead_lt_5pct\": {}\n",
             "}}\n"
         ),
-        disabled, enabled, hist, cycle, overhead_pct, lt_5pct
+        disabled, enabled, hist, ctrl, cycle, overhead_pct, lt_5pct, ctrl_pct, ctrl_lt_5pct
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_telemetry.json");
     std::fs::write(path, &json).expect("write BENCH_telemetry.json");
@@ -132,6 +158,11 @@ fn main() {
         lt_5pct,
         "always-on histogram path must cost <5% of the offload cycle: \
          {hist:.2} ns vs {cycle:.2} ns ({overhead_pct:.2}%)"
+    );
+    assert!(
+        ctrl_lt_5pct,
+        "adaptive controller must cost <5% of the offload cycle: \
+         {ctrl:.2} ns vs {cycle:.2} ns ({ctrl_pct:.2}%)"
     );
     println!("ok");
 }

@@ -44,6 +44,20 @@ pub struct BatchConfig {
     /// Flush before the staged envelope payload would exceed this many
     /// bytes. `0` means "whatever fits the transport's message slots".
     pub max_bytes: usize,
+    /// Latency SLO: hard bound on how long (virtual µs) a staged
+    /// message may sit in the accumulator. Staging past the bound trips
+    /// an immediate flush, and the engine's flag sweep force-flushes any
+    /// envelope older than it, so a lone small probe never waits behind
+    /// a filling batch. `0` (the default) disables the bound and keeps
+    /// the wire traffic byte-identical to the static config.
+    pub slo_micros: u64,
+    /// Arm the adaptive watermark controller ([`crate::chan::adaptive`]):
+    /// the effective `max_msgs`/byte watermarks are tuned per channel
+    /// between 1 and the configured values from the observed flush
+    /// latency histogram — deep pipelines widen, latency-sensitive
+    /// traffic narrows. Off by default; the static watermarks then
+    /// apply verbatim.
+    pub adaptive: bool,
 }
 
 impl Default for BatchConfig {
@@ -51,6 +65,8 @@ impl Default for BatchConfig {
         Self {
             max_msgs: 1,
             max_bytes: 0,
+            slo_micros: 0,
+            adaptive: false,
         }
     }
 }
@@ -60,8 +76,30 @@ impl BatchConfig {
     pub fn up_to(max_msgs: usize) -> Self {
         Self {
             max_msgs: max_msgs.max(1),
-            max_bytes: 0,
+            ..Self::default()
         }
+    }
+
+    /// Builder: bound time-in-accumulator to `slo_micros` of virtual
+    /// time (0 removes the bound).
+    pub fn with_slo_micros(mut self, slo_micros: u64) -> Self {
+        self.slo_micros = slo_micros;
+        self
+    }
+
+    /// Builder: arm the adaptive watermark controller. The configured
+    /// `max_msgs`/`max_bytes` become the controller's *ceiling*.
+    pub fn self_tuning(mut self) -> Self {
+        self.adaptive = true;
+        self
+    }
+
+    /// The full adaptive configuration in one call: coalesce up to
+    /// `max_msgs`, bound staged age to `slo_micros`, controller armed.
+    pub fn adaptive_up_to(max_msgs: usize, slo_micros: u64) -> Self {
+        Self::up_to(max_msgs)
+            .with_slo_micros(slo_micros)
+            .self_tuning()
     }
 
     /// Whether batching is on at all.
@@ -490,6 +528,7 @@ mod tests {
         let capped = BatchConfig {
             max_msgs: 16,
             max_bytes: 512,
+            ..BatchConfig::default()
         };
         assert_eq!(capped.effective_bytes(4096), 512);
         assert_eq!(capped.effective_bytes(256), 256);

@@ -1,5 +1,6 @@
 //! The per-target channel state machine.
 
+use super::adaptive::{AdaptiveDecision, AdaptivePolicy, AdaptiveState};
 use super::batch::{self, BatchConfig};
 use super::pending::{PendingEntry, PendingTable};
 use super::pool::{FramePool, PooledFrame};
@@ -7,7 +8,7 @@ use super::queue::CompletionQueue;
 use super::recovery::{MissVerdict, RecoveryPolicy, RecoveryState};
 use super::ring::SlotRing;
 use crate::OffloadError;
-use aurora_sim_core::SimTime;
+use aurora_sim_core::{SimTime, HISTOGRAM_BUCKETS};
 use ham::registry::HandlerKey;
 use ham::wire::{MsgHeader, MsgKind, HEADER_BYTES};
 use parking_lot::Mutex;
@@ -57,6 +58,10 @@ pub enum Stage {
         seq: u64,
         /// A count/byte watermark tripped: flush before returning.
         flush: bool,
+        /// The flush was forced by the `slo_micros` age bound rather
+        /// than a count/byte watermark (the engine surfaces these as
+        /// SLO-flush metrics and health events).
+        slo: bool,
     },
     /// The message does not fit next to what is already staged — flush,
     /// then stage again.
@@ -180,6 +185,8 @@ struct ChanState {
     /// The scheduler distinguishes these — safe to resubmit elsewhere —
     /// from offloads the target may already have executed.
     unsent: HashSet<u64>,
+    /// The adaptive watermark controller (`BatchConfig::adaptive` only).
+    adaptive: Option<AdaptiveState>,
 }
 
 /// The host-side state of one target's channel: slot rings, the
@@ -236,6 +243,7 @@ impl ChannelCore {
             batches: HashMap::new(),
             seq_pool: Vec::new(),
             unsent: HashSet::new(),
+            adaptive: None,
         }
     }
 
@@ -281,9 +289,13 @@ impl ChannelCore {
 
     /// Set the batching watermarks (builder style). The default config
     /// (`max_msgs == 1`) keeps batching off and the wire traffic
-    /// byte-identical to the unbatched protocol.
+    /// byte-identical to the unbatched protocol. `batch.adaptive` arms
+    /// the [`super::adaptive`] controller with the config as its
+    /// ceiling.
     pub fn with_batching(mut self, batch: BatchConfig) -> Self {
         self.batch = batch;
+        self.state.lock().adaptive = (batch.adaptive && batch.enabled())
+            .then(|| AdaptiveState::new(AdaptivePolicy::from_batch(&batch)));
         self
     }
 
@@ -450,12 +462,96 @@ impl ChannelCore {
             corr: offload,
             seq,
         };
+        // The *effective* watermarks: the adaptive controller's current
+        // values when armed, the static config otherwise. Adaptation
+        // only ever trips flushes earlier — the fit checks above always
+        // use the static cap, so no envelope the static config would
+        // reject is ever admitted.
+        let (wm_msgs, wm_bytes) = match st.adaptive.as_ref() {
+            Some(a) => a.effective(cap),
+            None => (self.batch.max_msgs, cap),
+        };
         let frame = st.accum.frame.as_mut().expect("staged frame");
         batch::append_sub(frame, &sub, payload);
-        let bytes_full = frame.len() - HEADER_BYTES >= cap;
+        let bytes_full = frame.len() - HEADER_BYTES >= wm_bytes;
         st.accum.seqs.push(seq);
-        let flush = st.accum.seqs.len() >= self.batch.max_msgs || bytes_full;
-        Stage::Staged { seq, flush }
+        let count_full = st.accum.seqs.len() >= wm_msgs;
+        // The SLO age bound: staging into an accumulator whose first
+        // member is older than `slo_micros` closes the envelope now.
+        let aged = self.slo_ps() > 0
+            && posted_at.saturating_sub(st.accum.first_posted) >= SimTime(self.slo_ps());
+        let slo = aged && !count_full && !bytes_full;
+        if slo {
+            if let Some(a) = st.adaptive.as_mut() {
+                a.note_slo();
+            }
+        }
+        Stage::Staged {
+            seq,
+            flush: count_full || bytes_full || aged,
+            slo,
+        }
+    }
+
+    /// `slo_micros` in picoseconds (0 = unbounded). Lock-free.
+    fn slo_ps(&self) -> u64 {
+        self.batch.slo_micros.saturating_mul(1_000_000)
+    }
+
+    /// Virtual-time SLO check for the engine's flag sweep: `true` when
+    /// a staged envelope's first member is older than
+    /// `BatchConfig::slo_micros`. The disabled path (the default) is a
+    /// lock-free field compare, so sweeping channels without the knob
+    /// costs nothing.
+    pub fn slo_flush_due(&self, now: SimTime) -> bool {
+        if self.slo_ps() == 0 || !self.batch.enabled() {
+            return false;
+        }
+        let st = self.state.lock();
+        !st.accum.seqs.is_empty()
+            && st.degraded.is_none()
+            && now.saturating_sub(st.accum.first_posted) >= SimTime(self.slo_ps())
+    }
+
+    /// Record an SLO-forced flush with the controller (the engine calls
+    /// this when [`Self::slo_flush_due`] fires; stage-time trips are
+    /// recorded internally).
+    pub fn note_slo_trip(&self) {
+        if let Some(a) = self.state.lock().adaptive.as_mut() {
+            a.note_slo();
+        }
+    }
+
+    /// Account a successful envelope flush of `msgs` members with the
+    /// adaptive controller and, when its tick window is full, run one
+    /// controller tick against the cumulative flush-latency histogram
+    /// (fetched lazily — the common non-tick flush never touches it).
+    /// Returns a non-`Hold` decision for the engine to surface as
+    /// metrics/health events; `None` when the controller is off, the
+    /// window is still filling, or the tick held.
+    pub fn adaptive_tick(
+        &self,
+        msgs: usize,
+        flush_hist: impl FnOnce() -> [u64; HISTOGRAM_BUCKETS],
+    ) -> Option<AdaptiveDecision> {
+        let mut st = self.state.lock();
+        let a = st.adaptive.as_mut()?;
+        if !a.note_flush(msgs) {
+            return None;
+        }
+        let hist = flush_hist();
+        let d = a.tick(&hist);
+        (d.decision != super::adaptive::Decision::Hold).then_some(d)
+    }
+
+    /// The controller's current effective message watermark (the static
+    /// `max_msgs` when adaptation is off) — observability and tests.
+    pub fn effective_watermark(&self) -> usize {
+        self.state
+            .lock()
+            .adaptive
+            .as_ref()
+            .map_or(self.batch.max_msgs, |a| a.watermark())
     }
 
     /// Claim the staged envelope for sending: one slot pair for the
@@ -1021,7 +1117,7 @@ mod tests {
         let c = ChannelCore::unbounded().with_batching(BatchConfig::up_to(8));
         let mut seqs = Vec::new();
         for i in 0..5 {
-            let Stage::Staged { seq, flush } = c.stage(HandlerKey(7), b"pay", i, SimTime::ZERO)
+            let Stage::Staged { seq, flush, .. } = c.stage(HandlerKey(7), b"pay", i, SimTime::ZERO)
             else {
                 panic!("stage refused");
             };
@@ -1327,7 +1423,7 @@ mod tests {
     fn stage_flush_settle_fans_out_to_members() {
         let c = batched(2, 2, 4);
         for i in 0..3u64 {
-            let Stage::Staged { seq, flush } = stage_one(&c, b"xy") else {
+            let Stage::Staged { seq, flush, .. } = stage_one(&c, b"xy") else {
                 panic!("stage refused");
             };
             assert_eq!(seq, i);
@@ -1372,6 +1468,7 @@ mod tests {
         let c = ChannelCore::bounded(2, 2, 4096).with_batching(BatchConfig {
             max_msgs: 16,
             max_bytes: 256,
+            ..BatchConfig::default()
         });
         // 100-byte payloads: two fit a 256-byte envelope (4 + 2·132),
         // a third does not.
@@ -1698,7 +1795,7 @@ mod tests {
                 match op {
                     BatchOp::Post => {
                         match stage_one(&c, b"m") {
-                            Stage::Staged { seq, flush: now } => {
+                            Stage::Staged { seq, flush: now, .. } => {
                                 staged.push(seq);
                                 if now {
                                     flush(&c, &mut staged, &mut inflight);

@@ -8,8 +8,9 @@
 //! [`CommBackend::poll_flags`] / [`CommBackend::fetch_frame`] (or a
 //! receiver thread that calls [`super::ChannelCore::deposit`]).
 
+use super::adaptive::Decision;
 use super::backoff::Backoff;
-use super::core::{ChannelCore, FlushPrep, Reservation, Reserve, Stage};
+use super::core::{ChannelCore, FlushFrame, FlushPrep, Reservation, Reserve, Stage};
 use super::pending::PendingEntry;
 use super::pool::PooledFrame;
 use super::recovery::MissVerdict;
@@ -38,8 +39,25 @@ pub fn post<B: CommBackend + ?Sized>(
         let offload = trace::current_offload();
         loop {
             match chan.stage(key, payload, offload, backend.host_clock().now()) {
-                Stage::Staged { seq, flush: now } => {
+                Stage::Staged {
+                    seq,
+                    flush: now,
+                    slo,
+                } => {
                     if now {
+                        if slo {
+                            // The accumulator aged past `slo_micros`:
+                            // this flush is the latency bound firing,
+                            // not a watermark.
+                            let t = backend.host_clock().now();
+                            backend.metrics().on_slo_flush();
+                            backend.metrics().health().record(
+                                target.0,
+                                aurora_sim_core::HealthEventKind::SloFlush,
+                                offload,
+                                t.as_ps(),
+                            );
+                        }
                         // A send failure here is parked on the member
                         // futures by `fail_batch`; the post itself
                         // succeeded.
@@ -153,23 +171,49 @@ pub fn flush<B: CommBackend + ?Sized>(backend: &B, target: NodeId) -> Result<(),
                 sweep(backend, target)?;
                 backoff.snooze();
             }
-            FlushPrep::Ready(f) => {
-                let t0 = backend.host_clock().now();
-                if let Err(e) = backend.send_frame(target, &f.res, &f.header, &f.frame) {
-                    chan.fail_batch(f.res.seq, e.clone());
-                    return Err(e);
-                }
-                let now = backend.host_clock().now();
-                backend.metrics().on_frame(f.msgs as u64);
-                // Flush latency: first member staged → envelope on the
-                // transport, in virtual time.
-                backend.metrics().on_flush(now.saturating_sub(f.posted_at));
-                trace::record("chan.batch_flush", f.msgs as u64, t0, now);
-                chan.note_sent(f.res.seq, &f.header, f.frame);
-                return Ok(());
-            }
+            FlushPrep::Ready(f) => return send_envelope(backend, target, chan, f),
         }
     }
+}
+
+/// Put one claimed envelope on the wire: transport write, flush
+/// metrics/trace, recovery bookkeeping — then one adaptive-controller
+/// accounting step (which, every [`super::adaptive::TICK_FLUSHES`]
+/// flushes, reads the cumulative flush-latency histogram and may retune
+/// the channel's watermarks; decisions surface as `aurora_batch_*`
+/// counters and health events).
+fn send_envelope<B: CommBackend + ?Sized>(
+    backend: &B,
+    target: NodeId,
+    chan: &ChannelCore,
+    f: FlushFrame,
+) -> Result<(), OffloadError> {
+    let t0 = backend.host_clock().now();
+    if let Err(e) = backend.send_frame(target, &f.res, &f.header, &f.frame) {
+        chan.fail_batch(f.res.seq, e.clone());
+        return Err(e);
+    }
+    let now = backend.host_clock().now();
+    let metrics = backend.metrics();
+    metrics.on_frame(f.msgs as u64);
+    // Flush latency: first member staged → envelope on the
+    // transport, in virtual time.
+    metrics.on_flush(now.saturating_sub(f.posted_at));
+    trace::record("chan.batch_flush", f.msgs as u64, t0, now);
+    chan.note_sent(f.res.seq, &f.header, f.frame);
+    if let Some(d) = chan.adaptive_tick(f.msgs, || metrics.flush_hist_buckets()) {
+        let kind = if matches!(d.decision, Decision::Widen) {
+            metrics.on_batch_widen();
+            aurora_sim_core::HealthEventKind::BatchWiden
+        } else {
+            metrics.on_batch_narrow();
+            aurora_sim_core::HealthEventKind::BatchNarrow
+        };
+        metrics
+            .health()
+            .record(target.0, kind, trace::current_offload(), now.as_ps());
+    }
+    Ok(())
 }
 
 /// Flush staged messages, then sweep completion flags once — the verb
@@ -222,6 +266,30 @@ fn sweep_with<B: CommBackend + ?Sized>(
     scratch: &mut Vec<(u64, PendingEntry)>,
 ) -> Result<usize, OffloadError> {
     let chan = backend.channel(target)?;
+    // The SLO bound on time-in-accumulator: any staged envelope older
+    // than `slo_micros` of virtual time goes on the wire now, so a lone
+    // small message never waits behind a filling batch just because
+    // nobody else posted. With the knob unset (the default) this is a
+    // lock-free field compare.
+    let now = backend.host_clock().now();
+    if chan.slo_flush_due(now) {
+        // One attempt, no loop: `Full` (no free slots) waits for this
+        // very sweep to retire completions, and the next sweep retries —
+        // the trip is only recorded once the envelope actually leaves.
+        // A send failure parks the error on every member via
+        // `fail_batch`; the sweep itself carries on.
+        if let FlushPrep::Ready(f) = chan.take_flush() {
+            chan.note_slo_trip();
+            backend.metrics().on_slo_flush();
+            backend.metrics().health().record(
+                target.0,
+                aurora_sim_core::HealthEventKind::SloFlush,
+                trace::current_offload(),
+                now.as_ps(),
+            );
+            let _ = send_envelope(backend, target, chan, f);
+        }
+    }
     let mut completed = 0;
     chan.pending_into(scratch);
     for &(seq, entry) in scratch.iter() {

@@ -24,6 +24,9 @@
 //!   envelope and [`BatchConfig`] its flush watermarks, so deep
 //!   pipelines pay one transport transaction per *batch* instead of per
 //!   message;
+//! * adaptive batching — [`adaptive`] closes the loop on those
+//!   watermarks per channel from the observed flush-latency histogram,
+//!   under the `BatchConfig::slo_micros` time-in-accumulator bound;
 //! * buffer recycling — [`FramePool`] keeps the post → complete hot
 //!   path allocation-free by handing wire frames out of a per-channel
 //!   freelist.
@@ -35,6 +38,7 @@
 //! See `docs/channel-core.md` for the state machine diagram and a guide
 //! to writing a new backend on top of this module.
 
+pub mod adaptive;
 pub mod backoff;
 pub mod batch;
 pub mod config;
@@ -50,6 +54,7 @@ pub use self::core::{
     ChannelCore, FlushFrame, FlushPrep, ReplayFrame, Reservation, Reserve, ResumeReport, Stage,
     DEFAULT_PUSH_CREDITS,
 };
+pub use adaptive::{AdaptiveDecision, AdaptivePolicy, Decision};
 pub use backoff::Backoff;
 pub use batch::BatchConfig;
 pub use config::{ProtocolConfig, SLOT_META};

@@ -1,7 +1,7 @@
 //! The multi-target pool: placement, admission control, failover.
 
 use super::policy::SchedPolicy;
-use crate::chan::{engine, Backoff};
+use crate::chan::{engine, Backoff, ChannelCore};
 use crate::future::Future;
 use crate::runtime::{decode_output, Offload};
 use crate::types::NodeId;
@@ -19,6 +19,41 @@ use parking_lot::Mutex;
 /// few large frames queues as much service time as one holding many
 /// small ones.
 const WEIGHT_BYTES_PER_MSG: f64 = 4096.0;
+
+/// Payloads at or below this are "probe-class" for size-aware
+/// placement: latency-bound, and cheap enough that the frame cost
+/// dominates — they want shallow staged accumulators. Larger payloads
+/// are throughput traffic that amortizes onto deep ones.
+const SMALL_MSG_BYTES: usize = 256;
+
+/// The expected-service-delay score [`SchedPolicy::WeightedByLatency`]
+/// minimizes — and the common currency [`TargetPool::rebalance`]
+/// compares donors and recipients in. The base term is queued messages
+/// (in-flight plus the candidate itself, with bytes in flight folded in
+/// as equivalent messages so a target digesting large frames is not
+/// mistaken for an idle one) scaled by the target's EWMA latency.
+///
+/// `msg_bytes` is the candidate message's payload size when known and
+/// makes the score *size-aware*: a probe-class message pays for every
+/// member already staged in the target's accumulator (the envelope must
+/// fill or age out before the probe flies), while a large message
+/// joining a deep accumulator shares its frame and gets half that depth
+/// discounted. `None` (placement without a message in hand, e.g.
+/// [`TargetPool::try_pick`]) keeps the size-blind score.
+fn placement_cost(chan: &ChannelCore, ewma: f64, msg_bytes: Option<usize>) -> f64 {
+    let mut queued =
+        chan.in_flight() as f64 + 1.0 + chan.bytes_in_flight() as f64 / WEIGHT_BYTES_PER_MSG;
+    if let Some(bytes) = msg_bytes {
+        queued += bytes as f64 / WEIGHT_BYTES_PER_MSG;
+        let staged = chan.staged_len() as f64;
+        if bytes <= SMALL_MSG_BYTES {
+            queued += staged;
+        } else {
+            queued = (queued - staged * 0.5).max(1.0);
+        }
+    }
+    queued * ewma
+}
 
 fn pool_empty() -> OffloadError {
     OffloadError::Backend("target pool: no healthy targets remain".into())
@@ -329,17 +364,25 @@ impl TargetPool {
         if st.healthy.is_empty() {
             return Err(pool_empty());
         }
-        Ok(self.select(&mut st, true))
+        Ok(self.select(&mut st, true, None))
     }
 
     /// Blocking placement: flush staged batches (a full accumulator
     /// holds credits without being on the wire) and back off until a
-    /// credit frees up.
-    fn pick(&self) -> Result<NodeId, OffloadError> {
+    /// credit frees up. `msg_bytes` feeds size-aware scoring when the
+    /// caller has the message in hand.
+    fn pick(&self, msg_bytes: Option<usize>) -> Result<NodeId, OffloadError> {
         let mut backoff = Backoff::new();
         loop {
-            if let Some(t) = self.try_pick()? {
-                return Ok(t);
+            {
+                let mut st = self.state.lock();
+                self.prune(&mut st);
+                if st.healthy.is_empty() {
+                    return Err(pool_empty());
+                }
+                if let Some(t) = self.select(&mut st, true, msg_bytes) {
+                    return Ok(t);
+                }
             }
             // Credit exhaustion integrates with batching: staged
             // envelopes go on the wire now, and the drain sweep lets
@@ -352,8 +395,15 @@ impl TargetPool {
     /// Policy dispatch over the healthy set. `respect_credit = false`
     /// (failover resubmission) still load-balances but never refuses:
     /// blocking on our own in-flight work mid-wait would deadlock, and
-    /// the engine's slot backpressure bounds the overshoot.
-    fn select(&self, st: &mut PoolState, respect_credit: bool) -> Option<NodeId> {
+    /// the engine's slot backpressure bounds the overshoot. `msg_bytes`
+    /// (the candidate message's payload size, when known) makes the
+    /// latency-weighted policy size-aware — see [`placement_cost`].
+    fn select(
+        &self,
+        st: &mut PoolState,
+        respect_credit: bool,
+        msg_bytes: Option<usize>,
+    ) -> Option<NodeId> {
         let backend = self.offload.backend();
         match self.policy {
             SchedPolicy::RoundRobin => {
@@ -422,14 +472,7 @@ impl TargetPool {
                         continue;
                     }
                     let ewma = metrics.latency_ewma(t.0).unwrap_or(min_ewma);
-                    // Expected queue delay: queued messages (plus the
-                    // candidate itself) scaled by the per-message
-                    // latency estimate, with bytes in flight folded in
-                    // as equivalent queued messages so a target digesting
-                    // large frames is not mistaken for an idle one.
-                    let queued =
-                        load as f64 + 1.0 + chan.bytes_in_flight() as f64 / WEIGHT_BYTES_PER_MSG;
-                    let score = queued * ewma;
+                    let score = placement_cost(chan, ewma, msg_bytes);
                     if best.is_none_or(|(b, _)| score < b) {
                         best = Some((score, t));
                     }
@@ -505,7 +548,7 @@ impl TargetPool {
         loop {
             let target = match fixed {
                 Some(t) => t,
-                None => match self.pick() {
+                None => match self.pick(Some(payload.len())) {
                     Ok(t) => t,
                     // Prefer the error that emptied the pool over the
                     // generic "no targets" one.
@@ -554,7 +597,8 @@ impl TargetPool {
                 if st.healthy.is_empty() {
                     return Err(pool_empty());
                 }
-                self.select(&mut st, false).ok_or_else(pool_empty)?
+                self.select(&mut st, false, Some(fut.payload.len()))
+                    .ok_or_else(pool_empty)?
             };
             match self
                 .offload
@@ -670,7 +714,11 @@ impl TargetPool {
     /// — a purely-staged target just needs a flush, not a migration);
     /// migration runs only while some healthy peer is completely idle
     /// with spare credit, so the reclaimed members land somewhere that
-    /// serves them now. Half the donor's staged tail (rounded up) is
+    /// serves them now — and only from donors whose [`placement_cost`]
+    /// (evaluated for a probe-class message, the traffic rebalancing
+    /// exists to un-starve) exceeds that recipient's, so members never
+    /// migrate *onto* a worse target. Half the donor's staged tail
+    /// (rounded up) is
     /// reclaimed via [`crate::chan::ChannelCore::take_staged_tail`] —
     /// provably unsent, so the failover replay is exact — and each
     /// member's [`PoolFuture`] resubmits itself on its next settle.
@@ -687,12 +735,32 @@ impl TargetPool {
             }
             st.healthy.clone()
         };
-        let idle = healthy.iter().any(|&t| {
-            backend
-                .channel(t)
-                .is_ok_and(|c| c.in_flight() == 0 && c.has_credit())
-        });
-        if !idle {
+        let metrics = backend.metrics();
+        let mut min_ewma = f64::INFINITY;
+        for &t in &healthy {
+            if let Some(e) = metrics.latency_ewma(t.0) {
+                min_ewma = min_ewma.min(e);
+            }
+        }
+        if !min_ewma.is_finite() {
+            min_ewma = 1.0;
+        }
+        // The cheapest completely idle recipient, scored with the same
+        // size-aware cost model placement uses — evaluated for a
+        // probe-class message, because rebalancing exists to un-starve
+        // exactly that traffic class.
+        let mut recipient = f64::INFINITY;
+        for &t in &healthy {
+            let Ok(chan) = backend.channel(t) else {
+                continue;
+            };
+            if chan.is_degraded() || chan.in_flight() != 0 || !chan.has_credit() {
+                continue;
+            }
+            let ewma = metrics.latency_ewma(t.0).unwrap_or(min_ewma);
+            recipient = recipient.min(placement_cost(chan, ewma, Some(0)));
+        }
+        if !recipient.is_finite() {
             return 0;
         }
         let mut moved = 0;
@@ -702,6 +770,14 @@ impl TargetPool {
             };
             let staged = chan.staged_len();
             if staged == 0 || chan.in_flight() == staged {
+                continue;
+            }
+            // Migrate only when the move wins under the cost model: a
+            // donor cheaper than the best idle recipient (e.g. a fast
+            // target briefly holding a shallow accumulator) keeps its
+            // members.
+            let ewma = metrics.latency_ewma(t.0).unwrap_or(min_ewma);
+            if placement_cost(chan, ewma, Some(0)) <= recipient {
                 continue;
             }
             moved += chan.take_staged_tail(staged.div_ceil(2));
@@ -805,6 +881,12 @@ mod tests {
 
     ham_kernel! {
         pub fn pool_probe(ctx, x: u64) -> u64 { x * 1000 + ctx.node as u64 }
+    }
+
+    ham_kernel! {
+        pub fn pool_blob(ctx, data: Vec<u8>) -> u64 {
+            data.len() as u64 * 1000 + ctx.node as u64
+        }
     }
 
     fn pooled(targets: u16, policy: SchedPolicy) -> (Offload, TargetPool) {
@@ -937,6 +1019,139 @@ mod tests {
             assert_ne!(v % 1000, 1, "no result can come from stuck target 1");
         }
         assert_eq!(p.healthy(), nodes, "a slow donor stays in the pool");
+    }
+
+    #[test]
+    fn placement_cost_charges_probes_for_staged_depth() {
+        use crate::chan::BatchConfig;
+        use aurora_sim_core::SimTime;
+        use ham::registry::HandlerKey;
+        let chan = ChannelCore::unbounded().with_batching(BatchConfig::up_to(64));
+        // Empty channel: the probe and the blind score differ only by
+        // the candidate's own bytes; a large message scores its byte
+        // term in full.
+        let blind0 = placement_cost(&chan, 1.0, None);
+        assert!(placement_cost(&chan, 1.0, Some(16)) - blind0 < 0.01);
+        for i in 0..4 {
+            chan.stage(HandlerKey(7), &[0u8; 16], i, SimTime::ZERO);
+        }
+        let blind = placement_cost(&chan, 1.0, None);
+        let small = placement_cost(&chan, 1.0, Some(16));
+        let large = placement_cost(&chan, 1.0, Some(4096));
+        // Probe-class messages pay one unit per staged member on top of
+        // the blind score; large ones get half the depth discounted.
+        assert!(
+            small - blind >= 4.0,
+            "probe must pay staged depth: {small} vs {blind}"
+        );
+        assert!(
+            large < blind + 1.0,
+            "large message must get the staged discount"
+        );
+        assert!(large >= 1.0, "score floored at one queued message");
+        // EWMA scales the whole score.
+        assert_eq!(
+            placement_cost(&chan, 3.0, Some(16)),
+            3.0 * placement_cost(&chan, 1.0, Some(16))
+        );
+    }
+
+    #[test]
+    fn small_probes_avoid_deep_staged_accumulators() {
+        use crate::chan::BatchConfig;
+        let o = Offload::new(LocalBackend::spawn_batched(
+            2,
+            BatchConfig::up_to(64),
+            |b| {
+                b.register::<pool_probe>();
+                b.register::<pool_blob>();
+            },
+        ));
+        let nodes: Vec<NodeId> = (1..=2).map(NodeId).collect();
+        let p = o.pool_with(&nodes, SchedPolicy::WeightedByLatency).unwrap();
+        // Four members staged directly on target 1 (below the watermark,
+        // nothing on the wire yet). Target 1 is the *faster* node
+        // (1us vs 3us EWMA) — attractive enough that only the
+        // size-aware terms decide whether the depth is worth it.
+        use aurora_sim_core::SimTime;
+        let m = o.backend().metrics();
+        m.on_complete_on(1, SimTime::from_us(1));
+        m.on_complete_on(2, SimTime::from_us(3));
+        let staged: Vec<_> = (0..4)
+            .map(|i| o.async_(NodeId(1), f2f!(pool_probe, 90 + i)).unwrap())
+            .collect();
+        assert_eq!(o.backend().channel(NodeId(1)).unwrap().staged_len(), 4);
+        // A large message amortizes the envelope: the staged-depth
+        // discount (-0.5/member) pulls the fast deep target below the
+        // slow idle peer. Without the discount the same numbers pick
+        // the idle node.
+        let blob = p.submit(f2f!(pool_blob, vec![1u8; 2048])).unwrap();
+        assert_eq!(
+            blob.target(),
+            NodeId(1),
+            "large message should amortize onto the staged envelope"
+        );
+        // A probe-class message pays for every staged member on t1 and
+        // dodges to the slower-but-idle peer.
+        let probe = p.submit(f2f!(pool_probe, 7)).unwrap();
+        assert_eq!(
+            probe.target(),
+            NodeId(2),
+            "small probe must dodge the deep accumulator"
+        );
+        for f in staged {
+            assert_eq!(f.get().unwrap() % 1000, 1);
+        }
+        assert_eq!(p.get(probe).unwrap(), 7 * 1000 + 2);
+        assert_eq!(p.get(blob).unwrap(), 2048 * 1000 + 1);
+    }
+
+    #[test]
+    fn rebalance_keeps_members_when_recipient_is_no_better() {
+        use crate::chan::BatchConfig;
+        use aurora_sim_core::SimTime;
+        let o = Offload::new(LocalBackend::spawn_batched(
+            2,
+            BatchConfig::up_to(64),
+            |b| {
+                b.register::<pool_probe>();
+            },
+        ));
+        let nodes: Vec<NodeId> = (1..=2).map(NodeId).collect();
+        let p = o.pool_with(&nodes, SchedPolicy::RoundRobin).unwrap();
+        let b = o.backend();
+        // Target 1: one stuck wire frame with one member staged behind
+        // it — structurally a donor. Target 2 is idle — structurally a
+        // recipient.
+        b.channel(NodeId(1))
+            .unwrap()
+            .try_reserve(false, 0, SimTime::ZERO, 0);
+        let futs = vec![p.submit(f2f!(pool_probe, 10)).unwrap()];
+        assert_eq!(futs[0].target(), NodeId(1));
+        assert_eq!(b.channel(NodeId(1)).unwrap().staged_len(), 1);
+        // But the recipient's completion EWMA is a thousand times the
+        // donor's: under the size-aware cost model the stuck-but-fast
+        // donor (~4 x 1us) still beats the idle-but-slow recipient
+        // (1 x 1ms), so the gate keeps the member where it is.
+        let m = b.metrics();
+        m.on_complete_on(1, SimTime::from_us(1));
+        m.on_complete_on(2, SimTime::from_ms(1));
+        assert_eq!(
+            p.rebalance(),
+            0,
+            "a slow recipient is not a win over a fast donor"
+        );
+        assert_eq!(b.channel(NodeId(1)).unwrap().staged_len(), 1);
+        // A run of fast completions converges the recipient's EWMA
+        // down; the same gate now favours migration.
+        for _ in 0..400 {
+            m.on_complete_on(2, SimTime::from_us(1));
+        }
+        assert_eq!(p.rebalance(), 1, "fast idle recipient attracts the member");
+        assert_eq!(b.channel(NodeId(1)).unwrap().staged_len(), 0);
+        for r in p.wait_all(futs) {
+            assert_eq!(r.unwrap() % 1000, 2, "member served by the fast peer");
+        }
     }
 
     #[test]

@@ -35,7 +35,9 @@ pub mod stats;
 pub mod time;
 pub mod trace;
 
-pub use aurora_telemetry::{HealthEvent, HealthEventKind, HealthRegistry, TargetState};
+pub use aurora_telemetry::{
+    HealthEvent, HealthEventKind, HealthRegistry, TargetState, HISTOGRAM_BUCKETS,
+};
 pub use clock::Clock;
 pub use fault::{FaultEvent, FaultKind, FaultPlan, FaultSite};
 pub use metrics::{

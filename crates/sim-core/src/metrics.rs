@@ -188,6 +188,12 @@ pub struct BackendMetrics {
     bytes_get: Counter,
     allocs: Counter,
     frees: Counter,
+    /// Adaptive-batching controller: widen decisions (watermark ×2).
+    batch_widens: Counter,
+    /// Adaptive-batching controller: narrow decisions (watermark ÷2).
+    batch_narrows: Counter,
+    /// Envelope flushes forced by the `slo_micros` age bound.
+    batch_slo_flushes: Counter,
     /// Offloads posted but not yet completed.
     inflight: Gauge,
     /// Bytes currently allocated on targets via `allocate`.
@@ -244,6 +250,9 @@ impl BackendMetrics {
             bytes_get: Counter::new(),
             allocs: Counter::new(),
             frees: Counter::new(),
+            batch_widens: Counter::new(),
+            batch_narrows: Counter::new(),
+            batch_slo_flushes: Counter::new(),
             inflight: Gauge::new(),
             alloc_live: Gauge::new(),
             payload: Mutex::new(OnlineStats::new()),
@@ -346,6 +355,29 @@ impl BackendMetrics {
         self.flush_hist.record_ps(delay.as_ps());
     }
 
+    /// The adaptive controller widened a channel's batch watermark.
+    pub fn on_batch_widen(&self) {
+        self.batch_widens.incr();
+    }
+
+    /// The adaptive controller narrowed a channel's batch watermark.
+    pub fn on_batch_narrow(&self) {
+        self.batch_narrows.incr();
+    }
+
+    /// An envelope flush was forced by the `slo_micros` staged-age
+    /// bound rather than a count/byte watermark.
+    pub fn on_slo_flush(&self) {
+        self.batch_slo_flushes.incr();
+    }
+
+    /// Raw log₂ bucket counts of the flush-latency histogram — a stack
+    /// copy, allocation-free. The adaptive batching controller's tick
+    /// input.
+    pub fn flush_hist_buckets(&self) -> [u64; aurora_telemetry::HISTOGRAM_BUCKETS] {
+        self.flush_hist.snapshot()
+    }
+
     /// A recovery re-send fired `delay` of virtual time after the
     /// offload was posted (the retry/backoff delay distribution).
     pub fn on_retry_delay(&self, delay: SimTime) {
@@ -436,6 +468,9 @@ impl BackendMetrics {
             bytes_get: self.bytes_get.get(),
             allocs: self.allocs.get(),
             frees: self.frees.get(),
+            batch_widens: self.batch_widens.get(),
+            batch_narrows: self.batch_narrows.get(),
+            batch_slo_flushes: self.batch_slo_flushes.get(),
             inflight: self.inflight.get(),
             inflight_peak: self.inflight.peak(),
             alloc_bytes_live: self.alloc_live.get(),
@@ -529,6 +564,12 @@ pub struct MetricsSnapshot {
     pub allocs: u64,
     /// `free` calls.
     pub frees: u64,
+    /// Adaptive-controller widen decisions across all channels.
+    pub batch_widens: u64,
+    /// Adaptive-controller narrow decisions across all channels.
+    pub batch_narrows: u64,
+    /// Envelope flushes forced by the `slo_micros` age bound.
+    pub batch_slo_flushes: u64,
     /// Offloads currently in flight.
     pub inflight: i64,
     /// Highest concurrent in-flight count observed.
@@ -716,6 +757,13 @@ impl MetricsSnapshot {
         prom_counter(&mut out, "aurora_allocs_total", self.allocs);
         prom_counter(&mut out, "aurora_frees_total", self.frees);
         prom_counter(&mut out, "aurora_lane_steals_total", self.steals);
+        prom_counter(&mut out, "aurora_batch_widens_total", self.batch_widens);
+        prom_counter(&mut out, "aurora_batch_narrows_total", self.batch_narrows);
+        prom_counter(
+            &mut out,
+            "aurora_batch_slo_flushes_total",
+            self.batch_slo_flushes,
+        );
         prom_gauge(&mut out, "aurora_inflight", self.inflight);
         prom_gauge(&mut out, "aurora_inflight_peak", self.inflight_peak);
         prom_gauge(&mut out, "aurora_alloc_bytes_live", self.alloc_bytes_live);
@@ -793,6 +841,9 @@ impl MetricsSnapshot {
             ("allocs", self.allocs),
             ("frees", self.frees),
             ("lane_steals", self.steals),
+            ("batch_widens", self.batch_widens),
+            ("batch_narrows", self.batch_narrows),
+            ("batch_slo_flushes", self.batch_slo_flushes),
         ]
         .iter()
         .enumerate()

@@ -68,6 +68,15 @@ pub enum HealthEventKind {
     Disconnect,
     /// A health probe (ping) answered; no state change.
     Probe,
+    /// The adaptive batching controller widened a channel's watermark;
+    /// no state change.
+    BatchWiden,
+    /// The adaptive batching controller narrowed a channel's watermark;
+    /// no state change.
+    BatchNarrow,
+    /// A staged batch envelope was flushed by the latency-SLO age bound
+    /// rather than a count/byte watermark; no state change.
+    SloFlush,
 }
 
 impl HealthEventKind {
@@ -82,6 +91,9 @@ impl HealthEventKind {
             HealthEventKind::Reconnect => "reconnect",
             HealthEventKind::Disconnect => "disconnect",
             HealthEventKind::Probe => "probe",
+            HealthEventKind::BatchWiden => "batch_widen",
+            HealthEventKind::BatchNarrow => "batch_narrow",
+            HealthEventKind::SloFlush => "slo_flush",
         }
     }
 }
@@ -155,7 +167,11 @@ impl HealthRegistry {
                 }
                 HealthEventKind::Eviction => *state = TargetState::Evicted,
                 HealthEventKind::Reconnect => *state = TargetState::Healthy,
-                HealthEventKind::Failover | HealthEventKind::Probe => {}
+                HealthEventKind::Failover
+                | HealthEventKind::Probe
+                | HealthEventKind::BatchWiden
+                | HealthEventKind::BatchNarrow
+                | HealthEventKind::SloFlush => {}
             }
         }
         let ordinal = self.ordinal.fetch_add(1, Ordering::Relaxed);

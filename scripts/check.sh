@@ -47,12 +47,32 @@ grep -q '"lanes8_faster_2x": true' BENCH_lanes.json || {
     exit 1
 }
 
+echo "== mixed-traffic smoke (writes BENCH_adaptive.json) =="
+cargo bench -q -p aurora-bench --bench mixed_traffic -- --smoke
+
+echo "== adaptive gate: probe p99 >=2x better than static depth-64, frame cut kept =="
+grep -q '"adaptive_p99_2x": true' BENCH_adaptive.json || {
+    echo "FAIL: BENCH_adaptive.json does not show adaptive_p99_2x=true" >&2
+    cat BENCH_adaptive.json >&2 || true
+    exit 1
+}
+grep -q '"frame_cut_3x": true' BENCH_adaptive.json || {
+    echo "FAIL: BENCH_adaptive.json does not show frame_cut_3x=true" >&2
+    cat BENCH_adaptive.json >&2 || true
+    exit 1
+}
+
 echo "== telemetry-overhead smoke (writes BENCH_telemetry.json) =="
 cargo bench -q -p aurora-bench --bench telemetry_overhead -- --smoke
 
 echo "== telemetry gate: always-on histogram path must cost <5% of an offload =="
 grep -q '"hist_overhead_lt_5pct": true' BENCH_telemetry.json || {
     echo "FAIL: BENCH_telemetry.json does not show hist_overhead_lt_5pct=true" >&2
+    cat BENCH_telemetry.json >&2 || true
+    exit 1
+}
+grep -q '"ctrl_overhead_lt_5pct": true' BENCH_telemetry.json || {
+    echo "FAIL: BENCH_telemetry.json does not show ctrl_overhead_lt_5pct=true" >&2
     cat BENCH_telemetry.json >&2 || true
     exit 1
 }

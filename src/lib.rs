@@ -302,6 +302,70 @@ pub fn local_offload_batched(
     ))
 }
 
+/// [`dma_offload_batched`] with the **self-tuning dataplane** armed:
+/// batching up to `max_msgs` per frame, staged age hard-bounded to
+/// `slo_micros` of virtual time, and the adaptive watermark controller
+/// ([`ham_offload::chan::adaptive`]) tuning the effective watermarks
+/// per channel from the observed flush-latency histogram. Equivalent to
+/// passing [`BatchConfig::adaptive_up_to`] to the batched constructor.
+pub fn dma_offload_adaptive(
+    ves: u8,
+    max_msgs: usize,
+    slo_micros: u64,
+    registrar: impl Fn(&mut ham::RegistryBuilder) + Send + Sync + 'static,
+) -> Offload {
+    dma_offload_batched(
+        ves,
+        BatchConfig::adaptive_up_to(max_msgs, slo_micros),
+        registrar,
+    )
+}
+
+/// [`veo_offload_batched`] with the self-tuning dataplane armed. See
+/// [`dma_offload_adaptive`].
+pub fn veo_offload_adaptive(
+    ves: u8,
+    max_msgs: usize,
+    slo_micros: u64,
+    registrar: impl Fn(&mut ham::RegistryBuilder) + Send + Sync + 'static,
+) -> Offload {
+    veo_offload_batched(
+        ves,
+        BatchConfig::adaptive_up_to(max_msgs, slo_micros),
+        registrar,
+    )
+}
+
+/// [`tcp_offload_batched`] with the self-tuning dataplane armed. See
+/// [`dma_offload_adaptive`].
+pub fn tcp_offload_adaptive(
+    targets: u16,
+    max_msgs: usize,
+    slo_micros: u64,
+    registrar: impl Fn(&mut ham::RegistryBuilder) + Send + Sync + 'static,
+) -> Offload {
+    tcp_offload_batched(
+        targets,
+        BatchConfig::adaptive_up_to(max_msgs, slo_micros),
+        registrar,
+    )
+}
+
+/// [`local_offload_batched`] with the self-tuning dataplane armed. See
+/// [`dma_offload_adaptive`].
+pub fn local_offload_adaptive(
+    targets: u16,
+    max_msgs: usize,
+    slo_micros: u64,
+    registrar: impl Fn(&mut ham::RegistryBuilder) + Send + Sync + 'static,
+) -> Offload {
+    local_offload_batched(
+        targets,
+        BatchConfig::adaptive_up_to(max_msgs, slo_micros),
+        registrar,
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -143,6 +143,41 @@ fn steady_state_batched_cycle_allocates_nothing() {
     );
 }
 
+/// The self-tuning dataplane's warm path is heap-silent too: a
+/// controller tick (histogram snapshot, window delta, p99 walk,
+/// decision) and the sweep's SLO age check are integer math on stack
+/// arrays — arming adaptation must not cost the zero-alloc guarantee.
+#[test]
+fn warm_adaptive_tick_and_slo_check_allocate_nothing() {
+    use ham_aurora_repro::sim_core::BackendMetrics;
+
+    let _gate = gate();
+    let chan =
+        ChannelCore::bounded(8, 8, 4096).with_batching(BatchConfig::adaptive_up_to(BATCH, 50));
+    let m = BackendMetrics::new();
+    let tick = |i: u64| {
+        cycle(&chan);
+        m.on_flush(SimTime::from_us(2 + i % 5));
+        let _ = chan.adaptive_tick(BATCH, || m.flush_hist_buckets());
+        // The sweep-side age check, both arms: the staged-empty lock
+        // path here (the accumulator was just flushed), the lock-free
+        // disabled path implicitly covered by the static test above.
+        assert!(!chan.slo_flush_due(SimTime::ZERO));
+    };
+    for i in 0..32 {
+        tick(i);
+    }
+    let ((), allocs) = counted(|| {
+        for i in 0..64 {
+            tick(i);
+        }
+    });
+    assert_eq!(
+        allocs, 0,
+        "warm adaptive tick + SLO check must not touch the heap"
+    );
+}
+
 /// The always-on observability layer must be free to keep on: recording
 /// a completion (aggregate histogram + per-target register + EWMA),
 /// a flush latency, a retry delay, and reading the EWMA back are all

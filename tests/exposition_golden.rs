@@ -52,6 +52,12 @@ fn build() -> BackendMetrics {
     m.on_complete_on(1, SimTime::from_us(8));
     m.on_complete_on(2, SimTime::from_us(120));
     m.on_flush(SimTime::from_us(2));
+    // Adaptive batching controller: one widen, two narrows, one flush
+    // forced by the latency-SLO age bound.
+    m.on_batch_widen();
+    m.on_batch_narrow();
+    m.on_batch_narrow();
+    m.on_slo_flush();
     m.on_resend();
     m.on_retry_delay(SimTime::from_us(40));
     m.on_timeout();

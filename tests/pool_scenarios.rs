@@ -512,6 +512,46 @@ fn staged_members_migrate_off_a_slow_target() {
     }
 }
 
+/// Regression for a rare (~1/40) `killing_every_target_empties_the_pool`
+/// flake: `kill_target` used to only tear the sockets down and leave
+/// the eviction latch to the TCP reader thread's EOF handling, so a
+/// caller could observe every in-flight future resolved (send-side
+/// errors fail them first) while `eviction()` was still unset for a
+/// scheduling beat — `prune` kept the dead target and `is_empty()`
+/// reported a live pool. `kill_target` now latches the eviction
+/// before returning in non-cluster mode, so the post-condition is
+/// deterministic: no sleeps or yields here, the eviction must be
+/// visible the instant the call returns, every round, within a hard
+/// in-test deadline.
+#[test]
+fn kill_target_latches_eviction_before_returning() {
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(60);
+    for round in 0..24u64 {
+        let plan = FaultPlan::builder(round).build();
+        let o = spawn(BackendKind::Tcp, plan);
+        let nodes: Vec<NodeId> = (1..=TARGETS).map(NodeId).collect();
+        let pool = o.pool_with(&nodes, SchedPolicy::RoundRobin).expect("pool");
+        for &n in &nodes {
+            o.kill_target(n).expect("kill");
+            assert!(
+                o.backend()
+                    .channel(n)
+                    .expect("channel")
+                    .eviction()
+                    .is_some(),
+                "round {round}: kill_target returned before latching t{}",
+                n.0
+            );
+        }
+        assert!(pool.is_empty(), "round {round}: dead targets must prune");
+        o.shutdown();
+        assert!(
+            std::time::Instant::now() < deadline,
+            "in-test deadline exceeded at round {round}"
+        );
+    }
+}
+
 /// Losing *every* target empties the pool: queued offloads surface
 /// their error and later submissions fail with the pool-empty error
 /// instead of hanging.
