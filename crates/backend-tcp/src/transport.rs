@@ -34,7 +34,7 @@ use parking_lot::Mutex;
 use std::io::{Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
@@ -53,6 +53,11 @@ pub struct TargetSpec {
     pub credit_limit: u32,
     /// Target memory size in bytes.
     pub mem_bytes: u64,
+    /// Suggested health-probe cadence (virtual microseconds) for this
+    /// target. The pool prober derives its round interval from the
+    /// smallest cadence across the address book
+    /// ([`TcpBackend::probe_config`]).
+    pub probe_every_us: u64,
 }
 
 impl Default for TargetSpec {
@@ -61,6 +66,7 @@ impl Default for TargetSpec {
             lanes: ham_offload::device::DEFAULT_LANES as u32,
             credit_limit: ham_offload::chan::DEFAULT_PUSH_CREDITS as u32,
             mem_bytes: TcpBackend::DEFAULT_MEM,
+            probe_every_us: 200,
         }
     }
 }
@@ -90,10 +96,90 @@ struct TcpTarget {
     lanes: u32,
 }
 
+/// A pre-activated target slot.
+fn filled(t: TcpTarget) -> OnceLock<TcpTarget> {
+    let slot = OnceLock::new();
+    let _ = slot.set(t);
+    slot
+}
+
+/// Spawn one cluster target peer and connect to it: bind a loopback
+/// acceptor, start the target main loop, run the discovery handshake
+/// (read its [`Announce`]) and start the host-side link supervisor.
+/// Shared by the cluster constructors and [`TcpBackend::join_target`].
+fn spawn_cluster_target(
+    node: u16,
+    spec: TargetSpec,
+    registry: Registry,
+    batch: BatchConfig,
+    budget: u32,
+    metrics: &Arc<aurora_sim_core::BackendMetrics>,
+    clock: &Clock,
+) -> std::io::Result<(TcpTarget, Announce)> {
+    let listener = TcpListener::bind("127.0.0.1:0")?;
+    let addr = listener.local_addr()?;
+    let server = std::thread::Builder::new()
+        .name(format!("tcp-target-{node}"))
+        .spawn(move || cluster_target_main(node, listener, spec, registry))?;
+
+    let (msg, ctrl, announce) = connect_pair(addr)?;
+    let msg_rx = msg.try_clone()?;
+    // The announced credit limit bounds scheduler admission for this
+    // host; the replay-only recovery policy keeps sent frames around
+    // for the resume handshake.
+    let chan = Arc::new(
+        ChannelCore::unbounded()
+            .with_batching(batch)
+            .with_credit_limit(announce.credit_limit as usize)
+            .with_recovery(RecoveryPolicy::replay_only(budget)),
+    );
+    let link = Arc::new(Link {
+        node,
+        addr,
+        msg_tx: Mutex::new(msg),
+        ctrl: Mutex::new(ctrl),
+        chan,
+        stop: AtomicBool::new(false),
+        blackout: AtomicBool::new(false),
+    });
+    let link2 = Arc::clone(&link);
+    let metrics2 = Arc::clone(metrics);
+    let clock2 = clock.clone();
+    let reader = std::thread::Builder::new()
+        .name(format!("tcp-link-{node}"))
+        .spawn(move || run_link(&link2, msg_rx, &metrics2, &clock2, budget))?;
+    Ok((
+        TcpTarget {
+            link,
+            reader: Mutex::new(Some(reader)),
+            server: Mutex::new(Some(server)),
+            mem_bytes: announce.mem_bytes,
+            lanes: announce.lanes,
+        },
+        announce,
+    ))
+}
+
 /// The TCP/IP communication backend.
+///
+/// Target slots are fixed at spawn, but a slot need not be *active*:
+/// [`TcpBackend::spawn_cluster_with_reserve`] leaves the reserve tail
+/// vacant and [`TcpBackend::join_target`] activates a vacant slot later
+/// via the same discovery handshake the constructor uses. `OnceLock`
+/// keeps the slot addresses stable so `channel()` can keep handing out
+/// `&ChannelCore` borrows while other slots join.
 pub struct TcpBackend {
     host_registry: Arc<Registry>,
-    targets: Vec<TcpTarget>,
+    targets: Vec<OnceLock<TcpTarget>>,
+    /// Address book: the announce spec each slot (active or vacant) is
+    /// spawned from. Indexed like `targets`.
+    book: Vec<TargetSpec>,
+    batch: BatchConfig,
+    /// Reconnect budget per disconnect (cluster lifecycle only).
+    budget: u32,
+    registrar: Arc<Registrar>,
+    /// Serialises `join_target` activations per backend.
+    join_lock: Mutex<()>,
     clock: Clock,
     metrics: Arc<aurora_sim_core::BackendMetrics>,
     plan: Arc<FaultPlan>,
@@ -616,7 +702,7 @@ impl TcpBackend {
                     })
                     .expect("spawn reader");
 
-                TcpTarget {
+                filled(TcpTarget {
                     link: Arc::new(Link {
                         node,
                         addr,
@@ -630,12 +716,26 @@ impl TcpBackend {
                     server: Mutex::new(Some(server)),
                     mem_bytes,
                     lanes: 1,
-                }
+                })
             })
             .collect();
+        let book = vec![
+            TargetSpec {
+                lanes: 1,
+                credit_limit: ham_offload::chan::DEFAULT_PUSH_CREDITS as u32,
+                mem_bytes,
+                ..TargetSpec::default()
+            };
+            n as usize
+        ];
         Arc::new(Self {
             host_registry,
             targets,
+            book,
+            batch,
+            budget: 0,
+            registrar,
+            join_lock: Mutex::new(()),
             clock,
             metrics,
             plan,
@@ -674,7 +774,40 @@ impl TcpBackend {
         plan: Arc<FaultPlan>,
         registrar: impl Fn(&mut RegistryBuilder) + Send + Sync + 'static,
     ) -> Arc<Self> {
-        let registrar: Arc<Registrar> = Arc::new(registrar);
+        Self::cluster_inner(specs, &[], policy, batch, plan, Arc::new(registrar))
+    }
+
+    /// [`TcpBackend::spawn_cluster`] plus an address book of *reserve*
+    /// slots: node ids `active.len()+1 ..= active.len()+reserve.len()`
+    /// exist (they count toward [`CommBackend::num_targets`]) but no
+    /// process-analogue is spawned and no connection made until
+    /// [`TcpBackend::join_target`] activates them. Until then their
+    /// verbs fail with [`OffloadError::BadNode`].
+    pub fn spawn_cluster_with_reserve(
+        active: &[TargetSpec],
+        reserve: &[TargetSpec],
+        policy: RecoveryPolicy,
+        plan: Arc<FaultPlan>,
+        registrar: impl Fn(&mut RegistryBuilder) + Send + Sync + 'static,
+    ) -> Arc<Self> {
+        Self::cluster_inner(
+            active,
+            reserve,
+            policy,
+            BatchConfig::default(),
+            plan,
+            Arc::new(registrar),
+        )
+    }
+
+    fn cluster_inner(
+        active: &[TargetSpec],
+        reserve: &[TargetSpec],
+        policy: RecoveryPolicy,
+        batch: BatchConfig,
+        plan: Arc<FaultPlan>,
+        registrar: Arc<Registrar>,
+    ) -> Arc<Self> {
         let build = |seed: u64| {
             let mut b = RegistryBuilder::new();
             registrar(&mut b);
@@ -682,69 +815,113 @@ impl TcpBackend {
         };
         let host_registry = Arc::new(build(0x7463_7000)); // "tcp"
         let metrics = Arc::new(aurora_sim_core::BackendMetrics::new());
-        for node in 1..=specs.len() as u16 {
+        for node in 1..=active.len() as u16 {
             metrics.health().register(node);
         }
         let clock = Clock::new();
         let budget = policy.max_retries.max(1);
-        let targets = specs
+        let mut targets: Vec<OnceLock<TcpTarget>> = active
             .iter()
             .enumerate()
             .map(|(i, spec)| {
                 let node = (i + 1) as u16;
-                let spec = *spec;
-                let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback listener");
-                let addr = listener.local_addr().expect("local addr");
                 let registry = build(0x7463_7000 + node as u64);
-                let server = std::thread::Builder::new()
-                    .name(format!("tcp-target-{node}"))
-                    .spawn(move || cluster_target_main(node, listener, spec, registry))
-                    .expect("spawn tcp target");
-
-                let (msg, ctrl, announce) = connect_pair(addr).expect("cluster handshake");
-                let msg_rx = msg.try_clone().expect("clone msg stream");
-                // The announced credit limit bounds scheduler admission
-                // for this host; the replay-only recovery policy keeps
-                // sent frames around for the resume handshake.
-                let chan = Arc::new(
-                    ChannelCore::unbounded()
-                        .with_batching(batch)
-                        .with_credit_limit(announce.credit_limit as usize)
-                        .with_recovery(RecoveryPolicy::replay_only(budget)),
-                );
-                let link = Arc::new(Link {
-                    node,
-                    addr,
-                    msg_tx: Mutex::new(msg),
-                    ctrl: Mutex::new(ctrl),
-                    chan,
-                    stop: AtomicBool::new(false),
-                    blackout: AtomicBool::new(false),
-                });
-                let link2 = Arc::clone(&link);
-                let metrics2 = Arc::clone(&metrics);
-                let clock2 = clock.clone();
-                let reader = std::thread::Builder::new()
-                    .name(format!("tcp-link-{node}"))
-                    .spawn(move || run_link(&link2, msg_rx, &metrics2, &clock2, budget))
-                    .expect("spawn link supervisor");
-                TcpTarget {
-                    link,
-                    reader: Mutex::new(Some(reader)),
-                    server: Mutex::new(Some(server)),
-                    mem_bytes: announce.mem_bytes,
-                    lanes: announce.lanes,
-                }
+                let (target, _announce) =
+                    spawn_cluster_target(node, *spec, registry, batch, budget, &metrics, &clock)
+                        .expect("cluster handshake");
+                filled(target)
             })
             .collect();
+        // Reserve slots: known to the address book, vacant until joined.
+        targets.extend((0..reserve.len()).map(|_| OnceLock::new()));
+        let book = active.iter().chain(reserve).copied().collect();
         Arc::new(Self {
             host_registry,
             targets,
+            book,
+            batch,
+            budget,
+            registrar,
+            join_lock: Mutex::new(()),
             clock,
             metrics,
             plan,
             cluster: true,
         })
+    }
+
+    /// Activate a vacant reserve slot on a *running* cluster backend:
+    /// spawn the target peer from its address-book [`TargetSpec`], run
+    /// the same discovery handshake the constructor uses (the target
+    /// [`Announce`]s its capabilities and watermark), and start the
+    /// per-link supervisor. Returns the announced capabilities.
+    ///
+    /// Errors: non-cluster backends, out-of-range ids, and slots that
+    /// are already active. Joining is serialised per backend; a joined
+    /// target is probe-able and poolable the moment this returns.
+    pub fn join_target(&self, node: NodeId) -> Result<Announce, OffloadError> {
+        if !self.cluster {
+            return Err(OffloadError::Backend(
+                "tcp: join_target requires a cluster backend".into(),
+            ));
+        }
+        if node.is_host() || node.0 as usize > self.targets.len() {
+            return Err(OffloadError::BadNode(node));
+        }
+        let _guard = self.join_lock.lock();
+        let idx = node.0 as usize - 1;
+        if self.targets[idx].get().is_some() {
+            return Err(OffloadError::Backend(format!(
+                "tcp: node {} already joined",
+                node.0
+            )));
+        }
+        let registry = {
+            let mut b = RegistryBuilder::new();
+            (self.registrar)(&mut b);
+            b.seal(0x7463_7000 + u64::from(node.0))
+        };
+        let (t, announce) = spawn_cluster_target(
+            node.0,
+            self.book[idx],
+            registry,
+            self.batch,
+            self.budget,
+            &self.metrics,
+            &self.clock,
+        )
+        .map_err(io_err)?;
+        let _ = self.targets[idx].set(t);
+        self.metrics.health().register(node.0);
+        Ok(announce)
+    }
+
+    /// True once `node`'s slot holds a live connection (constructed
+    /// active, or activated by [`TcpBackend::join_target`]).
+    pub fn is_joined(&self, node: NodeId) -> bool {
+        !node.is_host()
+            && self
+                .targets
+                .get(node.0 as usize - 1)
+                .is_some_and(|s| s.get().is_some())
+    }
+
+    /// Derive a pool [`ProbeConfig`](ham_offload::sched::ProbeConfig)
+    /// from the address book: the round interval is the smallest
+    /// `probe_every_us` any slot asked for, so the chattiest target's
+    /// cadence bounds staleness for everyone.
+    pub fn probe_config(&self) -> ham_offload::sched::ProbeConfig {
+        let us = self
+            .book
+            .iter()
+            .map(|s| s.probe_every_us.max(1))
+            .min()
+            .unwrap_or(200);
+        ham_offload::sched::ProbeConfig {
+            every: aurora_sim_core::SimTime::from_us(us),
+            poll: Duration::from_micros(us),
+            ..ham_offload::sched::ProbeConfig::default()
+        }
     }
 
     /// Test/ops hook: while `on`, reconnect attempts for `node` fail
@@ -778,6 +955,7 @@ impl TcpBackend {
         }
         self.targets
             .get(node.0 as usize - 1)
+            .and_then(OnceLock::get)
             .ok_or(OffloadError::BadNode(node))
     }
 
@@ -922,6 +1100,12 @@ impl CommBackend for TcpBackend {
 
     fn metrics(&self) -> &aurora_sim_core::BackendMetrics {
         &self.metrics
+    }
+
+    /// A real `Ping` round trip over the control socket (the default
+    /// trait probe only inspects host-side channel state).
+    fn probe(&self, target: NodeId) -> Result<(), OffloadError> {
+        TcpBackend::probe(self, target)
     }
 
     /// Kill one peer abruptly: both sockets are torn down with no

@@ -125,6 +125,32 @@ pub trait CommBackend: Send + Sync + 'static {
     /// Table II operation; backends only need to own the storage.
     fn metrics(&self) -> &BackendMetrics;
 
+    /// Liveness probe: verify `target` is reachable *right now* without
+    /// placing work on it. Transports with a control plane (TCP) send a
+    /// real `Ping` round trip; the default checks the channel state — an
+    /// evicted or degraded channel fails with its latched error, a
+    /// settled one answers. Implementations record the
+    /// [`aurora_sim_core::HealthEventKind::Probe`] event themselves so
+    /// the health timeline carries the transport's own evidence; the
+    /// engine-level wrapper ([`crate::chan::engine::probe`]) adds the
+    /// miss bookkeeping on failure.
+    fn probe(&self, target: NodeId) -> Result<(), OffloadError> {
+        let chan = self.channel(target)?;
+        if let Some(e) = chan.eviction() {
+            return Err(e);
+        }
+        if let Some(e) = chan.degradation() {
+            return Err(e);
+        }
+        self.metrics().health().record(
+            target.0,
+            aurora_sim_core::HealthEventKind::Probe,
+            0,
+            self.host_clock().now().as_ps(),
+        );
+        Ok(())
+    }
+
     /// Fault injection: kill one target abruptly (process death, link
     /// cut) without the shutdown handshake, as if the hardware failed.
     /// The next flag sweep observes the death and evicts the target's

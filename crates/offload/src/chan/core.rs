@@ -13,6 +13,7 @@ use ham::registry::HandlerKey;
 use ham::wire::{MsgHeader, MsgKind, HEADER_BYTES};
 use parking_lot::Mutex;
 use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Default credit limit of channels whose slot rings are unbounded
@@ -225,6 +226,11 @@ pub struct ChannelCore {
     /// Scheduler admission limit override ([`Self::with_credit_limit`]);
     /// `None` derives the limit from the slot rings.
     credits: Option<usize>,
+    /// Count of settled [`Self::resume`] transitions — a lock-free
+    /// "session healed" epoch. Pool probers watch it to clear liveness
+    /// penalties the moment a transport reconnects, without waiting for
+    /// the next probe round trip.
+    resumes: AtomicU64,
 }
 
 impl ChannelCore {
@@ -260,6 +266,7 @@ impl ChannelCore {
             pool: FramePool::new(),
             batch: BatchConfig::default(),
             credits: None,
+            resumes: AtomicU64::new(0),
         }
     }
 
@@ -276,6 +283,7 @@ impl ChannelCore {
             pool: FramePool::new(),
             batch: BatchConfig::default(),
             credits: None,
+            resumes: AtomicU64::new(0),
         }
     }
 
@@ -886,7 +894,29 @@ impl ChannelCore {
                 }
             }
         }
+        self.resumes.fetch_add(1, Ordering::Release);
         Some(ResumeReport { replay, lost })
+    }
+
+    /// How many times this channel's session has been resumed after a
+    /// degradation. Lock-free; monotonic. A change since the last read
+    /// is a "healed" notification — the pool prober uses it to clear a
+    /// target's liveness penalty without a probe round trip, and
+    /// [`crate::sched::TargetPool::pick`] uses it to restart its
+    /// all-degraded wait budget (a resume is progress).
+    pub fn resumes(&self) -> u64 {
+        self.resumes.load(Ordering::Acquire)
+    }
+
+    /// The reconnect/retry budget of the armed [`RecoveryPolicy`]
+    /// (`max_retries`), or `None` when no recovery is armed. Schedulers
+    /// use it to bound how long a degraded target is worth waiting for.
+    pub fn recovery_budget(&self) -> Option<u32> {
+        self.state
+            .lock()
+            .recovery
+            .as_ref()
+            .map(|r| r.policy().max_retries)
     }
 
     /// Snapshot of all in-flight offloads, ordered by seq.

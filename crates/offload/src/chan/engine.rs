@@ -406,6 +406,33 @@ pub fn evict<B: CommBackend + ?Sized>(
     failed
 }
 
+/// One liveness probe round trip against `target`, with full
+/// bookkeeping: [`CommBackend::probe`] supplies the transport evidence
+/// (and records the `Probe` health event on success), this wrapper adds
+/// the metric counters and, on failure, the
+/// [`aurora_sim_core::HealthEventKind::ProbeMiss`] event — the earliest
+/// degradation signal the health registry sees, arriving before any
+/// offload traffic fails on the link. The pool prober calls this on its
+/// cadence; it is also safe to call ad hoc.
+pub fn probe<B: CommBackend + ?Sized>(backend: &B, target: NodeId) -> Result<(), OffloadError> {
+    match backend.probe(target) {
+        Ok(()) => {
+            backend.metrics().on_probe();
+            Ok(())
+        }
+        Err(e) => {
+            backend.metrics().on_probe_miss();
+            backend.metrics().health().record(
+                target.0,
+                aurora_sim_core::HealthEventKind::ProbeMiss,
+                trace::current_offload(),
+                backend.host_clock().now().as_ps(),
+            );
+            Err(e)
+        }
+    }
+}
+
 /// Poll for the result of offload `seq`: claim it if already parked,
 /// otherwise flush + sweep once and try again. `Ok(None)` while the
 /// offload is still running. The returned frame is still

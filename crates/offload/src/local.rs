@@ -265,10 +265,21 @@ impl CommBackend for LocalBackend {
 
     fn shutdown(&self) {
         for (i, t) in self.targets.iter().enumerate() {
-            if !t.chan.begin_shutdown() {
-                // First caller: deliver the control frame (ignore a
-                // target that already died) and join the thread.
-                let _ = engine::post_control(self, NodeId(i as u16 + 1));
+            if !t.chan.begin_shutdown()
+                && engine::post_control(self, NodeId(i as u16 + 1)).is_err()
+            {
+                // The engine refuses an evicted channel, but the worker
+                // thread is still parked on its queue — deliver the
+                // terminator directly so the join below can't hang.
+                let header = MsgHeader {
+                    handler_key: ham::registry::HandlerKey(0),
+                    payload_len: 0,
+                    kind: ham::wire::MsgKind::Control,
+                    reply_slot: 0,
+                    corr: 0,
+                    seq: u64::MAX,
+                };
+                let _ = t.tx.send((header, Vec::new()));
             }
             if let Some(h) = t.thread.lock().take() {
                 let _ = h.join();

@@ -42,9 +42,23 @@
 //! [`TargetPool::health_report`] aggregates per-target health-registry
 //! state, channel occupancy, credit utilization and the latency
 //! register with the structured health event log.
+//!
+//! **Dynamic membership & probing.** Pools are not frozen at
+//! construction: [`TargetPool::add_target`] admits a target into a
+//! running pool (it receives placements on the next `select`) and
+//! [`TargetPool::remove_target`] retires one — staged members are
+//! reclaimed for failover, wire traffic drains in place. A background
+//! prober ([`TargetPool::start_prober`], paced by [`ProbeConfig`])
+//! issues periodic `probe()` round trips per member, feeds a
+//! per-target miss streak into every policy's `select` (flapping
+//! targets are deprioritized before they hard-fail) and records
+//! `Probe`/`ProbeMiss` health events, driving the `Degraded → healed`
+//! registry edge without any caller touching the channel.
 
 mod policy;
 mod pool;
 
 pub use policy::SchedPolicy;
-pub use pool::{HealthReport, PoolFuture, PoolMetricsSnapshot, TargetHealth, TargetPool};
+pub use pool::{
+    HealthReport, PoolFuture, PoolMetricsSnapshot, ProbeConfig, TargetHealth, TargetPool,
+};

@@ -4,6 +4,14 @@
 /// consume only observable channel state (in-flight counts, credit
 /// limits, latency EWMAs) and break ties to the lowest node id, so
 /// placement is deterministic for a deterministic workload.
+///
+/// When the pool's background prober is running
+/// ([`super::TargetPool::start_prober`]), every policy additionally
+/// orders candidates by their probe-miss streak first (lexicographic
+/// `(streak, policy key)`): a target whose probes go unanswered sheds
+/// placements to clean peers *before* it hard-fails, and earns them
+/// back as probes answer again. With no prober all streaks are zero
+/// and the ordering reduces to the plain policy key.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub enum SchedPolicy {
     /// Fewest in-flight messages wins (the default).

@@ -12,6 +12,10 @@ use aurora_sim_core::{
 use ham::registry::HandlerKey;
 use ham::{ActiveMessage, HamError};
 use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// One queued message's worth of wire bytes: the divisor that converts
 /// the channel's bytes-in-flight gauge into "equivalent queued
@@ -59,12 +63,86 @@ fn pool_empty() -> OffloadError {
     OffloadError::Backend("target pool: no healthy targets remain".into())
 }
 
-/// Mutable pool state under one lock: the healthy set (sorted
-/// ascending, so strict-`<` scans tie-break to the lowest node id) and
-/// the round-robin cursor.
+/// Mutable pool state under one lock: the membership roster, the
+/// healthy set (sorted ascending, so strict-`<` scans tie-break to the
+/// lowest node id), the round-robin cursor, and the per-target
+/// probe-miss streaks the background prober maintains.
 struct PoolState {
+    /// Every current member (sorted, deduped). Eviction prunes a target
+    /// from `healthy` but keeps it here so reports cover lost targets;
+    /// only [`TargetPool::remove_target`] deletes from the roster.
+    members: Vec<NodeId>,
     healthy: Vec<NodeId>,
     cursor: usize,
+    /// Consecutive probe-miss streak per target (absent = clean). A
+    /// non-zero streak deprioritizes the target in `select` — flapping
+    /// targets lose placements *before* they hard-fail — and decays as
+    /// probes answer again.
+    flaky: HashMap<u16, u32>,
+    /// Last [`ChannelCore::resumes`] epoch seen per target. An advance
+    /// between probe rounds means the session healed: the miss streak
+    /// is cleared immediately instead of decaying over future rounds.
+    resumes_seen: HashMap<u16, u64>,
+}
+
+impl PoolState {
+    fn streak(&self, t: NodeId) -> u32 {
+        self.flaky.get(&t.0).copied().unwrap_or(0)
+    }
+
+    /// Remove `target` from the healthy set, preserving the rotation
+    /// position: the cursor keeps pointing at the same next target
+    /// modulo the shrunken set instead of snapping back to the lowest
+    /// survivor.
+    fn drop_healthy(&mut self, target: NodeId) {
+        if let Some(pos) = self.healthy.iter().position(|&t| t == target) {
+            self.healthy.remove(pos);
+            if pos < self.cursor {
+                self.cursor -= 1;
+            }
+            if self.cursor >= self.healthy.len() {
+                self.cursor = 0;
+            }
+        }
+    }
+}
+
+/// Cadence and pacing of a pool's background prober (see
+/// [`TargetPool::start_prober`]).
+///
+/// Probe rounds are keyed to *virtual* time: a round fires when
+/// `now / every` crosses a tick boundary, so two runs over the same
+/// deterministic timeline probe at the same virtual instants. Virtual
+/// time only advances while operations advance it, though — a pool
+/// whose targets are all down would freeze the clock and starve the
+/// prober of the very rounds that detect the healing. `idle_grace`
+/// bounds that: after that many consecutive wall polls with no virtual
+/// tick, a round fires anyway (wall-paced liveness fallback).
+#[derive(Clone, Copy, Debug)]
+pub struct ProbeConfig {
+    /// Virtual-time cadence between probe rounds.
+    pub every: SimTime,
+    /// Wall-clock granularity at which the prober thread re-checks the
+    /// virtual clock.
+    pub poll: Duration,
+    /// Consecutive tickless wall polls before a round fires anyway.
+    pub idle_grace: u32,
+}
+
+impl Default for ProbeConfig {
+    fn default() -> Self {
+        ProbeConfig {
+            every: SimTime::from_us(200),
+            poll: Duration::from_micros(200),
+            idle_grace: 4,
+        }
+    }
+}
+
+/// Handle to a running background prober thread.
+struct Prober {
+    stop: Arc<AtomicBool>,
+    handle: std::thread::JoinHandle<u64>,
 }
 
 /// A set of targets submitted to as one logical compute resource.
@@ -77,10 +155,10 @@ struct PoolState {
 pub struct TargetPool {
     offload: Offload,
     policy: SchedPolicy,
-    /// Every target the pool was built over (sorted, deduped), kept
-    /// even after eviction so reports cover lost targets too.
-    targets: Vec<NodeId>,
-    state: Mutex<PoolState>,
+    /// Shared with the background prober thread, which holds its own
+    /// `Arc` so membership survives while the pool handle is in use.
+    state: Arc<Mutex<PoolState>>,
+    prober: Mutex<Option<Prober>>,
 }
 
 /// Per-target operational state as seen by a [`TargetPool`]: health
@@ -247,25 +325,34 @@ impl TargetPool {
         Ok(Self {
             offload,
             policy,
-            targets: healthy.clone(),
-            state: Mutex::new(PoolState { healthy, cursor: 0 }),
+            state: Arc::new(Mutex::new(PoolState {
+                members: healthy.clone(),
+                healthy,
+                cursor: 0,
+                flaky: HashMap::new(),
+                resumes_seen: HashMap::new(),
+            })),
+            prober: Mutex::new(None),
         })
     }
 
-    /// Every target the pool was built over, including evicted ones.
-    pub fn targets(&self) -> &[NodeId] {
-        &self.targets
+    /// Every current member of the pool, evicted-but-not-removed ones
+    /// included (reports cover lost targets until
+    /// [`TargetPool::remove_target`] deletes them from the roster).
+    pub fn targets(&self) -> Vec<NodeId> {
+        self.state.lock().members.clone()
     }
 
     /// Snapshot the backend's metric registers scoped to this pool:
     /// the aggregate plus a per-target breakdown covering all
     /// configured targets (evicted ones keep their final registers).
     pub fn metrics_snapshot(&self) -> PoolMetricsSnapshot {
+        let members = self.targets();
         let backend = self.offload.backend().metrics().snapshot();
         let targets = backend
             .per_node
             .iter()
-            .filter(|n| self.targets.iter().any(|t| t.0 == n.node))
+            .filter(|n| members.iter().any(|t| t.0 == n.node))
             .cloned()
             .collect();
         PoolMetricsSnapshot { backend, targets }
@@ -276,11 +363,11 @@ impl TargetPool {
     /// structured event log. Covers every configured target, evicted
     /// ones included.
     pub fn health_report(&self) -> HealthReport {
+        let members = self.targets();
         let backend = self.offload.backend();
         let health = backend.metrics().health();
         let snap = backend.metrics().snapshot();
-        let targets = self
-            .targets
+        let targets = members
             .iter()
             .map(|&t| {
                 let (in_flight, bytes_in_flight, credit_limit) = backend
@@ -324,9 +411,12 @@ impl TargetPool {
         st.healthy.clone()
     }
 
-    /// Number of healthy targets.
+    /// Number of healthy targets. Counts under the lock without
+    /// cloning the healthy set — this sits on the admission path.
     pub fn len(&self) -> usize {
-        self.healthy().len()
+        let mut st = self.state.lock();
+        self.prune(&mut st);
+        st.healthy.len()
     }
 
     /// True when every target has been lost.
@@ -334,11 +424,24 @@ impl TargetPool {
         self.len() == 0
     }
 
-    /// Drop evicted targets from the healthy set.
+    /// Drop evicted targets from the healthy set. The round-robin
+    /// cursor is adjusted for every removal *below* it so rotation
+    /// resumes at the same next survivor — resetting to 0 would bias
+    /// placement toward the lowest-id target after each eviction.
     fn prune(&self, st: &mut PoolState) {
         let backend = self.offload.backend();
-        st.healthy
-            .retain(|&t| backend.channel(t).is_ok_and(|c| c.eviction().is_none()));
+        let cursor = st.cursor;
+        let mut idx = 0usize;
+        let mut removed_below = 0usize;
+        st.healthy.retain(|&t| {
+            let keep = backend.channel(t).is_ok_and(|c| c.eviction().is_none());
+            if !keep && idx < cursor {
+                removed_below += 1;
+            }
+            idx += 1;
+            keep
+        });
+        st.cursor = cursor - removed_below;
         if st.cursor >= st.healthy.len() {
             st.cursor = 0;
         }
@@ -347,11 +450,130 @@ impl TargetPool {
     /// Remove one target explicitly (used after a submit/flush failure
     /// that may not have latched an eviction yet).
     fn drop_target(&self, target: NodeId) {
-        let mut st = self.state.lock();
-        st.healthy.retain(|&t| t != target);
-        if st.cursor >= st.healthy.len() {
-            st.cursor = 0;
+        self.state.lock().drop_healthy(target);
+    }
+
+    /// Admit `target` into the running pool. The target must exist on
+    /// the backend (for cluster TCP that means its discovery handshake
+    /// already completed — see `TcpBackend::join_target`) and must not
+    /// be evicted; it starts receiving placements on the very next
+    /// `select`. Idempotent: re-adding a current member is a no-op
+    /// (`Ok(false)`), and a member that was dropped from the healthy
+    /// set by a transient submit failure is re-admitted. Returns
+    /// `Ok(true)` when the roster actually grew.
+    pub fn add_target(&self, target: NodeId) -> Result<bool, OffloadError> {
+        self.offload.check_target(target)?;
+        let backend = self.offload.backend();
+        let chan = backend.channel(target)?;
+        if let Some(e) = chan.eviction() {
+            return Err(e);
         }
+        let grew = {
+            let mut st = self.state.lock();
+            let grew = if let Err(pos) = st.members.binary_search(&target) {
+                st.members.insert(pos, target);
+                true
+            } else {
+                false
+            };
+            if let Err(pos) = st.healthy.binary_search(&target) {
+                st.healthy.insert(pos, target);
+                // An insert below the cursor shifts the rotation's
+                // "next" target up by one; keep pointing at it.
+                if pos < st.cursor {
+                    st.cursor += 1;
+                }
+            }
+            grew
+        };
+        if grew {
+            backend.metrics().health().register(target.0);
+            backend.metrics().on_member_join();
+        }
+        Ok(grew)
+    }
+
+    /// Retire `target` from the pool: it stops receiving placements
+    /// immediately, staged-but-unflushed members are reclaimed (they
+    /// fail over to survivors on their next settle — provably unsent,
+    /// so exactly-once holds), and work already on the wire is drained
+    /// in place before the call returns (the target keeps serving what
+    /// it accepted; results stay claimable through their futures).
+    /// Errors with [`OffloadError::BadNode`] when `target` is not a
+    /// member. Returns how many staged members were reclaimed.
+    pub fn remove_target(&self, target: NodeId) -> Result<usize, OffloadError> {
+        {
+            let mut st = self.state.lock();
+            let Ok(pos) = st.members.binary_search(&target) else {
+                return Err(OffloadError::BadNode(target));
+            };
+            st.members.remove(pos);
+            st.drop_healthy(target);
+            st.flaky.remove(&target.0);
+        }
+        let backend = self.offload.backend();
+        let mut reclaimed = 0;
+        if let Ok(chan) = backend.channel(target) {
+            reclaimed = chan.take_staged_tail(chan.staged_len());
+            // Bounded in-place drain of wire traffic: a live target
+            // finishes what it accepted; a dying one exits through
+            // degradation/eviction (its futures fail over or surface
+            // the loss) rather than pinning this call.
+            let mut backoff = Backoff::new();
+            let deadline = Instant::now() + Duration::from_secs(30);
+            while chan.in_flight() > 0
+                && chan.eviction().is_none()
+                && !chan.is_degraded()
+                && !chan.is_shutdown()
+                && Instant::now() < deadline
+            {
+                let _ = engine::drain(backend.as_ref(), target);
+                backoff.snooze();
+            }
+        }
+        backend.metrics().on_member_leave();
+        Ok(reclaimed)
+    }
+
+    /// Start the background prober: a supervisor thread that issues one
+    /// `probe()` round trip per member per round (cadence in `cfg`),
+    /// maintaining the per-target miss streaks `select` deprioritizes
+    /// by and recording `Probe`/`ProbeMiss` health events — so the
+    /// `Degraded → healed` edge is driven without any caller touching
+    /// the channel. Idempotent while a prober is already running.
+    pub fn start_prober(&self, cfg: ProbeConfig) {
+        let mut guard = self.prober.lock();
+        if guard.is_some() {
+            return;
+        }
+        let stop = Arc::new(AtomicBool::new(false));
+        let handle = {
+            let stop = stop.clone();
+            let offload = self.offload.clone();
+            let state = self.state.clone();
+            std::thread::Builder::new()
+                .name("pool-prober".into())
+                .spawn(move || prober_main(&offload, &state, cfg, &stop))
+                .expect("spawn pool prober thread")
+        };
+        *guard = Some(Prober { stop, handle });
+    }
+
+    /// Stop and join the background prober. Returns how many probe
+    /// rounds it ran, or `None` if none was running. Also called by
+    /// `Drop`, so an exiting pool never leaks the thread.
+    pub fn stop_prober(&self) -> Option<u64> {
+        let p = self.prober.lock().take()?;
+        p.stop.store(true, Ordering::SeqCst);
+        p.handle.join().ok()
+    }
+
+    /// One synchronous probe round over the current roster — exactly
+    /// what the background prober runs per tick, callable inline for
+    /// deterministic tests and ad-hoc health sweeps. Returns
+    /// `(answered, missed)`.
+    pub fn probe_now(&self) -> (usize, usize) {
+        probe_round(&self.offload, &self.state)
     }
 
     /// Non-blocking placement: `Ok(Some(target))` when a healthy target
@@ -371,8 +593,19 @@ impl TargetPool {
     /// holds credits without being on the wire) and back off until a
     /// credit frees up. `msg_bytes` feeds size-aware scoring when the
     /// caller has the message in hand.
+    ///
+    /// Credit exhaustion waits indefinitely (the work in flight *will*
+    /// retire), but an **all-degraded** pool must not: every link is
+    /// down and nothing this loop does can complete anything. That wait
+    /// is bounded by the targets' reconnect budgets — a session resume
+    /// ([`ChannelCore::resumes`] advancing) restarts the budget, an
+    /// eviction exits through `pool_empty`, and budget expiry surfaces
+    /// [`OffloadError::Timeout`] instead of hanging forever.
     fn pick(&self, msg_bytes: Option<usize>) -> Result<NodeId, OffloadError> {
         let mut backoff = Backoff::new();
+        // `(deadline, resume_epoch)` while every healthy target is
+        // degraded; `None` otherwise.
+        let mut stall: Option<(Instant, u64)> = None;
         loop {
             {
                 let mut st = self.state.lock();
@@ -383,6 +616,19 @@ impl TargetPool {
                 if let Some(t) = self.select(&mut st, true, msg_bytes) {
                     return Ok(t);
                 }
+                match self.degraded_wait_budget(&st) {
+                    None => stall = None,
+                    Some((budget, epoch)) => match stall {
+                        Some((deadline, e)) if e == epoch => {
+                            if Instant::now() >= deadline {
+                                return Err(OffloadError::Timeout);
+                            }
+                        }
+                        // First all-degraded observation, or a resume
+                        // made progress since: (re)arm the deadline.
+                        _ => stall = Some((Instant::now() + budget, epoch)),
+                    },
+                }
             }
             // Credit exhaustion integrates with batching: staged
             // envelopes go on the wire now, and the drain sweep lets
@@ -392,12 +638,42 @@ impl TargetPool {
         }
     }
 
+    /// When *every* healthy target is degraded, how long placement is
+    /// worth waiting for a resume — the widest member's reconnect
+    /// budget (~25 ms per budgeted attempt: the transport's capped
+    /// backoff) plus slack — together with the summed resume epochs
+    /// (progress detector). `None` while any healthy target is still
+    /// connected (its credits will free up; wait indefinitely).
+    fn degraded_wait_budget(&self, st: &PoolState) -> Option<(Duration, u64)> {
+        let backend = self.offload.backend();
+        let mut epoch = 0u64;
+        let mut budget_ms = 0u64;
+        for &t in &st.healthy {
+            let Ok(chan) = backend.channel(t) else {
+                continue;
+            };
+            if !chan.is_degraded() {
+                return None;
+            }
+            epoch = epoch.wrapping_add(chan.resumes());
+            let retries = u64::from(chan.recovery_budget().unwrap_or(0));
+            budget_ms = budget_ms.max(25 * retries + 500);
+        }
+        Some((Duration::from_millis(budget_ms.min(60_000)), epoch))
+    }
+
     /// Policy dispatch over the healthy set. `respect_credit = false`
     /// (failover resubmission) still load-balances but never refuses:
     /// blocking on our own in-flight work mid-wait would deadlock, and
     /// the engine's slot backpressure bounds the overshoot. `msg_bytes`
     /// (the candidate message's payload size, when known) makes the
     /// latency-weighted policy size-aware — see [`placement_cost`].
+    ///
+    /// Every policy folds in the prober's liveness signal: a target
+    /// with a probe-miss streak is considered only after all clean
+    /// targets (lexicographic `(streak, policy key)` ordering), so a
+    /// flapping link sheds placements before it hard-fails. With no
+    /// prober running all streaks are zero and behavior is unchanged.
     fn select(
         &self,
         st: &mut PoolState,
@@ -408,27 +684,35 @@ impl TargetPool {
         match self.policy {
             SchedPolicy::RoundRobin => {
                 let n = st.healthy.len();
-                for i in 0..n {
-                    let idx = (st.cursor + i) % n;
-                    let t = st.healthy[idx];
-                    let Ok(chan) = backend.channel(t) else {
-                        continue;
-                    };
-                    // A degraded target stays pooled (its link is
-                    // reconnecting and it may heal) but takes no new
-                    // placements while down.
-                    if chan.is_degraded() {
-                        continue;
-                    }
-                    if !respect_credit || chan.has_credit() {
-                        st.cursor = (idx + 1) % n;
-                        return Some(t);
+                // Pass 0 rotates over clean targets only; pass 1 admits
+                // flaky ones — a deprioritized target still serves when
+                // it is all that's left.
+                for pass in 0..2 {
+                    for i in 0..n {
+                        let idx = (st.cursor + i) % n;
+                        let t = st.healthy[idx];
+                        if pass == 0 && st.streak(t) > 0 {
+                            continue;
+                        }
+                        let Ok(chan) = backend.channel(t) else {
+                            continue;
+                        };
+                        // A degraded target stays pooled (its link is
+                        // reconnecting and it may heal) but takes no new
+                        // placements while down.
+                        if chan.is_degraded() {
+                            continue;
+                        }
+                        if !respect_credit || chan.has_credit() {
+                            st.cursor = (idx + 1) % n;
+                            return Some(t);
+                        }
                     }
                 }
                 None
             }
             SchedPolicy::LeastLoaded => {
-                let mut best: Option<(usize, NodeId)> = None;
+                let mut best: Option<((u32, usize), NodeId)> = None;
                 for &t in &st.healthy {
                     let Ok(chan) = backend.channel(t) else {
                         continue;
@@ -440,8 +724,9 @@ impl TargetPool {
                     if respect_credit && load >= chan.credit_limit() {
                         continue;
                     }
-                    if best.is_none_or(|(b, _)| load < b) {
-                        best = Some((load, t));
+                    let key = (st.streak(t), load);
+                    if best.is_none_or(|(b, _)| key < b) {
+                        best = Some((key, t));
                     }
                 }
                 best.map(|(_, t)| t)
@@ -459,7 +744,7 @@ impl TargetPool {
                 if !min_ewma.is_finite() {
                     min_ewma = 1.0;
                 }
-                let mut best: Option<(f64, NodeId)> = None;
+                let mut best: Option<((u32, f64), NodeId)> = None;
                 for &t in &st.healthy {
                     let Ok(chan) = backend.channel(t) else {
                         continue;
@@ -473,8 +758,9 @@ impl TargetPool {
                     }
                     let ewma = metrics.latency_ewma(t.0).unwrap_or(min_ewma);
                     let score = placement_cost(chan, ewma, msg_bytes);
-                    if best.is_none_or(|(b, _)| score < b) {
-                        best = Some((score, t));
+                    let key = (st.streak(t), score);
+                    if best.is_none_or(|(b, _)| key < b) {
+                        best = Some((key, t));
                     }
                 }
                 best.map(|(_, t)| t)
@@ -867,6 +1153,106 @@ impl TargetPool {
     }
 }
 
+impl Drop for TargetPool {
+    fn drop(&mut self) {
+        let _ = self.stop_prober();
+    }
+}
+
+/// One probe round over the pool roster: per member, clear the miss
+/// streak if its session resumed since the last round, then run one
+/// [`engine::probe`] round trip — success halves the streak, a miss
+/// increments it. Shut-down and evicted channels are skipped (eviction
+/// is latched; probing it tells us nothing new). Returns
+/// `(answered, missed)`.
+fn probe_round(offload: &Offload, state: &Mutex<PoolState>) -> (usize, usize) {
+    let backend = offload.backend();
+    let members: Vec<NodeId> = state.lock().members.clone();
+    let (mut answered, mut missed) = (0, 0);
+    for t in members {
+        let Ok(chan) = backend.channel(t) else {
+            continue;
+        };
+        if chan.is_shutdown() || chan.eviction().is_some() {
+            continue;
+        }
+        let epoch = chan.resumes();
+        {
+            let mut st = state.lock();
+            if let Some(prev) = st.resumes_seen.insert(t.0, epoch) {
+                if prev != epoch {
+                    // The transport resumed the session between rounds:
+                    // that is the heal notification — forgive the
+                    // streak now, don't make the target earn placements
+                    // back one halving at a time.
+                    st.flaky.remove(&t.0);
+                }
+            }
+        }
+        match engine::probe(backend.as_ref(), t) {
+            Ok(()) => {
+                answered += 1;
+                let mut st = state.lock();
+                if let Some(s) = st.flaky.get_mut(&t.0) {
+                    *s /= 2;
+                    if *s == 0 {
+                        st.flaky.remove(&t.0);
+                    }
+                }
+            }
+            Err(_) => {
+                missed += 1;
+                let mut st = state.lock();
+                let s = st.flaky.entry(t.0).or_insert(0);
+                *s = s.saturating_add(1);
+            }
+        }
+    }
+    (answered, missed)
+}
+
+/// Body of the prober supervisor thread: wall-poll the virtual clock
+/// and run [`probe_round`] once per virtual tick (deterministic while
+/// traffic advances the clock), with the `idle_grace` wall fallback
+/// keeping liveness when virtual time is frozen. Returns the number of
+/// rounds run.
+fn prober_main(
+    offload: &Offload,
+    state: &Mutex<PoolState>,
+    cfg: ProbeConfig,
+    stop: &AtomicBool,
+) -> u64 {
+    let every = cfg.every.as_ps().max(1);
+    let mut last_tick = offload.backend().host_clock().now().as_ps() / every;
+    let mut frozen = 0u32;
+    let mut rounds = 0u64;
+    while !stop.load(Ordering::SeqCst) {
+        std::thread::sleep(cfg.poll);
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let tick = offload.backend().host_clock().now().as_ps() / every;
+        let due = if tick != last_tick {
+            last_tick = tick;
+            frozen = 0;
+            true
+        } else {
+            frozen += 1;
+            if frozen >= cfg.idle_grace.max(1) {
+                frozen = 0;
+                true
+            } else {
+                false
+            }
+        };
+        if due {
+            rounds += 1;
+            probe_round(offload, state);
+        }
+    }
+    rounds
+}
+
 impl core::fmt::Debug for TargetPool {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         write!(f, "TargetPool({:?}, {} healthy)", self.policy, self.len())
@@ -1152,6 +1538,164 @@ mod tests {
         for r in p.wait_all(futs) {
             assert_eq!(r.unwrap() % 1000, 2, "member served by the fast peer");
         }
+    }
+
+    /// Regression: an all-degraded pool used to spin `pick()` forever —
+    /// every target skipped by `select`, none evicted, so the loop had
+    /// no exit. The wait must be bounded by the reconnect budget and
+    /// surface `Timeout`.
+    #[test]
+    fn all_degraded_pool_surfaces_timeout_instead_of_hanging() {
+        let (o, p) = pooled(2, SchedPolicy::LeastLoaded);
+        let b = o.backend();
+        for n in 1..=2u16 {
+            b.channel(NodeId(n))
+                .unwrap()
+                .degrade(OffloadError::TargetLost(NodeId(n)));
+        }
+        // No recovery armed → no reconnect budget → the minimum 500 ms
+        // stall budget applies; well inside the test deadline.
+        let deadline = Instant::now() + Duration::from_secs(60);
+        let err = p.submit(f2f!(pool_probe, 1)).unwrap_err();
+        assert!(matches!(err, OffloadError::Timeout), "got {err:?}");
+        assert!(Instant::now() < deadline, "wait must be bounded");
+    }
+
+    /// A resume while the placement loop is stalled re-arms the budget
+    /// and placement proceeds on the healed target instead of timing
+    /// out.
+    #[test]
+    fn degraded_pool_resumes_placement_after_heal() {
+        let (o, p) = pooled(1, SchedPolicy::LeastLoaded);
+        let chan = o.backend().channel(NodeId(1)).unwrap();
+        chan.degrade(OffloadError::TargetLost(NodeId(1)));
+        assert_eq!(p.try_pick().unwrap(), None, "degraded target takes none");
+        chan.resume(None, OffloadError::TargetLost(NodeId(1)));
+        assert_eq!(chan.resumes(), 1, "resume epoch advanced");
+        let f = p.submit(f2f!(pool_probe, 5)).unwrap();
+        assert_eq!(p.get(f).unwrap(), 5001);
+    }
+
+    /// Regression: pruning an evicted target used to reset the
+    /// round-robin cursor to 0, biasing placement toward the lowest
+    /// surviving id. The rotation position must be preserved modulo the
+    /// shrunken set.
+    #[test]
+    fn round_robin_rotation_survives_eviction_without_reset() {
+        let (o, p) = pooled(3, SchedPolicy::RoundRobin);
+        // Advance the rotation so the cursor points at target 3.
+        assert_eq!(p.try_pick().unwrap(), Some(NodeId(1)));
+        assert_eq!(p.try_pick().unwrap(), Some(NodeId(2)));
+        o.backend()
+            .channel(NodeId(1))
+            .unwrap()
+            .evict(OffloadError::TargetLost(NodeId(1)));
+        // Next pick is still target 3 — not a snap-back to target 2.
+        assert_eq!(p.try_pick().unwrap(), Some(NodeId(3)));
+        // And the survivors keep strictly alternating.
+        let mut counts = HashMap::new();
+        for _ in 0..10 {
+            let t = p.try_pick().unwrap().unwrap();
+            *counts.entry(t.0).or_insert(0u32) += 1;
+        }
+        assert_eq!(counts.get(&2), Some(&5), "{counts:?}");
+        assert_eq!(counts.get(&3), Some(&5), "{counts:?}");
+    }
+
+    #[test]
+    fn add_and_remove_target_on_a_running_pool() {
+        let o = Offload::new(LocalBackend::spawn(3, |b| {
+            b.register::<pool_probe>();
+        }));
+        let p = o
+            .pool_with(&[NodeId(1), NodeId(2)], SchedPolicy::RoundRobin)
+            .unwrap();
+        // Work in flight across the membership change.
+        let futs: Vec<_> = (0..4)
+            .map(|i| p.submit(f2f!(pool_probe, i as u64)).unwrap())
+            .collect();
+        assert!(p.add_target(NodeId(3)).unwrap(), "roster grew");
+        assert!(!p.add_target(NodeId(3)).unwrap(), "re-add is a no-op");
+        assert!(p.add_target(NodeId(9)).is_err(), "unknown node refused");
+        assert_eq!(p.healthy(), vec![NodeId(1), NodeId(2), NodeId(3)]);
+        // The joiner takes placements on the next rotation.
+        let served: Vec<NodeId> = (0..3)
+            .map(|i| {
+                let f = p.submit(f2f!(pool_probe, 100 + i as u64)).unwrap();
+                let t = f.target();
+                p.get(f).unwrap();
+                t
+            })
+            .collect();
+        assert!(served.contains(&NodeId(3)), "joiner got work: {served:?}");
+        // Retiring a member drains it and stops new placements on it;
+        // earlier results stay claimable.
+        p.remove_target(NodeId(2)).unwrap();
+        assert_eq!(p.healthy(), vec![NodeId(1), NodeId(3)]);
+        assert!(
+            matches!(p.remove_target(NodeId(2)), Err(OffloadError::BadNode(_))),
+            "double remove refused"
+        );
+        for r in p.wait_all(futs) {
+            r.unwrap();
+        }
+        for _ in 0..4 {
+            assert_ne!(p.try_pick().unwrap(), Some(NodeId(2)));
+        }
+        let m = o.backend().metrics().snapshot();
+        assert_eq!((m.member_joins, m.member_leaves), (1, 1));
+    }
+
+    /// Probe rounds: misses build a streak that deprioritizes the
+    /// target in `select`; a session resume (epoch advance) forgives
+    /// the streak at once and the registry heals on the next answered
+    /// probe.
+    #[test]
+    fn probe_misses_deprioritize_then_resume_forgives() {
+        use aurora_sim_core::TargetState;
+        let (o, p) = pooled(2, SchedPolicy::RoundRobin);
+        assert_eq!(p.probe_now(), (2, 0), "all clean");
+        let chan = o.backend().channel(NodeId(1)).unwrap();
+        chan.degrade(OffloadError::TargetLost(NodeId(1)));
+        assert_eq!(p.probe_now(), (1, 1));
+        assert_eq!(p.probe_now(), (1, 1));
+        let health = o.backend().metrics().health();
+        assert_eq!(health.state(1), Some(TargetState::Degraded));
+        // The link heals. Before the next probe round the streak still
+        // stands, so the clean peer is preferred even though the
+        // rotation cursor points at target 1...
+        chan.resume(None, OffloadError::TargetLost(NodeId(1)));
+        assert_eq!(p.try_pick().unwrap(), Some(NodeId(2)));
+        // ...and the next round sees the resume epoch advance, forgives
+        // the streak, and the answered probe heals the registry.
+        assert_eq!(p.probe_now(), (2, 0));
+        assert_eq!(health.state(1), Some(TargetState::Healthy));
+        assert_eq!(p.try_pick().unwrap(), Some(NodeId(1)), "back in rotation");
+        let m = o.backend().metrics().snapshot();
+        assert_eq!(m.probes, 6);
+        assert_eq!(m.probe_misses, 2);
+    }
+
+    /// The background prober drives rounds by itself: no submissions,
+    /// no caller polling — the wall-clock fallback paces rounds while
+    /// virtual time is frozen.
+    #[test]
+    fn background_prober_runs_rounds_without_traffic() {
+        let (o, p) = pooled(2, SchedPolicy::LeastLoaded);
+        p.start_prober(ProbeConfig {
+            every: SimTime::from_us(50),
+            poll: Duration::from_millis(1),
+            idle_grace: 1,
+        });
+        p.start_prober(ProbeConfig::default()); // idempotent
+        let deadline = Instant::now() + Duration::from_secs(30);
+        while o.backend().metrics().snapshot().probes < 3 {
+            assert!(Instant::now() < deadline, "prober must make rounds");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let rounds = p.stop_prober().expect("prober was running");
+        assert!(rounds >= 2, "got {rounds}");
+        assert!(p.stop_prober().is_none(), "already stopped");
     }
 
     #[test]

@@ -181,6 +181,14 @@ pub struct BackendMetrics {
     reconnect_attempts: Counter,
     reconnects: Counter,
     replayed: Counter,
+    /// Background liveness probes that answered.
+    probes: Counter,
+    /// Background liveness probes that went unanswered.
+    probe_misses: Counter,
+    /// Targets added to a running pool's membership.
+    member_joins: Counter,
+    /// Targets removed (drained) from a running pool's membership.
+    member_leaves: Counter,
     completions: Counter,
     puts: Counter,
     gets: Counter,
@@ -243,6 +251,10 @@ impl BackendMetrics {
             reconnect_attempts: Counter::new(),
             reconnects: Counter::new(),
             replayed: Counter::new(),
+            probes: Counter::new(),
+            probe_misses: Counter::new(),
+            member_joins: Counter::new(),
+            member_leaves: Counter::new(),
             completions: Counter::new(),
             puts: Counter::new(),
             gets: Counter::new(),
@@ -347,6 +359,27 @@ impl BackendMetrics {
     /// frames onto the fresh connection.
     pub fn on_replay(&self, frames: u64) {
         self.replayed.add(frames);
+    }
+
+    /// A background liveness probe completed its ping round trip.
+    pub fn on_probe(&self) {
+        self.probes.incr();
+    }
+
+    /// A background liveness probe went unanswered (the target is
+    /// unreachable or its link is degraded).
+    pub fn on_probe_miss(&self) {
+        self.probe_misses.incr();
+    }
+
+    /// A target joined a running pool's membership.
+    pub fn on_member_join(&self) {
+        self.member_joins.incr();
+    }
+
+    /// A target was removed (drained) from a running pool's membership.
+    pub fn on_member_leave(&self) {
+        self.member_leaves.incr();
     }
 
     /// A batch (or single-message frame) was flushed `delay` of virtual
@@ -461,6 +494,10 @@ impl BackendMetrics {
             reconnect_attempts: self.reconnect_attempts.get(),
             reconnects: self.reconnects.get(),
             replayed_frames: self.replayed.get(),
+            probes: self.probes.get(),
+            probe_misses: self.probe_misses.get(),
+            member_joins: self.member_joins.get(),
+            member_leaves: self.member_leaves.get(),
             completions: self.completions.get(),
             puts: self.puts.get(),
             gets: self.gets.get(),
@@ -550,6 +587,14 @@ pub struct MetricsSnapshot {
     pub reconnects: u64,
     /// In-flight frames replayed onto a fresh connection at resume.
     pub replayed_frames: u64,
+    /// Background liveness probes answered.
+    pub probes: u64,
+    /// Background liveness probes unanswered.
+    pub probe_misses: u64,
+    /// Targets added to a running pool's membership.
+    pub member_joins: u64,
+    /// Targets removed (drained) from a running pool's membership.
+    pub member_leaves: u64,
     /// Offloads whose result was consumed.
     pub completions: u64,
     /// `put` operations.
@@ -680,6 +725,18 @@ impl MetricsSnapshot {
                 ),
             );
         }
+        if self.probes + self.probe_misses > 0 {
+            line(
+                "probes (ok/miss)",
+                format!("{}/{}", self.probes, self.probe_misses),
+            );
+        }
+        if self.member_joins + self.member_leaves > 0 {
+            line(
+                "membership (join/leave)",
+                format!("{}/{}", self.member_joins, self.member_leaves),
+            );
+        }
         line("completions", self.completions.to_string());
         line(
             "inflight (now/peak)",
@@ -748,6 +805,18 @@ impl MetricsSnapshot {
             &mut out,
             "aurora_replayed_frames_total",
             self.replayed_frames,
+        );
+        prom_counter(&mut out, "aurora_probes_total", self.probes);
+        prom_counter(&mut out, "aurora_probe_misses_total", self.probe_misses);
+        prom_counter(
+            &mut out,
+            "aurora_membership_joins_total",
+            self.member_joins,
+        );
+        prom_counter(
+            &mut out,
+            "aurora_membership_leaves_total",
+            self.member_leaves,
         );
         prom_counter(&mut out, "aurora_completions_total", self.completions);
         prom_counter(&mut out, "aurora_puts_total", self.puts);
@@ -833,6 +902,10 @@ impl MetricsSnapshot {
             ("reconnect_attempts", self.reconnect_attempts),
             ("reconnects", self.reconnects),
             ("replayed_frames", self.replayed_frames),
+            ("probes", self.probes),
+            ("probe_misses", self.probe_misses),
+            ("membership_joins", self.member_joins),
+            ("membership_leaves", self.member_leaves),
             ("completions", self.completions),
             ("puts", self.puts),
             ("gets", self.gets),

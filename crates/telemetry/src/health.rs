@@ -66,8 +66,16 @@ pub enum HealthEventKind {
     /// The transport link dropped; the target is degraded but its
     /// session may still resume (reconnect budget permitting).
     Disconnect,
-    /// A health probe (ping) answered; no state change.
+    /// A health probe (ping) answered. A degraded target that answers
+    /// probes is reachable again: the probe heals it back to
+    /// [`TargetState::Healthy`] (an evicted target stays evicted —
+    /// eviction is latched).
     Probe,
+    /// A health probe went unanswered: the prober could not complete a
+    /// ping round trip. Degrades a healthy target — unanswered probes
+    /// are the earliest liveness signal, arriving before any offload
+    /// traffic fails on the link.
+    ProbeMiss,
     /// The adaptive batching controller widened a channel's watermark;
     /// no state change.
     BatchWiden,
@@ -91,6 +99,7 @@ impl HealthEventKind {
             HealthEventKind::Reconnect => "reconnect",
             HealthEventKind::Disconnect => "disconnect",
             HealthEventKind::Probe => "probe",
+            HealthEventKind::ProbeMiss => "probe_miss",
             HealthEventKind::BatchWiden => "batch_widen",
             HealthEventKind::BatchNarrow => "batch_narrow",
             HealthEventKind::SloFlush => "slo_flush",
@@ -148,10 +157,11 @@ impl HealthRegistry {
 
     /// Record an event and update the target's derived state.
     ///
-    /// `Retry`/`Timeout`/`FaultInjected` degrade a healthy target,
-    /// `Eviction` evicts it, `Reconnect` restores it to healthy;
-    /// `Failover` describes the *survivor* receiving work and does not
-    /// change its state.
+    /// `Retry`/`Timeout`/`FaultInjected`/`Disconnect`/`ProbeMiss`
+    /// degrade a healthy target, `Eviction` evicts it, `Reconnect` and
+    /// an answered `Probe` restore a degraded (not evicted) target to
+    /// healthy; `Failover` describes the *survivor* receiving work and
+    /// does not change its state.
     pub fn record(&self, node: u16, kind: HealthEventKind, corr: u64, at_ps: u64) {
         {
             let mut states = self.states.lock();
@@ -160,15 +170,22 @@ impl HealthRegistry {
                 HealthEventKind::FaultInjected
                 | HealthEventKind::Retry
                 | HealthEventKind::Timeout
-                | HealthEventKind::Disconnect => {
+                | HealthEventKind::Disconnect
+                | HealthEventKind::ProbeMiss => {
                     if *state == TargetState::Healthy {
                         *state = TargetState::Degraded;
                     }
                 }
                 HealthEventKind::Eviction => *state = TargetState::Evicted,
                 HealthEventKind::Reconnect => *state = TargetState::Healthy,
+                HealthEventKind::Probe => {
+                    // An answered probe proves the target reachable;
+                    // only eviction is latched.
+                    if *state == TargetState::Degraded {
+                        *state = TargetState::Healthy;
+                    }
+                }
                 HealthEventKind::Failover
-                | HealthEventKind::Probe
                 | HealthEventKind::BatchWiden
                 | HealthEventKind::BatchNarrow
                 | HealthEventKind::SloFlush => {}
@@ -262,20 +279,38 @@ mod tests {
     }
 
     #[test]
-    fn disconnect_degrades_and_probe_is_neutral() {
+    fn disconnect_degrades_and_answered_probe_heals() {
         let r = HealthRegistry::new();
         r.register(4);
         r.record(4, HealthEventKind::Probe, 0, 50);
         assert_eq!(r.state(4), Some(TargetState::Healthy));
         r.record(4, HealthEventKind::Disconnect, 0, 100);
         assert_eq!(r.state(4), Some(TargetState::Degraded));
-        // A probe does not heal a degraded target; a reconnect does.
+        // An answered probe proves the target reachable again — the
+        // background prober drives the degraded→healed edge without
+        // waiting for a caller to touch the channel.
         r.record(4, HealthEventKind::Probe, 0, 150);
-        assert_eq!(r.state(4), Some(TargetState::Degraded));
-        r.record(4, HealthEventKind::Reconnect, 0, 200);
         assert_eq!(r.state(4), Some(TargetState::Healthy));
         assert_eq!(HealthEventKind::Disconnect.name(), "disconnect");
         assert_eq!(HealthEventKind::Probe.name(), "probe");
+    }
+
+    #[test]
+    fn probe_miss_degrades_but_never_unevicts() {
+        let r = HealthRegistry::new();
+        r.register(5);
+        r.record(5, HealthEventKind::ProbeMiss, 0, 100);
+        assert_eq!(r.state(5), Some(TargetState::Degraded));
+        // A miss streak keeps it degraded; an answered probe heals.
+        r.record(5, HealthEventKind::ProbeMiss, 0, 200);
+        assert_eq!(r.state(5), Some(TargetState::Degraded));
+        r.record(5, HealthEventKind::Probe, 0, 300);
+        assert_eq!(r.state(5), Some(TargetState::Healthy));
+        // Eviction is latched: neither probes nor misses move it.
+        r.record(5, HealthEventKind::Eviction, 0, 400);
+        r.record(5, HealthEventKind::Probe, 0, 500);
+        assert_eq!(r.state(5), Some(TargetState::Evicted));
+        assert_eq!(HealthEventKind::ProbeMiss.name(), "probe_miss");
     }
 
     #[test]

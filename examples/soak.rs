@@ -18,9 +18,9 @@ use ham::f2f;
 use ham_aurora_repro::fault_scenario::{probe_expected, scenario_probe, BackendKind};
 use ham_aurora_repro::sim_core::SimTime;
 use ham_aurora_repro::{
-    dma_offload_with_faults, tcp_offload_batched, tcp_offload_cluster, veo_offload_with_faults,
-    BatchConfig, FaultPlan, NodeId, Offload, OffloadError, PoolFuture, RecoveryPolicy, SchedPolicy,
-    SloSpec, TargetSpec,
+    dma_offload_with_faults, tcp_offload_batched, tcp_offload_cluster, tcp_offload_cluster_reserve,
+    veo_offload_with_faults, BatchConfig, FaultPlan, NodeId, Offload, OffloadError, PoolFuture,
+    RecoveryPolicy, SchedPolicy, SloSpec, TargetSpec,
 };
 
 /// Targets per pool; one is killed mid-run, so survivors keep serving.
@@ -297,6 +297,125 @@ fn tcp_churn_run(seed: u64, offloads: usize) -> (RunStats, usize) {
     (stats, violations)
 }
 
+/// Membership churn: a cluster pool that grows and shrinks under load
+/// while the background prober sweeps it. A reserve target joins
+/// mid-run through the discovery handshake and starts serving; members
+/// are then retired (their staged work is reclaimed and fails over)
+/// and re-admitted on a rolling schedule. Gated by the same [`SloSpec`]
+/// plus: the join must be recorded, the prober must have answered
+/// rounds, and no wave may strand work.
+fn membership_churn_run(seed: u64, offloads: usize) -> (RunStats, usize) {
+    let spec = SloSpec::default();
+    let spec_t = TargetSpec {
+        credit_limit: 64,
+        ..TargetSpec::default()
+    };
+    let active = vec![spec_t; TARGETS as usize - 1];
+    let (o, be) = tcp_offload_cluster_reserve(
+        &active,
+        &[spec_t],
+        RecoveryPolicy::replay_only(64),
+        FaultPlan::builder(seed).build(),
+        |b| {
+            b.register::<scenario_probe>();
+        },
+    );
+    let nodes: Vec<NodeId> = (1..=TARGETS).map(NodeId).collect();
+    let pool = o
+        .pool_with(&nodes[..TARGETS as usize - 1], SchedPolicy::RoundRobin)
+        .expect("pool");
+    pool.start_prober(be.probe_config());
+    let joiner = NodeId(TARGETS);
+
+    let wave_size = TARGETS as usize * PER_TARGET_PER_WAVE;
+    let waves = offloads.div_ceil(wave_size).max(6);
+    let join_wave = waves / 3;
+    let churn_every = (waves / 4).max(2);
+
+    let mut stats = RunStats {
+        ok: 0,
+        lost: 0,
+        refused: 0,
+        failed: 0,
+    };
+    let mut posted = 0usize;
+    let mut retired: Option<NodeId> = None;
+    for wave in 0..waves {
+        let mut futs: Vec<PoolFuture<u64>> = Vec::new();
+        for i in 0..wave_size.min(offloads.saturating_sub(posted)).max(1) {
+            let x = (wave * wave_size + i) as u64;
+            match pool.submit(f2f!(scenario_probe, x)) {
+                Ok(f) => futs.push(f),
+                Err(_) => stats.refused += 1,
+            }
+            posted += 1;
+        }
+        if wave == join_wave {
+            // The reserve slot runs its discovery handshake and is
+            // admitted mid-wave: work already in flight is untouched,
+            // the joiner serves from the next placement on.
+            be.join_target(joiner).expect("join_target");
+            pool.add_target(joiner).expect("add_target");
+        }
+        if let Some(n) = retired.take() {
+            // Re-admit last wave's retiree: it is alive (retirement
+            // drains, it does not kill), so admission is immediate.
+            let _ = pool.add_target(n);
+        } else if wave > join_wave && wave % churn_every == 0 && pool.len() > 2 {
+            // Retire a rotating member mid-wave: its staged members are
+            // reclaimed (provably unsent) and fail over to the rest.
+            let n = NodeId(1 + ((seed + wave as u64) % TARGETS as u64) as u16);
+            if pool.remove_target(n).is_ok() {
+                retired = Some(n);
+            }
+        }
+        for r in pool.wait_all(futs) {
+            match r {
+                Ok(_) => stats.ok += 1,
+                Err(OffloadError::TargetLost(_)) => stats.lost += 1,
+                Err(_) => stats.failed += 1,
+            }
+        }
+    }
+    let rounds = pool.stop_prober().unwrap_or(0);
+
+    let leaked: usize = nodes.iter().map(|&n| o.in_flight(n).unwrap_or(0)).sum();
+    let snap = o.metrics_snapshot();
+    let events = o.backend().metrics().health().events();
+    let mut report = spec.evaluate(&snap, &events, leaked);
+    if snap.member_joins == 0 {
+        report
+            .violations
+            .push("membership phase recorded no joins".into());
+    }
+    if snap.probes == 0 || rounds == 0 {
+        report
+            .violations
+            .push("membership phase recorded no answered probe rounds".into());
+    }
+
+    println!(
+        "## membership-churn seed {seed}: {posted} offloads ({} ok, {} lost, {} refused, \
+         {} failed), {} joins / {} leaves, {} probe rounds ({} ok / {} miss)",
+        stats.ok,
+        stats.lost,
+        stats.refused,
+        stats.failed,
+        snap.member_joins,
+        snap.member_leaves,
+        rounds,
+        snap.probes,
+        snap.probe_misses,
+    );
+    print!("{}", pool.health_report().render());
+    print!("{}", report.render());
+    println!();
+
+    let violations = report.violations.len();
+    o.shutdown();
+    (stats, violations)
+}
+
 fn main() {
     // A killed VE process exits by panicking with "fault injection:
     // VE process N killed" when reaped at shutdown — that panic is the
@@ -322,10 +441,17 @@ fn main() {
             total_violations += violations;
         }
     }
-    // The cluster-TCP churn phase rides along whenever TCP is soaked.
+    // The cluster-TCP churn phases ride along whenever TCP is soaked:
+    // disconnect/reconnect churn, then membership churn with the
+    // background prober running.
     if cfg.backends.contains(&BackendKind::Tcp) {
         for &seed in &cfg.seeds {
             let (stats, violations) = tcp_churn_run(seed, cfg.offloads / 4);
+            total += stats.ok + stats.lost + stats.refused + stats.failed;
+            total_violations += violations;
+        }
+        for &seed in &cfg.seeds {
+            let (stats, violations) = membership_churn_run(seed, cfg.offloads / 4);
             total += stats.ok + stats.lost + stats.refused + stats.failed;
             total_violations += violations;
         }

@@ -16,7 +16,11 @@
 # cluster-TCP session-resume path: mid-batch disconnects, double
 # disconnects, blackouts that exhaust (or nearly exhaust) the reconnect
 # budget, and the discovery handshake, asserting exactly-once-or-lost
-# outcomes and zero leaked pending entries throughout.
+# outcomes and zero leaked pending entries throughout. The membership
+# churn scenarios (also tests/pool_scenarios.rs) add dynamic pool
+# rosters: a reserve target joining mid-flight, a member retired with
+# staged work, a flapping link deprioritized by the background prober,
+# and the bounded all-degraded placement wait.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -47,6 +51,12 @@ pool_tests=(
   pool_kill_one_of_four_tcp
   staged_batch_offloads_fail_over_to_survivors
   killing_every_target_empties_the_pool
+  kill_target_latches_eviction_before_returning
+  membership_add_target_mid_flight_matrix
+  membership_remove_target_reclaims_staged_work
+  flapping_target_probed_deprioritized_then_heals
+  all_degraded_cluster_submit_is_bounded_under_permanent_outage
+  all_degraded_cluster_heals_and_unblocks_placement
 )
 
 for t in "${tests[@]}"; do

@@ -9,7 +9,11 @@
 # The tcp runs additionally drive the disconnect/reconnect churn phase
 # (examples/soak.rs `tcp_churn_run`): a cluster pool whose links are
 # killed on a rolling schedule, gated on the same SloSpec plus the
-# requirement that at least one session resume actually happened.
+# requirement that at least one session resume actually happened — and
+# the membership churn phase (`membership_churn_run`): a reserve target
+# joins mid-run, members are retired and re-admitted under load, and
+# the background prober must record answered rounds, all on the same
+# SLO gate.
 #
 # Full-size run (no arguments, ~10^5 offloads in one process):
 #   cargo run --release --example soak

@@ -50,7 +50,8 @@ pub use aurora_sim_core::{
 pub use ham_backend_tcp::{Announce, TargetSpec};
 pub use ham_offload::chan::{BatchConfig, RecoveryPolicy};
 pub use ham_offload::sched::{
-    HealthReport, PoolFuture, PoolMetricsSnapshot, SchedPolicy, TargetHealth, TargetPool,
+    HealthReport, PoolFuture, PoolMetricsSnapshot, ProbeConfig, SchedPolicy, TargetHealth,
+    TargetPool,
 };
 pub use ham_offload::{BufferPtr, Future, NodeId, Offload, OffloadError};
 
@@ -257,6 +258,25 @@ pub fn tcp_offload_cluster(
     Offload::new(ham_backend_tcp::TcpBackend::spawn_cluster(
         specs, policy, plan, registrar,
     ))
+}
+
+/// [`tcp_offload_cluster`] with an address book of vacant *reserve*
+/// slots for dynamic membership. Returns the backend handle alongside
+/// the runtime so callers can activate a reserve slot later with
+/// [`ham_backend_tcp::TcpBackend::join_target`] (and then admit it to a
+/// running [`sched::TargetPool`] via
+/// [`sched::TargetPool::add_target`]).
+pub fn tcp_offload_cluster_reserve(
+    active: &[TargetSpec],
+    reserve: &[TargetSpec],
+    policy: RecoveryPolicy,
+    plan: Arc<FaultPlan>,
+    registrar: impl Fn(&mut ham::RegistryBuilder) + Send + Sync + 'static,
+) -> (Offload, Arc<ham_backend_tcp::TcpBackend>) {
+    let backend = ham_backend_tcp::TcpBackend::spawn_cluster_with_reserve(
+        active, reserve, policy, plan, registrar,
+    );
+    (Offload::new(backend.clone()), backend)
 }
 
 /// An [`Offload`] runtime over the in-process reference backend (no

@@ -409,4 +409,41 @@ mod warm_wait {
         );
         assert_eq!(o.in_flight(NodeId(1)).unwrap(), 0);
     }
+
+    /// Pool admission is heap-silent once warm: `len`/`is_empty` count
+    /// the healthy set under the lock (they used to clone the healthy
+    /// `Vec` — one allocation per liveness check, on the hot submit
+    /// path of every pooled caller), and a `try_pick` placement
+    /// decision (prune + policy select + credit check) is pointer
+    /// chasing and integer math over preallocated state.
+    #[test]
+    fn warm_pool_admission_allocates_nothing() {
+        use ham_offload::sched::SchedPolicy;
+
+        let _gate = super::gate();
+        let o = Offload::new(Arc::new(MockBackend::new()));
+        let pool = o
+            .pool_with(&[NodeId(1)], SchedPolicy::RoundRobin)
+            .unwrap();
+        // Warm-up: pooled rounds fill the frame pool, the channel
+        // tables, and the pool's own admission state (healthy set,
+        // miss-streak map, cursor).
+        for _ in 0..4 {
+            let futs: Vec<_> = (0..DEPTH)
+                .map(|_| pool.submit(f2f!(echo_probe, VALUE)).unwrap())
+                .collect();
+            for r in pool.wait_all(futs) {
+                assert_eq!(r.unwrap(), VALUE);
+            }
+        }
+        let ((), allocs) = super::counted(|| {
+            for _ in 0..256 {
+                assert_eq!(pool.len(), 1);
+                assert!(!pool.is_empty());
+                assert_eq!(pool.try_pick().unwrap(), Some(NodeId(1)));
+            }
+        });
+        assert_eq!(allocs, 0, "warm pool admission must not touch the heap");
+        assert_eq!(o.in_flight(NodeId(1)).unwrap(), 0);
+    }
 }

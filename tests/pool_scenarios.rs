@@ -19,11 +19,13 @@ use ham::f2f;
 use ham_aurora_repro::fault_scenario::{probe_expected, scenario_probe, BackendKind};
 use ham_aurora_repro::{
     dma_offload_batched, dma_offload_batched_with_faults, dma_offload_with_faults,
-    tcp_offload_with_faults, veo_offload_with_faults, BatchConfig, FaultPlan, NodeId, Offload,
-    OffloadError,
+    tcp_offload_cluster_reserve, tcp_offload_with_faults, veo_offload_with_faults, BatchConfig,
+    FaultPlan, NodeId, Offload, OffloadError, RecoveryPolicy, TargetSpec, TargetState,
 };
+use ham_offload::backend::CommBackend;
 use ham_offload::sched::{PoolFuture, SchedPolicy, TargetPool};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 const SEEDS: [u64; 8] = [1, 2, 3, 5, 8, 13, 42, 0xA770_57E5];
 const TARGETS: u16 = 4;
@@ -582,6 +584,503 @@ fn killing_every_target_empties_the_pool() {
     assert!(
         matches!(err, OffloadError::TargetLost(_) | OffloadError::Backend(_)),
         "{err}"
+    );
+    for &n in &nodes {
+        assert_eq!(o.in_flight(n).unwrap_or(0), 0, "leak on t{}", n.0);
+    }
+    o.shutdown();
+}
+
+// ---------------------------------------------------------------------
+// Membership churn: dynamic add/remove on a running pool, background
+// liveness probing, and the all-degraded placement bound — all against
+// real loopback-TCP cluster targets.
+// ---------------------------------------------------------------------
+
+/// Cluster-TCP health transitions ride reader/supervisor threads, so
+/// the churn assertions await them under a hard deadline instead of
+/// sleeping blind.
+fn wait_until(limit: Duration, mut cond: impl FnMut() -> bool) -> bool {
+    let t0 = Instant::now();
+    while t0.elapsed() < limit {
+        if cond() {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    cond()
+}
+
+fn cluster_reg(b: &mut ham::RegistryBuilder) {
+    b.register::<scenario_probe>();
+}
+
+/// Canonical per-run record for the add-target replay comparison:
+/// everything about the churn timeline that must be deterministic.
+#[derive(Debug, PartialEq)]
+struct ChurnRun {
+    /// `(node, fresh)` from the joiner's discovery announce.
+    announce: (u16, bool),
+    /// Placement sequence across the whole run (pre- and post-join).
+    placements: Vec<u16>,
+    /// `(x, served_by)` for every offload, sorted by `x`.
+    outcomes: Vec<(u64, u16)>,
+    healthy: Vec<u16>,
+}
+
+/// One add-target-mid-flight run: a 3-target cluster with one vacant
+/// reserve slot, a seeded number of offloads already in flight, then
+/// the PR 8 discovery handshake activates the reserve slot and the
+/// pool admits it — the joiner starts serving the remainder of the
+/// run, every offload completes with a correct result, and the vacant
+/// slot was never placeable before its handshake ran.
+fn add_target_mid_flight_once(seed: u64) -> ChurnRun {
+    let (o, be) = tcp_offload_cluster_reserve(
+        &[TargetSpec::default(); 3],
+        &[TargetSpec::default()],
+        RecoveryPolicy::replay_only(4),
+        FaultPlan::none(),
+        cluster_reg,
+    );
+    let nodes: Vec<NodeId> = (1..=3).map(NodeId).collect();
+    let pool = o.pool_with(&nodes, SchedPolicy::RoundRobin).expect("pool");
+    let joiner = NodeId(4);
+    let label = format!("churn add seed {seed}");
+
+    // A vacant reserve slot is not a target yet: the pool refuses it.
+    assert!(!be.is_joined(joiner), "{label}: reserve slot joined early");
+    assert!(
+        pool.add_target(joiner).is_err(),
+        "{label}: admitted a slot whose handshake never ran"
+    );
+
+    let join_at = 4 + (seed % 8) as usize;
+    let total = 2 * WAVE;
+    let mut xs = Vec::new();
+    let mut futs = Vec::new();
+    let mut placements = Vec::new();
+    for i in 0..join_at {
+        let x = seed * 1000 + i as u64;
+        let f = pool.submit(f2f!(scenario_probe, x)).expect("submit");
+        placements.push(f.target().0);
+        xs.push(x);
+        futs.push(f);
+    }
+    // Mid-flight join: discovery handshake on the vacant slot, then
+    // pool admission. Both are idempotence-checked.
+    let announce = be
+        .join_target(joiner)
+        .unwrap_or_else(|e| panic!("{label}: join failed: {e}"));
+    assert_eq!(announce.node, joiner.0, "{label}: announce names the slot");
+    assert!(
+        announce.watermark.is_none(),
+        "{label}: a fresh joiner has no replay watermark"
+    );
+    assert!(be.join_target(joiner).is_err(), "{label}: double join");
+    assert!(
+        pool.add_target(joiner).expect("admit joiner"),
+        "{label}: roster must grow"
+    );
+    assert!(
+        !pool.add_target(joiner).expect("re-admit joiner"),
+        "{label}: re-admitting a member is a no-op"
+    );
+    for i in join_at..total {
+        let x = seed * 1000 + i as u64;
+        let f = pool.submit(f2f!(scenario_probe, x)).expect("submit");
+        placements.push(f.target().0);
+        xs.push(x);
+        futs.push(f);
+    }
+    assert!(
+        placements[..join_at].iter().all(|&p| p != joiner.0),
+        "{label}: placed on the joiner before it joined: {placements:?}"
+    );
+    assert!(
+        placements[join_at..].iter().any(|&p| p == joiner.0),
+        "{label}: the joiner never served work: {placements:?}"
+    );
+
+    let mut outcomes = Vec::new();
+    while !futs.is_empty() {
+        let i = pool.wait_any(&mut futs).expect("futures pending");
+        let x = xs.swap_remove(i);
+        let f = futs.swap_remove(i);
+        let t = f.target().0;
+        let v = pool
+            .get(f)
+            .unwrap_or_else(|e| panic!("{label}: offload x={x} lost: {e}"));
+        assert_eq!(v, probe_expected(x, t), "{label}: value/target mismatch");
+        outcomes.push((x, t));
+    }
+    outcomes.sort_unstable();
+    let healthy: Vec<u16> = pool.healthy().iter().map(|n| n.0).collect();
+    assert_eq!(healthy, vec![1, 2, 3, 4], "{label}: joiner pooled");
+    assert_eq!(
+        o.metrics_snapshot().member_joins,
+        1,
+        "{label}: join counter"
+    );
+    for n in 1..=4u16 {
+        assert_eq!(
+            o.in_flight(NodeId(n)).unwrap_or(0),
+            0,
+            "{label}: leak on t{n}"
+        );
+    }
+    o.shutdown();
+    ChurnRun {
+        announce: (announce.node, announce.watermark.is_none()),
+        placements,
+        outcomes,
+        healthy,
+    }
+}
+
+/// Add-target-mid-flight matrix: the full seed set, each run twice —
+/// the churn timeline (join point, placements, outcomes, roster) must
+/// replay bit-identically.
+#[test]
+fn membership_add_target_mid_flight_matrix() {
+    let deadline = Instant::now() + Duration::from_secs(240);
+    for seed in SEEDS {
+        let a = add_target_mid_flight_once(seed);
+        let b = add_target_mid_flight_once(seed);
+        assert_eq!(a, b, "seed {seed}: membership churn timeline replays");
+        assert!(
+            Instant::now() < deadline,
+            "in-test deadline exceeded at seed {seed}"
+        );
+    }
+}
+
+/// Retiring a member with staged work: `remove_target` reclaims the
+/// provably-unsent members from the victim's batch accumulator (the
+/// same staged-tail migration `rebalance` uses), the pool replays
+/// exactly those members on survivors, and the victim — alive, just
+/// retired — stops receiving placements. Exactly-once throughout:
+/// every offload completes once with a correct result, nothing leaks.
+#[test]
+fn membership_remove_target_reclaims_staged_work() {
+    for seed in SEEDS {
+        let o = Offload::new(ham_backend_tcp::TcpBackend::spawn_batched(
+            TARGETS,
+            BatchConfig::up_to(64),
+            cluster_reg,
+        ));
+        let nodes: Vec<NodeId> = (1..=TARGETS).map(NodeId).collect();
+        let pool = o.pool_with(&nodes, SchedPolicy::LeastLoaded).expect("pool");
+        let victim = NodeId(1 + (seed % TARGETS as u64) as u16);
+        let label = format!("churn remove seed {seed}");
+
+        // One staged wave, 4 members per target (watermark 64: nothing
+        // on the wire). Staged members count toward in-flight, so
+        // LeastLoaded is deterministic here.
+        let mut xs = Vec::new();
+        let mut futs = Vec::new();
+        for i in 0..WAVE {
+            let x = seed * 1000 + i as u64;
+            let f = pool.submit(f2f!(scenario_probe, x)).expect("submit");
+            xs.push((x, f.target().0));
+            futs.push(f);
+        }
+        let staged = WAVE / TARGETS as usize;
+        let reclaimed = pool.remove_target(victim).expect("remove_target");
+        assert_eq!(
+            reclaimed, staged,
+            "{label}: the victim's staged members are reclaimed"
+        );
+        assert!(
+            matches!(pool.remove_target(victim), Err(OffloadError::BadNode(_))),
+            "{label}: double remove must surface BadNode"
+        );
+        let healthy: Vec<u16> = pool.healthy().iter().map(|n| n.0).collect();
+        assert!(!healthy.contains(&victim.0), "{label}: victim still pooled");
+        assert_eq!(healthy.len(), TARGETS as usize - 1, "{label}");
+
+        // Collect everything: exactly the reclaimed members fail over,
+        // and none lands back on the retiree.
+        let mut resubmitted = 0;
+        while !futs.is_empty() {
+            let i = pool.wait_any(&mut futs).expect("futures pending");
+            let (x, placed) = xs.swap_remove(i);
+            let f = futs.swap_remove(i);
+            let t = f.target().0;
+            if f.resubmits() > 0 {
+                resubmitted += 1;
+                assert_eq!(placed, victim.0, "{label}: survivor member migrated");
+                assert_ne!(t, victim.0, "{label}: migrated back onto the retiree");
+            }
+            let v = pool
+                .get(f)
+                .unwrap_or_else(|e| panic!("{label}: offload x={x} lost: {e}"));
+            assert_eq!(v, probe_expected(x, t), "{label}: value/target mismatch");
+        }
+        assert_eq!(
+            resubmitted, staged,
+            "{label}: exactly the reclaimed members fail over"
+        );
+
+        // The pool keeps serving on the survivors only.
+        let (placements, wave) = run_wave(&pool, seed * 1000 + 500);
+        assert!(
+            placements.iter().all(|&p| p != victim.0),
+            "{label}: placed on the retiree: {placements:?}"
+        );
+        for (x, t, r) in wave {
+            assert_eq!(
+                r.expect("post-removal wave"),
+                probe_expected(x, t),
+                "{label}"
+            );
+        }
+        assert_eq!(
+            o.metrics_snapshot().member_leaves,
+            1,
+            "{label}: leave counter"
+        );
+        for &n in &nodes {
+            assert_eq!(o.in_flight(n).unwrap_or(0), 0, "{label}: leak on t{}", n.0);
+        }
+        o.shutdown();
+    }
+}
+
+/// A flapping target under seeded disconnects: the background prober
+/// records `ProbeMiss` streaks while the link is blacked out, placement
+/// deprioritizes the flapper *before* it exhausts its reconnect budget,
+/// and once the blackout lifts the prober drives the `Degraded → healed`
+/// edge — the flapper rejoins the rotation without any caller touching
+/// the channel.
+#[test]
+fn flapping_target_probed_deprioritized_then_heals() {
+    for seed in [3u64, 13, 42] {
+        let (o, be) = tcp_offload_cluster_reserve(
+            &[TargetSpec::default(); 2],
+            &[],
+            RecoveryPolicy::replay_only(200),
+            FaultPlan::none(),
+            cluster_reg,
+        );
+        let nodes = [NodeId(1), NodeId(2)];
+        let pool = o.pool_with(&nodes, SchedPolicy::RoundRobin).expect("pool");
+        let victim = nodes[(seed % 2) as usize];
+        let survivor = nodes[1 - (seed % 2) as usize];
+        let label = format!("churn flap seed {seed}");
+        pool.start_prober(be.probe_config());
+
+        // Flap: kill the sockets behind a reconnect blackout. The
+        // supervisor burns budgeted attempts against the wall while the
+        // prober racks up misses.
+        be.block_reconnect(victim, true).expect("block");
+        o.kill_target(victim).expect("kill");
+        assert!(
+            wait_until(Duration::from_secs(30), || {
+                let snap = be.metrics().snapshot();
+                snap.probe_misses >= 2
+                    && be.metrics().health().state(victim.0) == Some(TargetState::Degraded)
+            }),
+            "{label}: prober never recorded the flapper's misses"
+        );
+
+        // Placement avoids the flapper while its miss streak stands —
+        // it is still pooled (not evicted), just deprioritized.
+        let (placements, wave) = run_wave(&pool, seed * 1000);
+        assert!(
+            placements.iter().all(|&p| p == survivor.0),
+            "{label}: placed on the flapper mid-blackout: {placements:?}"
+        );
+        for (x, t, r) in wave {
+            assert_eq!(r.expect("blackout wave"), probe_expected(x, t), "{label}");
+        }
+        let healthy: Vec<u16> = pool.healthy().iter().map(|n| n.0).collect();
+        assert!(
+            healthy.contains(&victim.0),
+            "{label}: flapper evicted instead of deprioritized"
+        );
+
+        // Heal: lift the blackout. The supervisor reconnects within its
+        // budget, the prober's next answered round clears the streak and
+        // flips the health registry back — no caller-side poll.
+        be.block_reconnect(victim, false).expect("unblock");
+        assert!(
+            wait_until(Duration::from_secs(30), || {
+                be.metrics().health().state(victim.0) == Some(TargetState::Healthy)
+            }),
+            "{label}: flapper never healed after the blackout lifted"
+        );
+        assert!(
+            wait_until(Duration::from_secs(30), || {
+                pool.submit(f2f!(scenario_probe, 7777))
+                    .is_ok_and(|f| f.target() == victim && pool.get(f).is_ok())
+            }),
+            "{label}: the healed flapper never rejoined the rotation"
+        );
+        let rounds = pool.stop_prober().expect("prober was running");
+        assert!(rounds >= 1, "{label}: prober ran no rounds");
+        let snap = be.metrics().snapshot();
+        assert!(snap.probes >= 1, "{label}: no answered probes recorded");
+        assert!(snap.probe_misses >= 2, "{label}: no misses recorded");
+        for &n in &nodes {
+            assert_eq!(o.in_flight(n).unwrap_or(0), 0, "{label}: leak on t{}", n.0);
+        }
+        o.shutdown();
+    }
+}
+
+/// End-to-end pin for the all-degraded placement livelock, phase 1:
+/// a **permanent** outage. Every pooled target's link is blacked out
+/// with a tight reconnect budget and tiny credit limits, and `submit`
+/// is called until the credits are gone — the next call lands in the
+/// blocking `pick` loop that used to spin forever. It must exit with
+/// a bounded error instead ([`OffloadError::Timeout`] when the budget
+/// outlasts the wait, or the pool-empty error once the supervisors
+/// give up and evict — the deterministic `Timeout` split is pinned at
+/// the unit level in `sched::pool`). Every parked future resolves.
+#[test]
+fn all_degraded_cluster_submit_is_bounded_under_permanent_outage() {
+    let deadline = Instant::now() + Duration::from_secs(60);
+    let spec = TargetSpec {
+        credit_limit: 2,
+        ..TargetSpec::default()
+    };
+    let (o, be) = tcp_offload_cluster_reserve(
+        &[spec; 2],
+        &[],
+        RecoveryPolicy::replay_only(4),
+        FaultPlan::none(),
+        cluster_reg,
+    );
+    let nodes = [NodeId(1), NodeId(2)];
+    let pool = o.pool_with(&nodes, SchedPolicy::RoundRobin).expect("pool");
+    for &n in &nodes {
+        be.block_reconnect(n, true).expect("block");
+        o.kill_target(n).expect("kill");
+    }
+    assert!(
+        wait_until(Duration::from_secs(30), || {
+            nodes.iter().all(|n| {
+                matches!(
+                    be.metrics().health().state(n.0),
+                    Some(TargetState::Degraded | TargetState::Evicted)
+                )
+            })
+        }),
+        "both links must degrade"
+    );
+
+    // A submit racing the degrade can still reserve and park (its send
+    // fails, recovery holds it for replay); once the channels are
+    // degraded they refuse reservations, so the submit blocks in `pick`
+    // with every target degraded — the livelock regression — and must
+    // error out instead of spinning.
+    let mut parked = Vec::new();
+    let err = loop {
+        match pool.submit(f2f!(scenario_probe, parked.len() as u64)) {
+            Ok(f) => parked.push(f),
+            Err(e) => break e,
+        }
+        assert!(
+            Instant::now() < deadline,
+            "submit never surfaced the outage"
+        );
+    };
+    assert!(
+        matches!(
+            err,
+            OffloadError::Timeout | OffloadError::TargetLost(_) | OffloadError::Backend(_)
+        ),
+        "unexpected all-degraded error: {err}"
+    );
+    assert!(Instant::now() < deadline, "in-test deadline exceeded");
+
+    // Nothing hangs on collection either: the parked work fails loudly
+    // once its target is evicted (a last-gasp completion is fine).
+    for r in pool.wait_all(parked) {
+        if let Err(e) = r {
+            assert!(
+                matches!(e, OffloadError::TargetLost(_) | OffloadError::Backend(_)),
+                "parked future surfaced {e}"
+            );
+        }
+    }
+    for &n in &nodes {
+        assert_eq!(o.in_flight(n).unwrap_or(0), 0, "leak on t{}", n.0);
+    }
+    o.shutdown();
+}
+
+/// Phase 2 of the livelock pin: a **transient** outage. A degraded
+/// channel refuses new reservations (`Reserve::Full`), so a submit
+/// issued while every link is down blocks in `pick`'s bounded
+/// all-degraded stall; when the blackout lifts mid-wait, the link
+/// supervisors resume the sessions and the blocked submit proceeds to
+/// placement and completion — no caller ever touched the channel, and
+/// the health registry flips back to `Healthy` on its own.
+#[test]
+fn all_degraded_cluster_heals_and_unblocks_placement() {
+    let (o, be) = tcp_offload_cluster_reserve(
+        &[TargetSpec::default(); 2],
+        &[],
+        RecoveryPolicy::replay_only(200),
+        FaultPlan::none(),
+        cluster_reg,
+    );
+    let nodes = [NodeId(1), NodeId(2)];
+    let pool = o.pool_with(&nodes, SchedPolicy::RoundRobin).expect("pool");
+
+    // Sanity: the pool serves before the outage.
+    let f = pool.submit(f2f!(scenario_probe, 1000)).expect("submit");
+    let t = f.target().0;
+    assert_eq!(pool.get(f).expect("pre-outage"), probe_expected(1000, t));
+
+    for &n in &nodes {
+        be.block_reconnect(n, true).expect("block");
+        o.kill_target(n).expect("kill");
+    }
+    assert!(
+        wait_until(Duration::from_secs(30), || {
+            nodes
+                .iter()
+                .all(|n| be.metrics().health().state(n.0) == Some(TargetState::Degraded))
+        }),
+        "both links must degrade"
+    );
+
+    // Lift the blackout from a helper thread while the submit below is
+    // blocked in `pick` with every target degraded. The 150 ms window
+    // burns ~10 of the 200 budgeted reconnect attempts (500 µs backoff
+    // doubling to a 20 ms cap), so the supervisors are still retrying
+    // when the listeners return.
+    let unblock = {
+        let be = Arc::clone(&be);
+        std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(150));
+            for n in [NodeId(1), NodeId(2)] {
+                be.block_reconnect(n, false).expect("unblock");
+            }
+        })
+    };
+    let f = pool
+        .submit(f2f!(scenario_probe, 4))
+        .expect("submit across the heal");
+    let t = f.target().0;
+    assert_eq!(
+        pool.get(f).expect("post-heal submit completes"),
+        probe_expected(4, t)
+    );
+    unblock.join().expect("unblock thread");
+    assert!(
+        wait_until(Duration::from_secs(30), || {
+            nodes
+                .iter()
+                .all(|n| be.metrics().health().state(n.0) == Some(TargetState::Healthy))
+        }),
+        "links must heal once the blackout lifts"
+    );
+    assert!(
+        be.metrics().snapshot().reconnects >= 2,
+        "both sessions must resume"
     );
     for &n in &nodes {
         assert_eq!(o.in_flight(n).unwrap_or(0), 0, "leak on t{}", n.0);
